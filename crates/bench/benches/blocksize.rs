@@ -1,0 +1,52 @@
+//! Criterion micro-benchmark behind Fig. 13: block-size sweep of the three
+//! block reducers on the conv-backprop workload.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ompsim::{Schedule, ThreadPool};
+use spray::{reduce_strategy, Strategy, Sum};
+use spray_conv::{Backprop3Kernel, Stencil3};
+
+const N: usize = 1_000_000;
+
+fn bench_blocksizes(c: &mut Criterion) {
+    let inp: Vec<f32> = (0..N).map(|i| (i % 997) as f32 * 1e-3).collect();
+    let w = Stencil3 {
+        wl: 0.25,
+        wc: 0.5,
+        wr: 0.25,
+    };
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let pool = ThreadPool::new(threads);
+    let kernel = Backprop3Kernel { inp: &inp, w };
+    let mut out = vec![0.0f32; N];
+
+    let mut group = c.benchmark_group("fig13_blocksize");
+    group.sample_size(10);
+    for bs in [16usize, 256, 1024, 16384] {
+        for strategy in [
+            Strategy::BlockPrivate { block_size: bs },
+            Strategy::BlockLock { block_size: bs },
+            Strategy::BlockCas { block_size: bs },
+        ] {
+            group.bench_function(strategy.label(), |b| {
+                b.iter(|| {
+                    out.fill(0.0);
+                    reduce_strategy::<f32, Sum, _>(
+                        strategy,
+                        &pool,
+                        &mut out,
+                        1..N - 1,
+                        Schedule::default(),
+                        &kernel,
+                    );
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_blocksizes);
+criterion_main!(benches);

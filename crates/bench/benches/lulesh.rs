@@ -1,0 +1,56 @@
+//! Criterion micro-benchmark behind Fig. 16: one LULESH-proxy force
+//! computation (the paper's modified sweeps) per accumulation scheme, and
+//! a short whole-run comparison.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ompsim::ThreadPool;
+use spray::Strategy;
+use spray_lulesh::{calc_force_for_nodes, run, Domain, ForceScheme, Params};
+
+fn bench_lulesh(c: &mut Criterion) {
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let pool = ThreadPool::new(threads);
+
+    let schemes = [
+        ForceScheme::Seq,
+        ForceScheme::EightCopy,
+        ForceScheme::Spray(Strategy::Dense),
+        ForceScheme::Spray(Strategy::Atomic),
+        ForceScheme::Spray(Strategy::BlockLock { block_size: 1024 }),
+        ForceScheme::Spray(Strategy::BlockCas { block_size: 1024 }),
+        ForceScheme::Spray(Strategy::Keeper),
+    ];
+
+    // The force scatter alone (the code the paper modifies).
+    {
+        let mut group = c.benchmark_group("fig16_force_sweep_nx16");
+        group.sample_size(10);
+        let mut d = Domain::new(16, Params::default());
+        for scheme in schemes {
+            group.bench_function(scheme.label(), |b| {
+                b.iter(|| calc_force_for_nodes(&mut d, &pool, scheme))
+            });
+        }
+        group.finish();
+    }
+
+    // Whole runs (what Fig. 16 actually times), small mesh.
+    {
+        let mut group = c.benchmark_group("fig16_whole_run_nx8x5iter");
+        group.sample_size(10);
+        for scheme in schemes {
+            group.bench_function(scheme.label(), |b| {
+                b.iter(|| {
+                    let mut d = Domain::new(8, Params::default());
+                    run(&mut d, &pool, scheme, 5)
+                })
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_lulesh);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Criterion micro-benchmark behind Figs. 14/15: transpose-SpMV on scaled
+//! versions of both evaluation matrices, for every strategy and the
+//! simulated MKL baselines.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ompsim::ThreadPool;
+use spray::Strategy;
+use spray_sparse::mkl_sim::{legacy_tmv, Hint, MklSim};
+use spray_sparse::{gen, tmv_with_strategy, Csr};
+
+fn bench_matrix(c: &mut Criterion, name: &str, a: &Csr<f64>) {
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let pool = ThreadPool::new(threads);
+    let x: Vec<f64> = (0..a.nrows()).map(|i| (i % 13) as f64 * 0.5).collect();
+    let mut y = vec![0.0f64; a.ncols()];
+
+    let mut group = c.benchmark_group(name.to_string());
+    group.sample_size(10);
+
+    group.bench_function("sequential", |b| {
+        b.iter(|| {
+            y.fill(0.0);
+            a.tmatvec_seq(&x, &mut y);
+        })
+    });
+
+    for strategy in Strategy::competitive(1024) {
+        group.bench_function(strategy.label(), |b| {
+            b.iter(|| {
+                y.fill(0.0);
+                tmv_with_strategy(strategy, &pool, a, &x, &mut y);
+            })
+        });
+    }
+
+    group.bench_function("mkl-legacy", |b| {
+        b.iter(|| {
+            y.fill(0.0);
+            legacy_tmv(&pool, a, &x, &mut y);
+        })
+    });
+
+    let mut nohint = MklSim::new(a);
+    nohint.optimize(threads);
+    group.bench_function("mkl-ie-nohint", |b| {
+        b.iter(|| {
+            y.fill(0.0);
+            nohint.tmv(&pool, &x, &mut y);
+        })
+    });
+
+    let mut hinted = MklSim::new(a);
+    hinted.set_hint(Hint::TransposeMany);
+    hinted.optimize(threads);
+    group.bench_function("mkl-ie-hint", |b| {
+        b.iter(|| {
+            y.fill(0.0);
+            hinted.tmv(&pool, &x, &mut y);
+        })
+    });
+
+    group.finish();
+}
+
+fn bench_spmv(c: &mut Criterion) {
+    bench_matrix(c, "fig14_s3dkt3m2_scaled", &gen::s3dkt3m2_small(10_000));
+    bench_matrix(c, "fig15_debr_scaled", &gen::de_bruijn(16));
+}
+
+criterion_group!(benches, bench_spmv);
+criterion_main!(benches);

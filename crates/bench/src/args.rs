@@ -1,0 +1,128 @@
+//! Tiny shared command-line parser for the figure binaries.
+
+/// Options common to every figure binary.
+#[derive(Debug, Clone)]
+pub struct Opts {
+    /// Thread counts to sweep (`--threads 1,2,4,8`). Default: powers of two
+    /// up to twice the available parallelism (the paper sweeps 1..56 on a
+    /// 28-core socket, i.e. into 2× oversubscription).
+    pub threads: Vec<usize>,
+    /// Timed repetitions per configuration (`--reps N`, default 5).
+    pub reps: usize,
+    /// Shrink the workload for smoke-testing (`--quick`).
+    pub quick: bool,
+    /// Problem-size override (`--n N`), meaning depends on the binary.
+    pub n: Option<usize>,
+}
+
+impl Default for Opts {
+    fn default() -> Self {
+        let hw = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let mut threads = vec![1usize];
+        while *threads.last().unwrap() < 2 * hw {
+            threads.push(threads.last().unwrap() * 2);
+        }
+        Opts {
+            threads,
+            reps: 5,
+            quick: false,
+            n: None,
+        }
+    }
+}
+
+impl Opts {
+    /// Parses `std::env::args()`, exiting with a usage message on error.
+    pub fn parse() -> Opts {
+        Self::parse_from(std::env::args().skip(1))
+    }
+
+    /// Parses an explicit argument list (testable form of [`Opts::parse`]).
+    pub fn parse_from(args: impl IntoIterator<Item = String>) -> Opts {
+        let mut opts = Opts::default();
+        let mut it = args.into_iter();
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--threads" => {
+                    let v = it
+                        .next()
+                        .unwrap_or_else(|| usage("--threads needs a value"));
+                    opts.threads = v
+                        .split(',')
+                        .map(|s| {
+                            s.trim()
+                                .parse::<usize>()
+                                .ok()
+                                .filter(|&n| n > 0)
+                                .unwrap_or_else(|| usage("bad thread count"))
+                        })
+                        .collect();
+                    if opts.threads.is_empty() {
+                        usage("--threads list is empty");
+                    }
+                }
+                "--reps" => {
+                    let v = it.next().unwrap_or_else(|| usage("--reps needs a value"));
+                    opts.reps = v
+                        .parse::<usize>()
+                        .ok()
+                        .filter(|&n| n > 0)
+                        .unwrap_or_else(|| usage("bad rep count"));
+                }
+                "--n" => {
+                    let v = it.next().unwrap_or_else(|| usage("--n needs a value"));
+                    opts.n = Some(
+                        v.parse::<usize>()
+                            .ok()
+                            .filter(|&n| n > 0)
+                            .unwrap_or_else(|| usage("bad problem size")),
+                    );
+                }
+                "--quick" => opts.quick = true,
+                "--help" | "-h" => usage(""),
+                other => usage(&format!("unknown flag '{other}'")),
+            }
+        }
+        opts
+    }
+}
+
+fn usage(err: &str) -> ! {
+    if !err.is_empty() {
+        eprintln!("error: {err}");
+    }
+    eprintln!(
+        "usage: <bin> [--threads 1,2,4] [--reps N] [--n SIZE] [--quick]\n\
+         prints CSV to stdout; lines starting with # are context"
+    );
+    std::process::exit(if err.is_empty() { 0 } else { 2 });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Opts {
+        Opts::parse_from(s.split_whitespace().map(String::from))
+    }
+
+    #[test]
+    fn defaults() {
+        let o = parse("");
+        assert!(!o.quick);
+        assert_eq!(o.reps, 5);
+        assert!(o.threads.contains(&1));
+        assert!(o.n.is_none());
+    }
+
+    #[test]
+    fn full_flags() {
+        let o = parse("--threads 1,3,9 --reps 2 --n 1000 --quick");
+        assert_eq!(o.threads, vec![1, 3, 9]);
+        assert_eq!(o.reps, 2);
+        assert_eq!(o.n, Some(1000));
+        assert!(o.quick);
+    }
+}

@@ -1,0 +1,108 @@
+//! Ablation (§III / §V-c) — cost of floating-point CAS-loop atomics vs
+//! native integer fetch-add.
+//!
+//! The paper's motivation for the atomic reducer's caveats: "on a system
+//! without explicit support for atomic fetch-and-add operations on
+//! floating-point values, the atomic update would most likely be
+//! implemented with a CAS loop for which the expected performance is
+//! substantially lower." We measure the same histogram workload with
+//! `u64` (fetch_add), `f64` (CAS loop) and `f32` (CAS loop), at low and
+//! high contention.
+
+use bench::args::Opts;
+use bench::time_reps;
+use ompsim::{Schedule, ThreadPool};
+use spray::{reduce_strategy, Kernel, ReducerView, Strategy};
+
+#[global_allocator]
+static ALLOC: memtrack::CountingAlloc = memtrack::CountingAlloc;
+
+struct HistKernel {
+    bins: usize,
+}
+
+macro_rules! impl_hist {
+    ($t:ty, $one:expr) => {
+        impl Kernel<$t> for HistKernel {
+            #[inline(always)]
+            fn item<V: ReducerView<$t>>(&self, view: &mut V, i: usize) {
+                view.apply((i.wrapping_mul(2654435761)) % self.bins, $one);
+            }
+        }
+    };
+}
+impl_hist!(u64, 1);
+impl_hist!(f64, 1.0);
+impl_hist!(f32, 1.0);
+
+fn main() {
+    let opts = Opts::parse();
+    let updates = opts
+        .n
+        .unwrap_or(if opts.quick { 1_000_000 } else { 50_000_000 });
+
+    println!("# Atomic-op ablation: histogram of {updates} updates");
+    println!("# contention = few bins (hot cache lines) vs many bins");
+    println!("elem_type,atomic_op,bins,threads,mean_s,updates_per_s");
+
+    for &threads in &opts.threads {
+        let pool = ThreadPool::new(threads);
+        for &bins in &[64usize, 1 << 20] {
+            let kernel = HistKernel { bins };
+
+            let mut out_u = vec![0u64; bins];
+            let t = time_reps(opts.reps, || {
+                out_u.fill(0);
+                reduce_strategy::<u64, spray::Sum, _>(
+                    Strategy::Atomic,
+                    &pool,
+                    &mut out_u,
+                    0..updates,
+                    Schedule::default(),
+                    &kernel,
+                );
+            });
+            println!(
+                "u64,fetch_add,{bins},{threads},{:.6},{:.3e}",
+                t.mean,
+                updates as f64 / t.mean
+            );
+
+            let mut out_f = vec![0.0f64; bins];
+            let t = time_reps(opts.reps, || {
+                out_f.fill(0.0);
+                reduce_strategy::<f64, spray::Sum, _>(
+                    Strategy::Atomic,
+                    &pool,
+                    &mut out_f,
+                    0..updates,
+                    Schedule::default(),
+                    &kernel,
+                );
+            });
+            println!(
+                "f64,cas_loop,{bins},{threads},{:.6},{:.3e}",
+                t.mean,
+                updates as f64 / t.mean
+            );
+
+            let mut out_f32 = vec![0.0f32; bins];
+            let t = time_reps(opts.reps, || {
+                out_f32.fill(0.0);
+                reduce_strategy::<f32, spray::Sum, _>(
+                    Strategy::Atomic,
+                    &pool,
+                    &mut out_f32,
+                    0..updates,
+                    Schedule::default(),
+                    &kernel,
+                );
+            });
+            println!(
+                "f32,cas_loop,{bins},{threads},{:.6},{:.3e}",
+                t.mean,
+                updates as f64 / t.mean
+            );
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! Ablation (§IX outlook) — the auto-tuning "generic reducer".
+//!
+//! The paper's future work asks for a reducer that picks the strategy at
+//! run time. This harness runs the conv-backprop workload repeatedly
+//! through [`spray::AutoTuner`] and compares its cumulative time against
+//! each static strategy choice, reporting the tuner's pick and its regret
+//! vs. the best static strategy.
+
+use bench::args::Opts;
+use bench::workloads::{conv_input, conv_size, stencil};
+use ompsim::{Schedule, ThreadPool};
+use spray::{reduce_strategy, AutoTuner, Strategy, Sum};
+use spray_conv::Backprop3Kernel;
+use std::time::Instant;
+
+#[global_allocator]
+static ALLOC: memtrack::CountingAlloc = memtrack::CountingAlloc;
+
+fn main() {
+    let opts = Opts::parse();
+    let n = conv_size(opts.quick, opts.n);
+    let rounds = if opts.quick { 20 } else { 40 };
+    let inp = conv_input(n);
+    let w = stencil();
+    let kernel = Backprop3Kernel { inp: &inp, w };
+
+    println!("# Auto-tuner ablation: {rounds} repeated conv-backprop reductions, N = {n}");
+    println!("config,threads,total_s,mean_s,picked");
+
+    let mut out = vec![0.0f32; n];
+    for &threads in &opts.threads {
+        let pool = ThreadPool::new(threads);
+
+        // Static strategies: cumulative time over all rounds.
+        let mut best_static = f64::INFINITY;
+        for &strategy in &Strategy::competitive(1024) {
+            let t0 = Instant::now();
+            for _ in 0..rounds {
+                out.fill(0.0);
+                reduce_strategy::<f32, Sum, _>(
+                    strategy,
+                    &pool,
+                    &mut out,
+                    1..n - 1,
+                    Schedule::default(),
+                    &kernel,
+                );
+            }
+            let total = t0.elapsed().as_secs_f64();
+            best_static = best_static.min(total);
+            println!(
+                "static:{},{},{:.6},{:.6},-",
+                strategy.label(),
+                threads,
+                total,
+                total / rounds as f64
+            );
+        }
+
+        // The tuner pays exploration cost early, then exploits.
+        let mut tuner = AutoTuner::with_default_candidates(1024);
+        let t0 = Instant::now();
+        for _ in 0..rounds {
+            out.fill(0.0);
+            tuner.run::<f32, Sum, _>(&pool, &mut out, 1..n - 1, Schedule::default(), &kernel);
+        }
+        let total = t0.elapsed().as_secs_f64();
+        println!(
+            "autotuner,{},{:.6},{:.6},{}",
+            threads,
+            total,
+            total / rounds as f64,
+            tuner.best().map(|s| s.label()).unwrap_or_default()
+        );
+        println!(
+            "# autotuner regret vs best static: {:+.1}%",
+            (total / best_static - 1.0) * 100.0
+        );
+    }
+}

@@ -1,0 +1,92 @@
+//! Ablation (§V-e / §VII) — keeper reduction sensitivity to the match
+//! between update indices and the static ownership partition.
+//!
+//! "The keeper reduction excels if the updated indices on each thread
+//! closely match the static ownership structure" — here the same update
+//! volume is scattered (a) in place (perfect match), (b) shifted by half
+//! the array (every update forwarded), and (c) pseudo-randomly.
+
+use bench::args::Opts;
+use bench::{fmt_mib, time_reps};
+use ompsim::{Schedule, ThreadPool};
+use spray::{reduce_strategy, Kernel, ReducerView, Strategy, Sum};
+
+#[global_allocator]
+static ALLOC: memtrack::CountingAlloc = memtrack::CountingAlloc;
+
+#[derive(Clone, Copy)]
+enum Mapping {
+    Matched,
+    Shifted,
+    Scrambled,
+}
+
+impl Mapping {
+    fn label(&self) -> &'static str {
+        match self {
+            Mapping::Matched => "matched",
+            Mapping::Shifted => "shifted-half",
+            Mapping::Scrambled => "scrambled",
+        }
+    }
+}
+
+struct ScatterKernel {
+    n: usize,
+    mapping: Mapping,
+}
+
+impl Kernel<f64> for ScatterKernel {
+    #[inline(always)]
+    fn item<V: ReducerView<f64>>(&self, view: &mut V, i: usize) {
+        let idx = match self.mapping {
+            Mapping::Matched => i,
+            Mapping::Shifted => (i + self.n / 2) % self.n,
+            // Odd multiplier: a bijection modulo any power-of-two-free n
+            // is not guaranteed, but collisions just mean heavier traffic.
+            Mapping::Scrambled => (i.wrapping_mul(2654435761)) % self.n,
+        };
+        view.apply(idx, 1.0);
+    }
+}
+
+fn main() {
+    let opts = Opts::parse();
+    let n = opts
+        .n
+        .unwrap_or(if opts.quick { 100_000 } else { 10_000_000 });
+
+    println!("# Keeper ownership ablation, N = {n}, update volume = N per run");
+    println!("mapping,strategy,threads,mean_s,mem_overhead_mib");
+
+    let mut out = vec![0.0f64; n];
+    for &threads in &opts.threads {
+        let pool = ThreadPool::new(threads);
+        for mapping in [Mapping::Matched, Mapping::Shifted, Mapping::Scrambled] {
+            let kernel = ScatterKernel { n, mapping };
+            for strategy in [Strategy::Keeper, Strategy::BlockCas { block_size: 1024 }] {
+                let mut mem = 0usize;
+                let t = time_reps(opts.reps, || {
+                    out.fill(0.0);
+                    let r = reduce_strategy::<f64, Sum, _>(
+                        strategy,
+                        &pool,
+                        &mut out,
+                        0..n,
+                        Schedule::default(),
+                        &kernel,
+                    );
+                    mem = r.memory_overhead;
+                });
+                println!(
+                    "{},{},{},{:.6},{}",
+                    mapping.label(),
+                    strategy.label(),
+                    threads,
+                    t.mean,
+                    fmt_mib(mem)
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! Ablation (§IV discussion) — effect of the loop schedule and chunk size
+//! on SPRAY performance.
+//!
+//! The paper notes SPRAY works with any schedule but that "a small chunk
+//! size would probably lead to decreased data locality and hence poor
+//! performance in otherwise well-structured problems"; this sweep makes
+//! that claim measurable.
+
+use bench::args::Opts;
+use bench::time_reps;
+use bench::workloads::{conv_input, conv_size, stencil};
+use ompsim::{Schedule, ThreadPool};
+use spray::{reduce_strategy, Strategy, Sum};
+use spray_conv::Backprop3Kernel;
+
+#[global_allocator]
+static ALLOC: memtrack::CountingAlloc = memtrack::CountingAlloc;
+
+fn main() {
+    let opts = Opts::parse();
+    let n = conv_size(opts.quick, opts.n);
+    let inp = conv_input(n);
+    let w = stencil();
+    let kernel = Backprop3Kernel { inp: &inp, w };
+
+    let schedules = [
+        Schedule::static_default(),
+        Schedule::static_chunked(16),
+        Schedule::static_chunked(1024),
+        Schedule::static_chunked(65536),
+        Schedule::dynamic(16),
+        Schedule::dynamic(1024),
+        Schedule::dynamic(65536),
+        Schedule::guided(64),
+    ];
+    let strategies = [
+        Strategy::BlockCas { block_size: 1024 },
+        Strategy::Keeper,
+        Strategy::Atomic,
+    ];
+
+    println!("# Schedule/chunk ablation on conv back-prop, N = {n}");
+    println!("strategy,schedule,threads,mean_s");
+
+    let mut out = vec![0.0f32; n];
+    for &threads in &opts.threads {
+        let pool = ThreadPool::new(threads);
+        for &strategy in &strategies {
+            for &schedule in &schedules {
+                let t = time_reps(opts.reps, || {
+                    out.fill(0.0);
+                    reduce_strategy::<f32, Sum, _>(
+                        strategy,
+                        &pool,
+                        &mut out,
+                        1..n - 1,
+                        schedule,
+                        &kernel,
+                    );
+                });
+                println!(
+                    "{},\"{}\",{},{:.6}",
+                    strategy.label(),
+                    schedule.label(),
+                    threads,
+                    t.mean
+                );
+            }
+        }
+    }
+}

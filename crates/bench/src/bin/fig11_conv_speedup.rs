@@ -1,0 +1,83 @@
+//! Fig. 11 — speedup of reduction strategies over the sequential 1-D
+//! convolution back-propagation, across thread counts.
+//!
+//! The paper plots OpenMP's built-in reduction (our `dense`), OpenMP/SPRAY
+//! atomics, and selected SPRAY reducers on three compilers; rustc is the
+//! single compiler here (see `fig12_optlevels` for the optimization-level
+//! axis). Map strategies are included only under `--quick` (the paper drops
+//! them as non-competitive after §VII's first cut — reproduce that with a
+//! quick run).
+
+use bench::args::Opts;
+use bench::workloads::{conv_input, conv_size, stencil};
+use bench::{fmt_mib, time_reps};
+use ompsim::{Schedule, ThreadPool};
+use spray::{reduce_strategy, Strategy, Sum};
+use spray_conv::Backprop3Kernel;
+
+#[global_allocator]
+static ALLOC: memtrack::CountingAlloc = memtrack::CountingAlloc;
+
+fn main() {
+    let opts = Opts::parse();
+    let n = conv_size(opts.quick, opts.n);
+    let inp = conv_input(n);
+    let w = stencil();
+    let kernel = Backprop3Kernel { inp: &inp, w };
+
+    println!(
+        "# Fig 11: 1-D conv back-prop, N = {n} f32, reps = {}",
+        opts.reps
+    );
+    println!("# speedup is vs. the sequential loop (mean times)");
+    println!("strategy,threads,mean_s,best_s,speedup,mem_overhead_mib");
+
+    // Sequential baseline (Fig. 9 loop).
+    let mut out = vec![0.0f32; n];
+    let t_seq = time_reps(opts.reps, || {
+        out.fill(0.0);
+        spray_conv::backprop3_seq(&mut out, &inp, w);
+    });
+    println!(
+        "sequential,1,{:.6},{:.6},1.000,0.00",
+        t_seq.mean, t_seq.best
+    );
+
+    let mut strategies = Strategy::competitive(1024);
+    if opts.quick {
+        strategies.push(Strategy::MapBTree);
+        strategies.push(Strategy::MapHash);
+    }
+
+    for &threads in &opts.threads {
+        let pool = ThreadPool::new(threads);
+        for &strategy in &strategies {
+            let mut mem = 0usize;
+            let t = time_reps(opts.reps, || {
+                out.fill(0.0);
+                let r = reduce_strategy::<f32, Sum, _>(
+                    strategy,
+                    &pool,
+                    &mut out,
+                    1..n - 1,
+                    Schedule::default(),
+                    &kernel,
+                );
+                mem = r.memory_overhead;
+            });
+            println!(
+                "{},{},{:.6},{:.6},{:.3},{}",
+                strategy.label(),
+                threads,
+                t.mean,
+                t.best,
+                t_seq.mean / t.mean,
+                fmt_mib(mem)
+            );
+        }
+    }
+    eprintln!(
+        "# process heap peak: {} MiB",
+        fmt_mib(memtrack::peak_bytes())
+    );
+}

@@ -1,0 +1,78 @@
+//! Fig. 12 — best absolute conv-backprop run time per compiler and
+//! optimization setting.
+//!
+//! The paper sweeps {icc, gcc, clang} × {O1, O2, O3}; our compiler axis is
+//! rustc only, so the sweep is over cargo profiles (DESIGN.md experiment
+//! index). Run this binary once per profile and concatenate the outputs:
+//!
+//! ```sh
+//! cargo run -p bench --profile opt1    --bin fig12_optlevels
+//! cargo run -p bench --profile opt2    --bin fig12_optlevels
+//! cargo run -p bench --profile release --bin fig12_optlevels   # opt-level 3
+//! ```
+//!
+//! For each strategy the best time across the `--threads` sweep is
+//! reported, matching the figure ("best across all tested thread counts").
+
+use bench::args::Opts;
+use bench::time_reps;
+use bench::workloads::{conv_input, conv_size, stencil};
+use ompsim::{Schedule, ThreadPool};
+use spray::{reduce_strategy, Strategy, Sum};
+use spray_conv::Backprop3Kernel;
+
+#[global_allocator]
+static ALLOC: memtrack::CountingAlloc = memtrack::CountingAlloc;
+
+/// Best-effort profile label: cargo exposes no direct profile name, so we
+/// mark debug builds and rely on OPT_PROFILE (set by the runner) otherwise.
+fn profile_label() -> String {
+    if cfg!(debug_assertions) {
+        "dev".into()
+    } else {
+        std::env::var("OPT_PROFILE").unwrap_or_else(|_| "release-family".into())
+    }
+}
+
+fn main() {
+    let opts = Opts::parse();
+    let n = conv_size(opts.quick, opts.n);
+    let inp = conv_input(n);
+    let w = stencil();
+    let kernel = Backprop3Kernel { inp: &inp, w };
+    let profile = profile_label();
+
+    println!("# Fig 12: best conv-backprop times, profile = {profile}, N = {n}");
+    println!("profile,strategy,best_s,best_threads");
+
+    let mut out = vec![0.0f32; n];
+    let t_seq = time_reps(opts.reps, || {
+        out.fill(0.0);
+        spray_conv::backprop3_seq(&mut out, &inp, w);
+    });
+    println!("{profile},sequential,{:.6},1", t_seq.best);
+
+    for &strategy in &Strategy::competitive(1024) {
+        let mut best = f64::INFINITY;
+        let mut best_threads = 0;
+        for &threads in &opts.threads {
+            let pool = ThreadPool::new(threads);
+            let t = time_reps(opts.reps, || {
+                out.fill(0.0);
+                reduce_strategy::<f32, Sum, _>(
+                    strategy,
+                    &pool,
+                    &mut out,
+                    1..n - 1,
+                    Schedule::default(),
+                    &kernel,
+                );
+            });
+            if t.best < best {
+                best = t.best;
+                best_threads = threads;
+            }
+        }
+        println!("{profile},{},{best:.6},{best_threads}", strategy.label());
+    }
+}

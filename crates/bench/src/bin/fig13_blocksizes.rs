@@ -1,0 +1,66 @@
+//! Fig. 13 — scalability of the SPRAY block reducers across block sizes
+//! (plus keeper for reference), on the conv-backprop workload.
+//!
+//! The paper's finding: keeper, block-lock and block-CAS with block sizes
+//! above 256 perform well; very small block sizes do not scale; larger
+//! blocks are almost always better for this (high-locality) test case.
+
+use bench::args::Opts;
+use bench::time_reps;
+use bench::workloads::{conv_input, conv_size, stencil};
+use ompsim::{Schedule, ThreadPool};
+use spray::{reduce_strategy, Strategy, Sum};
+use spray_conv::Backprop3Kernel;
+
+#[global_allocator]
+static ALLOC: memtrack::CountingAlloc = memtrack::CountingAlloc;
+
+const BLOCK_SIZES: [usize; 6] = [16, 64, 256, 1024, 4096, 16384];
+
+fn main() {
+    let opts = Opts::parse();
+    let n = conv_size(opts.quick, opts.n);
+    let inp = conv_input(n);
+    let w = stencil();
+    let kernel = Backprop3Kernel { inp: &inp, w };
+
+    println!("# Fig 13: block-size sweep on conv back-prop, N = {n}");
+    println!("strategy,threads,mean_s,speedup_vs_seq");
+
+    let mut out = vec![0.0f32; n];
+    let t_seq = time_reps(opts.reps, || {
+        out.fill(0.0);
+        spray_conv::backprop3_seq(&mut out, &inp, w);
+    });
+    println!("sequential,1,{:.6},1.000", t_seq.mean);
+
+    for &threads in &opts.threads {
+        let pool = ThreadPool::new(threads);
+        let mut strategies: Vec<Strategy> = vec![Strategy::Keeper];
+        for &bs in &BLOCK_SIZES {
+            strategies.push(Strategy::BlockPrivate { block_size: bs });
+            strategies.push(Strategy::BlockLock { block_size: bs });
+            strategies.push(Strategy::BlockCas { block_size: bs });
+        }
+        for strategy in strategies {
+            let t = time_reps(opts.reps, || {
+                out.fill(0.0);
+                reduce_strategy::<f32, Sum, _>(
+                    strategy,
+                    &pool,
+                    &mut out,
+                    1..n - 1,
+                    Schedule::default(),
+                    &kernel,
+                );
+            });
+            println!(
+                "{},{},{:.6},{:.3}",
+                strategy.label(),
+                threads,
+                t.mean,
+                t_seq.mean / t.mean
+            );
+        }
+    }
+}

@@ -1,0 +1,25 @@
+//! Fig. 14 — transpose-SpMV scalability and memory overhead on the
+//! s3dkt3m2 stand-in (narrow-band 90k×90k, ≈1.9M nnz; result vector and
+//! dense replicas fit in cache on the paper's machine).
+//!
+//! Drop in the real matrix by pointing `SPRAY_MTX` at an `.mtx` file.
+
+use bench::args::Opts;
+use bench::spmv_fig::run_spmv_figure;
+use bench::workloads::s3dkt3m2;
+
+#[global_allocator]
+static ALLOC: memtrack::CountingAlloc = memtrack::CountingAlloc;
+
+fn main() {
+    let opts = Opts::parse();
+    let (a, name) = match std::env::var("SPRAY_MTX") {
+        Ok(path) => (
+            spray_sparse::mm::read_matrix_market_file(&path)
+                .unwrap_or_else(|e| panic!("failed to read {path}: {e}")),
+            path,
+        ),
+        Err(_) => (s3dkt3m2(opts.quick), "s3dkt3m2-like (banded)".to_string()),
+    };
+    run_spmv_figure("Fig 14", &name, &a, &opts);
+}

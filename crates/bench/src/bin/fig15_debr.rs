@@ -1,0 +1,26 @@
+//! Fig. 15 — transpose-SpMV scalability and memory overhead on the debr
+//! stand-in (a 2²⁰-node de Bruijn graph, ≈4.2M nnz, global bandwidth:
+//! nothing stays in cache, which is what lets atomics overtake block-lock
+//! at the paper's highest thread counts).
+//!
+//! Drop in the real matrix by pointing `SPRAY_MTX` at an `.mtx` file.
+
+use bench::args::Opts;
+use bench::spmv_fig::run_spmv_figure;
+use bench::workloads::debr;
+
+#[global_allocator]
+static ALLOC: memtrack::CountingAlloc = memtrack::CountingAlloc;
+
+fn main() {
+    let opts = Opts::parse();
+    let (a, name) = match std::env::var("SPRAY_MTX") {
+        Ok(path) => (
+            spray_sparse::mm::read_matrix_market_file(&path)
+                .unwrap_or_else(|e| panic!("failed to read {path}: {e}")),
+            path,
+        ),
+        Err(_) => (debr(opts.quick), "debr-like (de Bruijn)".to_string()),
+    };
+    run_spmv_figure("Fig 15", &name, &a, &opts);
+}

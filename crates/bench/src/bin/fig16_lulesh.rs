@@ -1,0 +1,75 @@
+//! Fig. 16 — LULESH proxy: whole-run time and force-scheme memory
+//! overhead across thread counts, comparing SPRAY reducers against the
+//! domain-specific 8-copy replication scheme and dense reductions.
+//!
+//! The paper runs LULESH 2.0 at 90³ for 100 iterations on 28 cores; the
+//! default here is 30³ × 20 iterations (scaled for a small container;
+//! `--n` sets the edge size, `--reps` is reused as the iteration count
+//! multiplier ×10). As in the paper, the *entire* run time is reported,
+//! so differences between schemes are diluted by the unchanged remainder
+//! of the timestep.
+
+use bench::args::Opts;
+use bench::fmt_mib;
+use ompsim::ThreadPool;
+use spray::Strategy;
+use spray_lulesh::{run, Domain, ForceScheme, Params};
+use std::time::Instant;
+
+#[global_allocator]
+static ALLOC: memtrack::CountingAlloc = memtrack::CountingAlloc;
+
+fn main() {
+    let opts = Opts::parse();
+    let nx = opts.n.unwrap_or(if opts.quick { 10 } else { 30 });
+    let iters = if opts.quick { 5 } else { 20 };
+
+    println!(
+        "# Fig 16: LULESH proxy, mesh {nx}^3 ({} elements), {iters} iterations",
+        nx * nx * nx
+    );
+    println!("# whole-run wall time (like the paper: includes all unchanged phases)");
+    println!("scheme,threads,elapsed_s,mem_overhead_mib,final_energy");
+
+    // Sequential reference.
+    {
+        let pool = ThreadPool::new(1);
+        let mut d = Domain::new(nx, Params::default());
+        let t0 = Instant::now();
+        let stats = run(&mut d, &pool, ForceScheme::Seq, iters);
+        println!(
+            "sequential,1,{:.4},0.00,{:.6e}",
+            t0.elapsed().as_secs_f64(),
+            stats.total_energy
+        );
+    }
+
+    let schemes: Vec<ForceScheme> = {
+        let mut s = vec![ForceScheme::EightCopy];
+        for strategy in Strategy::competitive(1024) {
+            s.push(ForceScheme::Spray(strategy));
+        }
+        s
+    };
+
+    for &threads in &opts.threads {
+        let pool = ThreadPool::new(threads);
+        for &scheme in &schemes {
+            let mut d = Domain::new(nx, Params::default());
+            let t0 = Instant::now();
+            let stats = run(&mut d, &pool, scheme, iters);
+            println!(
+                "{},{},{:.4},{},{:.6e}",
+                scheme.label(),
+                threads,
+                t0.elapsed().as_secs_f64(),
+                fmt_mib(stats.memory_overhead),
+                stats.total_energy
+            );
+        }
+    }
+    eprintln!(
+        "# process heap peak: {} MiB",
+        fmt_mib(memtrack::peak_bytes())
+    );
+}

@@ -1,0 +1,63 @@
+//! Renders a figure-results CSV (from `results/` or a figure binary's
+//! stdout) as an ASCII chart.
+//!
+//! ```sh
+//! cargo run -p bench --bin plot_ascii -- results/fig11.csv \
+//!     --x threads --y speedup --series strategy
+//! ```
+
+use bench::plot::{parse_csv, render};
+
+fn main() {
+    let mut path = None;
+    let mut x_col = "threads".to_string();
+    let mut y_col = "speedup".to_string();
+    let mut series_col = "strategy".to_string();
+    let mut width = 64usize;
+    let mut height = 20usize;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut val = |name: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{name} needs a value");
+                std::process::exit(2);
+            })
+        };
+        match a.as_str() {
+            "--x" => x_col = val("--x"),
+            "--y" => y_col = val("--y"),
+            "--series" => series_col = val("--series"),
+            "--width" => width = val("--width").parse().expect("bad --width"),
+            "--height" => height = val("--height").parse().expect("bad --height"),
+            other if path.is_none() && !other.starts_with("--") => path = Some(other.to_string()),
+            other => {
+                eprintln!("unknown flag {other}");
+                eprintln!(
+                    "usage: plot_ascii <file.csv> [--x COL] [--y COL] [--series COL] \
+                     [--width N] [--height N]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    let path = path.unwrap_or_else(|| {
+        eprintln!("need a CSV path (e.g. results/fig11.csv)");
+        std::process::exit(2);
+    });
+
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        std::process::exit(1);
+    });
+    match parse_csv(&text, &x_col, &y_col, &series_col) {
+        Ok(series) => {
+            println!("{path}: {y_col} vs {x_col} by {series_col}\n");
+            print!("{}", render(&series, width, height));
+        }
+        Err(e) => {
+            eprintln!("parse error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

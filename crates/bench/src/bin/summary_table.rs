@@ -1,0 +1,86 @@
+//! One-screen strategy × workload summary — the table implied by §VII's
+//! opening remarks ("We make some general remarks about the performance of
+//! SPRAY and OPENMP reductions here"): every strategy against all three
+//! paper workloads at one pool width, time and memory side by side.
+//!
+//! ```sh
+//! cargo run --release -p bench --bin summary_table -- --threads 4 --quick
+//! ```
+
+use bench::args::Opts;
+use bench::workloads::{conv_input, conv_size, s3dkt3m2, stencil};
+use bench::{fmt_mib, time_reps};
+use ompsim::{Schedule, ThreadPool};
+use spray::{reduce_strategy, Strategy, Sum};
+use spray_conv::Backprop3Kernel;
+use spray_lulesh::{run, Domain, ForceScheme, Params};
+use spray_sparse::tmv_with_strategy;
+use std::time::Instant;
+
+#[global_allocator]
+static ALLOC: memtrack::CountingAlloc = memtrack::CountingAlloc;
+
+fn main() {
+    let opts = Opts::parse();
+    let threads = *opts.threads.last().unwrap();
+    let pool = ThreadPool::new(threads);
+
+    let conv_n = conv_size(opts.quick, opts.n);
+    let inp = conv_input(conv_n);
+    let w = stencil();
+    let conv_kernel = Backprop3Kernel { inp: &inp, w };
+    let mut conv_out = vec![0.0f32; conv_n];
+
+    let a = s3dkt3m2(true); // scaled matrix keeps the summary fast
+    let x: Vec<f64> = (0..a.nrows()).map(|i| (i % 7) as f64).collect();
+    let mut y = vec![0.0f64; a.ncols()];
+
+    let lulesh_nx = if opts.quick { 8 } else { 16 };
+
+    println!("# Strategy summary at {threads} threads (conv N = {conv_n}, spmv {}x{}, lulesh {lulesh_nx}^3)", a.nrows(), a.ncols());
+    println!("strategy,conv_s,conv_mem_mib,spmv_s,spmv_mem_mib,lulesh_s,lulesh_mem_mib");
+
+    let mut strategies = Strategy::all(1024);
+    if !opts.quick {
+        // Maps take minutes at full size; keep them for --quick runs.
+        strategies.retain(|s| !matches!(s, Strategy::MapBTree | Strategy::MapHash));
+    }
+
+    for strategy in strategies {
+        let mut conv_mem = 0usize;
+        let conv_t = time_reps(opts.reps, || {
+            conv_out.fill(0.0);
+            conv_mem = reduce_strategy::<f32, Sum, _>(
+                strategy,
+                &pool,
+                &mut conv_out,
+                1..conv_n - 1,
+                Schedule::default(),
+                &conv_kernel,
+            )
+            .memory_overhead;
+        });
+
+        let mut spmv_mem = 0usize;
+        let spmv_t = time_reps(opts.reps, || {
+            y.fill(0.0);
+            spmv_mem = tmv_with_strategy(strategy, &pool, &a, &x, &mut y).memory_overhead;
+        });
+
+        let mut d = Domain::new(lulesh_nx, Params::default());
+        let t0 = Instant::now();
+        let stats = run(&mut d, &pool, ForceScheme::Spray(strategy), 5);
+        let lulesh_s = t0.elapsed().as_secs_f64();
+
+        println!(
+            "{},{:.6},{},{:.6},{},{:.4},{}",
+            strategy.label(),
+            conv_t.mean,
+            fmt_mib(conv_mem),
+            spmv_t.mean,
+            fmt_mib(spmv_mem),
+            lulesh_s,
+            fmt_mib(stats.memory_overhead)
+        );
+    }
+}

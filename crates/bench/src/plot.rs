@@ -1,0 +1,184 @@
+//! Terminal plotting of figure CSVs — renders the series the paper plots
+//! as ASCII charts, so results can be eyeballed without leaving the shell.
+
+use std::collections::BTreeMap;
+
+/// One plotted line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Legend label.
+    pub name: String,
+    /// `(x, y)` points, any order.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// Parses figure CSV text (`#` comment lines, then a header row) into one
+/// series per distinct value of `series_col`, with `x_col`/`y_col` as
+/// coordinates. Returns an error string on malformed input.
+pub fn parse_csv(
+    text: &str,
+    x_col: &str,
+    y_col: &str,
+    series_col: &str,
+) -> Result<Vec<Series>, String> {
+    let mut lines = text.lines().filter(|l| !l.trim_start().starts_with('#'));
+    let header = lines.next().ok_or("empty input")?;
+    let cols: Vec<&str> = header.split(',').map(str::trim).collect();
+    let find = |name: &str| {
+        cols.iter()
+            .position(|c| *c == name)
+            .ok_or_else(|| format!("column '{name}' not in header {cols:?}"))
+    };
+    let (xi, yi, si) = (find(x_col)?, find(y_col)?, find(series_col)?);
+
+    let mut series: BTreeMap<String, Vec<(f64, f64)>> = BTreeMap::new();
+    for (lno, line) in lines.enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').map(str::trim).collect();
+        if fields.len() <= xi.max(yi).max(si) {
+            return Err(format!("row {lno}: too few fields: '{line}'"));
+        }
+        let parse = |s: &str, what: &str| {
+            s.parse::<f64>()
+                .map_err(|e| format!("row {lno}: bad {what} '{s}': {e}"))
+        };
+        let x = parse(fields[xi], x_col)?;
+        // Allow y fields like "38.15 (…)" by taking the leading token.
+        let ytok = fields[yi].split_whitespace().next().unwrap_or("");
+        let y = parse(ytok, y_col)?;
+        series
+            .entry(fields[si].trim_matches('"').to_string())
+            .or_default()
+            .push((x, y));
+    }
+    Ok(series
+        .into_iter()
+        .map(|(name, points)| Series { name, points })
+        .collect())
+}
+
+/// Glyphs assigned to series, in order.
+const GLYPHS: &[u8] = b"*o+x#@%&=~";
+
+/// Renders series as an ASCII chart of the given plot-area size.
+pub fn render(series: &[Series], width: usize, height: usize) -> String {
+    assert!(width >= 8 && height >= 4, "plot area too small");
+    let all: Vec<(f64, f64)> = series
+        .iter()
+        .flat_map(|s| s.points.iter().copied())
+        .collect();
+    if all.is_empty() {
+        return "(no data)\n".to_string();
+    }
+    let (mut xmin, mut xmax) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut ymin, mut ymax) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &(x, y) in &all {
+        xmin = xmin.min(x);
+        xmax = xmax.max(x);
+        ymin = ymin.min(y);
+        ymax = ymax.max(y);
+    }
+    if xmax == xmin {
+        xmax = xmin + 1.0;
+    }
+    if ymax == ymin {
+        ymax = ymin + 1.0;
+    }
+
+    let mut grid = vec![vec![b' '; width]; height];
+    for (si, s) in series.iter().enumerate() {
+        let glyph = GLYPHS[si % GLYPHS.len()];
+        for &(x, y) in &s.points {
+            let cx = ((x - xmin) / (xmax - xmin) * (width - 1) as f64).round() as usize;
+            let cy = ((y - ymin) / (ymax - ymin) * (height - 1) as f64).round() as usize;
+            let row = height - 1 - cy;
+            // Later series overwrite on collision; the legend disambiguates.
+            grid[row][cx] = glyph;
+        }
+    }
+
+    let mut out = String::new();
+    for (r, row) in grid.iter().enumerate() {
+        let yval = ymax - (ymax - ymin) * r as f64 / (height - 1) as f64;
+        out.push_str(&format!("{yval:>10.3} |"));
+        out.push_str(std::str::from_utf8(row).unwrap());
+        out.push('\n');
+    }
+    out.push_str(&format!("{:>10} +{}\n", "", "-".repeat(width)));
+    out.push_str(&format!(
+        "{:>10}  {:<w$.3}{:>r$.3}\n",
+        "",
+        xmin,
+        xmax,
+        w = width / 2,
+        r = width - width / 2
+    ));
+    for (si, s) in series.iter().enumerate() {
+        out.push_str(&format!(
+            "   {} {}\n",
+            GLYPHS[si % GLYPHS.len()] as char,
+            s.name
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+# a comment
+strategy,threads,mean_s,speedup
+dense,1,0.1,1.0
+dense,2,0.2,0.5
+keeper,1,0.05,2.0
+keeper,2,0.06,1.7
+";
+
+    #[test]
+    fn parse_groups_series() {
+        let s = parse_csv(SAMPLE, "threads", "speedup", "strategy").unwrap();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s[0].name, "dense");
+        assert_eq!(s[0].points, vec![(1.0, 1.0), (2.0, 0.5)]);
+        assert_eq!(s[1].name, "keeper");
+    }
+
+    #[test]
+    fn parse_rejects_unknown_column() {
+        assert!(parse_csv(SAMPLE, "nope", "speedup", "strategy").is_err());
+    }
+
+    #[test]
+    fn parse_handles_suffixed_numbers() {
+        let text = "impl,threads,mem\na,1,38.15 (MiB)\n";
+        let s = parse_csv(text, "threads", "mem", "impl").unwrap();
+        assert_eq!(s[0].points, vec![(1.0, 38.15)]);
+    }
+
+    #[test]
+    fn render_contains_glyphs_and_legend() {
+        let s = parse_csv(SAMPLE, "threads", "speedup", "strategy").unwrap();
+        let chart = render(&s, 40, 10);
+        assert!(chart.contains('*'), "first glyph missing:\n{chart}");
+        assert!(chart.contains('o'), "second glyph missing:\n{chart}");
+        assert!(chart.contains("dense"));
+        assert!(chart.contains("keeper"));
+        // Axis line present.
+        assert!(chart.contains("+----"));
+    }
+
+    #[test]
+    fn render_degenerate_inputs() {
+        assert_eq!(render(&[], 40, 10), "(no data)\n");
+        let one = [Series {
+            name: "p".into(),
+            points: vec![(1.0, 1.0)],
+        }];
+        let chart = render(&one, 20, 5);
+        assert!(chart.contains('*'));
+    }
+}

@@ -1,0 +1,106 @@
+//! Shared driver for the transpose-SpMV figures (Fig. 14 and Fig. 15).
+
+use crate::args::Opts;
+use crate::workloads::spmv_x;
+use crate::{fmt_mib, time_reps};
+use ompsim::ThreadPool;
+use spray::Strategy;
+use spray_sparse::mkl_sim::{legacy_tmv, Hint, MklSim};
+use spray_sparse::{tmv_with_strategy, Csr};
+
+/// Runs the full strategy × baseline sweep the paper plots for one matrix
+/// and prints the CSV series (time panel + memory column).
+pub fn run_spmv_figure(figure: &str, matrix_name: &str, a: &Csr<f64>, opts: &Opts) {
+    let x = spmv_x(a.nrows());
+    let mut y = vec![0.0f64; a.ncols()];
+
+    println!(
+        "# {figure}: transpose-SpMV on {matrix_name} ({}x{}, nnz = {}), reps = {}",
+        a.nrows(),
+        a.ncols(),
+        a.nnz(),
+        opts.reps
+    );
+    println!(
+        "# mkl-ie-hint excludes inspection time (paper's 'unfair advantage') but counts its memory"
+    );
+    println!("impl,threads,mean_s,best_s,speedup,mem_overhead_mib");
+
+    let t_seq = time_reps(opts.reps, || {
+        y.fill(0.0);
+        a.tmatvec_seq(&x, &mut y);
+    });
+    println!(
+        "sequential,1,{:.6},{:.6},1.000,0.00",
+        t_seq.mean, t_seq.best
+    );
+
+    for &threads in &opts.threads {
+        let pool = ThreadPool::new(threads);
+
+        // SPRAY strategies (plus dense, which stands in for the OpenMP
+        // built-in reduction).
+        for &strategy in &Strategy::competitive(1024) {
+            let mut mem = 0usize;
+            let t = time_reps(opts.reps, || {
+                y.fill(0.0);
+                let r = tmv_with_strategy(strategy, &pool, a, &x, &mut y);
+                mem = r.memory_overhead;
+            });
+            println!(
+                "{},{},{:.6},{:.6},{:.3},{}",
+                strategy.label(),
+                threads,
+                t.mean,
+                t.best,
+                t_seq.mean / t.mean,
+                fmt_mib(mem)
+            );
+        }
+
+        // Simulated MKL legacy one-call routine.
+        let t = time_reps(opts.reps, || {
+            y.fill(0.0);
+            legacy_tmv(&pool, a, &x, &mut y);
+        });
+        println!(
+            "mkl-legacy,{threads},{:.6},{:.6},{:.3},0.00",
+            t.mean,
+            t.best,
+            t_seq.mean / t.mean
+        );
+
+        // Simulated inspector/executor without hints: inspection (cheap row
+        // blocking) runs once, outside the timed region, like the paper.
+        let mut handle = MklSim::new(a);
+        handle.optimize(threads);
+        let t = time_reps(opts.reps, || {
+            y.fill(0.0);
+            handle.tmv(&pool, &x, &mut y);
+        });
+        println!(
+            "mkl-ie-nohint,{threads},{:.6},{:.6},{:.3},{}",
+            t.mean,
+            t.best,
+            t_seq.mean / t.mean,
+            fmt_mib(handle.optimization_bytes())
+        );
+
+        // Inspector/executor with hints: the inspector materializes the
+        // transpose (untimed); the executor is a conflict-free gather.
+        let mut handle = MklSim::new(a);
+        handle.set_hint(Hint::TransposeMany);
+        handle.optimize(threads);
+        let t = time_reps(opts.reps, || {
+            y.fill(0.0);
+            handle.tmv(&pool, &x, &mut y);
+        });
+        println!(
+            "mkl-ie-hint,{threads},{:.6},{:.6},{:.3},{}",
+            t.mean,
+            t.best,
+            t_seq.mean / t.mean,
+            fmt_mib(handle.optimization_bytes())
+        );
+    }
+}

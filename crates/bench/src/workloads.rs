@@ -1,0 +1,65 @@
+//! Shared workload builders used by the figure binaries.
+
+use spray_conv::Stencil3;
+use spray_sparse::{gen, Csr};
+
+/// Conv-backprop input of `n` single-precision values (§VI-A uses
+/// 10⁷ single-precision floats).
+pub fn conv_input(n: usize) -> Vec<f32> {
+    (0..n)
+        .map(|i| ((i * 2654435761) % 1000) as f32 * 1e-3)
+        .collect()
+}
+
+/// The paper's default conv problem size (10⁷), shrunk under `--quick`.
+pub fn conv_size(quick: bool, n_override: Option<usize>) -> usize {
+    n_override.unwrap_or(if quick { 100_000 } else { 10_000_000 })
+}
+
+/// The 3-point stencil weights used in the figures.
+pub fn stencil() -> Stencil3<f32> {
+    Stencil3 {
+        wl: 0.25,
+        wc: 0.5,
+        wr: 0.25,
+    }
+}
+
+/// s3dkt3m2 stand-in (full size unless `quick`).
+pub fn s3dkt3m2(quick: bool) -> Csr<f64> {
+    if quick {
+        gen::s3dkt3m2_small(5_000)
+    } else {
+        gen::s3dkt3m2_like()
+    }
+}
+
+/// debr stand-in (order-20 de Bruijn graph unless `quick`).
+pub fn debr(quick: bool) -> Csr<f64> {
+    gen::de_bruijn(if quick { 14 } else { 20 })
+}
+
+/// Input vector for the transpose products.
+pub fn spmv_x(n: usize) -> Vec<f64> {
+    (0..n)
+        .map(|i| ((i * 31) % 17) as f64 * 0.25 + 0.1)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes() {
+        assert_eq!(conv_size(false, None), 10_000_000);
+        assert_eq!(conv_size(true, None), 100_000);
+        assert_eq!(conv_size(true, Some(42)), 42);
+    }
+
+    #[test]
+    fn quick_matrices_are_small() {
+        assert!(s3dkt3m2(true).nrows() <= 5_000);
+        assert_eq!(debr(true).nrows(), 1 << 14);
+    }
+}

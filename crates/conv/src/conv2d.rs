@@ -1,0 +1,333 @@
+//! 2-D convolution forward & back-propagation, built on `spray::nd`
+//! (the paper's multidimensional-arrays future-work item, §IX).
+//!
+//! The scatter pattern generalizes Fig. 9: back-propagating through an
+//! `(2R+1)×(2S+1)` kernel updates a 2-D neighborhood of the output grid
+//! per iteration.
+
+use crate::ConvScalar;
+use ompsim::{Schedule, ThreadPool};
+use spray::nd::{reduce2_strategy, Grid2, Kernel2, View2};
+use spray::{ReducerView, RunReport, Strategy, Sum};
+
+/// A dense 2-D stencil (odd dimensions), row-major weights.
+#[derive(Debug, Clone)]
+pub struct Stencil2<T> {
+    weights: Vec<T>,
+    height: usize,
+    width: usize,
+}
+
+impl<T: ConvScalar> Stencil2<T> {
+    /// Builds a stencil from row-major weights.
+    ///
+    /// # Panics
+    /// Panics unless both dimensions are odd and match `weights.len()`.
+    pub fn new(weights: Vec<T>, height: usize, width: usize) -> Self {
+        assert_eq!(weights.len(), height * width, "weight shape mismatch");
+        assert!(
+            height % 2 == 1 && width % 2 == 1,
+            "stencil dimensions must be odd"
+        );
+        Stencil2 {
+            weights,
+            height,
+            width,
+        }
+    }
+
+    /// Vertical radius `R` (`height = 2R+1`).
+    pub fn ry(&self) -> usize {
+        self.height / 2
+    }
+
+    /// Horizontal radius `S` (`width = 2S+1`).
+    pub fn rx(&self) -> usize {
+        self.width / 2
+    }
+
+    #[inline]
+    fn w(&self, dy: usize, dx: usize) -> T {
+        self.weights[dy * self.width + dx]
+    }
+}
+
+/// Sequential forward 2-D convolution on the interior (gather):
+/// `out[r][c] = Σ w[dy][dx] · in[r+dy-R][c+dx-S]`.
+pub fn forward2_seq<T: ConvScalar>(out: &mut Grid2<T>, inp: &Grid2<T>, st: &Stencil2<T>) {
+    assert_eq!((out.nrows(), out.ncols()), (inp.nrows(), inp.ncols()));
+    let (ry, rx) = (st.ry(), st.rx());
+    let (nr, nc) = (inp.nrows(), inp.ncols());
+    if nr <= 2 * ry || nc <= 2 * rx {
+        return;
+    }
+    for r in ry..nr - ry {
+        for c in rx..nc - rx {
+            let mut acc = T::default();
+            for dy in 0..st.height {
+                for dx in 0..st.width {
+                    acc = acc + st.w(dy, dx) * inp[(r + dy - ry, c + dx - rx)];
+                }
+            }
+            out[(r, c)] = acc;
+        }
+    }
+}
+
+/// Sequential back-propagation (scatter), the exact transpose of
+/// [`forward2_seq`]: `out[r+dy-R][c+dx-S] += w[dy][dx] · in[r][c]`.
+pub fn backprop2_seq<T: ConvScalar>(out: &mut Grid2<T>, inp: &Grid2<T>, st: &Stencil2<T>) {
+    assert_eq!((out.nrows(), out.ncols()), (inp.nrows(), inp.ncols()));
+    let (ry, rx) = (st.ry(), st.rx());
+    let (nr, nc) = (inp.nrows(), inp.ncols());
+    if nr <= 2 * ry || nc <= 2 * rx {
+        return;
+    }
+    for r in ry..nr - ry {
+        for c in rx..nc - rx {
+            let x = inp[(r, c)];
+            for dy in 0..st.height {
+                for dx in 0..st.width {
+                    let (or, oc) = (r + dy - ry, c + dx - rx);
+                    out[(or, oc)] = out[(or, oc)] + st.w(dy, dx) * x;
+                }
+            }
+        }
+    }
+}
+
+/// 2-D back-propagation scatter as a [`Kernel2`], iterating the interior
+/// row by row (iteration `i` covers interior row `ry + i`).
+pub struct Backprop2Kernel<'a, T: ConvScalar> {
+    /// Incoming adjoint grid.
+    pub inp: &'a Grid2<T>,
+    /// Stencil weights.
+    pub st: &'a Stencil2<T>,
+}
+
+impl<T: ConvScalar> Kernel2<T> for Backprop2Kernel<'_, T> {
+    #[inline]
+    fn item<V: ReducerView<T>>(&self, view: &mut View2<'_, V>, i: usize) {
+        let (ry, rx) = (self.st.ry(), self.st.rx());
+        let r = ry + i;
+        let nc = self.inp.ncols();
+        for c in rx..nc - rx {
+            let x = self.inp[(r, c)];
+            for dy in 0..self.st.height {
+                for dx in 0..self.st.width {
+                    view.apply(r + dy - ry, c + dx - rx, self.st.w(dy, dx) * x);
+                }
+            }
+        }
+    }
+}
+
+/// Parallel 2-D back-propagation with the chosen strategy (iterations are
+/// interior rows).
+pub fn backprop2<T: ConvScalar>(
+    strategy: Strategy,
+    pool: &ThreadPool,
+    out: &mut Grid2<T>,
+    inp: &Grid2<T>,
+    st: &Stencil2<T>,
+) -> RunReport {
+    assert_eq!((out.nrows(), out.ncols()), (inp.nrows(), inp.ncols()));
+    let (ry, rx) = (st.ry(), st.rx());
+    let nr = inp.nrows();
+    assert!(
+        nr > 2 * ry && inp.ncols() > 2 * rx,
+        "grid smaller than stencil"
+    );
+    let kernel = Backprop2Kernel { inp, st };
+    reduce2_strategy::<T, Sum, _>(
+        strategy,
+        pool,
+        out,
+        0..nr - 2 * ry,
+        Schedule::default(),
+        &kernel,
+    )
+}
+
+/// Forward convolution with a *separable* stencil `w[dy][dx] = wy[dy]·wx[dx]`,
+/// computed as two 1-D passes (O(R+S) per pixel instead of O(R·S)) —
+/// the classic optimization for Gaussian blurs. Interior-only, like
+/// [`forward2_seq`].
+pub fn forward2_separable_seq<T: ConvScalar>(
+    out: &mut Grid2<T>,
+    inp: &Grid2<T>,
+    wy: &[T],
+    wx: &[T],
+) {
+    assert_eq!((out.nrows(), out.ncols()), (inp.nrows(), inp.ncols()));
+    assert!(
+        wy.len() % 2 == 1 && wx.len() % 2 == 1,
+        "stencil dimensions must be odd"
+    );
+    let (ry, rx) = (wy.len() / 2, wx.len() / 2);
+    let (nr, nc) = (inp.nrows(), inp.ncols());
+    if nr <= 2 * ry || nc <= 2 * rx {
+        return;
+    }
+    // Horizontal pass into a temporary.
+    let mut tmp: Grid2<T> = Grid2::from_vec(vec![T::default(); nr * nc], nr, nc);
+    for r in 0..nr {
+        for c in rx..nc - rx {
+            let mut acc = T::default();
+            for (k, &w) in wx.iter().enumerate() {
+                acc = acc + w * inp[(r, c + k - rx)];
+            }
+            tmp[(r, c)] = acc;
+        }
+    }
+    // Vertical pass.
+    for r in ry..nr - ry {
+        for c in rx..nc - rx {
+            let mut acc = T::default();
+            for (k, &w) in wy.iter().enumerate() {
+                acc = acc + w * tmp[(r + k - ry, c)];
+            }
+            out[(r, c)] = acc;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gaussian3x3() -> Stencil2<f64> {
+        Stencil2::new(
+            vec![
+                0.0625, 0.125, 0.0625, //
+                0.125, 0.25, 0.125, //
+                0.0625, 0.125, 0.0625,
+            ],
+            3,
+            3,
+        )
+    }
+
+    fn asymmetric3x5() -> Stencil2<f64> {
+        Stencil2::new((0..15).map(|i| (i as f64 + 1.0) * 0.01).collect(), 3, 5)
+    }
+
+    fn test_grid(nr: usize, nc: usize, salt: usize) -> Grid2<f64> {
+        Grid2::from_vec(
+            (0..nr * nc)
+                .map(|i| ((i * 31 + salt) % 97) as f64 * 0.125)
+                .collect(),
+            nr,
+            nc,
+        )
+    }
+
+    fn dot(a: &Grid2<f64>, b: &Grid2<f64>) -> f64 {
+        a.as_slice()
+            .iter()
+            .zip(b.as_slice())
+            .map(|(x, y)| x * y)
+            .sum()
+    }
+
+    #[test]
+    fn adjoint_identity_2d() {
+        for st in [gaussian3x3(), asymmetric3x5()] {
+            let (nr, nc) = (24, 31);
+            let x = test_grid(nr, nc, 1);
+            let y = test_grid(nr, nc, 2);
+            let mut fx = Grid2::zeros(nr, nc);
+            forward2_seq(&mut fx, &x, &st);
+            let mut fty = Grid2::zeros(nr, nc);
+            backprop2_seq(&mut fty, &y, &st);
+            let lhs = dot(&fx, &y);
+            let rhs = dot(&x, &fty);
+            assert!(
+                (lhs - rhs).abs() < 1e-9 * lhs.abs().max(1.0),
+                "adjoint broken: {lhs} vs {rhs}"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_backprop2_matches_sequential() {
+        let st = asymmetric3x5();
+        let (nr, nc) = (40, 50);
+        let inp = test_grid(nr, nc, 7);
+        let mut want = Grid2::zeros(nr, nc);
+        backprop2_seq(&mut want, &inp, &st);
+
+        let pool = ThreadPool::new(4);
+        for strategy in Strategy::all(64) {
+            let mut out = Grid2::zeros(nr, nc);
+            let report = backprop2(strategy, &pool, &mut out, &inp, &st);
+            for r in 0..nr {
+                for c in 0..nc {
+                    assert!(
+                        (out[(r, c)] - want[(r, c)]).abs() < 1e-9,
+                        "{} differs at ({r},{c})",
+                        report.strategy
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_grid_is_noop() {
+        let st = gaussian3x3();
+        let inp: Grid2<f64> = Grid2::zeros(2, 2);
+        let mut out = Grid2::zeros(2, 2);
+        backprop2_seq(&mut out, &inp, &st);
+        assert!(out.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "must be odd")]
+    fn even_stencil_rejected() {
+        let _ = Stencil2::new(vec![1.0; 6], 2, 3);
+    }
+
+    #[test]
+    fn separable_matches_direct_for_outer_product_stencils() {
+        let wy = [0.25, 0.5, 0.25];
+        let wx = [0.1, 0.2, 0.4, 0.2, 0.1];
+        // Direct stencil = outer product of the two 1-D kernels.
+        let weights: Vec<f64> = wy
+            .iter()
+            .flat_map(|&a| wx.iter().map(move |&b| a * b))
+            .collect();
+        let st = Stencil2::new(weights, 3, 5);
+
+        let (nr, nc) = (22, 33);
+        let inp = test_grid(nr, nc, 3);
+        let mut direct = Grid2::zeros(nr, nc);
+        forward2_seq(&mut direct, &inp, &st);
+        let mut separable = Grid2::zeros(nr, nc);
+        forward2_separable_seq(&mut separable, &inp, &wy, &wx);
+
+        for r in 1..nr - 1 {
+            for c in 2..nc - 2 {
+                assert!(
+                    (direct[(r, c)] - separable[(r, c)]).abs() < 1e-12,
+                    "mismatch at ({r},{c})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn partition_of_unity_2d() {
+        // A stencil whose weights sum to 1 maps a constant grid to the
+        // same constant on the interior.
+        let st = gaussian3x3();
+        let ones: Grid2<f64> = Grid2::from_vec(vec![1.0; 100], 10, 10);
+        let mut out = Grid2::zeros(10, 10);
+        forward2_seq(&mut out, &ones, &st);
+        for r in 1..9 {
+            for c in 1..9 {
+                assert!((out[(r, c)] - 1.0).abs() < 1e-12);
+            }
+        }
+    }
+}

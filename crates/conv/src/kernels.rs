@@ -1,0 +1,172 @@
+//! Sequential reference kernels and the (trivially parallel) forward pass.
+
+use crate::{ConvScalar, Stencil3};
+use ompsim::{Schedule, ThreadPool};
+
+/// Sequential 3-point back-propagation, exactly Fig. 9 of the paper:
+/// `out[i-1] += wl*in[i]; out[i] += wc*in[i]; out[i+1] += wr*in[i]`
+/// for `i in 1..n-1`. Accumulates into existing `out` content.
+pub fn backprop3_seq<T: ConvScalar>(out: &mut [T], inp: &[T], w: Stencil3<T>) {
+    assert_eq!(out.len(), inp.len());
+    let n = inp.len();
+    for i in 1..n.saturating_sub(1) {
+        let x = inp[i];
+        out[i - 1] = out[i - 1] + w.wl * x;
+        out[i] = out[i] + w.wc * x;
+        out[i + 1] = out[i + 1] + w.wr * x;
+    }
+}
+
+/// Sequential back-propagation for a general odd-width stencil
+/// (radius `R = weights.len()/2`, iteration space `R..n-R`).
+pub fn backprop_seq<T: ConvScalar>(out: &mut [T], inp: &[T], weights: &[T]) {
+    assert_eq!(out.len(), inp.len());
+    assert!(weights.len() % 2 == 1, "stencil width must be odd");
+    let r = weights.len() / 2;
+    let n = inp.len();
+    if n < 2 * r + 1 {
+        return;
+    }
+    for i in r..n - r {
+        let x = inp[i];
+        for (k, &w) in weights.iter().enumerate() {
+            out[i + k - r] = out[i + k - r] + w * x;
+        }
+    }
+}
+
+/// Sequential 3-point forward convolution (the gather whose exact adjoint
+/// is [`backprop3_seq`]): `out[i] = wl*in[i-1] + wc*in[i] + wr*in[i+1]`
+/// restricted to the interior — transposition swaps the read/write roles
+/// of the stencil, not its offsets. Overwrites `out` in the interior; the
+/// two boundary elements are left untouched.
+pub fn forward3_seq<T: ConvScalar>(out: &mut [T], inp: &[T], w: Stencil3<T>) {
+    assert_eq!(out.len(), inp.len());
+    let n = inp.len();
+    for i in 1..n.saturating_sub(1) {
+        out[i] = w.wl * inp[i - 1] + w.wc * inp[i] + w.wr * inp[i + 1];
+    }
+}
+
+/// Sequential forward convolution for a general odd-width stencil. The
+/// gather index pattern is the exact transpose of [`backprop_seq`], which
+/// is what the adjoint-identity test checks.
+pub fn forward_seq<T: ConvScalar>(out: &mut [T], inp: &[T], weights: &[T]) {
+    assert_eq!(out.len(), inp.len());
+    assert!(weights.len() % 2 == 1, "stencil width must be odd");
+    let r = weights.len() / 2;
+    let n = inp.len();
+    if n < 2 * r + 1 {
+        return;
+    }
+    for i in r..n - r {
+        let mut acc = T::default();
+        for (k, &w) in weights.iter().enumerate() {
+            // Same offsets as the scatter (out[i+k-r] += w*in[i]); the
+            // transpose only swaps which side is read and which written.
+            acc = acc + w * inp[i + k - r];
+        }
+        out[i] = acc;
+    }
+}
+
+/// Disjoint-write shared output for the gather loop.
+struct GatherOut<T>(*mut T);
+// SAFETY: each index is written by exactly one schedule chunk (exact-cover
+// property of `ompsim` schedules), so writes never alias.
+unsafe impl<T: Send> Send for GatherOut<T> {}
+unsafe impl<T: Send> Sync for GatherOut<T> {}
+
+impl<T> GatherOut<T> {
+    /// # Safety
+    /// `i` must be in bounds and written by exactly one thread.
+    #[inline(always)]
+    unsafe fn write(&self, i: usize, v: T) {
+        *self.0.add(i) = v;
+    }
+}
+
+/// Parallel forward convolution: a plain DOALL loop (each `out[i]` is
+/// written by exactly one thread) — no reduction machinery needed, which
+/// is the paper's point of contrast with the backward pass.
+pub fn par_forward<T: ConvScalar>(pool: &ThreadPool, out: &mut [T], inp: &[T], weights: &[T]) {
+    assert_eq!(out.len(), inp.len());
+    assert!(weights.len() % 2 == 1, "stencil width must be odd");
+    let r = weights.len() / 2;
+    let n = inp.len();
+    if n < 2 * r + 1 {
+        return;
+    }
+    let shared = GatherOut(out.as_mut_ptr());
+    pool.for_each(r..n - r, Schedule::default(), |i| {
+        let mut acc = T::default();
+        for (k, &w) in weights.iter().enumerate() {
+            acc = acc + w * inp[i + k - r];
+        }
+        // SAFETY: index i is assigned to exactly one thread by the
+        // schedule, so this is the only write to out[i].
+        unsafe { shared.write(i, acc) };
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backprop3_tiny() {
+        // n = 3: single interior iteration i = 1.
+        let inp = [1.0f64, 2.0, 3.0];
+        let mut out = [0.0f64; 3];
+        backprop3_seq(
+            &mut out,
+            &inp,
+            Stencil3 {
+                wl: 1.0,
+                wc: 10.0,
+                wr: 100.0,
+            },
+        );
+        assert_eq!(out, [2.0, 20.0, 200.0]);
+    }
+
+    #[test]
+    fn degenerate_sizes_are_noops() {
+        for n in 0..3 {
+            let inp = vec![1.0f64; n];
+            let mut out = vec![0.0f64; n];
+            backprop3_seq(&mut out, &inp, Stencil3::default());
+            if n < 3 {
+                assert!(out.iter().all(|&x| x == 0.0));
+            }
+        }
+        let mut out = vec![0.0f64; 2];
+        backprop_seq(&mut out, &[1.0, 1.0], &[0.5, 0.5, 0.5]);
+        assert_eq!(out, [0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "odd")]
+    fn even_stencil_rejected() {
+        let mut out = vec![0.0f64; 4];
+        backprop_seq(&mut out, &[1.0; 4], &[0.5, 0.5]);
+    }
+
+    #[test]
+    fn backprop3_equals_general_radius1() {
+        let n = 50;
+        let inp: Vec<f64> = (0..n).map(|i| i as f64 * 0.1).collect();
+        let w3 = Stencil3 {
+            wl: 0.3,
+            wc: 0.4,
+            wr: 0.2,
+        };
+        let mut a = vec![0.0; n];
+        backprop3_seq(&mut a, &inp, w3);
+        let mut b = vec![0.0; n];
+        backprop_seq(&mut b, &inp, &[0.3, 0.4, 0.2]);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-12);
+        }
+    }
+}

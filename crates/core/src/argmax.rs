@@ -1,0 +1,159 @@
+//! A user-defined reduction over a custom element type: value + location.
+//!
+//! §V: reducer objects "are templated for use with arbitrary types that
+//! support the necessary operators". [`ValueAt`] pairs a value with the
+//! index it came from, and [`MaxAt`]/[`MinAt`] reduce to the extreme value
+//! *and where it occurred* — the classic argmax/argmin reduction, which
+//! plain `Min`/`Max` over scalars cannot express. Ties break toward the
+//! smaller source index, keeping the operator commutative and the result
+//! schedule-independent.
+
+use crate::elem::{OpKind, ReduceOp};
+
+/// A sample `value` observed at `source` (an application-defined index).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ValueAt {
+    /// The observed value.
+    pub value: f64,
+    /// Where it was observed.
+    pub source: u64,
+}
+
+impl ValueAt {
+    /// Identity for [`MaxAt`]: −∞ at an impossible source.
+    pub const NEG_INFINITY: ValueAt = ValueAt {
+        value: f64::NEG_INFINITY,
+        source: u64::MAX,
+    };
+    /// Identity for [`MinAt`]: +∞ at an impossible source.
+    pub const INFINITY: ValueAt = ValueAt {
+        value: f64::INFINITY,
+        source: u64::MAX,
+    };
+
+    /// Wraps a sample.
+    pub fn new(value: f64, source: u64) -> Self {
+        ValueAt { value, source }
+    }
+}
+
+/// Argmax: keeps the larger value, breaking ties toward the smaller source.
+pub struct MaxAt;
+
+impl ReduceOp<ValueAt> for MaxAt {
+    const KIND: OpKind = OpKind::Max;
+    #[inline(always)]
+    fn identity() -> ValueAt {
+        ValueAt::NEG_INFINITY
+    }
+    #[inline(always)]
+    fn combine(a: ValueAt, b: ValueAt) -> ValueAt {
+        if b.value > a.value || (b.value == a.value && b.source < a.source) {
+            b
+        } else {
+            a
+        }
+    }
+}
+
+/// Argmin: keeps the smaller value, breaking ties toward the smaller source.
+pub struct MinAt;
+
+impl ReduceOp<ValueAt> for MinAt {
+    const KIND: OpKind = OpKind::Min;
+    #[inline(always)]
+    fn identity() -> ValueAt {
+        ValueAt::INFINITY
+    }
+    #[inline(always)]
+    fn combine(a: ValueAt, b: ValueAt) -> ValueAt {
+        if b.value < a.value || (b.value == a.value && b.source < a.source) {
+            b
+        } else {
+            a
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{reduce, BlockPrivateReduction, DenseReduction, KeeperReduction, ReducerView};
+    use ompsim::{Schedule, ThreadPool};
+
+    fn sample(i: usize) -> f64 {
+        // A deterministic wavy signal with a unique global max per bin.
+        ((i as f64) * 0.37).sin() * 100.0 + (i % 7) as f64
+    }
+
+    #[test]
+    fn combine_is_commutative_with_ties() {
+        let a = ValueAt::new(5.0, 3);
+        let b = ValueAt::new(5.0, 9);
+        assert_eq!(MaxAt::combine(a, b), MaxAt::combine(b, a));
+        assert_eq!(MaxAt::combine(a, b).source, 3);
+        assert_eq!(MinAt::combine(a, b).source, 3);
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let x = ValueAt::new(-1e300, 7);
+        assert_eq!(MaxAt::combine(x, MaxAt::identity()), x);
+        assert_eq!(MinAt::combine(x, MinAt::identity()), x);
+    }
+
+    #[test]
+    fn parallel_argmax_per_bin_matches_sequential() {
+        let n_bins = 16;
+        let n = 20_000;
+        // Sequential reference.
+        let mut want = vec![MaxAt::identity(); n_bins];
+        for i in 0..n {
+            let bin = i % n_bins;
+            want[bin] = MaxAt::combine(want[bin], ValueAt::new(sample(i), i as u64));
+        }
+
+        let pool = ThreadPool::new(4);
+        // Argmax works with every privatizing strategy; schedule must not
+        // change the answer (tie-breaking is deterministic).
+        for schedule in [Schedule::static_default(), Schedule::dynamic(37)] {
+            let mut out = vec![MaxAt::identity(); n_bins];
+            let red = DenseReduction::<ValueAt, MaxAt>::new(&mut out, 4);
+            reduce(&pool, &red, 0..n, schedule, |v, i| {
+                v.apply(i % n_bins, ValueAt::new(sample(i), i as u64));
+            });
+            drop(red);
+            assert_eq!(out, want, "schedule {}", schedule.label());
+        }
+
+        let mut out = vec![MaxAt::identity(); n_bins];
+        let red = BlockPrivateReduction::<ValueAt, MaxAt>::new(&mut out, 4, 4);
+        reduce(&pool, &red, 0..n, Schedule::default(), |v, i| {
+            v.apply(i % n_bins, ValueAt::new(sample(i), i as u64));
+        });
+        drop(red);
+        assert_eq!(out, want);
+
+        let mut out = vec![MaxAt::identity(); n_bins];
+        let red = KeeperReduction::<ValueAt, MaxAt>::new(&mut out, 4);
+        reduce(&pool, &red, 0..n, Schedule::default(), |v, i| {
+            v.apply(i % n_bins, ValueAt::new(sample(i), i as u64));
+        });
+        drop(red);
+        assert_eq!(out, want);
+    }
+
+    #[test]
+    fn argmin_finds_location() {
+        let pool = ThreadPool::new(2);
+        let mut out = vec![MinAt::identity(); 1];
+        let red = DenseReduction::<ValueAt, MinAt>::new(&mut out, 2);
+        reduce(&pool, &red, 0..1000, Schedule::default(), |v, i| {
+            let val = if i == 613 { -1e6 } else { i as f64 };
+            v.apply(0, ValueAt::new(val, i as u64));
+        });
+        drop(red);
+        assert_eq!(out[0].value, -1e6);
+        assert_eq!(out[0].source, 613);
+    }
+}

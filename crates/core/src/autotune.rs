@@ -1,0 +1,268 @@
+//! `AutoTuner` — a generic reducer that picks the strategy itself.
+//!
+//! The paper's outlook (§IX) asks for "a generic reducer object that moves
+//! the burden of picking a strategy from the user to the compiler and run
+//! time". For iterative applications (LULESH runs its force reduction
+//! every cycle, PageRank every power iteration) an *online* tuner is the
+//! natural fit: the first `trials × candidates` invocations measure each
+//! candidate strategy round-robin, after which every further invocation
+//! uses the best-measured one. Every invocation — including exploration —
+//! produces the correct reduction result, so tuning is invisible to the
+//! caller.
+//!
+//! ```
+//! use spray::{AutoTuner, Kernel, ReducerView, Strategy, Sum};
+//! use ompsim::{Schedule, ThreadPool};
+//!
+//! struct Ones;
+//! impl Kernel<f64> for Ones {
+//!     fn item<V: ReducerView<f64>>(&self, view: &mut V, i: usize) {
+//!         view.apply(i % 64, 1.0);
+//!     }
+//! }
+//!
+//! let pool = ThreadPool::new(2);
+//! let mut tuner = AutoTuner::with_default_candidates(1024);
+//! let mut out = vec![0.0f64; 64];
+//! for _ in 0..40 {
+//!     tuner.run::<f64, Sum, _>(&pool, &mut out, 0..640, Schedule::default(), &Ones);
+//! }
+//! assert!(tuner.settled()); // exploration finished, a winner is in use
+//! ```
+
+use crate::elem::{AtomicElement, ReduceOp};
+use crate::strategy::{reduce_strategy, Kernel, RunReport, Strategy};
+use ompsim::{Schedule, ThreadPool};
+use std::ops::Range;
+use std::time::Instant;
+
+/// Per-candidate measurement state.
+#[derive(Debug, Clone)]
+struct CandidateStat {
+    strategy: Strategy,
+    total_secs: f64,
+    runs: usize,
+}
+
+/// Online strategy selector; see the module docs.
+#[derive(Debug, Clone)]
+pub struct AutoTuner {
+    candidates: Vec<CandidateStat>,
+    /// Timed exploration rounds per candidate before settling.
+    trials: usize,
+    /// Invocations performed so far.
+    invocations: usize,
+    /// Cached winner index once exploration finishes.
+    winner: Option<usize>,
+}
+
+impl AutoTuner {
+    /// Tuner over an explicit candidate list.
+    ///
+    /// # Panics
+    /// Panics if `candidates` is empty.
+    pub fn new(candidates: Vec<Strategy>, trials: usize) -> Self {
+        assert!(!candidates.is_empty(), "need at least one candidate");
+        AutoTuner {
+            candidates: candidates
+                .into_iter()
+                .map(|strategy| CandidateStat {
+                    strategy,
+                    total_secs: 0.0,
+                    runs: 0,
+                })
+                .collect(),
+            trials: trials.max(1),
+            invocations: 0,
+            winner: None,
+        }
+    }
+
+    /// Tuner over the paper's competitive strategy set with the given
+    /// block size, 3 trials each.
+    pub fn with_default_candidates(block_size: usize) -> Self {
+        Self::new(Strategy::competitive(block_size), 3)
+    }
+
+    /// Whether exploration has finished and a winner is being used.
+    pub fn settled(&self) -> bool {
+        self.winner.is_some()
+    }
+
+    /// The strategy the tuner currently considers best (the measured
+    /// winner once settled; before that, the best-so-far by mean time).
+    pub fn best(&self) -> Option<Strategy> {
+        if let Some(w) = self.winner {
+            return Some(self.candidates[w].strategy);
+        }
+        self.candidates
+            .iter()
+            .filter(|c| c.runs > 0)
+            .min_by(|a, b| {
+                (a.total_secs / a.runs as f64)
+                    .partial_cmp(&(b.total_secs / b.runs as f64))
+                    .unwrap()
+            })
+            .map(|c| c.strategy)
+    }
+
+    /// Measured mean seconds per candidate (None until it has run).
+    pub fn measurements(&self) -> Vec<(Strategy, Option<f64>)> {
+        self.candidates
+            .iter()
+            .map(|c| {
+                (
+                    c.strategy,
+                    (c.runs > 0).then(|| c.total_secs / c.runs as f64),
+                )
+            })
+            .collect()
+    }
+
+    /// Total invocations so far.
+    pub fn invocations(&self) -> usize {
+        self.invocations
+    }
+
+    fn pick(&mut self) -> usize {
+        if let Some(w) = self.winner {
+            return w;
+        }
+        let exploration = self.candidates.len() * self.trials;
+        if self.invocations < exploration {
+            // Round-robin so every candidate sees the same workload mix.
+            return self.invocations % self.candidates.len();
+        }
+        // Exploration over: settle on the argmin of mean time.
+        let w = self
+            .candidates
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| {
+                (a.total_secs / a.runs as f64)
+                    .partial_cmp(&(b.total_secs / b.runs as f64))
+                    .unwrap()
+            })
+            .map(|(i, _)| i)
+            .expect("nonempty candidates");
+        self.winner = Some(w);
+        w
+    }
+
+    /// Runs the reduction with the tuner-chosen strategy, recording its
+    /// wall time. Semantics are identical to [`reduce_strategy`].
+    pub fn run<T, O, K>(
+        &mut self,
+        pool: &ThreadPool,
+        out: &mut [T],
+        range: Range<usize>,
+        schedule: Schedule,
+        kernel: &K,
+    ) -> RunReport
+    where
+        T: AtomicElement,
+        O: ReduceOp<T>,
+        K: Kernel<T>,
+    {
+        let idx = self.pick();
+        let strategy = self.candidates[idx].strategy;
+        let t0 = Instant::now();
+        let report = reduce_strategy::<T, O, K>(strategy, pool, out, range, schedule, kernel);
+        let dt = t0.elapsed().as_secs_f64();
+        let c = &mut self.candidates[idx];
+        c.total_secs += dt;
+        c.runs += 1;
+        self.invocations += 1;
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ReducerView, Sum};
+
+    struct Scatter;
+    impl Kernel<i64> for Scatter {
+        fn item<V: ReducerView<i64>>(&self, view: &mut V, i: usize) {
+            view.apply(i % 50, 1);
+        }
+    }
+
+    #[test]
+    fn explores_every_candidate_then_settles() {
+        let pool = ThreadPool::new(2);
+        let candidates = vec![
+            Strategy::Atomic,
+            Strategy::Keeper,
+            Strategy::BlockCas { block_size: 16 },
+        ];
+        let mut tuner = AutoTuner::new(candidates.clone(), 2);
+        let mut out = vec![0i64; 50];
+        let exploration = candidates.len() * 2;
+
+        for round in 0..exploration + 5 {
+            out.fill(0);
+            tuner.run::<i64, Sum, _>(&pool, &mut out, 0..500, Schedule::default(), &Scatter);
+            assert!(
+                out.iter().all(|&x| x == 10),
+                "wrong result in round {round}"
+            );
+            assert_eq!(tuner.settled(), round + 1 > exploration);
+        }
+
+        // Every candidate was measured the configured number of times,
+        // and the winner got the extra runs.
+        let m = tuner.measurements();
+        assert_eq!(m.len(), 3);
+        assert!(m.iter().all(|(_, t)| t.is_some()));
+        let best = tuner.best().unwrap();
+        assert!(candidates.contains(&best));
+    }
+
+    #[test]
+    fn winner_has_order_of_magnitude_gap() {
+        // Use candidates separated by ~10-100x (map vs keeper on a sizable
+        // scatter) so timing noise cannot flip the measured winner.
+        struct BigScatter;
+        impl Kernel<i64> for BigScatter {
+            fn item<V: ReducerView<i64>>(&self, view: &mut V, i: usize) {
+                view.apply(i % 10_000, 1);
+            }
+        }
+        let pool = ThreadPool::new(2);
+        let mut tuner = AutoTuner::new(vec![Strategy::MapBTree, Strategy::Keeper], 2);
+        let mut out = vec![0i64; 10_000];
+        for _ in 0..8 {
+            out.fill(0);
+            tuner.run::<i64, Sum, _>(
+                &pool,
+                &mut out,
+                0..200_000,
+                Schedule::default(),
+                &BigScatter,
+            );
+            assert!(out.iter().all(|&x| x == 20));
+        }
+        assert!(tuner.settled());
+        assert_eq!(tuner.best().unwrap(), Strategy::Keeper);
+        // The loser must have been measured as far slower.
+        let means: Vec<f64> = tuner
+            .measurements()
+            .into_iter()
+            .map(|(_, t)| t.unwrap())
+            .collect();
+        assert!(
+            means[0] > 2.0 * means[1],
+            "map {} vs keeper {}",
+            means[0],
+            means[1]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one candidate")]
+    fn empty_candidates_rejected() {
+        let _ = AutoTuner::new(vec![], 3);
+    }
+}

@@ -1,0 +1,525 @@
+//! `BlockReduction` — lazy, block-granular privatization (§V-d).
+//!
+//! The array is divided into fixed-size blocks which are handled on first
+//! touch. Three flavors, as in the paper:
+//!
+//! * **block-private** ([`BlockPrivateReduction`]): a thread that touches a
+//!   block allocates a private, identity-initialized copy of just that
+//!   block. Same summation order as the dense strategy — the only
+//!   difference is that untouched blocks are never materialized.
+//! * **block-lock** ([`BlockLockReduction`]): threads may acquire exclusive
+//!   *ownership* of blocks **in the original array** (ownership table
+//!   guarded by a lock) and then update them directly, non-atomically;
+//!   blocks already owned by another thread fall back to privatization.
+//! * **block-CAS** ([`BlockCasReduction`]): same ownership scheme, but
+//!   ownership is claimed with a compare-and-swap instead of a lock.
+//!
+//! The block size trades block-allocation count against wasted work on
+//! untouched elements inside touched blocks (Fig. 13 of the paper sweeps
+//! it; the `bench` crate regenerates that sweep). Strategy names carry the
+//! block size, e.g. `block-CAS-1024`.
+//!
+//! # Safety protocol
+//! During the loop phase a block of the original array is written only by
+//! its unique owner (lock/CAS flavors) and all other contributions go to
+//! private copies. After the team barrier, private copies of block `b` are
+//! merged by the single thread with `b % nthreads == tid`, in ascending
+//! thread order; owners no longer write. Hence no location is ever written
+//! by two threads without intervening synchronization.
+
+use crate::elem::{Element, ReduceOp};
+use crate::reducer::{ReducerView, Reduction};
+use crate::shared::{MemCounter, SharedSlice, Slots};
+use parking_lot::Mutex;
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+const UNOWNED: usize = usize::MAX;
+
+/// Block-status values cached per view to keep the hot path branch-cheap.
+const ST_UNKNOWN: u8 = 0;
+const ST_DIRECT: u8 = 1;
+const ST_PRIVATE: u8 = 2;
+
+/// How block ownership of the original array is acquired.
+///
+/// Implementation detail of the block flavors; sealed (the only
+/// implementors are the `*Seal` types below).
+#[doc(hidden)]
+pub trait Ownership: Send + Sync {
+    /// Builds the ownership state for `nblocks`.
+    fn new(nblocks: usize) -> Self;
+    /// Tries to claim block `b` for thread `tid`; returns `true` if `tid`
+    /// is now (or already was) the owner.
+    fn try_claim(&self, b: usize, tid: usize) -> bool;
+    /// Resets all ownership (single-threaded, between regions).
+    fn reset(&self);
+    /// Bytes used by the ownership table.
+    fn footprint(&self) -> usize;
+}
+
+/// No direct ownership: everything privatizes (block-private flavor).
+struct NoOwnership;
+
+impl Ownership for NoOwnership {
+    fn new(_nblocks: usize) -> Self {
+        NoOwnership
+    }
+    #[inline(always)]
+    fn try_claim(&self, _b: usize, _tid: usize) -> bool {
+        false
+    }
+    fn reset(&self) {}
+    fn footprint(&self) -> usize {
+        0
+    }
+}
+
+/// Lock-guarded ownership table (block-lock flavor).
+struct LockOwnership {
+    table: Mutex<Vec<usize>>,
+}
+
+impl Ownership for LockOwnership {
+    fn new(nblocks: usize) -> Self {
+        LockOwnership {
+            table: Mutex::new(vec![UNOWNED; nblocks]),
+        }
+    }
+
+    fn try_claim(&self, b: usize, tid: usize) -> bool {
+        let mut t = self.table.lock();
+        if t[b] == UNOWNED {
+            t[b] = tid;
+            true
+        } else {
+            t[b] == tid
+        }
+    }
+
+    fn reset(&self) {
+        self.table.lock().fill(UNOWNED);
+    }
+
+    fn footprint(&self) -> usize {
+        self.table.lock().len() * std::mem::size_of::<usize>()
+    }
+}
+
+/// CAS-based ownership table (block-CAS flavor).
+struct CasOwnership {
+    table: Vec<AtomicUsize>,
+}
+
+impl Ownership for CasOwnership {
+    fn new(nblocks: usize) -> Self {
+        CasOwnership {
+            table: (0..nblocks).map(|_| AtomicUsize::new(UNOWNED)).collect(),
+        }
+    }
+
+    #[inline]
+    fn try_claim(&self, b: usize, tid: usize) -> bool {
+        match self.table[b].compare_exchange(UNOWNED, tid, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => true,
+            Err(cur) => cur == tid,
+        }
+    }
+
+    fn reset(&self) {
+        for e in &self.table {
+            e.store(UNOWNED, Ordering::Relaxed);
+        }
+    }
+
+    fn footprint(&self) -> usize {
+        self.table.len() * std::mem::size_of::<AtomicUsize>()
+    }
+}
+
+/// Generic block reducer; use the [`BlockPrivateReduction`],
+/// [`BlockLockReduction`] or [`BlockCasReduction`] aliases.
+pub struct BlockReduction<'a, T: Element, O: ReduceOp<T>, W: Ownership> {
+    out: SharedSlice<T>,
+    block_size: usize,
+    nblocks: usize,
+    owners: W,
+    slots: Slots<Vec<Option<Box<[T]>>>>,
+    nthreads: usize,
+    mem: MemCounter,
+    flavor: &'static str,
+    _borrow: PhantomData<&'a mut [T]>,
+    _op: PhantomData<O>,
+}
+
+/// Lazy per-thread block privatization (no direct ownership).
+pub type BlockPrivateReduction<'a, T, O> = BlockReduction<'a, T, O, NoOwnershipSeal>;
+/// Direct block ownership acquired under a lock, privatization fallback.
+pub type BlockLockReduction<'a, T, O> = BlockReduction<'a, T, O, LockOwnershipSeal>;
+/// Direct block ownership acquired by CAS, privatization fallback.
+pub type BlockCasReduction<'a, T, O> = BlockReduction<'a, T, O, CasOwnershipSeal>;
+
+// Public seals so the aliases can be named without exposing the Ownership
+// trait itself.
+#[doc(hidden)]
+pub struct NoOwnershipSeal(NoOwnership);
+#[doc(hidden)]
+pub struct LockOwnershipSeal(LockOwnership);
+#[doc(hidden)]
+pub struct CasOwnershipSeal(CasOwnership);
+
+macro_rules! impl_seal {
+    ($seal:ident, $inner:ty) => {
+        impl Ownership for $seal {
+            fn new(nblocks: usize) -> Self {
+                $seal(<$inner>::new(nblocks))
+            }
+            #[inline(always)]
+            fn try_claim(&self, b: usize, tid: usize) -> bool {
+                self.0.try_claim(b, tid)
+            }
+            fn reset(&self) {
+                self.0.reset()
+            }
+            fn footprint(&self) -> usize {
+                self.0.footprint()
+            }
+        }
+    };
+}
+impl_seal!(NoOwnershipSeal, NoOwnership);
+impl_seal!(LockOwnershipSeal, LockOwnership);
+impl_seal!(CasOwnershipSeal, CasOwnership);
+
+impl<'a, T: Element, O: ReduceOp<T>, W: Ownership> BlockReduction<'a, T, O, W> {
+    fn with_flavor(
+        out: &'a mut [T],
+        nthreads: usize,
+        block_size: usize,
+        flavor: &'static str,
+    ) -> Self {
+        assert!(nthreads > 0);
+        assert!(block_size > 0, "block size must be > 0");
+        let len = out.len();
+        let nblocks = len.div_ceil(block_size);
+        BlockReduction {
+            out: SharedSlice::new(out),
+            block_size,
+            nblocks,
+            owners: W::new(nblocks),
+            slots: Slots::new(nthreads),
+            nthreads,
+            mem: MemCounter::new(),
+            flavor,
+            _borrow: PhantomData,
+            _op: PhantomData,
+        }
+    }
+
+    /// Block `b`'s range in the array (the last block may be short).
+    #[inline]
+    fn block_range(&self, b: usize) -> std::ops::Range<usize> {
+        let lo = b * self.block_size;
+        lo..((lo + self.block_size).min(self.out.len()))
+    }
+}
+
+impl<'a, T: Element, O: ReduceOp<T>> BlockPrivateReduction<'a, T, O> {
+    /// Wraps `out` with lazily privatized blocks of `block_size` elements.
+    pub fn new(out: &'a mut [T], nthreads: usize, block_size: usize) -> Self {
+        Self::with_flavor(out, nthreads, block_size, "block-private")
+    }
+}
+
+impl<'a, T: Element, O: ReduceOp<T>> BlockLockReduction<'a, T, O> {
+    /// Wraps `out` with lock-claimed direct block ownership.
+    pub fn new(out: &'a mut [T], nthreads: usize, block_size: usize) -> Self {
+        Self::with_flavor(out, nthreads, block_size, "block-lock")
+    }
+}
+
+impl<'a, T: Element, O: ReduceOp<T>> BlockCasReduction<'a, T, O> {
+    /// Wraps `out` with CAS-claimed direct block ownership.
+    ///
+    /// ```
+    /// use spray::{reduce, BlockCasReduction, ReducerView, Reduction, Sum};
+    /// use ompsim::{Schedule, ThreadPool};
+    ///
+    /// let pool = ThreadPool::new(2);
+    /// let mut out = vec![0.0f64; 4096];
+    /// let red = BlockCasReduction::<f64, Sum>::new(&mut out, 2, 256);
+    /// reduce(&pool, &red, 0..4096, Schedule::default(), |v, i| {
+    ///     v.apply(i, 2.0);
+    /// });
+    /// // Disjoint static chunks: every block is direct-owned, so no
+    /// // private copies were allocated (bookkeeping only).
+    /// assert!(red.memory_overhead() < 4096);
+    /// drop(red);
+    /// assert!(out.iter().all(|&x| x == 2.0));
+    /// ```
+    pub fn new(out: &'a mut [T], nthreads: usize, block_size: usize) -> Self {
+        Self::with_flavor(out, nthreads, block_size, "block-CAS")
+    }
+}
+
+/// Per-thread view for all block flavors.
+pub struct BlockView<T, O, W> {
+    out: SharedSlice<T>,
+    /// Borrow of the parent reduction's ownership table; valid for the
+    /// region because the driver keeps the reduction alive and pinned.
+    owners: *const W,
+    status: Vec<u8>,
+    blocks: Vec<Option<Box<[T]>>>,
+    block_size: usize,
+    len: usize,
+    tid: usize,
+    allocated_bytes: usize,
+    _op: PhantomData<O>,
+}
+
+impl<T: Element, O: ReduceOp<T>, W: Ownership> BlockView<T, O, W> {
+    /// Slow path: first touch of block `b` by this thread.
+    #[cold]
+    fn resolve(&mut self, b: usize) -> u8 {
+        // SAFETY: the parent reduction outlives the view (driver contract).
+        let owners = unsafe { &*self.owners };
+        let st = if owners.try_claim(b, self.tid) {
+            ST_DIRECT
+        } else {
+            let lo = b * self.block_size;
+            let n = self.block_size.min(self.len - lo);
+            self.blocks[b] = Some(vec![O::identity(); n].into_boxed_slice());
+            self.allocated_bytes += n * std::mem::size_of::<T>();
+            ST_PRIVATE
+        };
+        self.status[b] = st;
+        st
+    }
+}
+
+impl<T: Element, O: ReduceOp<T>, W: Ownership> ReducerView<T> for BlockView<T, O, W> {
+    #[inline(always)]
+    fn apply(&mut self, i: usize, v: T) {
+        assert!(i < self.len, "reduction index {i} out of bounds");
+        let b = i / self.block_size;
+        let mut st = self.status[b];
+        if st == ST_UNKNOWN {
+            st = self.resolve(b);
+        }
+        if st == ST_DIRECT {
+            // SAFETY: this thread exclusively owns block `b` of `out`
+            // during the loop phase (ownership protocol).
+            unsafe { self.out.combine::<O>(i, v) };
+        } else {
+            // SAFETY of the unwrap: ST_PRIVATE implies the block was
+            // allocated in `resolve`.
+            let blk = self.blocks[b].as_mut().unwrap();
+            let slot = &mut blk[i - b * self.block_size];
+            *slot = O::combine(*slot, v);
+        }
+    }
+}
+
+impl<T: Element, O: ReduceOp<T>, W: Ownership> Reduction<T> for BlockReduction<'_, T, O, W> {
+    type View = BlockView<T, O, W>;
+
+    fn view(&self, tid: usize) -> Self::View {
+        // Only bookkeeping is allocated here (the paper's cheap `init`):
+        // one status byte and one empty option per block.
+        self.mem
+            .add(self.nblocks * (1 + std::mem::size_of::<Option<Box<[T]>>>()));
+        BlockView {
+            out: self.out,
+            owners: &self.owners,
+            status: vec![ST_UNKNOWN; self.nblocks],
+            blocks: (0..self.nblocks).map(|_| None).collect(),
+            block_size: self.block_size,
+            len: self.out.len(),
+            tid,
+            allocated_bytes: 0,
+            _op: PhantomData,
+        }
+    }
+
+    fn stash(&self, tid: usize, view: Self::View) {
+        self.mem.add(view.allocated_bytes);
+        // SAFETY: slot `tid` is written only by thread `tid`, pre-barrier.
+        unsafe { self.slots.put(tid, view.blocks) };
+    }
+
+    fn epilogue(&self, tid: usize) {
+        // Thread `tid` merges the private copies of every block it is
+        // responsible for, across all threads in ascending order (matching
+        // the dense merge order for the block-private flavor).
+        for b in (tid..self.nblocks).step_by(self.nthreads) {
+            let range = self.block_range(b);
+            for t in 0..self.nthreads {
+                // SAFETY: post-barrier, slots are read-only.
+                let Some(blocks) = (unsafe { self.slots.get(t) }) else {
+                    continue;
+                };
+                if let Some(blk) = &blocks[b] {
+                    for (off, i) in range.clone().enumerate() {
+                        // SAFETY: block `b` is merged only by this thread,
+                        // and owners stopped writing at the barrier.
+                        unsafe { self.out.combine::<O>(i, blk[off]) };
+                    }
+                }
+            }
+        }
+    }
+
+    fn finish(&self) {
+        for t in 0..self.nthreads {
+            // SAFETY: single-threaded after the region.
+            if let Some(blocks) = unsafe { self.slots.take(t) } {
+                let freed: usize = blocks
+                    .iter()
+                    .flatten()
+                    .map(|b| b.len() * std::mem::size_of::<T>())
+                    .sum();
+                self.mem
+                    .sub(freed + self.nblocks * (1 + std::mem::size_of::<Option<Box<[T]>>>()));
+            }
+        }
+        self.owners.reset();
+    }
+
+    fn name(&self) -> String {
+        format!("{}-{}", self.flavor, self.block_size)
+    }
+
+    fn num_threads(&self) -> usize {
+        self.nthreads
+    }
+
+    fn len(&self) -> usize {
+        self.out.len()
+    }
+
+    fn memory_overhead(&self) -> usize {
+        self.mem.peak() + self.owners.footprint()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reduce;
+    use crate::Sum;
+    use ompsim::{Schedule, ThreadPool};
+
+    #[test]
+    fn block_private_overlapping_updates() {
+        let pool = ThreadPool::new(4);
+        let n = 1000;
+        let mut out = vec![0i64; n];
+        let red = BlockPrivateReduction::<i64, Sum>::new(&mut out, 4, 64);
+        reduce(&pool, &red, 0..n, Schedule::dynamic(7), |v, i| {
+            v.apply(i, 1);
+            v.apply((i + 1) % n, 1);
+        });
+        drop(red);
+        assert!(out.iter().all(|&x| x == 2));
+    }
+
+    #[test]
+    fn block_lock_overlapping_updates() {
+        let pool = ThreadPool::new(4);
+        let n = 1000;
+        let mut out = vec![0i64; n];
+        let red = BlockLockReduction::<i64, Sum>::new(&mut out, 4, 64);
+        reduce(&pool, &red, 0..n, Schedule::dynamic(7), |v, i| {
+            v.apply(i, 1);
+            v.apply((i + 1) % n, 1);
+        });
+        drop(red);
+        assert!(out.iter().all(|&x| x == 2));
+    }
+
+    #[test]
+    fn block_cas_overlapping_updates() {
+        let pool = ThreadPool::new(4);
+        let n = 1000;
+        let mut out = vec![0i64; n];
+        let red = BlockCasReduction::<i64, Sum>::new(&mut out, 4, 64);
+        reduce(&pool, &red, 0..n, Schedule::dynamic(7), |v, i| {
+            v.apply(i, 1);
+            v.apply((i + 1) % n, 1);
+        });
+        drop(red);
+        assert!(out.iter().all(|&x| x == 2));
+    }
+
+    #[test]
+    fn last_partial_block_handled() {
+        let pool = ThreadPool::new(2);
+        let n = 130; // not a multiple of the block size
+        let mut out = vec![0i64; n];
+        let red = BlockPrivateReduction::<i64, Sum>::new(&mut out, 2, 64);
+        reduce(&pool, &red, 0..n, Schedule::default(), |v, i| {
+            v.apply(i, 3);
+        });
+        drop(red);
+        assert!(out.iter().all(|&x| x == 3));
+    }
+
+    #[test]
+    fn block_size_larger_than_array() {
+        let pool = ThreadPool::new(2);
+        let mut out = vec![0i64; 10];
+        let red = BlockCasReduction::<i64, Sum>::new(&mut out, 2, 4096);
+        reduce(&pool, &red, 0..10, Schedule::default(), |v, i| {
+            v.apply(i, 1);
+        });
+        drop(red);
+        assert!(out.iter().all(|&x| x == 1));
+    }
+
+    #[test]
+    fn untouched_blocks_never_materialize() {
+        let pool = ThreadPool::new(2);
+        let n = 1_000_000;
+        let mut out = vec![0.0f64; n];
+        let red = BlockPrivateReduction::<f64, Sum>::new(&mut out, 2, 1024);
+        reduce(&pool, &red, 0..10, Schedule::default(), |v, i| {
+            v.apply(i, 1.0);
+        });
+        // Only block 0 gets privatized (plus per-view bookkeeping), far
+        // below the dense nthreads*n*8 bytes.
+        assert!(red.memory_overhead() < 2 * n);
+    }
+
+    #[test]
+    fn names_carry_block_size() {
+        let mut a = vec![0.0f64; 1];
+        let mut b = vec![0.0f64; 1];
+        let mut c = vec![0.0f64; 1];
+        assert_eq!(
+            BlockPrivateReduction::<f64, Sum>::new(&mut a, 1, 256).name(),
+            "block-private-256"
+        );
+        assert_eq!(
+            BlockLockReduction::<f64, Sum>::new(&mut b, 1, 1024).name(),
+            "block-lock-1024"
+        );
+        assert_eq!(
+            BlockCasReduction::<f64, Sum>::new(&mut c, 1, 4096).name(),
+            "block-CAS-4096"
+        );
+    }
+
+    #[test]
+    fn reusable_across_regions_with_ownership_reset() {
+        let pool = ThreadPool::new(2);
+        let mut out = vec![0i64; 100];
+        let red = BlockCasReduction::<i64, Sum>::new(&mut out, 2, 16);
+        for _ in 0..3 {
+            reduce(&pool, &red, 0..100, Schedule::default(), |v, i| {
+                v.apply(i, 1);
+            });
+        }
+        drop(red);
+        assert!(out.iter().all(|&x| x == 3));
+    }
+}

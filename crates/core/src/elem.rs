@@ -1,0 +1,367 @@
+//! Element types and reduction operators.
+//!
+//! SPRAY reducers are generic over the stored element type and the
+//! associative & commutative operator used to combine contributions
+//! (the paper restricts reducer objects to compound assignments like `+=`;
+//! we model the operator as a zero-sized [`ReduceOp`] type so strategies
+//! can be monomorphized per operator).
+
+use std::sync::atomic::{AtomicI32, AtomicI64, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+
+/// A value that can live in a reduction array.
+///
+/// Deliberately minimal: anything `Copy + Send + Sync` with the operators
+/// supplied by a [`ReduceOp`] implementation works, including user-defined
+/// number types (mirroring the paper's templated reducer objects).
+pub trait Element: Copy + Send + Sync + PartialEq + std::fmt::Debug + 'static {}
+
+impl<T: Copy + Send + Sync + PartialEq + std::fmt::Debug + 'static> Element for T {}
+
+/// Coarse operator classification, used by atomic strategies to select
+/// hardware fetch-ops where available (e.g. integer `fetch_add`) and CAS
+/// loops elsewhere (e.g. floating-point addition — exactly the trade-off
+/// §III of the paper discusses).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpKind {
+    /// Addition.
+    Sum,
+    /// Multiplication.
+    Prod,
+    /// Minimum.
+    Min,
+    /// Maximum.
+    Max,
+}
+
+/// An associative & commutative binary operator with identity over `T`.
+///
+/// Reduction results are only reproducible up to reassociation of `combine`,
+/// matching the paper's (and OpenMP's) floating-point assumptions.
+pub trait ReduceOp<T>: Send + Sync + 'static {
+    /// Which operator family this is (drives atomic fast paths).
+    const KIND: OpKind;
+    /// The identity element (`0` for sum, `1` for product, …).
+    fn identity() -> T;
+    /// `a ∘ b`.
+    fn combine(a: T, b: T) -> T;
+}
+
+/// Summation (`+=`), the reduction in all of the paper's test cases.
+pub struct Sum;
+/// Product (`*=`).
+pub struct Prod;
+/// Minimum.
+pub struct Min;
+/// Maximum.
+pub struct Max;
+
+/// Per-type arithmetic backing [`Sum`]. `ReduceOp<T>` is blanket-implemented
+/// for every `T: SumOps`, so a bound `T: SumOps` *implies*
+/// `Sum: ReduceOp<T>` in generic code (downstream crates rely on this).
+pub trait SumOps: Element {
+    /// Additive identity.
+    fn zero() -> Self;
+    /// Addition. For integers this wraps, because atomic integer
+    /// reductions use `fetch_add` (which wraps) and the non-atomic path
+    /// must agree for the strategy-equivalence guarantee to hold.
+    fn add(a: Self, b: Self) -> Self;
+}
+
+/// Per-type arithmetic backing [`Prod`]; see [`SumOps`].
+pub trait ProdOps: Element {
+    /// Multiplicative identity.
+    fn one() -> Self;
+    /// Multiplication (wrapping for integers).
+    fn mul(a: Self, b: Self) -> Self;
+}
+
+/// Per-type order operations backing [`Min`] and [`Max`]; see [`SumOps`].
+/// For floats, NaN handling follows `f64::min`/`f64::max`.
+pub trait OrdOps: Element {
+    /// Identity of `min` (the type's greatest value).
+    fn greatest() -> Self;
+    /// Identity of `max` (the type's least value).
+    fn least() -> Self;
+    /// Minimum.
+    fn min(a: Self, b: Self) -> Self;
+    /// Maximum.
+    fn max(a: Self, b: Self) -> Self;
+}
+
+impl<T: SumOps> ReduceOp<T> for Sum {
+    const KIND: OpKind = OpKind::Sum;
+    #[inline(always)]
+    fn identity() -> T {
+        T::zero()
+    }
+    #[inline(always)]
+    fn combine(a: T, b: T) -> T {
+        T::add(a, b)
+    }
+}
+
+impl<T: ProdOps> ReduceOp<T> for Prod {
+    const KIND: OpKind = OpKind::Prod;
+    #[inline(always)]
+    fn identity() -> T {
+        T::one()
+    }
+    #[inline(always)]
+    fn combine(a: T, b: T) -> T {
+        T::mul(a, b)
+    }
+}
+
+impl<T: OrdOps> ReduceOp<T> for Min {
+    const KIND: OpKind = OpKind::Min;
+    #[inline(always)]
+    fn identity() -> T {
+        T::greatest()
+    }
+    #[inline(always)]
+    fn combine(a: T, b: T) -> T {
+        T::min(a, b)
+    }
+}
+
+impl<T: OrdOps> ReduceOp<T> for Max {
+    const KIND: OpKind = OpKind::Max;
+    #[inline(always)]
+    fn identity() -> T {
+        T::least()
+    }
+    #[inline(always)]
+    fn combine(a: T, b: T) -> T {
+        T::max(a, b)
+    }
+}
+
+macro_rules! impl_float_arith {
+    ($($t:ty),*) => {$(
+        impl SumOps for $t {
+            #[inline(always)] fn zero() -> $t { 0.0 }
+            #[inline(always)] fn add(a: $t, b: $t) -> $t { a + b }
+        }
+        impl ProdOps for $t {
+            #[inline(always)] fn one() -> $t { 1.0 }
+            #[inline(always)] fn mul(a: $t, b: $t) -> $t { a * b }
+        }
+        impl OrdOps for $t {
+            #[inline(always)] fn greatest() -> $t { <$t>::INFINITY }
+            #[inline(always)] fn least() -> $t { <$t>::NEG_INFINITY }
+            #[inline(always)] fn min(a: $t, b: $t) -> $t { a.min(b) }
+            #[inline(always)] fn max(a: $t, b: $t) -> $t { a.max(b) }
+        }
+    )*};
+}
+impl_float_arith!(f32, f64);
+
+macro_rules! impl_int_arith {
+    ($($t:ty),*) => {$(
+        impl SumOps for $t {
+            #[inline(always)] fn zero() -> $t { 0 }
+            #[inline(always)] fn add(a: $t, b: $t) -> $t { a.wrapping_add(b) }
+        }
+        impl ProdOps for $t {
+            #[inline(always)] fn one() -> $t { 1 }
+            #[inline(always)] fn mul(a: $t, b: $t) -> $t { a.wrapping_mul(b) }
+        }
+        impl OrdOps for $t {
+            #[inline(always)] fn greatest() -> $t { <$t>::MAX }
+            #[inline(always)] fn least() -> $t { <$t>::MIN }
+            #[inline(always)] fn min(a: $t, b: $t) -> $t { std::cmp::min(a, b) }
+            #[inline(always)] fn max(a: $t, b: $t) -> $t { std::cmp::max(a, b) }
+        }
+    )*};
+}
+impl_int_arith!(i32, i64, u32, u64, usize);
+
+/// Elements that the [`AtomicReduction`](crate::AtomicReduction) strategy
+/// can update in place.
+///
+/// Integers use native fetch-ops where the operator allows; floats always
+/// go through a compare-and-swap loop on their bit pattern — the paper's
+/// observation that "on a system without explicit support for atomic
+/// fetch-and-add on floating-point values, the atomic update would most
+/// likely be implemented with a CAS loop" is a *design rule* here, since
+/// Rust (like most ISAs) exposes no float fetch-add.
+pub trait AtomicElement: Element {
+    /// Atomically performs `*ptr = O::combine(*ptr, v)`.
+    ///
+    /// # Safety
+    /// `ptr` must be valid and properly aligned for `Self`, and every
+    /// concurrent access to `*ptr` must also be atomic (or otherwise
+    /// race-free, e.g. after a synchronization point).
+    unsafe fn atomic_combine<O: ReduceOp<Self>>(ptr: *mut Self, v: Self);
+}
+
+macro_rules! impl_atomic_float {
+    ($t:ty, $bits:ty, $atomic:ty) => {
+        impl AtomicElement for $t {
+            #[inline]
+            unsafe fn atomic_combine<O: ReduceOp<Self>>(ptr: *mut Self, v: Self) {
+                // SAFETY: caller guarantees validity/alignment; $atomic has
+                // the same size and alignment as $t.
+                let a = &*(ptr as *const $atomic);
+                let mut cur = a.load(Ordering::Relaxed);
+                loop {
+                    let new = O::combine(<$t>::from_bits(cur), v).to_bits();
+                    match a.compare_exchange_weak(cur, new, Ordering::Relaxed, Ordering::Relaxed) {
+                        Ok(_) => return,
+                        Err(c) => cur = c,
+                    }
+                }
+            }
+        }
+    };
+}
+impl_atomic_float!(f32, u32, AtomicU32);
+impl_atomic_float!(f64, u64, AtomicU64);
+
+macro_rules! impl_atomic_int {
+    ($t:ty, $atomic:ty) => {
+        impl AtomicElement for $t {
+            #[inline]
+            unsafe fn atomic_combine<O: ReduceOp<Self>>(ptr: *mut Self, v: Self) {
+                // SAFETY: caller guarantees validity/alignment; $atomic has
+                // the same size and alignment as $t.
+                let a = &*(ptr as *const $atomic);
+                match O::KIND {
+                    OpKind::Sum => {
+                        a.fetch_add(v, Ordering::Relaxed);
+                    }
+                    OpKind::Min => {
+                        a.fetch_min(v, Ordering::Relaxed);
+                    }
+                    OpKind::Max => {
+                        a.fetch_max(v, Ordering::Relaxed);
+                    }
+                    // No fetch-multiply on any ISA: CAS loop.
+                    OpKind::Prod => {
+                        let mut cur = a.load(Ordering::Relaxed);
+                        loop {
+                            let new = O::combine(cur, v);
+                            match a.compare_exchange_weak(
+                                cur,
+                                new,
+                                Ordering::Relaxed,
+                                Ordering::Relaxed,
+                            ) {
+                                Ok(_) => return,
+                                Err(c) => cur = c,
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    };
+}
+impl_atomic_int!(i32, AtomicI32);
+impl_atomic_int!(i64, AtomicI64);
+impl_atomic_int!(u32, AtomicU32);
+impl_atomic_int!(u64, AtomicU64);
+impl_atomic_int!(usize, AtomicUsize);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identities() {
+        assert_eq!(<Sum as ReduceOp<f64>>::identity(), 0.0);
+        assert_eq!(<Prod as ReduceOp<f64>>::identity(), 1.0);
+        assert_eq!(<Min as ReduceOp<f64>>::identity(), f64::INFINITY);
+        assert_eq!(<Max as ReduceOp<f64>>::identity(), f64::NEG_INFINITY);
+        assert_eq!(<Sum as ReduceOp<i64>>::identity(), 0);
+        assert_eq!(<Prod as ReduceOp<u32>>::identity(), 1);
+        assert_eq!(<Min as ReduceOp<i32>>::identity(), i32::MAX);
+        assert_eq!(<Max as ReduceOp<i32>>::identity(), i32::MIN);
+    }
+
+    #[test]
+    fn combine_matches_op() {
+        assert_eq!(<Sum as ReduceOp<f64>>::combine(2.0, 3.0), 5.0);
+        assert_eq!(<Prod as ReduceOp<f64>>::combine(2.0, 3.0), 6.0);
+        assert_eq!(<Min as ReduceOp<i32>>::combine(2, 3), 2);
+        assert_eq!(<Max as ReduceOp<i32>>::combine(2, 3), 3);
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        for x in [-3.5f64, 0.0, 7.25] {
+            assert_eq!(<Sum as ReduceOp<f64>>::combine(x, Sum::identity()), x);
+            assert_eq!(<Prod as ReduceOp<f64>>::combine(x, Prod::identity()), x);
+            assert_eq!(
+                <Min as ReduceOp<f64>>::combine(x, <Min as ReduceOp<f64>>::identity()),
+                x
+            );
+            assert_eq!(
+                <Max as ReduceOp<f64>>::combine(x, <Max as ReduceOp<f64>>::identity()),
+                x
+            );
+        }
+    }
+
+    #[test]
+    fn atomic_float_cas_sum() {
+        let mut x = 1.5f64;
+        unsafe {
+            f64::atomic_combine::<Sum>(&mut x, 2.25);
+            f64::atomic_combine::<Sum>(&mut x, -0.5);
+        }
+        assert_eq!(x, 3.25);
+    }
+
+    #[test]
+    fn atomic_int_fetch_ops() {
+        let mut x = 10i64;
+        unsafe {
+            i64::atomic_combine::<Sum>(&mut x, 5);
+            i64::atomic_combine::<Min>(&mut x, 3);
+            i64::atomic_combine::<Max>(&mut x, 100);
+            i64::atomic_combine::<Prod>(&mut x, 2);
+        }
+        assert_eq!(x, 200);
+    }
+
+    #[test]
+    fn atomic_updates_race_free() {
+        // Hammer one location from many threads; total must be exact
+        // (integer sum) — the correctness core of AtomicReduction.
+        let mut x = 0u64;
+        let p = std::sync::atomic::AtomicPtr::new(&mut x as *mut u64);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let p = &p;
+                s.spawn(move || {
+                    let ptr = p.load(Ordering::Relaxed);
+                    for _ in 0..10_000 {
+                        unsafe { u64::atomic_combine::<Sum>(ptr, 1) };
+                    }
+                });
+            }
+        });
+        assert_eq!(x, 40_000);
+    }
+
+    #[test]
+    fn atomic_float_concurrent_sum_is_exact_for_representable_values() {
+        // Sums of 1.0 are exactly representable, so even the FP CAS loop
+        // must produce the exact count.
+        let mut x = 0.0f32;
+        let p = std::sync::atomic::AtomicPtr::new(&mut x as *mut f32);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let p = &p;
+                s.spawn(move || {
+                    let ptr = p.load(Ordering::Relaxed);
+                    for _ in 0..1000 {
+                        unsafe { f32::atomic_combine::<Sum>(ptr, 1.0) };
+                    }
+                });
+            }
+        });
+        assert_eq!(x, 4000.0);
+    }
+}

@@ -1,0 +1,305 @@
+//! `HybridReduction` — per-block adaptive choice between atomic updates
+//! and privatization.
+//!
+//! Not one of the paper's seven reducers, but squarely on its roadmap:
+//! §V expects the reducer set "to grow over time", §VII's summary observes
+//! that atomics win where "reduction accesses are few and without
+//! contention" while block privatization wins at "high locality, both
+//! temporal and spatial" — and the paper's related work cites the OmpSs
+//! *adaptive privatization* line (Ciesko et al. [19]) that switches between
+//! those regimes at run time.
+//!
+//! Mechanism: each thread counts its touches per block. A block starts in
+//! **atomic** mode (zero memory, fine for cold blocks); once a thread has
+//! touched the same block `threshold` times, that thread privatizes the
+//! block (identity-initialized copy) and all its further updates to the
+//! block are thread-local. Hot blocks therefore converge to block-private
+//! behavior, cold blocks stay atomic, and the decision needs no prepass,
+//! no global coordination and no hints.
+//!
+//! # Safety protocol
+//! During the loop phase the original array is updated **only atomically**
+//! (cold-path updates). Private copies are per-thread. After the team
+//! barrier, private copies of block `b` are merged by the single thread
+//! with `b % nthreads == tid`, in ascending thread order; no atomic
+//! updates happen anymore. Hence every location is only ever written
+//! atomically, or exclusively after synchronization.
+
+use crate::elem::{AtomicElement, ReduceOp};
+use crate::reducer::{ReducerView, Reduction};
+use crate::shared::{MemCounter, SharedSlice, Slots};
+use std::marker::PhantomData;
+
+/// Adaptive atomic/privatized reducer; see the module docs.
+pub struct HybridReduction<'a, T: AtomicElement, O: ReduceOp<T>> {
+    out: SharedSlice<T>,
+    block_size: usize,
+    threshold: u32,
+    nblocks: usize,
+    slots: Slots<Vec<Option<Box<[T]>>>>,
+    nthreads: usize,
+    mem: MemCounter,
+    _borrow: PhantomData<&'a mut [T]>,
+    _op: PhantomData<O>,
+}
+
+impl<'a, T: AtomicElement, O: ReduceOp<T>> HybridReduction<'a, T, O> {
+    /// Wraps `out`; a thread privatizes a block after `threshold` touches.
+    ///
+    /// `threshold = 0` privatizes on first touch (≈ block-private);
+    /// `threshold = u32::MAX` never privatizes (≈ atomic).
+    ///
+    /// ```
+    /// use spray::{reduce, HybridReduction, ReducerView, Sum};
+    /// use ompsim::{Schedule, ThreadPool};
+    ///
+    /// let pool = ThreadPool::new(2);
+    /// let mut out = vec![0i64; 10_000];
+    /// let red = HybridReduction::<i64, Sum>::new(&mut out, 2, 64, 4);
+    /// reduce(&pool, &red, 0..10_000, Schedule::default(), |v, i| {
+    ///     v.apply(i % 100, 1); // hot blocks privatize automatically
+    /// });
+    /// drop(red);
+    /// assert_eq!(out[0], 100);
+    /// ```
+    pub fn new(out: &'a mut [T], nthreads: usize, block_size: usize, threshold: u32) -> Self {
+        assert!(nthreads > 0);
+        assert!(block_size > 0, "block size must be > 0");
+        let nblocks = out.len().div_ceil(block_size);
+        HybridReduction {
+            out: SharedSlice::new(out),
+            block_size,
+            threshold,
+            nblocks,
+            slots: Slots::new(nthreads),
+            nthreads,
+            mem: MemCounter::new(),
+            _borrow: PhantomData,
+            _op: PhantomData,
+        }
+    }
+}
+
+/// Per-thread view: touch counters and lazily privatized hot blocks.
+pub struct HybridView<T, O> {
+    out: SharedSlice<T>,
+    /// Touches of each block by this thread (saturating).
+    touches: Vec<u32>,
+    blocks: Vec<Option<Box<[T]>>>,
+    block_size: usize,
+    threshold: u32,
+    len: usize,
+    allocated_bytes: usize,
+    _op: PhantomData<O>,
+}
+
+impl<T: AtomicElement, O: ReduceOp<T>> HybridView<T, O> {
+    /// Privatizes block `b` (slow path, once per hot block per thread).
+    #[cold]
+    fn privatize(&mut self, b: usize) -> &mut Box<[T]> {
+        let lo = b * self.block_size;
+        let n = self.block_size.min(self.len - lo);
+        self.allocated_bytes += n * std::mem::size_of::<T>();
+        self.blocks[b] = Some(vec![O::identity(); n].into_boxed_slice());
+        self.blocks[b].as_mut().unwrap()
+    }
+}
+
+impl<T: AtomicElement, O: ReduceOp<T>> ReducerView<T> for HybridView<T, O> {
+    #[inline(always)]
+    fn apply(&mut self, i: usize, v: T) {
+        assert!(i < self.len, "reduction index {i} out of bounds");
+        let b = i / self.block_size;
+        if let Some(blk) = &mut self.blocks[b] {
+            let slot = &mut blk[i - b * self.block_size];
+            *slot = O::combine(*slot, v);
+            return;
+        }
+        let t = self.touches[b];
+        if t >= self.threshold {
+            // This block just became hot for this thread: privatize and
+            // divert the current update to the private copy.
+            let block_size = self.block_size;
+            let blk = self.privatize(b);
+            let slot = &mut blk[i - b * block_size];
+            *slot = O::combine(*slot, v);
+        } else {
+            self.touches[b] = t + 1;
+            // SAFETY: in-bounds; all loop-phase writes to `out` in this
+            // strategy are atomic.
+            unsafe { self.out.combine_atomic::<O>(i, v) };
+        }
+    }
+}
+
+impl<T: AtomicElement, O: ReduceOp<T>> Reduction<T> for HybridReduction<'_, T, O> {
+    type View = HybridView<T, O>;
+
+    fn view(&self, _tid: usize) -> Self::View {
+        self.mem.add(
+            self.nblocks * (std::mem::size_of::<u32>() + std::mem::size_of::<Option<Box<[T]>>>()),
+        );
+        HybridView {
+            out: self.out,
+            touches: vec![0; self.nblocks],
+            blocks: (0..self.nblocks).map(|_| None).collect(),
+            block_size: self.block_size,
+            threshold: self.threshold,
+            len: self.out.len(),
+            allocated_bytes: 0,
+            _op: PhantomData,
+        }
+    }
+
+    fn stash(&self, tid: usize, view: Self::View) {
+        self.mem.add(view.allocated_bytes);
+        // SAFETY: slot `tid` is written only by thread `tid`, pre-barrier.
+        unsafe { self.slots.put(tid, view.blocks) };
+    }
+
+    fn epilogue(&self, tid: usize) {
+        // Merge hot private copies, block-partitioned across threads.
+        for b in (tid..self.nblocks).step_by(self.nthreads) {
+            let lo = b * self.block_size;
+            let n = self.block_size.min(self.out.len() - lo);
+            for t in 0..self.nthreads {
+                // SAFETY: post-barrier, slots are read-only.
+                let Some(blocks) = (unsafe { self.slots.get(t) }) else {
+                    continue;
+                };
+                if let Some(blk) = &blocks[b] {
+                    for off in 0..n {
+                        // SAFETY: block b is merged only by this thread and
+                        // atomic writers stopped at the barrier.
+                        unsafe { self.out.combine::<O>(lo + off, blk[off]) };
+                    }
+                }
+            }
+        }
+    }
+
+    fn finish(&self) {
+        for t in 0..self.nthreads {
+            // SAFETY: single-threaded after the region.
+            if let Some(blocks) = unsafe { self.slots.take(t) } {
+                let freed: usize = blocks
+                    .iter()
+                    .flatten()
+                    .map(|b| b.len() * std::mem::size_of::<T>())
+                    .sum();
+                self.mem.sub(
+                    freed
+                        + self.nblocks
+                            * (std::mem::size_of::<u32>()
+                                + std::mem::size_of::<Option<Box<[T]>>>()),
+                );
+            }
+        }
+    }
+
+    fn name(&self) -> String {
+        format!("hybrid-{}-t{}", self.block_size, self.threshold)
+    }
+
+    fn num_threads(&self) -> usize {
+        self.nthreads
+    }
+
+    fn len(&self) -> usize {
+        self.out.len()
+    }
+
+    fn memory_overhead(&self) -> usize {
+        self.mem.peak()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reduce;
+    use crate::Sum;
+    use ompsim::{Schedule, ThreadPool};
+
+    fn run_hybrid(threshold: u32) -> (Vec<i64>, usize) {
+        // 90% of updates hammer the first 1000 elements (hot: hundreds of
+        // per-thread touches per block); 10% are hash-scattered over a
+        // million elements (cold: ≤ a couple of touches per block/thread).
+        let pool = ThreadPool::new(4);
+        let n = 1_000_000;
+        let mut out = vec![0i64; n];
+        let red = HybridReduction::<i64, Sum>::new(&mut out, 4, 64, threshold);
+        reduce(&pool, &red, 0..50_000, Schedule::default(), |v, i| {
+            if i % 10 < 9 {
+                v.apply(i % 1000, 1); // hot region
+            } else {
+                v.apply(i.wrapping_mul(2654435761) % n, 1); // cold scatter
+            }
+        });
+        let mem = red.memory_overhead();
+        drop(red);
+        (out, mem)
+    }
+
+    #[test]
+    fn correct_for_all_thresholds() {
+        let (reference, _) = run_hybrid(0);
+        assert_eq!(reference.iter().sum::<i64>(), 50_000);
+        for threshold in [1, 4, 64, u32::MAX] {
+            let (out, _) = run_hybrid(threshold);
+            assert_eq!(out, reference, "threshold {threshold}");
+        }
+    }
+
+    #[test]
+    fn hot_blocks_privatize_cold_blocks_stay_atomic() {
+        let (_, mem_adaptive) = run_hybrid(4);
+        let (_, mem_never) = run_hybrid(u32::MAX);
+        let (_, mem_always) = run_hybrid(0);
+        // Never-privatize pays only bookkeeping; adaptive adds the hot
+        // blocks; privatize-on-first-touch adds thousands of cold blocks.
+        assert!(
+            mem_never < mem_adaptive,
+            "never={mem_never} adaptive={mem_adaptive}"
+        );
+        assert!(
+            mem_adaptive < mem_always - 500_000,
+            "adaptive={mem_adaptive} always={mem_always}"
+        );
+    }
+
+    #[test]
+    fn works_on_floats_with_contention() {
+        let pool = ThreadPool::new(4);
+        let mut out = vec![0.0f64; 128];
+        let red = HybridReduction::<f64, Sum>::new(&mut out, 4, 16, 4);
+        reduce(&pool, &red, 0..12_800, Schedule::dynamic(7), |v, i| {
+            v.apply(i % 128, 0.5);
+        });
+        drop(red);
+        assert!(out.iter().all(|&x| (x - 50.0).abs() < 1e-9));
+    }
+
+    #[test]
+    fn name_carries_parameters() {
+        let mut out = vec![0.0f64; 4];
+        assert_eq!(
+            HybridReduction::<f64, Sum>::new(&mut out, 1, 256, 8).name(),
+            "hybrid-256-t8"
+        );
+    }
+
+    #[test]
+    fn reusable_across_regions() {
+        let pool = ThreadPool::new(2);
+        let mut out = vec![0i64; 100];
+        let red = HybridReduction::<i64, Sum>::new(&mut out, 2, 8, 2);
+        for _ in 0..3 {
+            reduce(&pool, &red, 0..100, Schedule::default(), |v, i| {
+                v.apply(i, 1);
+            });
+        }
+        drop(red);
+        assert!(out.iter().all(|&x| x == 3));
+    }
+}

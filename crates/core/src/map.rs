@@ -1,0 +1,271 @@
+//! `MapReduction` — per-thread key→value accumulation (§V-b).
+//!
+//! Each thread accumulates its updates in a private associative container;
+//! the first touch of a location inserts the key, so nothing is allocated
+//! or initialized for untouched locations. At the end the maps are merged
+//! into the original array, serialized in ascending thread order (a
+//! turnstile), which keeps results run-to-run stable.
+//!
+//! The paper provides an `std::map` and a B-tree flavor and finds neither
+//! competitive ("partly because they provide additional functionality that
+//! is not needed"); we mirror both with [`std::collections::BTreeMap`] and
+//! [`std::collections::HashMap`] and reproduce that finding in the
+//! benchmarks.
+
+use crate::elem::{Element, ReduceOp};
+use crate::reducer::{ReducerView, Reduction};
+use crate::shared::{MemCounter, SharedSlice, Slots};
+use std::collections::{BTreeMap, HashMap};
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Abstraction over the associative container a [`MapReduction`] uses.
+pub trait MapLike<T>: Default + Send {
+    /// Short label used in strategy names ("map-btree" / "map-hash").
+    const LABEL: &'static str;
+    /// Estimated per-entry heap footprint (bytes), used for the memory-
+    /// overhead report. Container internals are not observable, so these
+    /// are documented estimates: a B-tree node amortizes to roughly 1.5×
+    /// the entry size, a hash map to roughly 1.75× plus control bytes.
+    fn entry_footprint() -> usize;
+    /// `m[k] = op(m[k], v)`, inserting `v` on first touch.
+    fn combine_entry<O: ReduceOp<T>>(&mut self, k: usize, v: T);
+    /// Drains all entries in an arbitrary order.
+    fn drain_into(self, f: impl FnMut(usize, T));
+    /// Number of entries.
+    fn len(&self) -> usize;
+    /// Whether the container is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T: Element> MapLike<T> for BTreeMap<usize, T> {
+    const LABEL: &'static str = "map-btree";
+
+    fn entry_footprint() -> usize {
+        (std::mem::size_of::<(usize, T)>() * 3) / 2
+    }
+
+    #[inline]
+    fn combine_entry<O: ReduceOp<T>>(&mut self, k: usize, v: T) {
+        self.entry(k)
+            .and_modify(|e| *e = O::combine(*e, v))
+            .or_insert(v);
+    }
+
+    fn drain_into(self, mut f: impl FnMut(usize, T)) {
+        for (k, v) in self {
+            f(k, v);
+        }
+    }
+
+    fn len(&self) -> usize {
+        BTreeMap::len(self)
+    }
+}
+
+impl<T: Element> MapLike<T> for HashMap<usize, T> {
+    const LABEL: &'static str = "map-hash";
+
+    fn entry_footprint() -> usize {
+        (std::mem::size_of::<(usize, T)>() * 7) / 4 + 1
+    }
+
+    #[inline]
+    fn combine_entry<O: ReduceOp<T>>(&mut self, k: usize, v: T) {
+        self.entry(k)
+            .and_modify(|e| *e = O::combine(*e, v))
+            .or_insert(v);
+    }
+
+    fn drain_into(self, mut f: impl FnMut(usize, T)) {
+        for (k, v) in self {
+            f(k, v);
+        }
+    }
+
+    fn len(&self) -> usize {
+        HashMap::len(self)
+    }
+}
+
+/// Map-based reducer; see the module docs. `M` selects the container:
+/// [`BTreeMap`] or [`HashMap`].
+pub struct MapReduction<'a, T: Element, O: ReduceOp<T>, M: MapLike<T>> {
+    out: SharedSlice<T>,
+    slots: Slots<M>,
+    /// Turnstile serializing the merge in ascending thread order, which
+    /// keeps float results bitwise run-to-run stable (a plain lock would
+    /// merge in lock-acquisition order, i.e. timing-dependent).
+    turn: AtomicUsize,
+    nthreads: usize,
+    mem: MemCounter,
+    _borrow: PhantomData<&'a mut [T]>,
+    _op: PhantomData<O>,
+}
+
+/// `MapReduction` over a B-tree (the paper's better-performing flavor).
+pub type BTreeMapReduction<'a, T, O> = MapReduction<'a, T, O, BTreeMap<usize, T>>;
+/// `MapReduction` over a hash map.
+pub type HashMapReduction<'a, T, O> = MapReduction<'a, T, O, HashMap<usize, T>>;
+
+impl<'a, T: Element, O: ReduceOp<T>, M: MapLike<T>> MapReduction<'a, T, O, M> {
+    /// Wraps `out` for reduction across `nthreads` threads.
+    pub fn new(out: &'a mut [T], nthreads: usize) -> Self {
+        assert!(nthreads > 0);
+        MapReduction {
+            out: SharedSlice::new(out),
+            slots: Slots::new(nthreads),
+            turn: AtomicUsize::new(0),
+            nthreads,
+            mem: MemCounter::new(),
+            _borrow: PhantomData,
+            _op: PhantomData,
+        }
+    }
+}
+
+/// Per-thread view data: a private map keyed by array index.
+struct MapView<T, M> {
+    map: M,
+    len: usize,
+    _elem: PhantomData<T>,
+}
+
+/// Per-thread view for [`MapReduction`] (carries the operator type).
+pub struct MapOpView<T, O, M> {
+    inner: MapView<T, M>,
+    _op: PhantomData<O>,
+}
+
+impl<T: Element, O: ReduceOp<T>, M: MapLike<T>> ReducerView<T> for MapOpView<T, O, M> {
+    #[inline(always)]
+    fn apply(&mut self, i: usize, v: T) {
+        assert!(i < self.inner.len, "reduction index {i} out of bounds");
+        self.inner.map.combine_entry::<O>(i, v);
+    }
+}
+
+impl<T: Element, O: ReduceOp<T>, M: MapLike<T>> Reduction<T> for MapReduction<'_, T, O, M> {
+    type View = MapOpView<T, O, M>;
+
+    fn view(&self, _tid: usize) -> Self::View {
+        MapOpView {
+            inner: MapView {
+                map: M::default(),
+                len: self.out.len(),
+                _elem: PhantomData,
+            },
+            _op: PhantomData,
+        }
+    }
+
+    fn stash(&self, tid: usize, view: Self::View) {
+        self.mem.add(view.inner.map.len() * M::entry_footprint());
+        // SAFETY: slot `tid` is written only by thread `tid`, pre-barrier.
+        unsafe { self.slots.put(tid, view.inner.map) };
+    }
+
+    fn epilogue(&self, tid: usize) {
+        // Serialized merge in ascending thread order via the turnstile.
+        // (Maps are sparse; a partitioned parallel merge would have to scan
+        // every map per thread. The paper's map reducers are the slow
+        // baseline anyway.)
+        while self.turn.load(Ordering::Acquire) != tid {
+            std::thread::yield_now();
+        }
+        // SAFETY: slot `tid` is drained only by thread `tid`, post-barrier.
+        if let Some(map) = unsafe { self.slots.take(tid) } {
+            let bytes = map.len() * M::entry_footprint();
+            map.drain_into(|i, v| {
+                // SAFETY: in-bounds (checked at apply time); writes to
+                // `out` in this phase are serialized by the turnstile.
+                unsafe { self.out.combine::<O>(i, v) };
+            });
+            self.mem.sub(bytes);
+        }
+        self.turn.store(tid + 1, Ordering::Release);
+    }
+
+    fn finish(&self) {
+        self.turn.store(0, Ordering::Relaxed);
+    }
+
+    fn name(&self) -> String {
+        M::LABEL.into()
+    }
+
+    fn num_threads(&self) -> usize {
+        self.nthreads
+    }
+
+    fn len(&self) -> usize {
+        self.out.len()
+    }
+
+    fn memory_overhead(&self) -> usize {
+        self.mem.peak()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reduce;
+    use crate::Sum;
+    use ompsim::{Schedule, ThreadPool};
+
+    #[test]
+    fn btree_flavor_sums() {
+        let pool = ThreadPool::new(4);
+        let mut out = vec![0i64; 50];
+        let red = BTreeMapReduction::<i64, Sum>::new(&mut out, 4);
+        reduce(&pool, &red, 0..1000, Schedule::default(), |v, i| {
+            v.apply(i % 50, 1);
+        });
+        drop(red);
+        assert!(out.iter().all(|&x| x == 20));
+    }
+
+    #[test]
+    fn hash_flavor_sums() {
+        let pool = ThreadPool::new(3);
+        let mut out = vec![0i64; 7];
+        let red = HashMapReduction::<i64, Sum>::new(&mut out, 3);
+        reduce(&pool, &red, 0..700, Schedule::dynamic(13), |v, i| {
+            v.apply(i % 7, 2);
+        });
+        drop(red);
+        assert!(out.iter().all(|&x| x == 200));
+    }
+
+    #[test]
+    fn untouched_locations_cost_nothing() {
+        let pool = ThreadPool::new(2);
+        let n = 1_000_000;
+        let mut out = vec![0.0f64; n];
+        let red = BTreeMapReduction::<f64, Sum>::new(&mut out, 2);
+        // Touch only 10 locations; overhead must be ~10 entries, not ~n.
+        reduce(&pool, &red, 0..10, Schedule::default(), |v, i| {
+            v.apply(i * 1000, 1.0);
+        });
+        assert!(red.memory_overhead() < 10 * 100);
+        drop(red);
+        assert_eq!(out.iter().filter(|&&x| x == 1.0).count(), 10);
+    }
+
+    #[test]
+    fn names() {
+        let mut a = vec![0.0f64; 1];
+        let mut b = vec![0.0f64; 1];
+        assert_eq!(
+            BTreeMapReduction::<f64, Sum>::new(&mut a, 1).name(),
+            "map-btree"
+        );
+        assert_eq!(
+            HashMapReduction::<f64, Sum>::new(&mut b, 1).name(),
+            "map-hash"
+        );
+    }
+}

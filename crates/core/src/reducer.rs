@@ -1,0 +1,171 @@
+//! The reduction abstraction and the parallel drivers.
+//!
+//! A [`Reduction`] wraps the output array for one parallel region and fixes
+//! the *strategy*; it hands each team thread a [`ReducerView`], which is
+//! the only thing the loop body sees (the analogue of the SPRAY reducer
+//! object appearing inside the OpenMP `reduction` clause). The guarantee
+//! is the paper's: *all contributions are visible in the original array
+//! once the region ends*, while everything else (privatization, locking,
+//! queuing, merge order) is strategy-private.
+
+use crate::elem::Element;
+use ompsim::{Schedule, ScheduleInstance, ThreadPool};
+use std::ops::Range;
+
+/// A per-thread handle used by loop bodies to contribute updates.
+///
+/// `apply(i, v)` is the library form of the paper's `sout[i] += v`
+/// (Rust has no overloadable compound index-assignment).
+pub trait ReducerView<T: Element> {
+    /// Accumulate `v` into logical location `i` of the wrapped array.
+    ///
+    /// # Panics
+    /// May panic (or debug-assert, strategy-dependent) when `i` is out of
+    /// bounds of the wrapped array.
+    fn apply(&mut self, i: usize, v: T);
+}
+
+/// One reduction strategy bound to one output array.
+///
+/// # Lifecycle (driven by [`reduce`])
+/// ```text
+/// per thread t:  view(t)  →  body(view, i)*  →  stash(t, view)
+///                                 ──── team barrier ────
+///                             epilogue(t)          (merge phase)
+/// single-threaded afterwards:  finish()            (cleanup/reset)
+/// ```
+///
+/// Implementations must guarantee that after every thread has run
+/// `epilogue`, the wrapped array contains the combined result, and that
+/// after `finish` the object is ready for another region.
+pub trait Reduction<T: Element>: Sync {
+    /// Per-thread handle type. Views may hold raw pointers into the
+    /// reduction's shared state; the driver keeps the reduction alive and
+    /// in place while any view exists.
+    type View: ReducerView<T>;
+
+    /// Creates thread `tid`'s view. Kept cheap (the paper's `init`):
+    /// strategies allocate lazily wherever possible.
+    fn view(&self, tid: usize) -> Self::View;
+
+    /// Returns thread `tid`'s view after the loop, making its private data
+    /// available to the merge phase. Called exactly once per thread per
+    /// region, before the team barrier.
+    fn stash(&self, tid: usize, view: Self::View);
+
+    /// Merge phase for thread `tid`, entered only after *all* threads have
+    /// stashed (the driver puts a team barrier in between).
+    fn epilogue(&self, tid: usize);
+
+    /// Single-threaded cleanup after the region: release or reset
+    /// region-scoped state. The default does nothing.
+    fn finish(&self) {}
+
+    /// Strategy label as used in the paper's plots (e.g. `block-CAS-1024`).
+    fn name(&self) -> String;
+
+    /// Team width this reduction was built for.
+    fn num_threads(&self) -> usize;
+
+    /// Length of the wrapped array.
+    fn len(&self) -> usize;
+
+    /// Whether the wrapped array is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// High-water mark of extra bytes this reduction allocated for
+    /// privatization/bookkeeping — the per-strategy analogue of the
+    /// paper's memory-overhead measurement.
+    fn memory_overhead(&self) -> usize;
+}
+
+/// Runs `body(view, i)` for every `i` in `range`, distributing iterations
+/// over `pool` according to `schedule`, with all updates accumulated
+/// through `red` — the analogue of
+/// `#pragma omp parallel for reduction(+: sout[0:N])`.
+///
+/// # Panics
+/// Panics if the pool width differs from `red.num_threads()`. A panic
+/// inside `body` deadlocks the team (as in OpenMP, where a thread that
+/// never reaches the implicit barrier hangs its team) — keep bodies
+/// panic-free.
+pub fn reduce<T, R, F>(pool: &ThreadPool, red: &R, range: Range<usize>, schedule: Schedule, body: F)
+where
+    T: Element,
+    R: Reduction<T>,
+    F: Fn(&mut R::View, usize) + Sync,
+{
+    reduce_chunked(pool, red, range, schedule, |view, chunk| {
+        for i in chunk {
+            body(view, i);
+        }
+    });
+}
+
+/// Chunk-granular variant of [`reduce`]: `body` receives whole schedule
+/// chunks, letting kernels hoist work out of the per-index path (e.g. the
+/// CSR kernel's row loop).
+pub fn reduce_chunked<T, R, F>(
+    pool: &ThreadPool,
+    red: &R,
+    range: Range<usize>,
+    schedule: Schedule,
+    body: F,
+) where
+    T: Element,
+    R: Reduction<T>,
+    F: Fn(&mut R::View, Range<usize>) + Sync,
+{
+    assert_eq!(
+        pool.num_threads(),
+        red.num_threads(),
+        "reduction built for {} threads but pool has {}",
+        red.num_threads(),
+        pool.num_threads()
+    );
+    let inst = ScheduleInstance::new(schedule, range, pool.num_threads());
+    pool.parallel(|team| {
+        let tid = team.id();
+        let mut view = red.view(tid);
+        for chunk in inst.chunks(tid) {
+            body(&mut view, chunk);
+        }
+        red.stash(tid, view);
+        team.barrier();
+        red.epilogue(tid);
+    });
+    red.finish();
+}
+
+/// Sequential reference reduction: applies `body` over `range` directly on
+/// `out` with no parallelism or privatization. This is the baseline all
+/// strategies must reproduce (up to floating-point reassociation).
+pub fn reduce_seq<T, O, F>(out: &mut [T], range: Range<usize>, mut body: F)
+where
+    T: Element,
+    O: crate::ReduceOp<T>,
+    F: FnMut(&mut SeqView<'_, T, O>, usize),
+{
+    let mut view = SeqView {
+        out,
+        _op: std::marker::PhantomData,
+    };
+    for i in range {
+        body(&mut view, i);
+    }
+}
+
+/// View used by [`reduce_seq`].
+pub struct SeqView<'a, T, O> {
+    out: &'a mut [T],
+    _op: std::marker::PhantomData<O>,
+}
+
+impl<T: Element, O: crate::ReduceOp<T>> ReducerView<T> for SeqView<'_, T, O> {
+    #[inline(always)]
+    fn apply(&mut self, i: usize, v: T) {
+        self.out[i] = O::combine(self.out[i], v);
+    }
+}

@@ -1,0 +1,470 @@
+//! Graph algorithms whose scatter phases run on spray reductions.
+
+use crate::Graph;
+use ompsim::{Schedule, ThreadPool};
+use spray::{reduce_strategy, Kernel, Min, ReducerView, Strategy, Sum};
+
+/// Outcome of [`pagerank`].
+#[derive(Debug, Clone)]
+pub struct PageRankResult {
+    /// Per-vertex rank (sums to 1).
+    pub ranks: Vec<f64>,
+    /// Power iterations performed.
+    pub iterations: usize,
+    /// Whether the L1 tolerance was reached within the iteration budget.
+    pub converged: bool,
+}
+
+struct PushKernel<'a> {
+    g: &'a Graph,
+    contrib: &'a [f64],
+}
+
+impl Kernel<f64> for PushKernel<'_> {
+    #[inline]
+    fn item<V: ReducerView<f64>>(&self, view: &mut V, u: usize) {
+        let c = self.contrib[u];
+        for &v in self.g.out_neighbors(u) {
+            view.apply(v as usize, c);
+        }
+    }
+}
+
+/// PageRank by push-style power iteration: each vertex scatters
+/// `damping · rank/outdeg` to its successors (a sum reduction with
+/// data-dependent indices — the paper's Fig. 5 pattern). Dangling mass is
+/// redistributed uniformly.
+pub fn pagerank(
+    pool: &ThreadPool,
+    g: &Graph,
+    strategy: Strategy,
+    damping: f64,
+    tol: f64,
+    max_iters: usize,
+) -> PageRankResult {
+    let n = g.num_vertices();
+    assert!(n > 0, "empty graph");
+    let mut ranks = vec![1.0 / n as f64; n];
+    let mut contrib = vec![0.0f64; n];
+    let mut next = vec![0.0f64; n];
+
+    for it in 1..=max_iters {
+        let mut dangling = 0.0;
+        for u in 0..n {
+            let d = g.out_degree(u);
+            if d == 0 {
+                dangling += ranks[u];
+                contrib[u] = 0.0;
+            } else {
+                contrib[u] = damping * ranks[u] / d as f64;
+            }
+        }
+        let base = (1.0 - damping) / n as f64 + damping * dangling / n as f64;
+        next.fill(base);
+        let kernel = PushKernel {
+            g,
+            contrib: &contrib,
+        };
+        reduce_strategy::<f64, Sum, _>(
+            strategy,
+            pool,
+            &mut next,
+            0..n,
+            Schedule::default(),
+            &kernel,
+        );
+        let delta: f64 = ranks.iter().zip(&next).map(|(a, b)| (a - b).abs()).sum();
+        std::mem::swap(&mut ranks, &mut next);
+        if delta < tol {
+            return PageRankResult {
+                ranks,
+                iterations: it,
+                converged: true,
+            };
+        }
+    }
+    PageRankResult {
+        ranks,
+        iterations: max_iters,
+        converged: false,
+    }
+}
+
+struct LabelKernel<'a> {
+    g: &'a Graph,
+    prev: &'a [u64],
+}
+
+impl Kernel<u64> for LabelKernel<'_> {
+    #[inline]
+    fn item<V: ReducerView<u64>>(&self, view: &mut V, u: usize) {
+        let l = self.prev[u];
+        for &v in self.g.out_neighbors(u) {
+            view.apply(v as usize, l);
+        }
+    }
+}
+
+/// Connected components by min-label propagation — a **min** reduction
+/// with data-dependent indices (exercising the non-`+=` compound
+/// assignments the SPRAY interface allows). The graph is treated as
+/// undirected only if it is symmetric; symmetrize first otherwise.
+/// Returns the per-vertex component label (the minimum vertex id of the
+/// component).
+pub fn connected_components(pool: &ThreadPool, g: &Graph, strategy: Strategy) -> Vec<u64> {
+    let n = g.num_vertices();
+    let mut labels: Vec<u64> = (0..n as u64).collect();
+    loop {
+        let prev = labels.clone();
+        let kernel = LabelKernel { g, prev: &prev };
+        reduce_strategy::<u64, Min, _>(
+            strategy,
+            pool,
+            &mut labels,
+            0..n,
+            Schedule::default(),
+            &kernel,
+        );
+        if labels == prev {
+            return labels;
+        }
+    }
+}
+
+struct RelaxKernel<'a> {
+    g: &'a Graph,
+    frontier: &'a [u32],
+    next_dist: u64,
+}
+
+impl Kernel<u64> for RelaxKernel<'_> {
+    #[inline]
+    fn item<V: ReducerView<u64>>(&self, view: &mut V, i: usize) {
+        let u = self.frontier[i] as usize;
+        for &v in self.g.out_neighbors(u) {
+            view.apply(v as usize, self.next_dist);
+        }
+    }
+}
+
+/// Level-synchronous BFS from `src`: every level relaxes the frontier's
+/// out-edges with a **min** reduction on the distance array. Returns
+/// per-vertex hop distance (`u64::MAX` if unreachable).
+pub fn bfs(pool: &ThreadPool, g: &Graph, src: usize, strategy: Strategy) -> Vec<u64> {
+    let n = g.num_vertices();
+    assert!(src < n, "source {src} out of range");
+    let mut dist = vec![u64::MAX; n];
+    dist[src] = 0;
+    let mut frontier: Vec<u32> = vec![src as u32];
+    let mut level = 0u64;
+    while !frontier.is_empty() {
+        let kernel = RelaxKernel {
+            g,
+            frontier: &frontier,
+            next_dist: level + 1,
+        };
+        reduce_strategy::<u64, Min, _>(
+            strategy,
+            pool,
+            &mut dist,
+            0..frontier.len(),
+            Schedule::default(),
+            &kernel,
+        );
+        level += 1;
+        frontier = (0..n)
+            .filter(|&v| dist[v] == level)
+            .map(|v| v as u32)
+            .collect();
+    }
+    dist
+}
+
+struct DegreeKernel<'a> {
+    g: &'a Graph,
+}
+
+impl Kernel<u64> for DegreeKernel<'_> {
+    #[inline]
+    fn item<V: ReducerView<u64>>(&self, view: &mut V, u: usize) {
+        for &v in self.g.out_neighbors(u) {
+            view.apply(v as usize, 1);
+        }
+    }
+}
+
+/// In-degree of every vertex — a pure scatter histogram (Fig. 5 of the
+/// paper with `fn ≡ 1`).
+pub fn in_degrees(pool: &ThreadPool, g: &Graph, strategy: Strategy) -> Vec<u64> {
+    let n = g.num_vertices();
+    let mut deg = vec![0u64; n];
+    let kernel = DegreeKernel { g };
+    reduce_strategy::<u64, Sum, _>(strategy, pool, &mut deg, 0..n, Schedule::default(), &kernel);
+    deg
+}
+
+struct TriangleKernel<'a> {
+    g: &'a Graph,
+}
+
+impl Kernel<u64> for TriangleKernel<'_> {
+    #[inline]
+    fn item<V: ReducerView<u64>>(&self, view: &mut V, u: usize) {
+        // For every wedge u—v, u—w (v < w neighbors of u), check edge v—w;
+        // if present, credit all three corners. Assumes a symmetric graph
+        // with sorted neighbor lists.
+        let nu = self.g.out_neighbors(u);
+        for (a, &v) in nu.iter().enumerate() {
+            let v = v as usize;
+            if v <= u {
+                continue; // count each triangle once via its smallest vertex
+            }
+            for &w in &nu[a + 1..] {
+                let w = w as usize;
+                if w <= u || w == v {
+                    continue;
+                }
+                if self.g.out_neighbors(v).binary_search(&(w as u32)).is_ok() {
+                    view.apply(u, 1);
+                    view.apply(v, 1);
+                    view.apply(w, 1);
+                }
+            }
+        }
+    }
+}
+
+/// Per-vertex triangle counts on a symmetric graph with sorted adjacency
+/// (as produced by [`Graph::from_edges`]) — the classic GAP kernel, whose
+/// per-corner credit scatter is again a data-dependent sum reduction.
+/// Returns per-vertex counts; the total number of triangles is
+/// `sum(counts) / 3`.
+pub fn triangle_counts(pool: &ThreadPool, g: &Graph, strategy: Strategy) -> Vec<u64> {
+    let n = g.num_vertices();
+    let mut tri = vec![0u64; n];
+    let kernel = TriangleKernel { g };
+    reduce_strategy::<u64, Sum, _>(strategy, pool, &mut tri, 0..n, Schedule::default(), &kernel);
+    tri
+}
+
+/// K-core decomposition by iterative peeling on a symmetric graph: each
+/// round removes all vertices whose remaining degree is below `k`,
+/// recomputing degrees with the scatter-sum reduction until a fixed point.
+/// Returns the membership mask of the `k`-core (which may be empty).
+pub fn k_core(pool: &ThreadPool, g: &Graph, k: u64, strategy: Strategy) -> Vec<bool> {
+    let n = g.num_vertices();
+    let mut alive = vec![true; n];
+    loop {
+        // Degrees restricted to alive vertices, via the reduction.
+        struct AliveDegrees<'a> {
+            g: &'a Graph,
+            alive: &'a [bool],
+        }
+        impl Kernel<u64> for AliveDegrees<'_> {
+            #[inline]
+            fn item<V: ReducerView<u64>>(&self, view: &mut V, u: usize) {
+                if self.alive[u] {
+                    for &v in self.g.out_neighbors(u) {
+                        if self.alive[v as usize] {
+                            view.apply(v as usize, 1);
+                        }
+                    }
+                }
+            }
+        }
+        let mut deg = vec![0u64; n];
+        let kernel = AliveDegrees { g, alive: &alive };
+        reduce_strategy::<u64, Sum, _>(
+            strategy,
+            pool,
+            &mut deg,
+            0..n,
+            Schedule::default(),
+            &kernel,
+        );
+        let mut changed = false;
+        for u in 0..n {
+            if alive[u] && deg[u] < k {
+                alive[u] = false;
+                changed = true;
+            }
+        }
+        if !changed {
+            return alive;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool() -> ThreadPool {
+        ThreadPool::new(4)
+    }
+
+    fn seq_bfs(g: &Graph, src: usize) -> Vec<u64> {
+        let mut dist = vec![u64::MAX; g.num_vertices()];
+        let mut q = std::collections::VecDeque::new();
+        dist[src] = 0;
+        q.push_back(src);
+        while let Some(u) = q.pop_front() {
+            for &v in g.out_neighbors(u) {
+                let v = v as usize;
+                if dist[v] == u64::MAX {
+                    dist[v] = dist[u] + 1;
+                    q.push_back(v);
+                }
+            }
+        }
+        dist
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)]
+    fn bfs_on_path_counts_hops() {
+        let g = Graph::path(10);
+        let d = bfs(&pool(), &g, 3, Strategy::Atomic);
+        for v in 0..10 {
+            assert_eq!(d[v], (v as i64 - 3).unsigned_abs());
+        }
+    }
+
+    #[test]
+    fn bfs_matches_sequential_on_de_bruijn() {
+        let g = Graph::de_bruijn(8);
+        let want = seq_bfs(&g, 1);
+        for strategy in [
+            Strategy::Atomic,
+            Strategy::BlockCas { block_size: 32 },
+            Strategy::Keeper,
+            Strategy::Dense,
+        ] {
+            let got = bfs(&pool(), &g, 1, strategy);
+            assert_eq!(got, want, "strategy {}", strategy.label());
+        }
+    }
+
+    #[test]
+    fn bfs_unreachable_stays_max() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 0)]);
+        let d = bfs(&pool(), &g, 0, Strategy::Atomic);
+        assert_eq!(d, vec![0, 1, u64::MAX, u64::MAX]);
+    }
+
+    #[test]
+    fn cc_identifies_components() {
+        // Two components: {0,1,2} (path) and {3,4} (edge); vertex 5 alone.
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (3, 4)]).symmetrized();
+        for strategy in [Strategy::Atomic, Strategy::BlockLock { block_size: 4 }] {
+            let l = connected_components(&pool(), &g, strategy);
+            assert_eq!(l, vec![0, 0, 0, 3, 3, 5], "strategy {}", strategy.label());
+        }
+    }
+
+    #[test]
+    fn cc_single_component_on_cycle() {
+        let g = Graph::cycle(64).symmetrized();
+        let l = connected_components(&pool(), &g, Strategy::Keeper);
+        assert!(l.iter().all(|&x| x == 0));
+    }
+
+    #[test]
+    fn pagerank_uniform_on_regular_graph() {
+        // On a directed cycle every vertex is symmetric: ranks are uniform.
+        let n = 100;
+        let g = Graph::cycle(n);
+        let r = pagerank(
+            &pool(),
+            &g,
+            Strategy::BlockCas { block_size: 16 },
+            0.85,
+            1e-12,
+            200,
+        );
+        assert!(r.converged);
+        for &x in &r.ranks {
+            assert!((x - 1.0 / n as f64).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn pagerank_is_a_distribution_with_dangling_nodes() {
+        // Vertex 2 dangles; mass must still sum to 1.
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (3, 0)]);
+        let r = pagerank(&pool(), &g, Strategy::Atomic, 0.85, 1e-12, 500);
+        assert!(r.converged);
+        let total: f64 = r.ranks.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9, "sum = {total}");
+        // The sink-fed vertex outranks its feeder.
+        assert!(r.ranks[2] > r.ranks[3]);
+    }
+
+    #[test]
+    fn in_degrees_match_manual_count() {
+        let g = Graph::from_edges(5, &[(0, 1), (2, 1), (3, 1), (1, 4), (4, 0)]);
+        let deg = in_degrees(&pool(), &g, Strategy::Atomic);
+        assert_eq!(deg, vec![1, 3, 0, 0, 1]);
+    }
+
+    #[test]
+    fn triangles_on_known_graphs() {
+        // A single triangle.
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2), (2, 0)]).symmetrized();
+        let t = triangle_counts(&pool(), &g, Strategy::Atomic);
+        assert_eq!(t, vec![1, 1, 1]);
+
+        // K4 has 4 triangles; every vertex is in 3 of them.
+        let mut edges = Vec::new();
+        for a in 0..4 {
+            for b in a + 1..4 {
+                edges.push((a, b));
+            }
+        }
+        let k4 = Graph::from_edges(4, &edges).symmetrized();
+        let t = triangle_counts(&pool(), &k4, Strategy::BlockCas { block_size: 2 });
+        assert_eq!(t, vec![3, 3, 3, 3]);
+        assert_eq!(t.iter().sum::<u64>() / 3, 4);
+
+        // A path has none.
+        let p = Graph::path(6);
+        let t = triangle_counts(&pool(), &p, Strategy::Keeper);
+        assert!(t.iter().all(|&x| x == 0));
+    }
+
+    #[test]
+    fn k_core_peels_correctly() {
+        // K4 plus a pendant path: the 3-core is exactly the K4.
+        let mut edges = Vec::new();
+        for a in 0..4 {
+            for b in a + 1..4 {
+                edges.push((a, b));
+            }
+        }
+        edges.push((3, 4));
+        edges.push((4, 5));
+        let g = Graph::from_edges(6, &edges).symmetrized();
+
+        let core3 = k_core(&pool(), &g, 3, Strategy::Atomic);
+        assert_eq!(core3, vec![true, true, true, true, false, false]);
+        // 1-core keeps everything connected by at least one edge.
+        let core1 = k_core(&pool(), &g, 1, Strategy::Keeper);
+        assert!(core1.iter().all(|&x| x));
+        // 4-core is empty (K4 vertices have degree 3).
+        let core4 = k_core(&pool(), &g, 4, Strategy::BlockCas { block_size: 4 });
+        assert!(core4.iter().all(|&x| !x));
+    }
+
+    #[test]
+    fn pagerank_strategies_agree() {
+        let g = Graph::de_bruijn(8);
+        let a = pagerank(&pool(), &g, Strategy::Dense, 0.85, 1e-12, 100);
+        for strategy in [Strategy::Atomic, Strategy::Keeper, Strategy::Log] {
+            let b = pagerank(&pool(), &g, strategy, 0.85, 1e-12, 100);
+            assert_eq!(a.iterations, b.iterations);
+            for (x, y) in a.ranks.iter().zip(&b.ranks) {
+                assert!((x - y).abs() < 1e-9);
+            }
+        }
+    }
+}

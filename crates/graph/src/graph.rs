@@ -1,0 +1,193 @@
+//! Unweighted directed graph in CSR (adjacency-list) form.
+
+use spray_sparse::Csr;
+
+/// A directed graph: `neighbors[offsets[u]..offsets[u+1]]` are `u`'s
+/// out-neighbors.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Graph {
+    offsets: Vec<usize>,
+    neighbors: Vec<u32>,
+}
+
+impl Graph {
+    /// Builds from an edge list over `n` vertices. Parallel edges are kept;
+    /// self-loops are allowed. Each adjacency list is sorted (canonical
+    /// form; [`triangle_counts`](crate::triangle_counts) relies on it).
+    ///
+    /// # Panics
+    /// Panics if an endpoint is out of range.
+    pub fn from_edges(n: usize, edges: &[(usize, usize)]) -> Self {
+        assert!(n <= u32::MAX as usize);
+        let mut counts = vec![0usize; n + 1];
+        for &(u, v) in edges {
+            assert!(u < n && v < n, "edge ({u},{v}) out of range");
+            counts[u + 1] += 1;
+        }
+        for i in 0..n {
+            counts[i + 1] += counts[i];
+        }
+        let offsets = counts.clone();
+        let mut neighbors = vec![0u32; edges.len()];
+        let mut cursor = counts;
+        for &(u, v) in edges {
+            neighbors[cursor[u]] = v as u32;
+            cursor[u] += 1;
+        }
+        for u in 0..n {
+            neighbors[offsets[u]..offsets[u + 1]].sort_unstable();
+        }
+        Graph { offsets, neighbors }
+    }
+
+    /// Adopts the sparsity pattern of a CSR matrix as adjacency.
+    pub fn from_csr_pattern<T: spray_sparse::Num>(a: &Csr<T>) -> Self {
+        assert_eq!(a.nrows(), a.ncols(), "adjacency must be square");
+        Graph {
+            offsets: a.rowptr().to_vec(),
+            neighbors: a.cols().to_vec(),
+        }
+    }
+
+    /// Adds the reverse of every edge (makes the graph symmetric).
+    pub fn symmetrized(&self) -> Graph {
+        let mut edges = Vec::with_capacity(2 * self.num_edges());
+        for u in 0..self.num_vertices() {
+            for &v in self.out_neighbors(u) {
+                edges.push((u, v as usize));
+                edges.push((v as usize, u));
+            }
+        }
+        Graph::from_edges(self.num_vertices(), &edges)
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of (directed) edges.
+    pub fn num_edges(&self) -> usize {
+        self.neighbors.len()
+    }
+
+    /// Out-neighbors of `u`.
+    #[inline]
+    pub fn out_neighbors(&self, u: usize) -> &[u32] {
+        &self.neighbors[self.offsets[u]..self.offsets[u + 1]]
+    }
+
+    /// Range of `u`'s edges in the flat edge arrays (for parallel
+    /// per-edge payloads such as weights).
+    #[inline]
+    pub fn edge_range(&self, u: usize) -> std::ops::Range<usize> {
+        self.offsets[u]..self.offsets[u + 1]
+    }
+
+    /// Out-degree of `u`.
+    #[inline]
+    pub fn out_degree(&self, u: usize) -> usize {
+        self.offsets[u + 1] - self.offsets[u]
+    }
+
+    /// Directed cycle on `n` vertices.
+    pub fn cycle(n: usize) -> Graph {
+        Graph::from_edges(n, &(0..n).map(|i| (i, (i + 1) % n)).collect::<Vec<_>>())
+    }
+
+    /// Undirected path on `n` vertices (edges in both directions).
+    pub fn path(n: usize) -> Graph {
+        let mut e = Vec::new();
+        for i in 0..n.saturating_sub(1) {
+            e.push((i, i + 1));
+            e.push((i + 1, i));
+        }
+        Graph::from_edges(n, &e)
+    }
+
+    /// De Bruijn graph on `2^order` vertices (the debr structure),
+    /// symmetrized.
+    pub fn de_bruijn(order: u32) -> Graph {
+        Graph::from_csr_pattern(&spray_sparse::gen::de_bruijn(order))
+    }
+
+    /// Loads a graph from a Matrix Market file's sparsity pattern (square
+    /// matrices only; the paper's matrix↔graph duality, §VI-B).
+    pub fn from_matrix_market_file(
+        path: impl AsRef<std::path::Path>,
+    ) -> Result<Graph, spray_sparse::mm::MmError> {
+        let a = spray_sparse::mm::read_matrix_market_file(path)?;
+        Ok(Graph::from_csr_pattern(&a))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_edges_layout() {
+        let g = Graph::from_edges(4, &[(0, 1), (0, 2), (2, 3), (3, 0)]);
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.out_neighbors(0), &[1, 2]);
+        assert_eq!(g.out_neighbors(1), &[] as &[u32]);
+        assert_eq!(g.out_degree(2), 1);
+    }
+
+    #[test]
+    fn cycle_and_path_shapes() {
+        let c = Graph::cycle(5);
+        assert!((0..5).all(|u| c.out_degree(u) == 1));
+        let p = Graph::path(4);
+        assert_eq!(p.out_degree(0), 1);
+        assert_eq!(p.out_degree(1), 2);
+        assert_eq!(p.num_edges(), 6);
+    }
+
+    #[test]
+    fn adjacency_is_sorted() {
+        let g = Graph::from_edges(4, &[(0, 3), (0, 1), (0, 2), (2, 3), (2, 0)]);
+        assert_eq!(g.out_neighbors(0), &[1, 2, 3]);
+        assert_eq!(g.out_neighbors(2), &[0, 3]);
+    }
+
+    #[test]
+    fn symmetrized_doubles_directed_edges() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2)]);
+        let s = g.symmetrized();
+        assert_eq!(s.num_edges(), 4);
+        assert_eq!(s.out_neighbors(1), &[0, 2]);
+    }
+
+    #[test]
+    fn de_bruijn_from_pattern() {
+        let g = Graph::de_bruijn(5);
+        assert_eq!(g.num_vertices(), 32);
+        // Every vertex can reach 2i and 2i+1 (mod 32).
+        for u in 0..32 {
+            let nb = g.out_neighbors(u);
+            assert!(nb.contains(&(((2 * u) % 32) as u32)));
+            assert!(nb.contains(&(((2 * u + 1) % 32) as u32)));
+        }
+    }
+
+    #[test]
+    fn from_matrix_market_roundtrip() {
+        let a = spray_sparse::gen::de_bruijn(5);
+        let dir = std::env::temp_dir().join("spray_graph_mm_test.mtx");
+        let mut f = std::fs::File::create(&dir).unwrap();
+        spray_sparse::mm::write_matrix_market(&mut f, &a).unwrap();
+        drop(f);
+        let g = Graph::from_matrix_market_file(&dir).unwrap();
+        std::fs::remove_file(&dir).ok();
+        assert_eq!(g, Graph::from_csr_pattern(&a));
+        assert_eq!(g.num_vertices(), 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_edge_panics() {
+        let _ = Graph::from_edges(2, &[(0, 5)]);
+    }
+}

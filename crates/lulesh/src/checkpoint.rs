@@ -1,0 +1,322 @@
+//! Checkpoint / restart.
+//!
+//! Serializes the complete simulation state as a line-oriented text format
+//! using Rust's shortest-round-trip float formatting, so a write→read
+//! cycle reproduces the state **bit for bit** — a restarted run continues
+//! exactly where the original would have gone (verified by tests).
+
+use crate::domain::{Domain, Params, QMode};
+use crate::mesh::Mesh;
+use std::fmt::Write as _;
+use std::io::{BufRead, BufReader, Read, Write};
+
+/// Errors from [`read_checkpoint`].
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Structurally invalid checkpoint.
+    Parse(String),
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "I/O error: {e}"),
+            CheckpointError::Parse(m) => write!(f, "checkpoint parse error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<std::io::Error> for CheckpointError {
+    fn from(e: std::io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+fn perr(msg: impl Into<String>) -> CheckpointError {
+    CheckpointError::Parse(msg.into())
+}
+
+const MAGIC: &str = "spray-lulesh-checkpoint v1";
+
+fn write_f64s(out: &mut String, name: &str, vals: &[f64]) {
+    let _ = write!(out, "{name}");
+    for v in vals {
+        // `{}` on f64 prints the shortest string that parses back to the
+        // identical bits — the exact-roundtrip property the tests rely on.
+        let _ = write!(out, " {v}");
+    }
+    out.push('\n');
+}
+
+/// Writes the complete simulation state.
+pub fn write_checkpoint<W: Write>(mut w: W, d: &Domain) -> std::io::Result<()> {
+    let mut out = String::new();
+    let _ = writeln!(out, "{MAGIC}");
+    let p = &d.params;
+    let q_mode = match p.q_mode {
+        QMode::Vnr => "vnr",
+        QMode::Monotonic => "monotonic",
+    };
+    let _ = writeln!(
+        out,
+        "params {} {} {} {} {} {q_mode} {} {} {} {} {} {} {} {}",
+        p.gamma,
+        p.rho0,
+        p.hgcoef,
+        p.qlc,
+        p.qqc,
+        p.monoq_max_slope,
+        p.cfl,
+        p.dvovmax,
+        p.dtmax_growth,
+        p.pmin,
+        p.emin,
+        p.e0,
+        p.edge
+    );
+    let _ = writeln!(out, "mesh {}", d.mesh.nx);
+    let _ = writeln!(out, "clock {} {} {}", d.time, d.dt, d.cycle);
+    {
+        let _ = write!(out, "region");
+        for r in &d.region {
+            let _ = write!(out, " {r}");
+        }
+        out.push('\n');
+    }
+    write_f64s(&mut out, "region_gamma", &d.region_gamma);
+    for (name, vals) in [
+        ("x", &d.x),
+        ("y", &d.y),
+        ("z", &d.z),
+        ("xd", &d.xd),
+        ("yd", &d.yd),
+        ("zd", &d.zd),
+        ("e", &d.e),
+        ("p", &d.p),
+        ("q", &d.q),
+        ("v", &d.v),
+        ("ss", &d.ss),
+        ("vdov", &d.vdov),
+        ("arealg", &d.arealg),
+    ] {
+        write_f64s(&mut out, name, vals);
+    }
+    w.write_all(out.as_bytes())
+}
+
+fn parse_f64s(line: &str, name: &str, expect: usize) -> Result<Vec<f64>, CheckpointError> {
+    let mut it = line.split_whitespace();
+    let tag = it.next().ok_or_else(|| perr("empty line"))?;
+    if tag != name {
+        return Err(perr(format!("expected field '{name}', found '{tag}'")));
+    }
+    let vals: Vec<f64> = it
+        .map(|s| s.parse::<f64>())
+        .collect::<Result<_, _>>()
+        .map_err(|e| perr(format!("bad float in '{name}': {e}")))?;
+    if vals.len() != expect {
+        return Err(perr(format!(
+            "field '{name}': expected {expect} values, found {}",
+            vals.len()
+        )));
+    }
+    Ok(vals)
+}
+
+/// Reads a checkpoint back into a fully initialized [`Domain`].
+pub fn read_checkpoint<R: Read>(r: R) -> Result<Domain, CheckpointError> {
+    let mut lines = BufReader::new(r).lines();
+    let mut next = || -> Result<String, CheckpointError> {
+        lines
+            .next()
+            .ok_or_else(|| perr("truncated checkpoint"))?
+            .map_err(CheckpointError::from)
+    };
+
+    if next()? != MAGIC {
+        return Err(perr("bad magic line"));
+    }
+
+    let pline = next()?;
+    let toks: Vec<&str> = pline.split_whitespace().collect();
+    if toks.len() != 15 || toks[0] != "params" {
+        return Err(perr(format!("bad params line ({} tokens)", toks.len())));
+    }
+    let f = |i: usize| -> Result<f64, CheckpointError> {
+        toks[i]
+            .parse::<f64>()
+            .map_err(|e| perr(format!("bad params[{i}]: {e}")))
+    };
+    let q_mode = match toks[6] {
+        "vnr" => QMode::Vnr,
+        "monotonic" => QMode::Monotonic,
+        other => return Err(perr(format!("unknown q_mode '{other}'"))),
+    };
+    let params = Params {
+        gamma: f(1)?,
+        rho0: f(2)?,
+        hgcoef: f(3)?,
+        qlc: f(4)?,
+        qqc: f(5)?,
+        q_mode,
+        monoq_max_slope: f(7)?,
+        cfl: f(8)?,
+        dvovmax: f(9)?,
+        dtmax_growth: f(10)?,
+        pmin: f(11)?,
+        emin: f(12)?,
+        e0: f(13)?,
+        edge: f(14)?,
+    };
+
+    let mline = next()?;
+    let nx: usize = mline
+        .strip_prefix("mesh ")
+        .ok_or_else(|| perr("missing mesh line"))?
+        .trim()
+        .parse()
+        .map_err(|e| perr(format!("bad mesh size: {e}")))?;
+    let _ = Mesh::cube(nx); // validates nx
+
+    let cline = next()?;
+    let ctoks: Vec<&str> = cline.split_whitespace().collect();
+    if ctoks.len() != 4 || ctoks[0] != "clock" {
+        return Err(perr("bad clock line"));
+    }
+    let time: f64 = ctoks[1]
+        .parse()
+        .map_err(|e| perr(format!("bad time: {e}")))?;
+    let dt: f64 = ctoks[2].parse().map_err(|e| perr(format!("bad dt: {e}")))?;
+    let cycle: usize = ctoks[3]
+        .parse()
+        .map_err(|e| perr(format!("bad cycle: {e}")))?;
+
+    // Rebuild static state (masses, volo, connectivity) from the mesh,
+    // then overwrite the dynamic fields.
+    let mut d = Domain::new(nx, params);
+    let nnode = d.nnode();
+    let nelem = d.nelem();
+    {
+        let rline = next()?;
+        let mut it = rline.split_whitespace();
+        if it.next() != Some("region") {
+            return Err(perr("missing region line"));
+        }
+        let regions: Vec<u8> = it
+            .map(|s| s.parse::<u8>())
+            .collect::<Result<_, _>>()
+            .map_err(|e| perr(format!("bad region index: {e}")))?;
+        if regions.len() != nelem {
+            return Err(perr("region length mismatch"));
+        }
+        d.region = regions;
+    }
+    d.region_gamma = {
+        let gline = next()?;
+        let mut it = gline.split_whitespace();
+        if it.next() != Some("region_gamma") {
+            return Err(perr("missing region_gamma line"));
+        }
+        it.map(|s| s.parse::<f64>())
+            .collect::<Result<_, _>>()
+            .map_err(|e| perr(format!("bad region gamma: {e}")))?
+    };
+    d.x = parse_f64s(&next()?, "x", nnode)?;
+    d.y = parse_f64s(&next()?, "y", nnode)?;
+    d.z = parse_f64s(&next()?, "z", nnode)?;
+    d.xd = parse_f64s(&next()?, "xd", nnode)?;
+    d.yd = parse_f64s(&next()?, "yd", nnode)?;
+    d.zd = parse_f64s(&next()?, "zd", nnode)?;
+    d.e = parse_f64s(&next()?, "e", nelem)?;
+    d.p = parse_f64s(&next()?, "p", nelem)?;
+    d.q = parse_f64s(&next()?, "q", nelem)?;
+    d.v = parse_f64s(&next()?, "v", nelem)?;
+    d.ss = parse_f64s(&next()?, "ss", nelem)?;
+    d.vdov = parse_f64s(&next()?, "vdov", nelem)?;
+    d.arealg = parse_f64s(&next()?, "arealg", nelem)?;
+    d.time = time;
+    d.dt = dt;
+    d.cycle = cycle;
+    Ok(d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::forces::ForceScheme;
+    use crate::hydro::run;
+    use ompsim::ThreadPool;
+
+    fn evolved_domain() -> Domain {
+        let mut d = Domain::new(4, Params::default());
+        let pool = ThreadPool::new(2);
+        run(&mut d, &pool, ForceScheme::Seq, 7);
+        d
+    }
+
+    fn assert_domains_bit_equal(a: &Domain, b: &Domain) {
+        let eq = |x: &[f64], y: &[f64], name: &str| {
+            assert_eq!(x.len(), y.len(), "{name} length");
+            for (i, (u, v)) in x.iter().zip(y).enumerate() {
+                assert_eq!(u.to_bits(), v.to_bits(), "{name}[{i}]: {u} vs {v}");
+            }
+        };
+        eq(&a.x, &b.x, "x");
+        eq(&a.y, &b.y, "y");
+        eq(&a.z, &b.z, "z");
+        eq(&a.xd, &b.xd, "xd");
+        eq(&a.e, &b.e, "e");
+        eq(&a.p, &b.p, "p");
+        eq(&a.q, &b.q, "q");
+        eq(&a.v, &b.v, "v");
+        eq(&a.ss, &b.ss, "ss");
+        assert_eq!(a.time.to_bits(), b.time.to_bits());
+        assert_eq!(a.dt.to_bits(), b.dt.to_bits());
+        assert_eq!(a.cycle, b.cycle);
+    }
+
+    #[test]
+    fn roundtrip_is_bitwise_exact() {
+        let d = evolved_domain();
+        let mut buf = Vec::new();
+        write_checkpoint(&mut buf, &d).unwrap();
+        let d2 = read_checkpoint(buf.as_slice()).unwrap();
+        assert_domains_bit_equal(&d, &d2);
+    }
+
+    #[test]
+    fn restart_continues_identically() {
+        // run 14 == (run 7, checkpoint, restore, run 7 more), bit for bit
+        // (the sequential force scheme is deterministic).
+        let pool = ThreadPool::new(1);
+        let mut straight = Domain::new(4, Params::default());
+        run(&mut straight, &pool, ForceScheme::Seq, 14);
+
+        let mut first = Domain::new(4, Params::default());
+        run(&mut first, &pool, ForceScheme::Seq, 7);
+        let mut buf = Vec::new();
+        write_checkpoint(&mut buf, &first).unwrap();
+        let mut resumed = read_checkpoint(buf.as_slice()).unwrap();
+        run(&mut resumed, &pool, ForceScheme::Seq, 7);
+
+        assert_domains_bit_equal(&straight, &resumed);
+    }
+
+    #[test]
+    fn rejects_corrupt_input() {
+        assert!(read_checkpoint("nonsense".as_bytes()).is_err());
+        let d = evolved_domain();
+        let mut buf = Vec::new();
+        write_checkpoint(&mut buf, &d).unwrap();
+        // Truncation.
+        let cut = &buf[..buf.len() / 2];
+        assert!(read_checkpoint(cut).is_err());
+        // Field corruption.
+        let text = String::from_utf8(buf).unwrap().replace("\ne ", "\nE ");
+        assert!(read_checkpoint(text.as_bytes()).is_err());
+    }
+}

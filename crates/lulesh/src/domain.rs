@@ -1,0 +1,407 @@
+//! Simulation state (the LULESH `Domain`).
+
+use crate::hex::elem_volume;
+use crate::mesh::Mesh;
+
+/// Which artificial-viscosity formulation to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum QMode {
+    /// Plain von Neumann–Richtmyer (compression-proportional).
+    Vnr,
+    /// LULESH's neighbor-limited monotonic Q (default).
+    #[default]
+    Monotonic,
+}
+
+/// Material / control constants of the simulation.
+#[derive(Debug, Clone, Copy)]
+pub struct Params {
+    /// Gamma-law EOS exponent (substitute for LULESH's tabular-ish EOS;
+    /// see DESIGN.md substitution 4).
+    pub gamma: f64,
+    /// Initial density.
+    pub rho0: f64,
+    /// Hourglass control coefficient (LULESH default 3.0).
+    pub hgcoef: f64,
+    /// Linear artificial-viscosity coefficient.
+    pub qlc: f64,
+    /// Quadratic artificial-viscosity coefficient.
+    pub qqc: f64,
+    /// Artificial-viscosity formulation.
+    pub q_mode: QMode,
+    /// Maximum slope-limiter value of the monotonic Q (LULESH
+    /// `monoq_max_slope`).
+    pub monoq_max_slope: f64,
+    /// Courant safety factor.
+    pub cfl: f64,
+    /// Maximum relative volume change per step (hydro constraint).
+    pub dvovmax: f64,
+    /// Maximum dt growth factor between steps.
+    pub dtmax_growth: f64,
+    /// Pressure floor.
+    pub pmin: f64,
+    /// Energy floor.
+    pub emin: f64,
+    /// Initial total energy deposited in element 0 (Sedov-like blast).
+    pub e0: f64,
+    /// Physical edge length of the cube.
+    pub edge: f64,
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Params {
+            gamma: 1.4,
+            rho0: 1.0,
+            hgcoef: 3.0,
+            qlc: 0.5,
+            qqc: 2.0,
+            q_mode: QMode::Monotonic,
+            monoq_max_slope: 1.0,
+            cfl: 0.3,
+            dvovmax: 0.1,
+            dtmax_growth: 1.1,
+            pmin: 0.0,
+            emin: 0.0,
+            e0: 3.948746e7,
+            edge: 1.125,
+        }
+    }
+}
+
+/// All mesh-attached state of the simulation.
+pub struct Domain {
+    /// Mesh connectivity.
+    pub mesh: Mesh,
+    /// Physics constants.
+    pub params: Params,
+
+    // --- nodal quantities ---
+    /// Node coordinates.
+    pub x: Vec<f64>,
+    /// Node coordinates.
+    pub y: Vec<f64>,
+    /// Node coordinates.
+    pub z: Vec<f64>,
+    /// Node velocities.
+    pub xd: Vec<f64>,
+    /// Node velocities.
+    pub yd: Vec<f64>,
+    /// Node velocities.
+    pub zd: Vec<f64>,
+    /// Nodal forces, interleaved `[fx0, fy0, fz0, fx1, …]` — a single 1-D
+    /// array because SPRAY reduces 1-D arrays (paper limitation §II).
+    pub f: Vec<f64>,
+    /// Nodal mass (constant).
+    pub nodal_mass: Vec<f64>,
+
+    // --- element quantities ---
+    /// Specific internal energy.
+    pub e: Vec<f64>,
+    /// Pressure.
+    pub p: Vec<f64>,
+    /// Artificial viscosity.
+    pub q: Vec<f64>,
+    /// Relative volume (current / reference).
+    pub v: Vec<f64>,
+    /// Reference volume.
+    pub volo: Vec<f64>,
+    /// Volume-change rate `(dV/dt)/V`.
+    pub vdov: Vec<f64>,
+    /// Monotonic-Q scratch: velocity gradient along ξ.
+    pub delv_xi: Vec<f64>,
+    /// Monotonic-Q scratch: velocity gradient along η.
+    pub delv_eta: Vec<f64>,
+    /// Monotonic-Q scratch: velocity gradient along ζ.
+    pub delv_zeta: Vec<f64>,
+    /// Monotonic-Q scratch: characteristic width along ξ.
+    pub delx_xi: Vec<f64>,
+    /// Monotonic-Q scratch: characteristic width along η.
+    pub delx_eta: Vec<f64>,
+    /// Monotonic-Q scratch: characteristic width along ζ.
+    pub delx_zeta: Vec<f64>,
+    /// Sound speed.
+    pub ss: Vec<f64>,
+    /// Element mass (constant).
+    pub elem_mass: Vec<f64>,
+    /// Characteristic length.
+    pub arealg: Vec<f64>,
+
+    // --- materials (LULESH 2.0 regions) ---
+    /// Region (material) index of every element.
+    pub region: Vec<u8>,
+    /// Gamma-law exponent per region (`region_gamma[region[e]]`).
+    pub region_gamma: Vec<f64>,
+
+    // --- boundary conditions ---
+    /// Nodes on the `x = 0` symmetry plane.
+    pub symm_x: Vec<u32>,
+    /// Nodes on the `y = 0` symmetry plane.
+    pub symm_y: Vec<u32>,
+    /// Nodes on the `z = 0` symmetry plane.
+    pub symm_z: Vec<u32>,
+
+    // --- time stepping ---
+    /// Simulated time.
+    pub time: f64,
+    /// Current time step.
+    pub dt: f64,
+    /// Completed cycles.
+    pub cycle: usize,
+}
+
+impl Domain {
+    /// Builds the Sedov-like blast problem on an `nx³` cube: uniform
+    /// density, all energy deposited in the corner element at the origin,
+    /// symmetry planes on the three coordinate planes (LULESH's setup).
+    pub fn new(nx: usize, params: Params) -> Self {
+        let mesh = Mesh::cube(nx);
+        let (x, y, z) = mesh.coordinates(params.edge);
+        let nelem = mesh.nelem;
+        let nnode = mesh.nnode;
+
+        let mut volo = vec![0.0; nelem];
+        let mut elem_mass = vec![0.0; nelem];
+        let mut nodal_mass = vec![0.0; nnode];
+        for e in 0..nelem {
+            let (ex, ey, ez) = gather(&mesh, &x, &y, &z, e);
+            let vol = elem_volume(&ex, &ey, &ez);
+            assert!(vol > 0.0, "inverted element {e} at initialization");
+            volo[e] = vol;
+            elem_mass[e] = params.rho0 * vol;
+            for &n in &mesh.elem_node[e] {
+                nodal_mass[n as usize] += params.rho0 * vol / 8.0;
+            }
+        }
+
+        let mut energy = vec![params.emin; nelem];
+        // Sedov: all energy in the origin element (element 0), expressed as
+        // specific energy.
+        energy[0] = params.e0 / elem_mass[0];
+
+        let symm_x = mesh.symm_x();
+        let symm_y = mesh.symm_y();
+        let symm_z = mesh.symm_z();
+
+        let mut d = Domain {
+            x,
+            y,
+            z,
+            xd: vec![0.0; nnode],
+            yd: vec![0.0; nnode],
+            zd: vec![0.0; nnode],
+            f: vec![0.0; 3 * nnode],
+            nodal_mass,
+            e: energy,
+            p: vec![0.0; nelem],
+            q: vec![0.0; nelem],
+            v: vec![1.0; nelem],
+            volo,
+            vdov: vec![0.0; nelem],
+            delv_xi: vec![0.0; nelem],
+            delv_eta: vec![0.0; nelem],
+            delv_zeta: vec![0.0; nelem],
+            delx_xi: vec![0.0; nelem],
+            delx_eta: vec![0.0; nelem],
+            delx_zeta: vec![0.0; nelem],
+            ss: vec![0.0; nelem],
+            elem_mass,
+            arealg: vec![0.0; nelem],
+            region: vec![0; nelem],
+            region_gamma: vec![params.gamma],
+            symm_x,
+            symm_y,
+            symm_z,
+            time: 0.0,
+            dt: 0.0,
+            cycle: 0,
+            mesh,
+            params,
+        };
+        d.update_eos_all();
+        d.dt = d.suggested_dt();
+        d
+    }
+
+    /// Number of elements.
+    pub fn nelem(&self) -> usize {
+        self.mesh.nelem
+    }
+
+    /// Number of nodes.
+    pub fn nnode(&self) -> usize {
+        self.mesh.nnode
+    }
+
+    /// Gathers one element's corner coordinates.
+    pub fn elem_coords(&self, e: usize) -> ([f64; 8], [f64; 8], [f64; 8]) {
+        gather(&self.mesh, &self.x, &self.y, &self.z, e)
+    }
+
+    /// Gathers one element's corner velocities.
+    pub fn elem_velocities(&self, e: usize) -> ([f64; 8], [f64; 8], [f64; 8]) {
+        gather(&self.mesh, &self.xd, &self.yd, &self.zd, e)
+    }
+
+    /// Current density of element `e`.
+    pub fn rho(&self, e: usize) -> f64 {
+        self.elem_mass[e] / (self.volo[e] * self.v[e])
+    }
+
+    /// Gamma-law exponent of element `e`'s material.
+    #[inline]
+    pub fn gamma(&self, e: usize) -> f64 {
+        self.region_gamma[self.region[e] as usize]
+    }
+
+    /// Assigns materials: `assign(e)` gives each element's region index
+    /// into `gammas` (LULESH 2.0's multi-region support; regions differ
+    /// here by their EOS exponent). Refreshes pressure and sound speed.
+    ///
+    /// # Panics
+    /// Panics if `gammas` is empty or `assign` returns an out-of-range
+    /// region.
+    pub fn set_regions(&mut self, assign: impl Fn(usize) -> u8, gammas: Vec<f64>) {
+        assert!(!gammas.is_empty(), "need at least one region");
+        for e in 0..self.nelem() {
+            let r = assign(e);
+            assert!(
+                (r as usize) < gammas.len(),
+                "element {e} assigned to region {r} of {}",
+                gammas.len()
+            );
+            self.region[e] = r;
+        }
+        self.region_gamma = gammas;
+        self.update_eos_all();
+    }
+
+    /// Recomputes pressure and sound speed of every element from the
+    /// gamma-law EOS (`p = (γ-1) ρ e`, `ss = sqrt(γ p / ρ)`).
+    pub fn update_eos_all(&mut self) {
+        for e in 0..self.nelem() {
+            self.update_eos(e);
+        }
+    }
+
+    /// EOS update of a single element.
+    pub fn update_eos(&mut self, e: usize) {
+        let gamma = self.gamma(e);
+        let rho = self.rho(e);
+        self.e[e] = self.e[e].max(self.params.emin);
+        let p = ((gamma - 1.0) * rho * self.e[e]).max(self.params.pmin);
+        self.p[e] = p;
+        self.ss[e] = (gamma * p / rho).max(1e-20).sqrt();
+    }
+
+    /// Courant + hydro time-step constraint over all elements.
+    pub fn suggested_dt(&self) -> f64 {
+        (0..self.nelem())
+            .map(|e| self.dt_constraint(e))
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Parallel variant of [`Domain::suggested_dt`] using a team
+    /// min-reduction (LULESH's `CalcTimeConstraintsForElems` is likewise a
+    /// parallel min).
+    pub fn suggested_dt_par(&self, pool: &ompsim::ThreadPool) -> f64 {
+        pool.min_f64(0..self.nelem(), |e| self.dt_constraint(e))
+    }
+
+    /// The time-step constraint contributed by element `e`.
+    fn dt_constraint(&self, e: usize) -> f64 {
+        let len = if self.arealg[e] > 0.0 {
+            self.arealg[e]
+        } else {
+            (self.volo[e] * self.v[e]).cbrt()
+        };
+        let mut denom = self.ss[e];
+        if self.vdov[e] < 0.0 {
+            // Compressing: include the viscosity signal speed.
+            denom += 2.0 * self.params.qqc * len * self.vdov[e].abs();
+        }
+        let mut dt = f64::INFINITY;
+        if denom > 0.0 {
+            dt = dt.min(self.params.cfl * len / denom);
+        }
+        if self.vdov[e] != 0.0 {
+            dt = dt.min(self.params.dvovmax / self.vdov[e].abs());
+        }
+        dt
+    }
+
+    /// Total energy: internal plus kinetic (used by conservation tests).
+    pub fn total_energy(&self) -> f64 {
+        let internal: f64 = (0..self.nelem())
+            .map(|e| self.elem_mass[e] * self.e[e])
+            .sum();
+        let kinetic: f64 = (0..self.nnode())
+            .map(|n| {
+                0.5 * self.nodal_mass[n]
+                    * (self.xd[n] * self.xd[n] + self.yd[n] * self.yd[n] + self.zd[n] * self.zd[n])
+            })
+            .sum();
+        internal + kinetic
+    }
+}
+
+fn gather(
+    mesh: &Mesh,
+    x: &[f64],
+    y: &[f64],
+    z: &[f64],
+    e: usize,
+) -> ([f64; 8], [f64; 8], [f64; 8]) {
+    let en = &mesh.elem_node[e];
+    (
+        std::array::from_fn(|k| x[en[k] as usize]),
+        std::array::from_fn(|k| y[en[k] as usize]),
+        std::array::from_fn(|k| z[en[k] as usize]),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initialization_masses() {
+        let d = Domain::new(4, Params::default());
+        let total_mass: f64 = d.elem_mass.iter().sum();
+        let expected = d.params.rho0 * d.params.edge.powi(3);
+        assert!((total_mass - expected).abs() < 1e-9 * expected);
+        let nodal_total: f64 = d.nodal_mass.iter().sum();
+        assert!((nodal_total - expected).abs() < 1e-9 * expected);
+    }
+
+    #[test]
+    fn sedov_energy_in_origin_element() {
+        let d = Domain::new(3, Params::default());
+        assert!(d.e[0] > 0.0);
+        assert!(d.e[1..].iter().all(|&e| e == d.params.emin));
+        assert!(d.p[0] > 0.0);
+    }
+
+    #[test]
+    fn initial_dt_positive_and_finite() {
+        let d = Domain::new(3, Params::default());
+        assert!(d.dt.is_finite() && d.dt > 0.0);
+    }
+
+    #[test]
+    fn eos_consistency() {
+        let mut d = Domain::new(2, Params::default());
+        d.e[3] = 5.0;
+        d.update_eos(3);
+        let rho = d.rho(3);
+        assert!((d.p[3] - 0.4 * rho * 5.0).abs() < 1e-12);
+        assert!((d.ss[3] - (1.4 * d.p[3] / rho).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn total_energy_initial() {
+        let d = Domain::new(3, Params::default());
+        let e = d.total_energy();
+        assert!((e - d.params.e0).abs() < 1e-6 * d.params.e0);
+    }
+}

@@ -1,0 +1,241 @@
+//! Hexahedral element geometry kernels (volume, node normals,
+//! characteristic length), following the LULESH 2.0 formulations.
+
+/// Triple product `a · (b × c)`.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn triple(ax: f64, ay: f64, az: f64, bx: f64, by: f64, bz: f64, cx: f64, cy: f64, cz: f64) -> f64 {
+    ax * (by * cz - bz * cy) + ay * (bz * cx - bx * cz) + az * (bx * cy - by * cx)
+}
+
+/// Volume of a hexahedron given its 8 corner coordinates in LULESH local
+/// ordering (LULESH `CalcElemVolume`: a sum of three triple products of
+/// combined diagonals, divided by 12 — exact for tri-linear hexes).
+pub fn elem_volume(x: &[f64; 8], y: &[f64; 8], z: &[f64; 8]) -> f64 {
+    let d = |a: usize, b: usize| (x[a] - x[b], y[a] - y[b], z[a] - z[b]);
+    let (dx61, dy61, dz61) = d(6, 1);
+    let (dx70, dy70, dz70) = d(7, 0);
+    let (dx63, dy63, dz63) = d(6, 3);
+    let (dx20, dy20, dz20) = d(2, 0);
+    let (dx50, dy50, dz50) = d(5, 0);
+    let (dx64, dy64, dz64) = d(6, 4);
+    let (dx31, dy31, dz31) = d(3, 1);
+    let (dx72, dy72, dz72) = d(7, 2);
+    let (dx43, dy43, dz43) = d(4, 3);
+    let (dx57, dy57, dz57) = d(5, 7);
+    let (dx14, dy14, dz14) = d(1, 4);
+    let (dx25, dy25, dz25) = d(2, 5);
+
+    let v = triple(
+        dx31 + dx72,
+        dy31 + dy72,
+        dz31 + dz72,
+        dx63,
+        dy63,
+        dz63,
+        dx20,
+        dy20,
+        dz20,
+    ) + triple(
+        dx43 + dx57,
+        dy43 + dy57,
+        dz43 + dz57,
+        dx64,
+        dy64,
+        dz64,
+        dx70,
+        dy70,
+        dz70,
+    ) + triple(
+        dx14 + dx25,
+        dy14 + dy25,
+        dz14 + dz25,
+        dx61,
+        dy61,
+        dz61,
+        dx50,
+        dy50,
+        dz50,
+    );
+    v / 12.0
+}
+
+/// The six faces of the hex in LULESH's `CalcElemNodeNormals` order
+/// (each a quadrilateral of local corner indices, outward-oriented).
+const FACES: [[usize; 4]; 6] = [
+    [0, 1, 2, 3],
+    [0, 4, 5, 1],
+    [1, 5, 6, 2],
+    [2, 6, 7, 3],
+    [3, 7, 4, 0],
+    [4, 7, 6, 5],
+];
+
+/// Per-node area normals `B` (LULESH `CalcElemNodeNormals`): each face
+/// contributes a quarter of its area vector to its four corner nodes.
+///
+/// `B_k = ∂V/∂x_k`; by the divergence theorem `V = (1/3) Σ_k x_k · B_k`
+/// and `Σ_k B_k = 0` — both identities are used as tests and the first
+/// lets the hourglass filter reuse `B` as the volume derivative.
+pub fn node_normals(x: &[f64; 8], y: &[f64; 8], z: &[f64; 8]) -> ([f64; 8], [f64; 8], [f64; 8]) {
+    let mut bx = [0.0f64; 8];
+    let mut by = [0.0f64; 8];
+    let mut bz = [0.0f64; 8];
+    for f in &FACES {
+        let [n0, n1, n2, n3] = *f;
+        // Two bisecting mid-edge vectors of the quad.
+        let b0x = 0.5 * (x[n3] + x[n2] - x[n1] - x[n0]);
+        let b0y = 0.5 * (y[n3] + y[n2] - y[n1] - y[n0]);
+        let b0z = 0.5 * (z[n3] + z[n2] - z[n1] - z[n0]);
+        let b1x = 0.5 * (x[n2] + x[n1] - x[n3] - x[n0]);
+        let b1y = 0.5 * (y[n2] + y[n1] - y[n3] - y[n0]);
+        let b1z = 0.5 * (z[n2] + z[n1] - z[n3] - z[n0]);
+        // Quarter of the face area vector.
+        let ax = 0.25 * (b0y * b1z - b0z * b1y);
+        let ay = 0.25 * (b0z * b1x - b0x * b1z);
+        let az = 0.25 * (b0x * b1y - b0y * b1x);
+        for &n in f {
+            bx[n] += ax;
+            by[n] += ay;
+            bz[n] += az;
+        }
+    }
+    (bx, by, bz)
+}
+
+/// Squared-ish face measure used by `char_length` (LULESH `AreaFace`):
+/// returns `(4·area)²` for planar quads.
+#[inline]
+fn area_face(x: &[f64; 8], y: &[f64; 8], z: &[f64; 8], f: &[usize; 4]) -> f64 {
+    let [n0, n1, n2, n3] = *f;
+    let fx = (x[n2] - x[n0]) - (x[n3] - x[n1]);
+    let fy = (y[n2] - y[n0]) - (y[n3] - y[n1]);
+    let fz = (z[n2] - z[n0]) - (z[n3] - z[n1]);
+    let gx = (x[n2] - x[n0]) + (x[n3] - x[n1]);
+    let gy = (y[n2] - y[n0]) + (y[n3] - y[n1]);
+    let gz = (z[n2] - z[n0]) + (z[n3] - z[n1]);
+    (fx * fx + fy * fy + fz * fz) * (gx * gx + gy * gy + gz * gz)
+        - (fx * gx + fy * gy + fz * gz).powi(2)
+}
+
+/// Element characteristic length (LULESH `CalcElemCharacteristicLength`):
+/// `4·V / sqrt(max face measure)` — equals the edge length for a cube.
+pub fn char_length(x: &[f64; 8], y: &[f64; 8], z: &[f64; 8], volume: f64) -> f64 {
+    let mut max_area = 0.0f64;
+    for f in &FACES {
+        max_area = max_area.max(area_face(x, y, z, f));
+    }
+    4.0 * volume / max_area.sqrt()
+}
+
+/// The four hourglass base vectors Γ (LULESH `CalcFBHourglassForceForElems`).
+pub const GAMMA: [[f64; 8]; 4] = [
+    [1.0, 1.0, -1.0, -1.0, -1.0, -1.0, 1.0, 1.0],
+    [1.0, -1.0, -1.0, 1.0, -1.0, 1.0, 1.0, -1.0],
+    [1.0, -1.0, 1.0, -1.0, 1.0, -1.0, 1.0, -1.0],
+    [-1.0, 1.0, -1.0, 1.0, 1.0, -1.0, 1.0, -1.0],
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit_cube() -> ([f64; 8], [f64; 8], [f64; 8]) {
+        (
+            [0.0, 1.0, 1.0, 0.0, 0.0, 1.0, 1.0, 0.0],
+            [0.0, 0.0, 1.0, 1.0, 0.0, 0.0, 1.0, 1.0],
+            [0.0, 0.0, 0.0, 0.0, 1.0, 1.0, 1.0, 1.0],
+        )
+    }
+
+    fn scaled(s: f64) -> ([f64; 8], [f64; 8], [f64; 8]) {
+        let (x, y, z) = unit_cube();
+        (x.map(|v| v * s), y.map(|v| v * s), z.map(|v| v * s))
+    }
+
+    #[test]
+    fn unit_cube_volume() {
+        let (x, y, z) = unit_cube();
+        assert!((elem_volume(&x, &y, &z) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scaled_cube_volume() {
+        let (x, y, z) = scaled(2.5);
+        assert!((elem_volume(&x, &y, &z) - 2.5f64.powi(3)).abs() < 1e-10);
+    }
+
+    #[test]
+    fn translated_volume_invariant() {
+        let (x, y, z) = unit_cube();
+        let xt = x.map(|v| v + 7.0);
+        let yt = y.map(|v| v - 3.0);
+        let zt = z.map(|v| v + 0.5);
+        assert!((elem_volume(&xt, &yt, &zt) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sheared_volume() {
+        // Shear x by z: volume preserved (det of shear = 1).
+        let (x, y, z) = unit_cube();
+        let xs: [f64; 8] = std::array::from_fn(|k| x[k] + 0.3 * z[k]);
+        assert!((elem_volume(&xs, &y, &z) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normals_sum_to_zero() {
+        let (x, y, z) = unit_cube();
+        let (bx, by, bz) = node_normals(&x, &y, &z);
+        assert!(bx.iter().sum::<f64>().abs() < 1e-12);
+        assert!(by.iter().sum::<f64>().abs() < 1e-12);
+        assert!(bz.iter().sum::<f64>().abs() < 1e-12);
+    }
+
+    #[test]
+    fn divergence_theorem_ties_normals_to_volume() {
+        // V = (1/3) Σ x_k · B_k, for the cube and for a distorted hex.
+        let check = |x: &[f64; 8], y: &[f64; 8], z: &[f64; 8]| {
+            let v = elem_volume(x, y, z);
+            let (bx, by, bz) = node_normals(x, y, z);
+            let v2: f64 = (0..8)
+                .map(|k| (x[k] * bx[k] + y[k] * by[k] + z[k] * bz[k]) / 3.0)
+                .sum();
+            assert!(
+                (v - v2).abs() < 1e-10 * v.abs().max(1.0),
+                "volume {v} vs divergence {v2}"
+            );
+            assert!(v > 0.0, "volume must be positive, got {v}");
+        };
+        let (x, y, z) = unit_cube();
+        check(&x, &y, &z);
+        // Mild random-ish distortion that keeps the hex valid.
+        let dx: [f64; 8] = std::array::from_fn(|k| x[k] + 0.05 * ((k * 7 % 5) as f64 - 2.0) / 2.0);
+        let dy: [f64; 8] = std::array::from_fn(|k| y[k] + 0.04 * ((k * 3 % 7) as f64 - 3.0) / 3.0);
+        let dz: [f64; 8] = std::array::from_fn(|k| z[k] + 0.03 * ((k * 5 % 3) as f64 - 1.0));
+        check(&dx, &dy, &dz);
+    }
+
+    #[test]
+    fn char_length_of_cube_is_edge() {
+        let (x, y, z) = scaled(0.75);
+        let v = elem_volume(&x, &y, &z);
+        assert!((char_length(&x, &y, &z, v) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gamma_modes_orthogonal_to_rigid_motion() {
+        // Each hourglass mode must be orthogonal to the constant vector
+        // (translation) for the cube.
+        for g in &GAMMA {
+            assert_eq!(g.iter().sum::<f64>(), 0.0);
+        }
+        // And to the linear coordinate fields on the reference cube.
+        let (x, y, z) = unit_cube();
+        for g in &GAMMA {
+            for coords in [&x, &y, &z] {
+                let dot: f64 = (0..8).map(|k| g[k] * coords[k]).sum();
+                assert_eq!(dot, 0.0, "gamma not orthogonal to linear field");
+            }
+        }
+    }
+}

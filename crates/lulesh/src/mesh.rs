@@ -1,0 +1,221 @@
+//! Structured hexahedral mesh.
+//!
+//! LULESH models an unstructured mesh but initializes it as a structured
+//! `nx³`-element cube; we keep the indirection (`elem → 8 node ids`) so the
+//! force sweeps have the same data-dependent scatter pattern, but build the
+//! connectivity for the structured cube.
+
+/// Element-to-node connectivity of an `nx × nx × nx` hexahedral mesh.
+pub struct Mesh {
+    /// Elements per edge.
+    pub nx: usize,
+    /// Total elements (`nx³`).
+    pub nelem: usize,
+    /// Total nodes (`(nx+1)³`).
+    pub nnode: usize,
+    /// Corner node ids of each element, in LULESH local ordering
+    /// (counter-clockwise bottom face 0-3, then top face 4-7).
+    pub elem_node: Vec<[u32; 8]>,
+}
+
+impl Mesh {
+    /// Builds the structured cube mesh.
+    ///
+    /// # Panics
+    /// Panics if `nx == 0` or the node count would overflow `u32`.
+    pub fn cube(nx: usize) -> Self {
+        assert!(nx > 0, "mesh needs at least one element per edge");
+        let np = nx + 1;
+        let nnode = np * np * np;
+        assert!(
+            nnode <= u32::MAX as usize,
+            "mesh too large for u32 node ids"
+        );
+        let nelem = nx * nx * nx;
+        let node_id = |i: usize, j: usize, k: usize| -> u32 { ((k * np + j) * np + i) as u32 };
+
+        let mut elem_node = Vec::with_capacity(nelem);
+        for k in 0..nx {
+            for j in 0..nx {
+                for i in 0..nx {
+                    elem_node.push([
+                        node_id(i, j, k),
+                        node_id(i + 1, j, k),
+                        node_id(i + 1, j + 1, k),
+                        node_id(i, j + 1, k),
+                        node_id(i, j, k + 1),
+                        node_id(i + 1, j, k + 1),
+                        node_id(i + 1, j + 1, k + 1),
+                        node_id(i, j + 1, k + 1),
+                    ]);
+                }
+            }
+        }
+        Mesh {
+            nx,
+            nelem,
+            nnode,
+            elem_node,
+        }
+    }
+
+    /// Face-neighbor element ids of element `e` in the order
+    /// `[-x, +x, -y, +y, -z, +z]`; `None` at domain boundaries.
+    /// Used by the monotonic-Q limiter (LULESH's `lxim/lxip/letam/…`).
+    pub fn elem_neighbors(&self, e: usize) -> [Option<u32>; 6] {
+        let nx = self.nx;
+        let i = e % nx;
+        let j = (e / nx) % nx;
+        let k = e / (nx * nx);
+        let id = |i: usize, j: usize, k: usize| ((k * nx + j) * nx + i) as u32;
+        [
+            (i > 0).then(|| id(i - 1, j, k)),
+            (i + 1 < nx).then(|| id(i + 1, j, k)),
+            (j > 0).then(|| id(i, j - 1, k)),
+            (j + 1 < nx).then(|| id(i, j + 1, k)),
+            (k > 0).then(|| id(i, j, k - 1)),
+            (k + 1 < nx).then(|| id(i, j, k + 1)),
+        ]
+    }
+
+    /// Node ids lying on the `x = 0` symmetry plane.
+    pub fn symm_x(&self) -> Vec<u32> {
+        self.plane_nodes(|i, _, _| i == 0)
+    }
+
+    /// Node ids lying on the `y = 0` symmetry plane.
+    pub fn symm_y(&self) -> Vec<u32> {
+        self.plane_nodes(|_, j, _| j == 0)
+    }
+
+    /// Node ids lying on the `z = 0` symmetry plane.
+    pub fn symm_z(&self) -> Vec<u32> {
+        self.plane_nodes(|_, _, k| k == 0)
+    }
+
+    fn plane_nodes(&self, pred: impl Fn(usize, usize, usize) -> bool) -> Vec<u32> {
+        let np = self.nx + 1;
+        let mut out = Vec::new();
+        for k in 0..np {
+            for j in 0..np {
+                for i in 0..np {
+                    if pred(i, j, k) {
+                        out.push(((k * np + j) * np + i) as u32);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Initial nodal coordinates for a cube of physical edge length `edge`.
+    pub fn coordinates(&self, edge: f64) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
+        let np = self.nx + 1;
+        let h = edge / self.nx as f64;
+        let mut x = Vec::with_capacity(self.nnode);
+        let mut y = Vec::with_capacity(self.nnode);
+        let mut z = Vec::with_capacity(self.nnode);
+        for k in 0..np {
+            for j in 0..np {
+                for i in 0..np {
+                    x.push(i as f64 * h);
+                    y.push(j as f64 * h);
+                    z.push(k as f64 * h);
+                }
+            }
+        }
+        (x, y, z)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts() {
+        let m = Mesh::cube(3);
+        assert_eq!(m.nelem, 27);
+        assert_eq!(m.nnode, 64);
+        assert_eq!(m.elem_node.len(), 27);
+    }
+
+    #[test]
+    fn connectivity_within_bounds_and_distinct() {
+        let m = Mesh::cube(4);
+        for en in &m.elem_node {
+            let mut seen = std::collections::HashSet::new();
+            for &n in en {
+                assert!((n as usize) < m.nnode);
+                assert!(seen.insert(n), "duplicate corner node");
+            }
+        }
+    }
+
+    #[test]
+    fn each_node_is_corner_c_of_at_most_one_element() {
+        // The geometric property that makes LULESH's 8-copy domain scheme
+        // race-free: for a fixed local corner c, every node appears at most
+        // once across all elements.
+        let m = Mesh::cube(4);
+        for c in 0..8 {
+            let mut seen = std::collections::HashSet::new();
+            for en in &m.elem_node {
+                assert!(seen.insert(en[c]), "node {} repeats at corner {c}", en[c]);
+            }
+        }
+    }
+
+    #[test]
+    fn interior_node_touches_eight_elements() {
+        let m = Mesh::cube(3);
+        let mut count = vec![0usize; m.nnode];
+        for en in &m.elem_node {
+            for &n in en {
+                count[n as usize] += 1;
+            }
+        }
+        // Corner nodes of the cube touch 1 element, interior nodes 8.
+        assert_eq!(count.iter().filter(|&&c| c == 8).count(), 2 * 2 * 2);
+        assert_eq!(count.iter().filter(|&&c| c == 1).count(), 8);
+    }
+
+    #[test]
+    fn neighbors_are_mutual_and_bounded() {
+        let m = Mesh::cube(4);
+        for e in 0..m.nelem {
+            let nb = m.elem_neighbors(e);
+            for (dir, n) in nb.iter().enumerate() {
+                if let Some(n) = n {
+                    let back = m.elem_neighbors(*n as usize);
+                    // The opposite direction must point back at e.
+                    let opp = dir ^ 1;
+                    assert_eq!(back[opp], Some(e as u32), "elem {e} dir {dir}");
+                }
+            }
+        }
+        // Corner element 0 has exactly 3 neighbors; interior has 6.
+        assert_eq!(m.elem_neighbors(0).iter().flatten().count(), 3);
+        let interior = (4 + 1) * 4 + 1; // (i=1, j=1, k=1)
+        assert_eq!(m.elem_neighbors(interior).iter().flatten().count(), 6);
+    }
+
+    #[test]
+    fn symmetry_planes() {
+        let m = Mesh::cube(3);
+        assert_eq!(m.symm_x().len(), 16);
+        assert_eq!(m.symm_y().len(), 16);
+        assert_eq!(m.symm_z().len(), 16);
+    }
+
+    #[test]
+    fn coordinates_span_edge() {
+        let m = Mesh::cube(2);
+        let (x, y, z) = m.coordinates(1.125);
+        assert_eq!(x.len(), m.nnode);
+        let max = x.iter().cloned().fold(0.0, f64::max);
+        assert!((max - 1.125).abs() < 1e-12);
+        assert!((y.iter().cloned().fold(0.0, f64::max) - 1.125).abs() < 1e-12);
+        assert!((z.iter().cloned().fold(0.0, f64::max) - 1.125).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,333 @@
+//! Monotonic artificial viscosity (LULESH `CalcMonotonicQGradientsForElems`
+//! + `CalcMonotonicQRegionForElems`).
+//!
+//! The von Neumann–Richtmyer form adds viscosity wherever an element
+//! compresses — including in smooth flow, where it over-damps. LULESH's
+//! monotonic Q limits the viscosity with neighbor gradient ratios: per
+//! principal direction (ξ, η, ζ) a slope-limiter factor φ ∈ [0, max]
+//! measures how *linear* the velocity field is across the element and its
+//! face neighbors; for perfectly linear (smooth) fields φ = 1 and the
+//! viscosity vanishes, while at discontinuities (shock fronts) φ → 0 and
+//! full viscosity applies.
+//!
+//! Boundary handling matches the Sedov setup: symmetry planes on the low
+//! sides mirror the element's own gradient, free surfaces on the high
+//! sides contribute zero.
+
+use crate::domain::Domain;
+
+const PTINY: f64 = 1e-36;
+
+/// Directional gradients of one element, plus its characteristic widths.
+struct ElemGradients {
+    delv: [f64; 3],
+    delx: [f64; 3],
+}
+
+/// Sum of four array elements selected by index.
+#[inline]
+fn sum4(a: &[f64; 8], i: [usize; 4]) -> f64 {
+    a[i[0]] + a[i[1]] + a[i[2]] + a[i[3]]
+}
+
+/// Per-element velocity gradients along the three principal directions
+/// (LULESH `CalcMonotonicQGradientsForElems`, one element).
+fn gradients_of(
+    x: &[f64; 8],
+    y: &[f64; 8],
+    z: &[f64; 8],
+    xv: &[f64; 8],
+    yv: &[f64; 8],
+    zv: &[f64; 8],
+    volume: f64,
+) -> ElemGradients {
+    // Face index sets per principal direction (+face, -face) in LULESH
+    // local node ordering.
+    const PLUS: [[usize; 4]; 3] = [
+        [1, 2, 6, 5], // +ξ
+        [3, 2, 6, 7], // +η
+        [4, 5, 6, 7], // +ζ
+    ];
+    const MINUS: [[usize; 4]; 3] = [
+        [0, 3, 7, 4], // -ξ
+        [0, 1, 5, 4], // -η
+        [0, 1, 2, 3], // -ζ
+    ];
+
+    let norm = 1.0 / (volume + PTINY);
+
+    // Direction vectors: quarter of (sum of + face) - (sum of - face).
+    let dir = |c: &[f64; 8], d: usize| 0.25 * (sum4(c, PLUS[d]) - sum4(c, MINUS[d]));
+    let dx: [f64; 3] = std::array::from_fn(|d| dir(x, d));
+    let dy: [f64; 3] = std::array::from_fn(|d| dir(y, d));
+    let dz: [f64; 3] = std::array::from_fn(|d| dir(z, d));
+
+    let mut delv = [0.0f64; 3];
+    let mut delx = [0.0f64; 3];
+    for d in 0..3 {
+        // Area vector of direction d = cross product of the other two
+        // direction vectors (ξ: η×ζ, η: ζ×ξ, ζ: ξ×η).
+        let (j, k) = ([(1, 2), (2, 0), (0, 1)])[d];
+        let ax = dy[j] * dz[k] - dz[j] * dy[k];
+        let ay = dz[j] * dx[k] - dx[j] * dz[k];
+        let az = dx[j] * dy[k] - dy[j] * dx[k];
+        let a_len = (ax * ax + ay * ay + az * az).sqrt();
+        delx[d] = volume / (a_len + PTINY);
+
+        // Velocity difference across the d faces, projected on the
+        // (volume-normalized) area vector.
+        let dvx = dir(xv, d);
+        let dvy = dir(yv, d);
+        let dvz = dir(zv, d);
+        delv[d] = (ax * dvx + ay * dvy + az * dvz) * norm;
+    }
+    ElemGradients { delv, delx }
+}
+
+/// Fills `d.delv_*` / `d.delx_*` for all elements from current coordinates
+/// and velocities (sequential; used by tests).
+#[cfg(test)]
+pub(crate) fn calc_gradients(d: &mut Domain) {
+    for e in 0..d.nelem() {
+        let (x, y, z) = d.elem_coords(e);
+        let (xv, yv, zv) = d.elem_velocities(e);
+        let volume = d.volo[e] * d.v[e];
+        let g = gradients_of(&x, &y, &z, &xv, &yv, &zv, volume);
+        d.delv_xi[e] = g.delv[0];
+        d.delv_eta[e] = g.delv[1];
+        d.delv_zeta[e] = g.delv[2];
+        d.delx_xi[e] = g.delx[0];
+        d.delx_eta[e] = g.delx[1];
+        d.delx_zeta[e] = g.delx[2];
+    }
+}
+
+/// Parallel variant of [`calc_gradients`] (DOALL over elements).
+pub(crate) fn calc_gradients_par(d: &mut Domain, pool: &ompsim::ThreadPool) {
+    struct P(*mut f64);
+    unsafe impl Send for P {}
+    unsafe impl Sync for P {}
+
+    let mut dvx = std::mem::take(&mut d.delv_xi);
+    let mut dve = std::mem::take(&mut d.delv_eta);
+    let mut dvz = std::mem::take(&mut d.delv_zeta);
+    let mut dxx = std::mem::take(&mut d.delx_xi);
+    let mut dxe = std::mem::take(&mut d.delx_eta);
+    let mut dxz = std::mem::take(&mut d.delx_zeta);
+    let ptrs = [
+        P(dvx.as_mut_ptr()),
+        P(dve.as_mut_ptr()),
+        P(dvz.as_mut_ptr()),
+        P(dxx.as_mut_ptr()),
+        P(dxe.as_mut_ptr()),
+        P(dxz.as_mut_ptr()),
+    ];
+    let dref = &*d;
+    pool.for_each(0..d.nelem(), ompsim::Schedule::default(), |e| {
+        let (x, y, z) = dref.elem_coords(e);
+        let (xv, yv, zv) = dref.elem_velocities(e);
+        let volume = dref.volo[e] * dref.v[e];
+        let g = gradients_of(&x, &y, &z, &xv, &yv, &zv, volume);
+        // SAFETY: element e belongs to exactly one schedule chunk.
+        unsafe {
+            *ptrs[0].0.add(e) = g.delv[0];
+            *ptrs[1].0.add(e) = g.delv[1];
+            *ptrs[2].0.add(e) = g.delv[2];
+            *ptrs[3].0.add(e) = g.delx[0];
+            *ptrs[4].0.add(e) = g.delx[1];
+            *ptrs[5].0.add(e) = g.delx[2];
+        }
+    });
+    d.delv_xi = dvx;
+    d.delv_eta = dve;
+    d.delv_zeta = dvz;
+    d.delx_xi = dxx;
+    d.delx_eta = dxe;
+    d.delx_zeta = dxz;
+}
+
+/// The slope limiter for one direction: φ from the element gradient and
+/// its two face-neighbor gradients (LULESH `CalcMonotonicQRegionForElems`).
+#[inline]
+fn phi(delv: f64, delvm: f64, delvp: f64, max_slope: f64) -> f64 {
+    let norm = 1.0 / (delv + PTINY);
+    let m = delvm * norm;
+    let p = delvp * norm;
+    let mut phi = 0.5 * (m + p);
+    if m < phi {
+        phi = m;
+    }
+    if p < phi {
+        phi = p;
+    }
+    phi.clamp(0.0, max_slope)
+}
+
+/// Monotonic-limited artificial viscosity of element `e`, given its
+/// (beginning-of-step) sound speed and current density. Requires
+/// [`calc_gradients`] to have run for the current state.
+pub(crate) fn monotonic_q(d: &Domain, e: usize, ss: f64, rho: f64) -> f64 {
+    if d.vdov[e] >= 0.0 {
+        return 0.0;
+    }
+    let nb = d.mesh.elem_neighbors(e);
+    // Per direction: (-neighbor gradient, +neighbor gradient) with the
+    // Sedov boundary rules (symmetry mirror on low sides, free 0 on high).
+    let grad = [&d.delv_xi, &d.delv_eta, &d.delv_zeta];
+    let delx = [d.delx_xi[e], d.delx_eta[e], d.delx_zeta[e]];
+
+    let mut qlin_sum = 0.0;
+    let mut qquad_sum = 0.0;
+    for dir in 0..3 {
+        let delv = grad[dir][e];
+        let delvm = match nb[2 * dir] {
+            Some(n) => grad[dir][n as usize],
+            None => delv, // symmetry plane: mirror
+        };
+        let delvp = match nb[2 * dir + 1] {
+            Some(n) => grad[dir][n as usize],
+            None => 0.0, // free surface
+        };
+        let phi_d = phi(delv, delvm, delvp, d.params.monoq_max_slope);
+        // Compression-only: positive (expanding) components contribute 0.
+        let delvx = (delv * delx[dir]).min(0.0);
+        qlin_sum += delvx * (1.0 - phi_d);
+        qquad_sum += delvx * delvx * (1.0 - phi_d * phi_d);
+    }
+    // qlin_sum ≤ 0 on compression, so the linear term is ≥ 0; LULESH
+    // scales it by the sound speed.
+    let qlin = -d.params.qlc * rho * ss * qlin_sum;
+    let qquad = d.params.qqc * d.params.qqc * rho * qquad_sum;
+    (qlin + qquad).max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domain::Params;
+
+    fn cube_domain(nx: usize) -> Domain {
+        Domain::new(nx, Params::default())
+    }
+
+    fn set_velocity(d: &mut Domain, f: impl Fn(f64, f64, f64) -> (f64, f64, f64)) {
+        for n in 0..d.nnode() {
+            let (vx, vy, vz) = f(d.x[n], d.y[n], d.z[n]);
+            d.xd[n] = vx;
+            d.yd[n] = vy;
+            d.zd[n] = vz;
+        }
+    }
+
+    #[test]
+    fn rigid_translation_has_zero_gradients() {
+        let mut d = cube_domain(4);
+        set_velocity(&mut d, |_, _, _| (3.0, -1.0, 0.5));
+        calc_gradients(&mut d);
+        for e in 0..d.nelem() {
+            assert!(d.delv_xi[e].abs() < 1e-12);
+            assert!(d.delv_eta[e].abs() < 1e-12);
+            assert!(d.delv_zeta[e].abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn uniform_compression_gradient_matches_divergence() {
+        // v = -α·x ⇒ ∂vx/∂x = -α along ξ, 0 along η/ζ.
+        let alpha = 0.4;
+        let mut d = cube_domain(4);
+        set_velocity(&mut d, |x, _, _| (-alpha * x, 0.0, 0.0));
+        calc_gradients(&mut d);
+        let h = d.params.edge / 4.0;
+        for e in 0..d.nelem() {
+            // delv is the velocity gradient ∂vx/∂x = -α (delv·delx is the
+            // velocity jump across the element used by the viscosity).
+            assert!(
+                (d.delv_xi[e] - (-alpha)).abs() < 1e-9,
+                "delv_xi = {} vs {}",
+                d.delv_xi[e],
+                -alpha
+            );
+            assert!(d.delv_eta[e].abs() < 1e-12);
+            assert!(d.delv_zeta[e].abs() < 1e-12);
+            assert!((d.delx_xi[e] - h).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn limiter_kills_q_in_smooth_compression() {
+        // Linear velocity field: neighbors see the same gradient, φ = 1,
+        // so the monotonic q vanishes in the interior (the whole point of
+        // the limiter vs. plain VNR).
+        let mut d = cube_domain(6);
+        set_velocity(&mut d, |x, y, z| (-0.3 * x, -0.3 * y, -0.3 * z));
+        calc_gradients(&mut d);
+        for e in 0..d.nelem() {
+            d.vdov[e] = -0.9; // mark as compressing
+            d.ss[e] = 1.0;
+        }
+        // Interior element (neighbors on all sides):
+        let nx = 6;
+        let interior = (2 * nx + 2) * nx + 2;
+        let q = monotonic_q(&d, interior, 1.0, d.rho(interior));
+        assert!(q.abs() < 1e-9, "interior q = {q}");
+    }
+
+    #[test]
+    fn shock_front_gets_viscosity() {
+        // Velocity step: left half rushes right, right half at rest;
+        // elements at the interface compress non-smoothly ⇒ q > 0 there.
+        let nx = 6;
+        let mut d = cube_domain(nx);
+        let mid = d.params.edge / 2.0;
+        set_velocity(&mut d, |x, _, _| {
+            (if x < mid { 1.0 } else { 0.0 }, 0.0, 0.0)
+        });
+        calc_gradients(&mut d);
+        for e in 0..d.nelem() {
+            d.vdov[e] = -0.5;
+            d.ss[e] = 1.0;
+        }
+        // The interface column is at i = nx/2 - 1 (its +x face sees the
+        // velocity jump).
+        let e_front = (2 * nx + 2) * nx + (nx / 2 - 1);
+        let e_far = (2 * nx + 2) * nx; // i = 0, smooth region
+        let q_front = monotonic_q(&d, e_front, 1.0, d.rho(e_front));
+        let q_far = monotonic_q(&d, e_far, 1.0, d.rho(e_far));
+        assert!(q_front > 0.0, "front q = {q_front}");
+        assert!(
+            q_front > 10.0 * q_far.max(1e-30),
+            "front {q_front} vs far {q_far}"
+        );
+    }
+
+    #[test]
+    fn expansion_has_no_viscosity() {
+        let mut d = cube_domain(4);
+        set_velocity(&mut d, |x, y, z| (0.2 * x, 0.2 * y, 0.2 * z));
+        calc_gradients(&mut d);
+        for e in 0..d.nelem() {
+            d.vdov[e] = 0.9; // expanding
+        }
+        for e in 0..d.nelem() {
+            assert_eq!(monotonic_q(&d, e, 1.0, d.rho(e)), 0.0);
+        }
+    }
+
+    #[test]
+    fn phi_limiter_bounds() {
+        for (delv, m, p) in [
+            (1.0, 1.0, 1.0),
+            (1.0, 0.0, 2.0),
+            (-1.0, 1.0, 1.0),
+            (1.0, -5.0, 3.0),
+        ] {
+            let f = phi(delv, m, p, 1.0);
+            assert!((0.0..=1.0).contains(&f), "phi({delv},{m},{p}) = {f}");
+        }
+        // Perfectly smooth: phi = 1.
+        assert!((phi(2.0, 2.0, 2.0, 1.0) - 1.0).abs() < 1e-12);
+        // Opposing-sign neighbor: phi = 0 (full viscosity).
+        assert_eq!(phi(1.0, -1.0, 1.0, 1.0), 0.0);
+    }
+}

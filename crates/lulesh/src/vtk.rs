@@ -1,0 +1,92 @@
+//! Legacy-VTK output of the simulation state, for visualization in
+//! ParaView/VisIt (the way LULESH runs are usually inspected).
+//!
+//! Writes an ASCII `STRUCTURED_GRID` dataset with nodal point data
+//! (velocity magnitude) and per-element cell data (energy, pressure,
+//! relative volume, artificial viscosity).
+
+use crate::domain::Domain;
+use std::io::Write;
+
+/// Writes the current state as a legacy VTK structured grid.
+pub fn write_vtk<W: Write>(mut w: W, d: &Domain) -> std::io::Result<()> {
+    let np = d.mesh.nx + 1;
+    writeln!(w, "# vtk DataFile Version 3.0")?;
+    writeln!(w, "spray-lulesh cycle {} time {:.6e}", d.cycle, d.time)?;
+    writeln!(w, "ASCII")?;
+    writeln!(w, "DATASET STRUCTURED_GRID")?;
+    writeln!(w, "DIMENSIONS {np} {np} {np}")?;
+    writeln!(w, "POINTS {} double", d.nnode())?;
+    for n in 0..d.nnode() {
+        writeln!(w, "{:.9e} {:.9e} {:.9e}", d.x[n], d.y[n], d.z[n])?;
+    }
+
+    writeln!(w, "POINT_DATA {}", d.nnode())?;
+    writeln!(w, "SCALARS speed double 1")?;
+    writeln!(w, "LOOKUP_TABLE default")?;
+    for n in 0..d.nnode() {
+        let s = (d.xd[n] * d.xd[n] + d.yd[n] * d.yd[n] + d.zd[n] * d.zd[n]).sqrt();
+        writeln!(w, "{s:.9e}")?;
+    }
+
+    writeln!(w, "CELL_DATA {}", d.nelem())?;
+    for (name, field) in [
+        ("energy", &d.e),
+        ("pressure", &d.p),
+        ("viscosity", &d.q),
+        ("rel_volume", &d.v),
+    ] {
+        writeln!(w, "SCALARS {name} double 1")?;
+        writeln!(w, "LOOKUP_TABLE default")?;
+        for value in field.iter() {
+            writeln!(w, "{value:.9e}")?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domain::Params;
+    use crate::forces::ForceScheme;
+    use crate::hydro::run;
+    use ompsim::ThreadPool;
+
+    #[test]
+    fn vtk_output_is_structurally_valid() {
+        let mut d = Domain::new(3, Params::default());
+        let pool = ThreadPool::new(2);
+        run(&mut d, &pool, ForceScheme::Seq, 3);
+
+        let mut buf = Vec::new();
+        write_vtk(&mut buf, &d).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+
+        assert_eq!(lines[0], "# vtk DataFile Version 3.0");
+        assert!(lines[1].contains("cycle 3"));
+        assert!(text.contains("DIMENSIONS 4 4 4"));
+        assert!(text.contains(&format!("POINTS {} double", d.nnode())));
+        assert!(text.contains(&format!("POINT_DATA {}", d.nnode())));
+        assert!(text.contains(&format!("CELL_DATA {}", d.nelem())));
+        for name in ["speed", "energy", "pressure", "viscosity", "rel_volume"] {
+            assert!(text.contains(&format!("SCALARS {name} double 1")), "{name}");
+        }
+
+        // Count values: POINTS has nnode coordinate triples, each scalar
+        // field has the right number of entries.
+        let points_idx = lines.iter().position(|l| l.starts_with("POINTS")).unwrap();
+        for l in &lines[points_idx + 1..points_idx + 1 + d.nnode()] {
+            assert_eq!(l.split_whitespace().count(), 3);
+        }
+        // All numbers parse.
+        let energy_idx = lines
+            .iter()
+            .position(|l| l.starts_with("SCALARS energy"))
+            .unwrap();
+        for l in &lines[energy_idx + 2..energy_idx + 2 + d.nelem()] {
+            l.parse::<f64>().unwrap();
+        }
+    }
+}

@@ -1,0 +1,168 @@
+//! Additional OpenMP worksharing constructs: `sections` and `single`.
+
+use crate::pool::{Team, ThreadPool};
+use crate::schedule::Schedule;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+impl ThreadPool {
+    /// `#pragma omp parallel sections`: runs each closure exactly once,
+    /// distributing sections over the team dynamically (a section is a
+    /// unit of the work-sharing loop).
+    pub fn sections(&self, sections: &[&(dyn Fn() + Sync)]) {
+        self.for_each(0..sections.len(), Schedule::dynamic(1), |i| {
+            (sections[i])();
+        });
+    }
+}
+
+/// One-shot executor for `single`-style regions: the first team thread to
+/// arrive runs the closure, all others skip it. Reusable across regions
+/// after [`Single::reset`].
+///
+/// ```
+/// use ompsim::{Single, ThreadPool};
+/// use std::sync::atomic::{AtomicUsize, Ordering};
+///
+/// let pool = ThreadPool::new(4);
+/// let once = Single::new();
+/// let runs = AtomicUsize::new(0);
+/// pool.parallel(|_| {
+///     once.run(|| {
+///         runs.fetch_add(1, Ordering::Relaxed);
+///     });
+/// });
+/// assert_eq!(runs.into_inner(), 1);
+/// ```
+pub struct Single {
+    claimed: AtomicUsize,
+}
+
+impl Default for Single {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Single {
+    /// Fresh, unclaimed executor.
+    pub fn new() -> Self {
+        Single {
+            claimed: AtomicUsize::new(0),
+        }
+    }
+
+    /// Runs `f` if no thread has claimed this region yet; returns whether
+    /// this caller ran it. Unlike OpenMP's `single` there is no implicit
+    /// barrier — pair with [`Team::barrier`] when later code depends on
+    /// the single's effects.
+    pub fn run(&self, f: impl FnOnce()) -> bool {
+        if self
+            .claimed
+            .compare_exchange(0, 1, Ordering::Acquire, Ordering::Relaxed)
+            .is_ok()
+        {
+            f();
+            self.claimed.store(2, Ordering::Release);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Whether the region has completed (for pollers).
+    pub fn is_done(&self) -> bool {
+        self.claimed.load(Ordering::Acquire) == 2
+    }
+
+    /// Re-arms the executor for another region.
+    ///
+    /// Only call between regions (after a barrier).
+    pub fn reset(&self) {
+        self.claimed.store(0, Ordering::Release);
+    }
+}
+
+/// Convenience for `single` inside a region with a following barrier:
+/// runs `f` on exactly one thread, then synchronizes the team — the
+/// OpenMP `single` (with its implicit barrier).
+pub fn single_sync(team: &Team<'_>, once: &Single, f: impl FnOnce()) {
+    once.run(f);
+    team.barrier();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn sections_each_run_once() {
+        let pool = ThreadPool::new(3);
+        let counts: Vec<AtomicUsize> = (0..5).map(|_| AtomicUsize::new(0)).collect();
+        let fns: Vec<Box<dyn Fn() + Sync>> = (0..5)
+            .map(|i| {
+                let c = &counts[i];
+                Box::new(move || {
+                    c.fetch_add(1, Ordering::Relaxed);
+                }) as Box<dyn Fn() + Sync>
+            })
+            .collect();
+        let refs: Vec<&(dyn Fn() + Sync)> = fns.iter().map(|b| b.as_ref()).collect();
+        pool.sections(&refs);
+        for c in &counts {
+            assert_eq!(c.load(Ordering::Relaxed), 1);
+        }
+    }
+
+    #[test]
+    fn single_runs_exactly_once_per_region() {
+        let pool = ThreadPool::new(4);
+        let once = Single::new();
+        let runs = AtomicUsize::new(0);
+        let ran_flags = AtomicUsize::new(0);
+        pool.parallel(|_| {
+            if once.run(|| {
+                runs.fetch_add(1, Ordering::Relaxed);
+            }) {
+                ran_flags.fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        assert_eq!(runs.load(Ordering::Relaxed), 1);
+        assert_eq!(ran_flags.load(Ordering::Relaxed), 1);
+        assert!(once.is_done());
+
+        // Re-armed, it runs again.
+        once.reset();
+        pool.parallel(|_| {
+            once.run(|| {
+                runs.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(runs.into_inner(), 2);
+    }
+
+    #[test]
+    fn single_sync_orders_initialization() {
+        // The single's effect must be visible to every thread after the
+        // call (implicit barrier semantics).
+        let pool = ThreadPool::new(4);
+        let once = Single::new();
+        let init = AtomicUsize::new(0);
+        let ok = AtomicUsize::new(0);
+        pool.parallel(|team| {
+            single_sync(team, &once, || {
+                init.store(42, Ordering::Release);
+            });
+            if init.load(Ordering::Acquire) == 42 {
+                ok.fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        assert_eq!(ok.into_inner(), 4);
+    }
+
+    #[test]
+    fn empty_sections_ok() {
+        let pool = ThreadPool::new(2);
+        pool.sections(&[]);
+    }
+}

@@ -1,0 +1,451 @@
+//! Persistent fork/join thread pool with OpenMP-style teams.
+
+use crate::schedule::{Schedule, ScheduleInstance};
+use parking_lot::{Condvar, Mutex};
+use std::ops::Range;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Barrier};
+use std::thread::JoinHandle;
+
+/// Handle to the executing team, passed to every thread of a parallel
+/// region. Mirrors what `omp_get_thread_num()` / `omp_get_num_threads()` /
+/// `#pragma omp barrier` expose inside an OpenMP region.
+pub struct Team<'a> {
+    tid: usize,
+    nthreads: usize,
+    shared: &'a Shared,
+}
+
+impl<'a> Team<'a> {
+    /// This thread's id within the team, `0..num_threads()`. The thread that
+    /// called [`ThreadPool::parallel`] is always id 0.
+    #[inline]
+    pub fn id(&self) -> usize {
+        self.tid
+    }
+
+    /// Number of threads executing the region.
+    #[inline]
+    pub fn num_threads(&self) -> usize {
+        self.nthreads
+    }
+
+    /// Team-wide barrier: blocks until every thread of the team has called
+    /// it. Equivalent to `#pragma omp barrier`.
+    ///
+    /// As in OpenMP, a thread that exits the region (e.g. by panicking)
+    /// without reaching a barrier that others wait on causes a deadlock;
+    /// panics are only recovered from in barrier-free regions.
+    #[inline]
+    pub fn barrier(&self) {
+        self.shared.barrier.wait();
+    }
+}
+
+/// Type-erased borrowed job pointer. The pool guarantees the closure
+/// outlives every use: `parallel` does not return until all team threads
+/// have finished the epoch.
+#[derive(Copy, Clone)]
+struct JobRef {
+    f: *const (dyn Fn(&Team<'_>) + Sync),
+}
+// SAFETY: the pointee is `Sync` and `parallel` blocks until all uses end.
+unsafe impl Send for JobRef {}
+
+struct PoolState {
+    /// Monotonically increasing region counter; a changed epoch tells a
+    /// worker a new job is available.
+    epoch: u64,
+    job: Option<JobRef>,
+    /// Worker threads that have not yet finished the current epoch.
+    remaining: usize,
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<PoolState>,
+    /// Workers wait here for a new epoch.
+    work_cv: Condvar,
+    /// The region leader waits here for `remaining == 0`.
+    done_cv: Condvar,
+    /// Reusable team barrier (leader + workers).
+    barrier: Barrier,
+    /// Set when any team thread panicked during the current region.
+    panicked: AtomicBool,
+}
+
+/// A persistent pool of `n - 1` worker threads forming, together with the
+/// calling thread, teams of `n` threads for [`ThreadPool::parallel`]
+/// regions.
+pub struct ThreadPool {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+    nthreads: usize,
+    /// Serializes parallel regions: only one team may be active at a time
+    /// (nested parallelism is not supported, as in `OMP_NESTED=false`).
+    region_lock: Mutex<()>,
+}
+
+impl ThreadPool {
+    /// Creates a pool that runs parallel regions on `nthreads` threads
+    /// (the caller plus `nthreads - 1` spawned workers).
+    ///
+    /// # Panics
+    /// Panics if `nthreads == 0`.
+    pub fn new(nthreads: usize) -> Self {
+        assert!(nthreads > 0, "thread pool needs at least one thread");
+        let shared = Arc::new(Shared {
+            state: Mutex::new(PoolState {
+                epoch: 0,
+                job: None,
+                remaining: 0,
+                shutdown: false,
+            }),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+            barrier: Barrier::new(nthreads),
+            panicked: AtomicBool::new(false),
+        });
+        let workers = (1..nthreads)
+            .map(|tid| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("ompsim-worker-{tid}"))
+                    .spawn(move || worker_loop(&shared, tid, nthreads))
+                    .expect("failed to spawn pool worker")
+            })
+            .collect();
+        ThreadPool {
+            shared,
+            workers,
+            nthreads,
+            region_lock: Mutex::new(()),
+        }
+    }
+
+    /// Number of threads in each team.
+    #[inline]
+    pub fn num_threads(&self) -> usize {
+        self.nthreads
+    }
+
+    /// Runs `f` once on every team thread (including the caller, as thread
+    /// 0) and returns when all of them have finished — the equivalent of
+    /// `#pragma omp parallel`.
+    ///
+    /// # Panics
+    /// If any team thread panics, the panic is captured and re-raised on
+    /// the calling thread after the region completes (only safe for
+    /// barrier-free regions; see [`Team::barrier`]).
+    pub fn parallel<F>(&self, f: F)
+    where
+        F: Fn(&Team<'_>) + Sync,
+    {
+        let _region = self.region_lock.lock();
+        let erased: &(dyn Fn(&Team<'_>) + Sync) = &f;
+        let job = JobRef {
+            // Erase the lifetime: we block below until every worker is done.
+            f: unsafe {
+                std::mem::transmute::<
+                    *const (dyn Fn(&Team<'_>) + Sync),
+                    *const (dyn Fn(&Team<'_>) + Sync),
+                >(erased as *const _)
+            },
+        };
+
+        {
+            let mut st = self.shared.state.lock();
+            st.epoch += 1;
+            st.job = Some(job);
+            st.remaining = self.nthreads - 1;
+        }
+        self.shared.work_cv.notify_all();
+
+        // The caller participates as thread 0.
+        let team = Team {
+            tid: 0,
+            nthreads: self.nthreads,
+            shared: &self.shared,
+        };
+        let leader_result = catch_unwind(AssertUnwindSafe(|| f(&team)));
+        if leader_result.is_err() {
+            self.shared.panicked.store(true, Ordering::Relaxed);
+        }
+
+        // Join the epoch.
+        {
+            let mut st = self.shared.state.lock();
+            while st.remaining != 0 {
+                self.shared.done_cv.wait(&mut st);
+            }
+            st.job = None;
+        }
+
+        let worker_panicked = self.shared.panicked.swap(false, Ordering::Relaxed);
+        if let Err(payload) = leader_result {
+            // Prefer the leader's own payload so callers see the original
+            // panic message.
+            std::panic::resume_unwind(payload);
+        }
+        if worker_panicked {
+            panic!("ompsim: a thread panicked inside a parallel region");
+        }
+    }
+
+    /// OpenMP-style `parallel for` over `range`: `body(tid, chunk)` is
+    /// invoked for every chunk the schedule assigns to thread `tid`.
+    /// Chunk-level granularity keeps per-index overhead out of the runtime.
+    pub fn parallel_for<F>(&self, range: Range<usize>, schedule: Schedule, body: F)
+    where
+        F: Fn(usize, Range<usize>) + Sync,
+    {
+        let inst = ScheduleInstance::new(schedule, range, self.nthreads);
+        self.parallel(|team| {
+            for chunk in inst.chunks(team.id()) {
+                body(team.id(), chunk);
+            }
+        });
+    }
+
+    /// Per-index convenience wrapper over [`ThreadPool::parallel_for`].
+    pub fn for_each<F>(&self, range: Range<usize>, schedule: Schedule, body: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        self.parallel_for(range, schedule, |_tid, chunk| {
+            for i in chunk {
+                body(i);
+            }
+        });
+    }
+
+    /// Doubly-nested parallel loop with the iteration space flattened
+    /// before scheduling — OpenMP's `collapse(2)`. `body(i, j)` runs once
+    /// for every point of `rows × cols`.
+    pub fn for_each_2d<F>(
+        &self,
+        rows: Range<usize>,
+        cols: Range<usize>,
+        schedule: Schedule,
+        body: F,
+    ) where
+        F: Fn(usize, usize) + Sync,
+    {
+        let ncols = cols.end.saturating_sub(cols.start);
+        let nrows = rows.end.saturating_sub(rows.start);
+        if ncols == 0 || nrows == 0 {
+            return;
+        }
+        let (r0, c0) = (rows.start, cols.start);
+        self.for_each(0..nrows * ncols, schedule, |k| {
+            body(r0 + k / ncols, c0 + k % ncols);
+        });
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.state.lock();
+            st.shutdown = true;
+        }
+        self.shared.work_cv.notify_all();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared, tid: usize, nthreads: usize) {
+    let mut last_epoch = 0u64;
+    loop {
+        let job = {
+            let mut st = shared.state.lock();
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if st.epoch != last_epoch {
+                    last_epoch = st.epoch;
+                    break st.job.expect("epoch advanced without a job");
+                }
+                shared.work_cv.wait(&mut st);
+            }
+        };
+
+        let team = Team {
+            tid,
+            nthreads,
+            shared,
+        };
+        // SAFETY: the leader blocks in `parallel` until `remaining == 0`,
+        // so the borrowed closure behind `job.f` is still alive here.
+        let result = catch_unwind(AssertUnwindSafe(|| unsafe { (*job.f)(&team) }));
+        if result.is_err() {
+            shared.panicked.store(true, Ordering::Relaxed);
+        }
+
+        let mut st = shared.state.lock();
+        st.remaining -= 1;
+        if st.remaining == 0 {
+            shared.done_cv.notify_one();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn single_thread_pool_runs_on_caller() {
+        let pool = ThreadPool::new(1);
+        let hit = AtomicBool::new(false);
+        pool.parallel(|team| {
+            assert_eq!(team.id(), 0);
+            assert_eq!(team.num_threads(), 1);
+            hit.store(true, Ordering::Relaxed);
+        });
+        assert!(hit.into_inner());
+    }
+
+    #[test]
+    fn every_thread_participates_once() {
+        for n in [1, 2, 3, 4, 7, 16] {
+            let pool = ThreadPool::new(n);
+            let counts: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+            pool.parallel(|team| {
+                counts[team.id()].fetch_add(1, Ordering::Relaxed);
+            });
+            for c in &counts {
+                assert_eq!(c.load(Ordering::Relaxed), 1);
+            }
+        }
+    }
+
+    #[test]
+    fn regions_are_reusable() {
+        let pool = ThreadPool::new(4);
+        let total = AtomicUsize::new(0);
+        for _ in 0..100 {
+            pool.parallel(|_| {
+                total.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        assert_eq!(total.into_inner(), 400);
+    }
+
+    #[test]
+    fn barrier_orders_phases() {
+        let pool = ThreadPool::new(4);
+        let phase1 = AtomicUsize::new(0);
+        let ok = AtomicBool::new(true);
+        pool.parallel(|team| {
+            phase1.fetch_add(1, Ordering::SeqCst);
+            team.barrier();
+            // After the barrier every thread must observe all 4 increments.
+            if phase1.load(Ordering::SeqCst) != 4 {
+                ok.store(false, Ordering::SeqCst);
+            }
+        });
+        assert!(ok.into_inner());
+    }
+
+    #[test]
+    fn panic_in_region_propagates_and_pool_survives() {
+        let pool = ThreadPool::new(4);
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            pool.parallel(|team| {
+                if team.id() == team.num_threads() - 1 {
+                    panic!("boom");
+                }
+            });
+        }));
+        assert!(caught.is_err());
+        // The pool must still be usable afterwards.
+        let n = AtomicUsize::new(0);
+        pool.parallel(|_| {
+            n.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(n.into_inner(), 4);
+    }
+
+    #[test]
+    fn panic_on_leader_propagates() {
+        let pool = ThreadPool::new(2);
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            pool.parallel(|team| {
+                if team.id() == 0 {
+                    panic!("leader boom");
+                }
+            });
+        }));
+        assert!(caught.is_err());
+        let n = AtomicUsize::new(0);
+        pool.parallel(|_| {
+            n.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(n.into_inner(), 2);
+    }
+
+    #[test]
+    fn for_each_covers_range_exactly_once() {
+        let pool = ThreadPool::new(3);
+        let n = 1000;
+        let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        pool.for_each(0..n, Schedule::default(), |i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn for_each_2d_covers_cross_product() {
+        let pool = ThreadPool::new(3);
+        let (nr, nc) = (7, 11);
+        let hits: Vec<AtomicUsize> = (0..nr * nc).map(|_| AtomicUsize::new(0)).collect();
+        pool.for_each_2d(2..2 + nr, 5..5 + nc, Schedule::dynamic(4), |i, j| {
+            assert!((2..9).contains(&i) && (5..16).contains(&j));
+            hits[(i - 2) * nc + (j - 5)].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn for_each_2d_empty_dimensions() {
+        let pool = ThreadPool::new(2);
+        pool.for_each_2d(0..0, 0..5, Schedule::default(), |_, _| unreachable!());
+        pool.for_each_2d(0..5, 3..3, Schedule::default(), |_, _| unreachable!());
+    }
+
+    #[test]
+    fn empty_range_is_fine() {
+        let pool = ThreadPool::new(4);
+        pool.for_each(10..10, Schedule::default(), |_| unreachable!());
+    }
+
+    #[test]
+    fn concurrent_regions_from_many_threads_serialize() {
+        let pool = std::sync::Arc::new(ThreadPool::new(2));
+        let total = std::sync::Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let pool = std::sync::Arc::clone(&pool);
+                let total = std::sync::Arc::clone(&total);
+                std::thread::spawn(move || {
+                    for _ in 0..25 {
+                        pool.parallel(|_| {
+                            total.fetch_add(1, Ordering::Relaxed);
+                        });
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(total.load(Ordering::Relaxed), 4 * 25 * 2);
+    }
+}

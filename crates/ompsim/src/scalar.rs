@@ -1,0 +1,152 @@
+//! Scalar team reductions — the `reduction(op: scalar)` half of OpenMP
+//! that SPRAY does *not* replace (SPRAY is for arrays; scalars are cheap
+//! to privatize). Used e.g. for LULESH's time-step constraint minima.
+
+use crate::pool::ThreadPool;
+use crate::schedule::{Schedule, ScheduleInstance};
+use parking_lot::Mutex;
+use std::ops::Range;
+
+impl ThreadPool {
+    /// Parallel map-reduce over `range`: each index is mapped with `map`,
+    /// partial results are folded per thread and combined in ascending
+    /// thread order (deterministic for a fixed schedule and team width).
+    ///
+    /// `combine` must be associative; commutativity is not required
+    /// because the final fold is ordered.
+    pub fn map_reduce<T, M, C>(
+        &self,
+        range: Range<usize>,
+        schedule: Schedule,
+        identity: T,
+        map: M,
+        combine: C,
+    ) -> T
+    where
+        T: Send + Clone,
+        M: Fn(usize) -> T + Sync,
+        C: Fn(T, T) -> T + Sync,
+    {
+        let inst = ScheduleInstance::new(schedule, range, self.num_threads());
+        let partials: Vec<Mutex<Option<T>>> = std::iter::repeat_with(|| Mutex::new(None))
+            .take(self.num_threads())
+            .collect();
+        self.parallel(|team| {
+            let mut acc: Option<T> = None;
+            for chunk in inst.chunks(team.id()) {
+                for i in chunk {
+                    let v = map(i);
+                    acc = Some(match acc.take() {
+                        None => v,
+                        Some(a) => combine(a, v),
+                    });
+                }
+            }
+            *partials[team.id()].lock() = acc;
+        });
+        partials
+            .into_iter()
+            .filter_map(|m| m.into_inner())
+            .fold(identity, &combine)
+    }
+
+    /// Parallel sum of `map(i)` over the range.
+    pub fn sum_f64<M>(&self, range: Range<usize>, map: M) -> f64
+    where
+        M: Fn(usize) -> f64 + Sync,
+    {
+        self.map_reduce(range, Schedule::default(), 0.0, map, |a, b| a + b)
+    }
+
+    /// Parallel minimum of `map(i)` over the range (∞ when empty).
+    pub fn min_f64<M>(&self, range: Range<usize>, map: M) -> f64
+    where
+        M: Fn(usize) -> f64 + Sync,
+    {
+        self.map_reduce(range, Schedule::default(), f64::INFINITY, map, f64::min)
+    }
+
+    /// Parallel maximum of `map(i)` over the range (−∞ when empty).
+    pub fn max_f64<M>(&self, range: Range<usize>, map: M) -> f64
+    where
+        M: Fn(usize) -> f64 + Sync,
+    {
+        self.map_reduce(range, Schedule::default(), f64::NEG_INFINITY, map, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sum_matches_closed_form() {
+        let pool = ThreadPool::new(4);
+        let s = pool.sum_f64(0..1001, |i| i as f64);
+        assert_eq!(s, 500.0 * 1001.0);
+    }
+
+    #[test]
+    fn min_max() {
+        let pool = ThreadPool::new(3);
+        let vals: Vec<f64> = (0..500).map(|i| ((i * 37) % 101) as f64 - 50.0).collect();
+        let mn = pool.min_f64(0..vals.len(), |i| vals[i]);
+        let mx = pool.max_f64(0..vals.len(), |i| vals[i]);
+        assert_eq!(mn, vals.iter().cloned().fold(f64::INFINITY, f64::min));
+        assert_eq!(mx, vals.iter().cloned().fold(f64::NEG_INFINITY, f64::max));
+    }
+
+    #[test]
+    fn empty_range_returns_identity() {
+        let pool = ThreadPool::new(2);
+        assert_eq!(pool.sum_f64(5..5, |_| unreachable!()), 0.0);
+        assert_eq!(pool.min_f64(5..5, |_| unreachable!()), f64::INFINITY);
+    }
+
+    #[test]
+    fn ordered_fold_is_deterministic_across_runs() {
+        // Non-commutative-sensitive check: float sums depend on order; the
+        // ordered fold must give the identical bits on every run.
+        let pool = ThreadPool::new(4);
+        let vals: Vec<f64> = (0..10_000)
+            .map(|i| 1.0 / (i as f64 + 1.0) * if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
+        let a = pool.sum_f64(0..vals.len(), |i| vals[i]);
+        for _ in 0..5 {
+            let b = pool.sum_f64(0..vals.len(), |i| vals[i]);
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn works_with_dynamic_schedule() {
+        let pool = ThreadPool::new(4);
+        let s = pool.map_reduce(
+            0..100,
+            Schedule::dynamic(7),
+            0i64,
+            |i| i as i64,
+            |a, b| a + b,
+        );
+        assert_eq!(s, 4950);
+    }
+
+    #[test]
+    fn non_commutative_combine_ordered_by_thread() {
+        // Combine = string-ish concatenation via tuples; thread order must
+        // make the result identical to the sequential left fold for the
+        // static schedule (contiguous blocks in thread order).
+        let pool = ThreadPool::new(3);
+        let got = pool.map_reduce(
+            0..10,
+            Schedule::static_default(),
+            Vec::new(),
+            |i| vec![i],
+            |mut a, mut b| {
+                a.append(&mut b);
+                a
+            },
+        );
+        assert_eq!(got, (0..10).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,446 @@
+//! OpenMP-style loop schedules.
+//!
+//! A [`Schedule`] describes *how* iterations of a `parallel for` loop are
+//! distributed over a team; a [`ScheduleInstance`] is one loop's worth of
+//! shared scheduling state (e.g. the dynamic-dispatch cursor). Chunk
+//! assignment follows the OpenMP 5.0 semantics:
+//!
+//! * `static` (no chunk): the range is split into `nthreads` contiguous
+//!   pieces of near-equal size, one per thread;
+//! * `static,c`: chunks of `c` iterations are dealt round-robin,
+//!   thread `t` gets chunks `t, t+nthreads, t+2*nthreads, …`;
+//! * `dynamic,c`: chunks of `c` iterations are handed out first-come
+//!   first-served;
+//! * `guided,c`: like `dynamic`, but the chunk size starts at
+//!   `remaining / nthreads` and decays exponentially, never below `c`.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Loop schedule, mirroring OpenMP's `schedule(...)` clause.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Schedule {
+    /// `schedule(static)` or `schedule(static, chunk)`.
+    Static { chunk: Option<usize> },
+    /// `schedule(dynamic, chunk)`.
+    Dynamic { chunk: usize },
+    /// `schedule(guided, min_chunk)`.
+    Guided { min_chunk: usize },
+}
+
+impl Default for Schedule {
+    /// OpenMP's (and the paper's) default: plain `static`.
+    fn default() -> Self {
+        Schedule::Static { chunk: None }
+    }
+}
+
+impl Schedule {
+    /// Plain `schedule(static)`: one contiguous block per thread.
+    pub const fn static_default() -> Self {
+        Schedule::Static { chunk: None }
+    }
+
+    /// `schedule(static, chunk)`.
+    pub const fn static_chunked(chunk: usize) -> Self {
+        Schedule::Static { chunk: Some(chunk) }
+    }
+
+    /// `schedule(dynamic, chunk)`.
+    pub const fn dynamic(chunk: usize) -> Self {
+        Schedule::Dynamic { chunk }
+    }
+
+    /// `schedule(guided, min_chunk)`.
+    pub const fn guided(min_chunk: usize) -> Self {
+        Schedule::Guided { min_chunk }
+    }
+
+    /// Short human-readable name, used in benchmark reports.
+    pub fn label(&self) -> String {
+        match self {
+            Schedule::Static { chunk: None } => "static".to_string(),
+            Schedule::Static { chunk: Some(c) } => format!("static,{c}"),
+            Schedule::Dynamic { chunk } => format!("dynamic,{chunk}"),
+            Schedule::Guided { min_chunk } => format!("guided,{min_chunk}"),
+        }
+    }
+}
+
+/// Error from parsing a [`Schedule`] with `str::parse`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseScheduleError(String);
+
+impl std::fmt::Display for ParseScheduleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "invalid schedule '{}': expected KIND[,CHUNK] with kind static|dynamic|guided",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for ParseScheduleError {}
+
+impl std::str::FromStr for Schedule {
+    type Err = ParseScheduleError;
+
+    /// Parses `OMP_SCHEDULE`-style strings: `static`, `static,16`,
+    /// `dynamic,4`, `guided,8`. Dynamic/guided default to chunk 1.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let err = || ParseScheduleError(s.to_string());
+        let mut parts = s.split(',').map(str::trim);
+        let kind = parts.next().ok_or_else(err)?.to_ascii_lowercase();
+        let chunk = match parts.next() {
+            None => None,
+            Some(c) => Some(c.parse::<usize>().ok().filter(|&c| c > 0).ok_or_else(err)?),
+        };
+        if parts.next().is_some() {
+            return Err(err());
+        }
+        match kind.as_str() {
+            "static" => Ok(Schedule::Static { chunk }),
+            "dynamic" => Ok(Schedule::Dynamic {
+                chunk: chunk.unwrap_or(1),
+            }),
+            "guided" => Ok(Schedule::Guided {
+                min_chunk: chunk.unwrap_or(1),
+            }),
+            _ => Err(err()),
+        }
+    }
+}
+
+/// Shared scheduling state for one loop execution.
+pub struct ScheduleInstance {
+    schedule: Schedule,
+    start: usize,
+    end: usize,
+    nthreads: usize,
+    /// Dispatch cursor for dynamic/guided schedules (an absolute index).
+    cursor: AtomicUsize,
+}
+
+impl ScheduleInstance {
+    /// Creates the per-loop state for `range` distributed over `nthreads`.
+    ///
+    /// # Panics
+    /// Panics if `nthreads == 0` or a chunk size of 0 was configured.
+    pub fn new(schedule: Schedule, range: Range<usize>, nthreads: usize) -> Self {
+        assert!(nthreads > 0, "schedule needs at least one thread");
+        match schedule {
+            Schedule::Static { chunk: Some(0) } => panic!("static chunk size must be > 0"),
+            Schedule::Dynamic { chunk: 0 } => panic!("dynamic chunk size must be > 0"),
+            Schedule::Guided { min_chunk: 0 } => panic!("guided min chunk must be > 0"),
+            _ => {}
+        }
+        ScheduleInstance {
+            schedule,
+            start: range.start,
+            end: range.end.max(range.start),
+            nthreads,
+            cursor: AtomicUsize::new(range.start),
+        }
+    }
+
+    /// Total number of iterations in the loop.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the loop is empty.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// The stream of chunks thread `tid` must execute. For dynamic/guided
+    /// schedules the iterator pulls from the shared cursor, so it must be
+    /// consumed during the parallel region.
+    pub fn chunks(&self, tid: usize) -> ChunkIter<'_> {
+        debug_assert!(tid < self.nthreads);
+        let state = match self.schedule {
+            Schedule::Static { chunk: None } => {
+                // Near-equal contiguous blocks; the first `len % nthreads`
+                // threads get one extra iteration.
+                let len = self.len();
+                let base = len / self.nthreads;
+                let extra = len % self.nthreads;
+                let lo = self.start + tid * base + tid.min(extra);
+                let sz = base + usize::from(tid < extra);
+                IterState::Block {
+                    next: lo,
+                    end: lo + sz,
+                }
+            }
+            Schedule::Static { chunk: Some(c) } => IterState::RoundRobin {
+                next: self.start.saturating_add(tid.saturating_mul(c)),
+                chunk: c,
+                stride: c.saturating_mul(self.nthreads),
+            },
+            Schedule::Dynamic { chunk } => IterState::Dynamic { chunk },
+            Schedule::Guided { min_chunk } => IterState::Guided { min_chunk },
+        };
+        ChunkIter {
+            inst: self,
+            state,
+            done: false,
+        }
+    }
+}
+
+enum IterState {
+    /// Single contiguous block `[next, end)` (emitted once).
+    Block { next: usize, end: usize },
+    /// Fixed chunks dealt round-robin.
+    RoundRobin {
+        next: usize,
+        chunk: usize,
+        stride: usize,
+    },
+    /// First-come first-served fixed chunks.
+    Dynamic { chunk: usize },
+    /// First-come first-served shrinking chunks.
+    Guided { min_chunk: usize },
+}
+
+/// Iterator over the chunks assigned to one thread; see
+/// [`ScheduleInstance::chunks`].
+pub struct ChunkIter<'a> {
+    inst: &'a ScheduleInstance,
+    state: IterState,
+    done: bool,
+}
+
+impl Iterator for ChunkIter<'_> {
+    type Item = Range<usize>;
+
+    fn next(&mut self) -> Option<Range<usize>> {
+        if self.done {
+            return None;
+        }
+        let end = self.inst.end;
+        match &mut self.state {
+            IterState::Block { next, end: blk_end } => {
+                self.done = true;
+                if next < blk_end {
+                    Some(*next..*blk_end)
+                } else {
+                    None
+                }
+            }
+            IterState::RoundRobin {
+                next,
+                chunk,
+                stride,
+            } => {
+                if *next >= end {
+                    self.done = true;
+                    return None;
+                }
+                let lo = *next;
+                let hi = (lo + *chunk).min(end);
+                *next = match next.checked_add(*stride) {
+                    Some(n) => n,
+                    None => {
+                        self.done = true;
+                        return Some(lo..hi);
+                    }
+                };
+                Some(lo..hi)
+            }
+            IterState::Dynamic { chunk } => {
+                let lo = self.inst.cursor.fetch_add(*chunk, Ordering::Relaxed);
+                if lo >= end {
+                    self.done = true;
+                    None
+                } else {
+                    Some(lo..(lo + *chunk).min(end))
+                }
+            }
+            IterState::Guided { min_chunk } => {
+                let min_chunk = *min_chunk;
+                let nthreads = self.inst.nthreads;
+                let claim =
+                    self.inst
+                        .cursor
+                        .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |cur| {
+                            if cur >= end {
+                                None
+                            } else {
+                                let remaining = end - cur;
+                                let sz = (remaining / nthreads).max(min_chunk).min(remaining);
+                                Some(cur + sz)
+                            }
+                        });
+                match claim {
+                    Ok(lo) => {
+                        let remaining = end - lo;
+                        let sz = (remaining / nthreads).max(min_chunk).min(remaining);
+                        Some(lo..lo + sz)
+                    }
+                    Err(_) => {
+                        self.done = true;
+                        None
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Runs all threads' chunk streams sequentially and checks the range is
+    /// covered exactly once.
+    fn assert_exact_cover(schedule: Schedule, range: Range<usize>, nthreads: usize) {
+        let inst = ScheduleInstance::new(schedule, range.clone(), nthreads);
+        let mut hits = vec![0u32; range.end.saturating_sub(range.start)];
+        for tid in 0..nthreads {
+            for chunk in inst.chunks(tid) {
+                for i in chunk {
+                    assert!(range.contains(&i), "{schedule:?} emitted {i} outside range");
+                    hits[i - range.start] += 1;
+                }
+            }
+        }
+        assert!(
+            hits.iter().all(|&h| h == 1),
+            "{schedule:?} over {range:?} x{nthreads}: not an exact cover"
+        );
+    }
+
+    #[test]
+    fn static_default_covers() {
+        for n in [1, 2, 3, 7, 8] {
+            assert_exact_cover(Schedule::static_default(), 0..100, n);
+            assert_exact_cover(Schedule::static_default(), 5..6, n);
+            assert_exact_cover(Schedule::static_default(), 10..10, n);
+            assert_exact_cover(Schedule::static_default(), 3..104, n);
+        }
+    }
+
+    #[test]
+    fn static_default_is_contiguous_and_balanced() {
+        let inst = ScheduleInstance::new(Schedule::static_default(), 0..10, 4);
+        let per_thread: Vec<Vec<Range<usize>>> = (0..4).map(|t| inst.chunks(t).collect()).collect();
+        // 10 over 4 threads: 3,3,2,2 contiguous.
+        assert_eq!(per_thread[0], vec![0..3]);
+        assert_eq!(per_thread[1], vec![3..6]);
+        assert_eq!(per_thread[2], vec![6..8]);
+        assert_eq!(per_thread[3], vec![8..10]);
+    }
+
+    #[test]
+    fn static_chunked_round_robin() {
+        let inst = ScheduleInstance::new(Schedule::static_chunked(2), 0..10, 2);
+        let t0: Vec<_> = inst.chunks(0).collect();
+        let t1: Vec<_> = inst.chunks(1).collect();
+        assert_eq!(t0, vec![0..2, 4..6, 8..10]);
+        assert_eq!(t1, vec![2..4, 6..8]);
+    }
+
+    #[test]
+    fn static_chunked_covers() {
+        for chunk in [1, 2, 3, 16, 1000] {
+            for n in [1, 2, 5] {
+                assert_exact_cover(Schedule::static_chunked(chunk), 0..137, n);
+            }
+        }
+    }
+
+    #[test]
+    fn dynamic_covers_sequentially() {
+        for chunk in [1, 3, 64] {
+            for n in [1, 2, 5] {
+                assert_exact_cover(Schedule::dynamic(chunk), 0..137, n);
+            }
+        }
+    }
+
+    #[test]
+    fn guided_covers_and_shrinks() {
+        for min in [1, 4, 32] {
+            for n in [1, 2, 5] {
+                assert_exact_cover(Schedule::guided(min), 0..1000, n);
+            }
+        }
+        // Chunk sizes must be non-increasing when drained by one thread.
+        let inst = ScheduleInstance::new(Schedule::guided(1), 0..1024, 4);
+        let sizes: Vec<usize> = inst.chunks(0).map(|c| c.len()).collect();
+        assert!(
+            sizes.windows(2).all(|w| w[0] >= w[1]),
+            "guided sizes grew: {sizes:?}"
+        );
+        assert_eq!(sizes.iter().sum::<usize>(), 1024);
+        assert_eq!(sizes[0], 256); // 1024 / 4 threads
+    }
+
+    #[test]
+    fn nonzero_range_start_respected() {
+        assert_exact_cover(Schedule::dynamic(7), 100..250, 3);
+        assert_exact_cover(Schedule::static_chunked(5), 100..250, 3);
+        assert_exact_cover(Schedule::guided(2), 100..250, 3);
+    }
+
+    #[test]
+    #[allow(clippy::reversed_empty_ranges)]
+    fn inverted_range_is_empty() {
+        let inst = ScheduleInstance::new(Schedule::static_default(), 10..3, 2);
+        assert!(inst.is_empty());
+        assert_eq!(inst.chunks(0).count(), 0);
+        assert_eq!(inst.chunks(1).count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk size must be > 0")]
+    fn zero_dynamic_chunk_panics() {
+        let _ = ScheduleInstance::new(Schedule::dynamic(0), 0..10, 2);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(Schedule::static_default().label(), "static");
+        assert_eq!(Schedule::static_chunked(8).label(), "static,8");
+        assert_eq!(Schedule::dynamic(4).label(), "dynamic,4");
+        assert_eq!(Schedule::guided(2).label(), "guided,2");
+    }
+
+    #[test]
+    fn parse_roundtrips_labels() {
+        for s in [
+            Schedule::static_default(),
+            Schedule::static_chunked(16),
+            Schedule::dynamic(4),
+            Schedule::guided(2),
+        ] {
+            assert_eq!(s.label().parse::<Schedule>().unwrap(), s);
+        }
+    }
+
+    #[test]
+    fn parse_accepts_omp_style_variants() {
+        assert_eq!(
+            "STATIC, 8".parse::<Schedule>().unwrap(),
+            Schedule::static_chunked(8)
+        );
+        assert_eq!("dynamic".parse::<Schedule>().unwrap(), Schedule::dynamic(1));
+        assert_eq!("guided".parse::<Schedule>().unwrap(), Schedule::guided(1));
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        for bad in [
+            "",
+            "auto",
+            "static,0",
+            "static,x",
+            "static,1,2",
+            "dynamic,-3",
+        ] {
+            assert!(bad.parse::<Schedule>().is_err(), "accepted '{bad}'");
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! Coordinate-format (COO) builder.
+//!
+//! The natural format for *assembling* sparse matrices incrementally (FEM
+//! assembly, graph construction, Matrix Market streams) before converting
+//! to CSR/CSC for computation. Duplicate coordinates are summed on
+//! conversion, matching Matrix Market semantics.
+
+use crate::{Csc, Csr, Num};
+
+/// An incrementally-built sparse matrix in coordinate form.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Coo<T> {
+    nrows: usize,
+    ncols: usize,
+    entries: Vec<(usize, usize, T)>,
+}
+
+impl<T: Num> Coo<T> {
+    /// Empty builder with a fixed shape.
+    pub fn new(nrows: usize, ncols: usize) -> Self {
+        Coo {
+            nrows,
+            ncols,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Empty builder with pre-reserved capacity.
+    pub fn with_capacity(nrows: usize, ncols: usize, cap: usize) -> Self {
+        Coo {
+            nrows,
+            ncols,
+            entries: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Entries pushed so far (duplicates not yet merged).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no entries have been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Adds `value` at `(row, col)`; duplicates accumulate on conversion.
+    ///
+    /// # Panics
+    /// Panics if the coordinate is out of bounds.
+    pub fn push(&mut self, row: usize, col: usize, value: T) {
+        assert!(
+            row < self.nrows && col < self.ncols,
+            "entry ({row},{col}) out of bounds for {}x{}",
+            self.nrows,
+            self.ncols
+        );
+        self.entries.push((row, col, value));
+    }
+
+    /// Adds `value` at `(row, col)` and its mirror at `(col, row)` —
+    /// convenient for symmetric assembly.
+    pub fn push_symmetric(&mut self, row: usize, col: usize, value: T) {
+        self.push(row, col, value);
+        if row != col {
+            self.push(col, row, value);
+        }
+    }
+
+    /// Bulk-extends from a triplet iterator.
+    pub fn extend(&mut self, triplets: impl IntoIterator<Item = (usize, usize, T)>) {
+        for (r, c, v) in triplets {
+            self.push(r, c, v);
+        }
+    }
+
+    /// Converts to CSR, summing duplicates.
+    pub fn to_csr(&self) -> Csr<T> {
+        Csr::from_triplets(self.nrows, self.ncols, self.entries.iter().copied())
+    }
+
+    /// Converts to CSC, summing duplicates.
+    pub fn to_csc(&self) -> Csc<T> {
+        Csc::from_csr(&self.to_csr())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn incremental_assembly_sums_duplicates() {
+        let mut coo = Coo::new(3, 3);
+        coo.push(0, 1, 2.0);
+        coo.push(0, 1, 3.0);
+        coo.push(2, 2, 1.0);
+        assert_eq!(coo.len(), 3);
+        let a = coo.to_csr();
+        assert_eq!(a.nnz(), 2);
+        assert_eq!(a.to_dense()[0][1], 5.0);
+    }
+
+    #[test]
+    fn symmetric_assembly() {
+        let mut coo = Coo::new(4, 4);
+        coo.push_symmetric(0, 2, 7.0);
+        coo.push_symmetric(1, 1, 3.0); // diagonal: no mirror
+        let a = coo.to_csr();
+        assert!(a.is_symmetric());
+        assert_eq!(a.nnz(), 3);
+    }
+
+    #[test]
+    fn extend_and_csc_roundtrip() {
+        let mut coo = Coo::with_capacity(5, 4, 8);
+        coo.extend([(0usize, 0usize, 1.0f64), (4, 3, 2.0), (2, 1, 3.0)]);
+        let csr = coo.to_csr();
+        let csc = coo.to_csc();
+        assert_eq!(csc.to_csr().to_dense(), csr.to_dense());
+    }
+
+    #[test]
+    fn empty_builder() {
+        let coo: Coo<f64> = Coo::new(2, 2);
+        assert!(coo.is_empty());
+        assert_eq!(coo.to_csr().nnz(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn oob_push_panics() {
+        let mut coo = Coo::new(2, 2);
+        coo.push(2, 0, 1.0);
+    }
+}

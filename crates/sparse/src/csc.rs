@@ -1,0 +1,201 @@
+//! Compressed sparse column (CSC) matrices.
+//!
+//! §VI-B: "these formats" — CSR and CSC — are both standard, and a
+//! *matrix-vector product on a CSC matrix* contains exactly the same
+//! data-dependent scatter as the transpose product on CSR (Fig. 10). This
+//! type makes that duality concrete: `Csc` stores columns contiguously,
+//! its `matvec` is a spray reduction over columns, and conversions to/from
+//! [`Csr`] are exact.
+
+use crate::{Csr, Num};
+use ompsim::{Schedule, ThreadPool};
+use spray::{reduce_strategy, Kernel, ReducerView, RunReport, Strategy};
+use std::fmt;
+
+/// A CSC sparse matrix: `rows[colptr[j]..colptr[j+1]]` are the row indices
+/// of column `j`'s entries.
+#[derive(Clone, PartialEq)]
+pub struct Csc<T> {
+    nrows: usize,
+    ncols: usize,
+    colptr: Vec<usize>,
+    rows: Vec<u32>,
+    vals: Vec<T>,
+}
+
+impl<T: fmt::Debug> fmt::Debug for Csc<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Csc({}x{}, nnz={})",
+            self.nrows,
+            self.ncols,
+            self.vals.len()
+        )
+    }
+}
+
+impl<T: Num> Csc<T> {
+    /// Converts from CSR (exact; `O(nnz)`).
+    pub fn from_csr(a: &Csr<T>) -> Self {
+        // The transpose of a CSR matrix, read with rows/cols swapped, IS
+        // the CSC form of the original.
+        let t = a.transpose();
+        Csc {
+            nrows: a.nrows(),
+            ncols: a.ncols(),
+            colptr: t.rowptr().to_vec(),
+            rows: t.cols().to_vec(),
+            vals: t.vals().to_vec(),
+        }
+    }
+
+    /// Converts to CSR (exact; `O(nnz)`).
+    pub fn to_csr(&self) -> Csr<T> {
+        // CSC arrays read as CSR describe the transpose; transpose again.
+        Csr::from_raw(
+            self.ncols,
+            self.nrows,
+            self.colptr.clone(),
+            self.rows.clone(),
+            self.vals.clone(),
+        )
+        .transpose()
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of stored entries.
+    pub fn nnz(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// The `(row-indices, values)` slices of one column.
+    pub fn col(&self, j: usize) -> (&[u32], &[T]) {
+        let lo = self.colptr[j];
+        let hi = self.colptr[j + 1];
+        (&self.rows[lo..hi], &self.vals[lo..hi])
+    }
+
+    /// Sequential `y += A·x` — on CSC this is the Fig. 10 scatter: column
+    /// `j` scatters `vals[k]·x[j]` to `y[rows[k]]`.
+    pub fn matvec_seq(&self, x: &[T], y: &mut [T]) {
+        assert_eq!(x.len(), self.ncols);
+        assert_eq!(y.len(), self.nrows);
+        for (j, &xj) in x.iter().enumerate() {
+            let (rows, vals) = self.col(j);
+            for (&r, &v) in rows.iter().zip(vals) {
+                y[r as usize] = y[r as usize] + v * xj;
+            }
+        }
+    }
+}
+
+/// The CSC matvec scatter as a [`spray::Kernel`] over columns.
+pub struct CscMvKernel<'a, T> {
+    /// The matrix.
+    pub a: &'a Csc<T>,
+    /// Input vector (length `ncols`).
+    pub x: &'a [T],
+}
+
+impl<T: Num> Kernel<T> for CscMvKernel<'_, T> {
+    #[inline(always)]
+    fn item<V: ReducerView<T>>(&self, view: &mut V, j: usize) {
+        let xj = self.x[j];
+        let (rows, vals) = self.a.col(j);
+        for (&r, &v) in rows.iter().zip(vals) {
+            view.apply(r as usize, v * xj);
+        }
+    }
+}
+
+/// Computes `y += A·x` on a CSC matrix with the given reduction strategy.
+///
+/// # Panics
+/// Panics on dimension mismatch.
+pub fn csc_matvec_with_strategy<T: Num>(
+    strategy: Strategy,
+    pool: &ThreadPool,
+    a: &Csc<T>,
+    x: &[T],
+    y: &mut [T],
+) -> RunReport {
+    assert_eq!(x.len(), a.ncols(), "x must have ncols elements");
+    assert_eq!(y.len(), a.nrows(), "y must have nrows elements");
+    let kernel = CscMvKernel { a, x };
+    reduce_strategy::<T, spray::Sum, _>(
+        strategy,
+        pool,
+        y,
+        0..a.ncols(),
+        Schedule::default(),
+        &kernel,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn csr_csc_roundtrip_exact() {
+        let a = gen::random(40, 30, 250, 21);
+        let csc = Csc::from_csr(&a);
+        assert_eq!(csc.nnz(), a.nnz());
+        let back = csc.to_csr();
+        assert_eq!(back.to_dense(), a.to_dense());
+    }
+
+    #[test]
+    fn csc_matvec_equals_csr_matvec() {
+        let a = gen::random(50, 35, 300, 22);
+        let csc = Csc::from_csr(&a);
+        let x: Vec<f64> = (0..35).map(|i| (i % 9) as f64 * 0.5 - 2.0).collect();
+
+        let mut y_csr = vec![0.0f64; 50];
+        a.matvec_seq(&x, &mut y_csr);
+        let mut y_csc = vec![0.0f64; 50];
+        csc.matvec_seq(&x, &mut y_csc);
+        for (u, v) in y_csr.iter().zip(&y_csc) {
+            assert!((u - v).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn csc_matvec_strategies_match_seq() {
+        let a = gen::random(80, 60, 600, 23);
+        let csc = Csc::from_csr(&a);
+        let x: Vec<f64> = (0..60).map(|i| (i % 5) as f64).collect();
+        let mut want = vec![0.0f64; 80];
+        csc.matvec_seq(&x, &mut want);
+
+        let pool = ThreadPool::new(4);
+        for strategy in Strategy::all(16) {
+            let mut y = vec![0.0f64; 80];
+            csc_matvec_with_strategy(strategy, &pool, &csc, &x, &mut y);
+            for (i, (g, w)) in y.iter().zip(&want).enumerate() {
+                assert!((g - w).abs() < 1e-9, "{} at {i}", strategy.label());
+            }
+        }
+    }
+
+    #[test]
+    fn column_access() {
+        let a = Csr::from_triplets(3, 3, vec![(0, 1, 2.0), (2, 1, 5.0), (1, 0, 7.0)]);
+        let csc = Csc::from_csr(&a);
+        let (rows, vals) = csc.col(1);
+        assert_eq!(rows, &[0, 2]);
+        assert_eq!(vals, &[2.0, 5.0]);
+        assert_eq!(csc.col(2).0.len(), 0);
+    }
+}

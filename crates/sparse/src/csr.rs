@@ -1,0 +1,439 @@
+//! Compressed sparse row (CSR) matrices.
+//!
+//! The storage layout matches what the paper's §VI-B kernel iterates:
+//! `rowptr` (row extents into the value/column arrays), `cols` (column
+//! indices as `u32`), `vals`. A CSR matrix read as "columns of the
+//! transpose" doubles as a CSC matrix, which is how the transpose products
+//! and the inspector/executor baseline work.
+
+use crate::Num;
+use std::fmt;
+
+/// A CSR sparse matrix.
+#[derive(Clone, PartialEq)]
+pub struct Csr<T> {
+    nrows: usize,
+    ncols: usize,
+    rowptr: Vec<usize>,
+    cols: Vec<u32>,
+    vals: Vec<T>,
+}
+
+impl<T: fmt::Debug> fmt::Debug for Csr<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Csr({}x{}, nnz={})",
+            self.nrows,
+            self.ncols,
+            self.vals.len()
+        )
+    }
+}
+
+impl<T: Num> Csr<T> {
+    /// Builds a CSR matrix from unordered `(row, col, value)` triplets.
+    /// Duplicate coordinates are summed (Matrix Market semantics).
+    ///
+    /// # Panics
+    /// Panics if any coordinate is out of bounds or `ncols > u32::MAX`.
+    pub fn from_triplets(
+        nrows: usize,
+        ncols: usize,
+        triplets: impl IntoIterator<Item = (usize, usize, T)>,
+    ) -> Self {
+        assert!(ncols <= u32::MAX as usize, "too many columns for u32 ids");
+        let mut t: Vec<(usize, usize, T)> = triplets.into_iter().collect();
+        for &(r, c, _) in &t {
+            assert!(r < nrows && c < ncols, "triplet ({r},{c}) out of bounds");
+        }
+        t.sort_unstable_by_key(|&(r, c, _)| (r, c));
+
+        let mut rowptr = Vec::with_capacity(nrows + 1);
+        let mut cols: Vec<u32> = Vec::with_capacity(t.len());
+        let mut vals: Vec<T> = Vec::with_capacity(t.len());
+        rowptr.push(0);
+        let mut cur_row = 0usize;
+        for (r, c, v) in t {
+            while cur_row < r {
+                rowptr.push(cols.len());
+                cur_row += 1;
+            }
+            if let (Some(&last_c), true) = (cols.last(), rowptr.len() == cur_row + 1) {
+                // Merge a duplicate coordinate within the current row.
+                if !cols.is_empty() && *rowptr.last().unwrap() < cols.len() && last_c as usize == c
+                {
+                    let lv = vals.last_mut().unwrap();
+                    *lv = *lv + v;
+                    continue;
+                }
+            }
+            cols.push(c as u32);
+            vals.push(v);
+        }
+        while cur_row < nrows {
+            rowptr.push(cols.len());
+            cur_row += 1;
+        }
+        debug_assert_eq!(rowptr.len(), nrows + 1);
+        Csr {
+            nrows,
+            ncols,
+            rowptr,
+            cols,
+            vals,
+        }
+    }
+
+    /// Builds directly from raw CSR arrays.
+    ///
+    /// # Panics
+    /// Panics if the arrays are inconsistent (lengths, monotonicity,
+    /// column bounds).
+    pub fn from_raw(
+        nrows: usize,
+        ncols: usize,
+        rowptr: Vec<usize>,
+        cols: Vec<u32>,
+        vals: Vec<T>,
+    ) -> Self {
+        assert_eq!(rowptr.len(), nrows + 1, "rowptr length mismatch");
+        assert_eq!(cols.len(), vals.len(), "cols/vals length mismatch");
+        assert_eq!(*rowptr.last().unwrap(), cols.len(), "rowptr end mismatch");
+        assert!(
+            rowptr.windows(2).all(|w| w[0] <= w[1]),
+            "rowptr not monotone"
+        );
+        assert!(
+            cols.iter().all(|&c| (c as usize) < ncols),
+            "column index out of bounds"
+        );
+        Csr {
+            nrows,
+            ncols,
+            rowptr,
+            cols,
+            vals,
+        }
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of stored entries.
+    pub fn nnz(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// Row extents array (`nrows + 1` entries).
+    pub fn rowptr(&self) -> &[usize] {
+        &self.rowptr
+    }
+
+    /// Column indices array.
+    pub fn cols(&self) -> &[u32] {
+        &self.cols
+    }
+
+    /// Values array.
+    pub fn vals(&self) -> &[T] {
+        &self.vals
+    }
+
+    /// The `(cols, vals)` slices of one row.
+    pub fn row(&self, r: usize) -> (&[u32], &[T]) {
+        let lo = self.rowptr[r];
+        let hi = self.rowptr[r + 1];
+        (&self.cols[lo..hi], &self.vals[lo..hi])
+    }
+
+    /// Explicit transpose: rows become columns. `O(nnz)` counting sort.
+    /// (This is exactly the matrix copy the simulated MKL
+    /// inspector/executor builds when given an operation hint.)
+    pub fn transpose(&self) -> Csr<T> {
+        let mut counts = vec![0usize; self.ncols + 1];
+        for &c in &self.cols {
+            counts[c as usize + 1] += 1;
+        }
+        for i in 0..self.ncols {
+            counts[i + 1] += counts[i];
+        }
+        let rowptr_t = counts.clone();
+        let mut cols_t = vec![0u32; self.nnz()];
+        let mut vals_t = vec![T::default(); self.nnz()];
+        let mut cursor = counts;
+        for r in 0..self.nrows {
+            for k in self.rowptr[r]..self.rowptr[r + 1] {
+                let c = self.cols[k] as usize;
+                let dst = cursor[c];
+                cursor[c] += 1;
+                cols_t[dst] = r as u32;
+                vals_t[dst] = self.vals[k];
+            }
+        }
+        Csr {
+            nrows: self.ncols,
+            ncols: self.nrows,
+            rowptr: rowptr_t,
+            cols: cols_t,
+            vals: vals_t,
+        }
+    }
+
+    /// Dense representation, for tests on small matrices.
+    pub fn to_dense(&self) -> Vec<Vec<T>> {
+        let mut d = vec![vec![T::default(); self.ncols]; self.nrows];
+        for (r, row) in d.iter_mut().enumerate() {
+            let (cols, vals) = self.row(r);
+            for (&c, &v) in cols.iter().zip(vals) {
+                row[c as usize] = row[c as usize] + v;
+            }
+        }
+        d
+    }
+
+    /// Sequential `y += A · x` (row gather, no reduction needed).
+    pub fn matvec_seq(&self, x: &[T], y: &mut [T]) {
+        assert_eq!(x.len(), self.ncols);
+        assert_eq!(y.len(), self.nrows);
+        for (r, yr) in y.iter_mut().enumerate() {
+            let (cols, vals) = self.row(r);
+            let mut acc = T::default();
+            for (&c, &v) in cols.iter().zip(vals) {
+                acc = acc + v * x[c as usize];
+            }
+            *yr = *yr + acc;
+        }
+    }
+
+    /// Sequential `y += Aᵀ · x` — exactly Fig. 10 of the paper: a scatter
+    /// to data-dependent output locations `y[cols[k]]`.
+    pub fn tmatvec_seq(&self, x: &[T], y: &mut [T]) {
+        assert_eq!(x.len(), self.nrows);
+        assert_eq!(y.len(), self.ncols);
+        for (r, &xr) in x.iter().enumerate() {
+            let (cols, vals) = self.row(r);
+            for (&c, &v) in cols.iter().zip(vals) {
+                y[c as usize] = y[c as usize] + v * xr;
+            }
+        }
+    }
+
+    /// Whether the matrix equals its transpose (pattern and values).
+    pub fn is_symmetric(&self) -> bool
+    where
+        T: PartialEq,
+    {
+        if self.nrows != self.ncols {
+            return false;
+        }
+        let t = self.transpose();
+        self.rowptr == t.rowptr && self.cols == t.cols && self.vals == t.vals
+    }
+
+    /// The main diagonal as a dense vector (zeros where absent).
+    pub fn diagonal(&self) -> Vec<T> {
+        let n = self.nrows.min(self.ncols);
+        let mut d = vec![T::default(); n];
+        for (r, slot) in d.iter_mut().enumerate() {
+            let (cols, vals) = self.row(r);
+            if let Ok(k) = cols.binary_search(&(r as u32)) {
+                *slot = vals[k];
+            }
+        }
+        d
+    }
+
+    /// Returns the matrix with every value passed through `f` (same
+    /// sparsity pattern).
+    pub fn map_values(&self, f: impl Fn(T) -> T) -> Csr<T> {
+        Csr {
+            nrows: self.nrows,
+            ncols: self.ncols,
+            rowptr: self.rowptr.clone(),
+            cols: self.cols.clone(),
+            vals: self.vals.iter().map(|&v| f(v)).collect(),
+        }
+    }
+
+    /// Sum of two same-shaped matrices (union of patterns).
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn add(&self, other: &Csr<T>) -> Csr<T> {
+        assert_eq!(self.nrows, other.nrows, "row count mismatch");
+        assert_eq!(self.ncols, other.ncols, "column count mismatch");
+        let mut triplets = Vec::with_capacity(self.nnz() + other.nnz());
+        for m in [self, other] {
+            for r in 0..m.nrows {
+                let (cols, vals) = m.row(r);
+                for (&c, &v) in cols.iter().zip(vals) {
+                    triplets.push((r, c as usize, v));
+                }
+            }
+        }
+        Csr::from_triplets(self.nrows, self.ncols, triplets)
+    }
+
+    /// Total heap bytes of the three CSR arrays (used for memory reports).
+    pub fn heap_bytes(&self) -> usize {
+        self.rowptr.capacity() * std::mem::size_of::<usize>()
+            + self.cols.capacity() * std::mem::size_of::<u32>()
+            + self.vals.capacity() * std::mem::size_of::<T>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn example() -> Csr<f64> {
+        // [ 1 0 2 ]
+        // [ 0 0 0 ]
+        // [ 3 4 0 ]
+        // [ 0 0 5 ]
+        Csr::from_triplets(
+            4,
+            3,
+            vec![
+                (0, 0, 1.0),
+                (0, 2, 2.0),
+                (2, 0, 3.0),
+                (2, 1, 4.0),
+                (3, 2, 5.0),
+            ],
+        )
+    }
+
+    #[test]
+    fn from_triplets_layout() {
+        let a = example();
+        assert_eq!(a.nrows(), 4);
+        assert_eq!(a.ncols(), 3);
+        assert_eq!(a.nnz(), 5);
+        assert_eq!(a.rowptr(), &[0, 2, 2, 4, 5]);
+        assert_eq!(a.cols(), &[0, 2, 0, 1, 2]);
+        assert_eq!(a.vals(), &[1.0, 2.0, 3.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn duplicates_are_summed() {
+        let a = Csr::from_triplets(2, 2, vec![(0, 1, 1.0), (0, 1, 2.5), (1, 0, 1.0)]);
+        assert_eq!(a.nnz(), 2);
+        assert_eq!(a.vals(), &[3.5, 1.0]);
+    }
+
+    #[test]
+    fn unsorted_triplets_ok() {
+        let a = Csr::from_triplets(2, 2, vec![(1, 1, 4.0), (0, 0, 1.0), (1, 0, 3.0)]);
+        assert_eq!(a.rowptr(), &[0, 1, 3]);
+        assert_eq!(a.cols(), &[0, 0, 1]);
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let a = example();
+        let att = a.transpose().transpose();
+        assert_eq!(a.to_dense(), att.to_dense());
+    }
+
+    #[test]
+    fn transpose_matches_dense() {
+        let a = example();
+        let at = a.transpose();
+        let d = a.to_dense();
+        let dt = at.to_dense();
+        for r in 0..a.nrows() {
+            for c in 0..a.ncols() {
+                assert_eq!(d[r][c], dt[c][r]);
+            }
+        }
+    }
+
+    #[test]
+    fn matvec_and_tmatvec() {
+        let a = example();
+        let x3 = [1.0, 2.0, 3.0];
+        let mut y = vec![0.0; 4];
+        a.matvec_seq(&x3, &mut y);
+        assert_eq!(y, vec![7.0, 0.0, 11.0, 15.0]);
+
+        let x4 = [1.0, 1.0, 1.0, 1.0];
+        let mut yt = vec![0.0; 3];
+        a.tmatvec_seq(&x4, &mut yt);
+        assert_eq!(yt, vec![4.0, 4.0, 7.0]);
+    }
+
+    #[test]
+    fn tmatvec_equals_transpose_matvec() {
+        let a = example();
+        let x = [0.5, -1.0, 2.0, 3.0];
+        let mut y1 = vec![0.0; 3];
+        a.tmatvec_seq(&x, &mut y1);
+        let at = a.transpose();
+        let mut y2 = vec![0.0; 3];
+        at.matvec_seq(&x, &mut y2);
+        for (u, v) in y1.iter().zip(&y2) {
+            assert!((u - v).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let a: Csr<f64> = Csr::from_triplets(0, 0, vec![]);
+        assert_eq!(a.nnz(), 0);
+        let mut y: Vec<f64> = vec![];
+        a.matvec_seq(&[], &mut y);
+    }
+
+    #[test]
+    fn symmetry_and_diagonal() {
+        let sym = Csr::from_triplets(
+            3,
+            3,
+            vec![(0, 1, 2.0), (1, 0, 2.0), (1, 1, 5.0), (2, 2, 1.0)],
+        );
+        assert!(sym.is_symmetric());
+        assert_eq!(sym.diagonal(), vec![0.0, 5.0, 1.0]);
+        let asym = Csr::from_triplets(2, 2, vec![(0, 1, 2.0)]);
+        assert!(!asym.is_symmetric());
+        let rect = Csr::from_triplets(2, 3, vec![(0, 0, 1.0)]);
+        assert!(!rect.is_symmetric());
+    }
+
+    #[test]
+    fn map_values_and_add() {
+        let a = example();
+        let doubled = a.map_values(|v| v * 2.0);
+        assert_eq!(doubled.nnz(), a.nnz());
+        assert_eq!(doubled.vals()[0], 2.0);
+
+        let s = a.add(&a.map_values(|v| -v));
+        // A + (-A) = 0 everywhere (entries may remain explicitly).
+        assert!(s.vals().iter().all(|&v| v == 0.0));
+
+        let b = Csr::from_triplets(4, 3, vec![(1, 1, 9.0)]);
+        let sum = a.add(&b);
+        assert_eq!(sum.to_dense()[1][1], 9.0);
+        assert_eq!(sum.to_dense()[0][0], 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn bad_triplet_panics() {
+        let _ = Csr::from_triplets(2, 2, vec![(2, 0, 1.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "rowptr not monotone")]
+    fn bad_raw_panics() {
+        let _ = Csr::from_raw(2, 2, vec![0, 2, 1], vec![0], vec![1.0]);
+    }
+}

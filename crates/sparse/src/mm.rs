@@ -1,0 +1,271 @@
+//! Matrix Market (`.mtx`) I/O.
+//!
+//! Supports the coordinate format the evaluation matrices use:
+//! `%%MatrixMarket matrix coordinate {real|integer|pattern}
+//! {general|symmetric}`. Symmetric files store only the lower triangle;
+//! the reader mirrors off-diagonal entries, matching how the paper's
+//! matrices would be loaded ("the matrices are actually symmetric, \[but\]
+//! all operations were performed as if applied to general matrices").
+
+use crate::Csr;
+use std::fmt;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+/// Errors produced by the Matrix Market reader.
+#[derive(Debug)]
+pub enum MmError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Structurally invalid file (with a human-readable reason).
+    Parse(String),
+}
+
+impl fmt::Display for MmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MmError::Io(e) => write!(f, "I/O error: {e}"),
+            MmError::Parse(m) => write!(f, "Matrix Market parse error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for MmError {}
+
+impl From<std::io::Error> for MmError {
+    fn from(e: std::io::Error) -> Self {
+        MmError::Io(e)
+    }
+}
+
+fn parse_err(msg: impl Into<String>) -> MmError {
+    MmError::Parse(msg.into())
+}
+
+#[derive(PartialEq, Clone, Copy)]
+enum Field {
+    Real,
+    Integer,
+    Pattern,
+}
+
+#[derive(PartialEq, Clone, Copy)]
+enum Symmetry {
+    General,
+    Symmetric,
+}
+
+/// Reads a coordinate-format Matrix Market stream into a [`Csr<f64>`].
+pub fn read_matrix_market<R: Read>(reader: R) -> Result<Csr<f64>, MmError> {
+    let mut lines = BufReader::new(reader).lines();
+
+    let header = lines
+        .next()
+        .ok_or_else(|| parse_err("empty file"))??
+        .to_lowercase();
+    let tokens: Vec<&str> = header.split_whitespace().collect();
+    if tokens.len() < 5 || tokens[0] != "%%matrixmarket" || tokens[1] != "matrix" {
+        return Err(parse_err("missing %%MatrixMarket matrix header"));
+    }
+    if tokens[2] != "coordinate" {
+        return Err(parse_err(format!(
+            "unsupported format '{}' (only coordinate)",
+            tokens[2]
+        )));
+    }
+    let field = match tokens[3] {
+        "real" => Field::Real,
+        "integer" => Field::Integer,
+        "pattern" => Field::Pattern,
+        other => return Err(parse_err(format!("unsupported field type '{other}'"))),
+    };
+    let symmetry = match tokens[4] {
+        "general" => Symmetry::General,
+        "symmetric" => Symmetry::Symmetric,
+        other => return Err(parse_err(format!("unsupported symmetry '{other}'"))),
+    };
+
+    // Skip comments, find the size line.
+    let size_line = loop {
+        let line = lines
+            .next()
+            .ok_or_else(|| parse_err("missing size line"))??;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('%') {
+            continue;
+        }
+        break t.to_string();
+    };
+    let dims: Vec<usize> = size_line
+        .split_whitespace()
+        .map(|s| s.parse::<usize>())
+        .collect::<Result<_, _>>()
+        .map_err(|e| parse_err(format!("bad size line '{size_line}': {e}")))?;
+    let [nrows, ncols, nnz] = dims[..] else {
+        return Err(parse_err(format!(
+            "size line needs 3 fields: '{size_line}'"
+        )));
+    };
+
+    let mut triplets: Vec<(usize, usize, f64)> = Vec::with_capacity(
+        nnz * if symmetry == Symmetry::Symmetric {
+            2
+        } else {
+            1
+        },
+    );
+    let mut seen = 0usize;
+    for line in lines {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('%') {
+            continue;
+        }
+        let mut it = t.split_whitespace();
+        let r: usize = it
+            .next()
+            .ok_or_else(|| parse_err("missing row index"))?
+            .parse()
+            .map_err(|e| parse_err(format!("bad row index: {e}")))?;
+        let c: usize = it
+            .next()
+            .ok_or_else(|| parse_err("missing column index"))?
+            .parse()
+            .map_err(|e| parse_err(format!("bad column index: {e}")))?;
+        let v: f64 = match field {
+            Field::Pattern => 1.0,
+            _ => it
+                .next()
+                .ok_or_else(|| parse_err("missing value"))?
+                .parse()
+                .map_err(|e| parse_err(format!("bad value: {e}")))?,
+        };
+        if r == 0 || c == 0 || r > nrows || c > ncols {
+            return Err(parse_err(format!(
+                "entry ({r},{c}) outside 1..={nrows} x 1..={ncols}"
+            )));
+        }
+        triplets.push((r - 1, c - 1, v));
+        if symmetry == Symmetry::Symmetric && r != c {
+            triplets.push((c - 1, r - 1, v));
+        }
+        seen += 1;
+    }
+    if seen != nnz {
+        return Err(parse_err(format!("expected {nnz} entries, found {seen}")));
+    }
+    Ok(Csr::from_triplets(nrows, ncols, triplets))
+}
+
+/// Reads a `.mtx` file from disk.
+pub fn read_matrix_market_file(path: impl AsRef<Path>) -> Result<Csr<f64>, MmError> {
+    read_matrix_market(std::fs::File::open(path)?)
+}
+
+/// Writes a matrix as `coordinate real general`.
+pub fn write_matrix_market<W: Write>(mut w: W, a: &Csr<f64>) -> std::io::Result<()> {
+    writeln!(w, "%%MatrixMarket matrix coordinate real general")?;
+    writeln!(w, "% written by spray-sparse")?;
+    writeln!(w, "{} {} {}", a.nrows(), a.ncols(), a.nnz())?;
+    for r in 0..a.nrows() {
+        let (cols, vals) = a.row(r);
+        for (&c, &v) in cols.iter().zip(vals) {
+            writeln!(w, "{} {} {:e}", r + 1, c as usize + 1, v)?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_general_real() {
+        let src = "\
+%%MatrixMarket matrix coordinate real general
+% a comment
+3 3 3
+1 1 1.5
+2 3 -2.0
+3 1 4e-1
+";
+        let a = read_matrix_market(src.as_bytes()).unwrap();
+        assert_eq!(a.nrows(), 3);
+        assert_eq!(a.nnz(), 3);
+        let d = a.to_dense();
+        assert_eq!(d[0][0], 1.5);
+        assert_eq!(d[1][2], -2.0);
+        assert!((d[2][0] - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parse_symmetric_mirrors() {
+        let src = "\
+%%MatrixMarket matrix coordinate real symmetric
+2 2 2
+1 1 3.0
+2 1 5.0
+";
+        let a = read_matrix_market(src.as_bytes()).unwrap();
+        assert_eq!(a.nnz(), 3); // diagonal + mirrored pair
+        let d = a.to_dense();
+        assert_eq!(d[0][1], 5.0);
+        assert_eq!(d[1][0], 5.0);
+    }
+
+    #[test]
+    fn parse_pattern() {
+        let src = "\
+%%MatrixMarket matrix coordinate pattern general
+2 2 2
+1 2
+2 1
+";
+        let a = read_matrix_market(src.as_bytes()).unwrap();
+        let d = a.to_dense();
+        assert_eq!(d[0][1], 1.0);
+        assert_eq!(d[1][0], 1.0);
+    }
+
+    #[test]
+    fn roundtrip() {
+        let a = crate::gen::random(20, 15, 60, 3);
+        let mut buf = Vec::new();
+        write_matrix_market(&mut buf, &a).unwrap();
+        let b = read_matrix_market(buf.as_slice()).unwrap();
+        let (da, db) = (a.to_dense(), b.to_dense());
+        for r in 0..20 {
+            for c in 0..15 {
+                assert!((da[r][c] - db[r][c]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        assert!(read_matrix_market("not a header\n1 1 0\n".as_bytes()).is_err());
+        assert!(
+            read_matrix_market("%%MatrixMarket matrix array real general\n1 1 0\n".as_bytes())
+                .is_err()
+        );
+    }
+
+    #[test]
+    fn rejects_out_of_bounds_entry() {
+        let src = "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n";
+        assert!(read_matrix_market(src.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn rejects_wrong_count() {
+        let src = "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n";
+        assert!(read_matrix_market(src.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn one_based_zero_rejected() {
+        let src = "%%MatrixMarket matrix coordinate real general\n2 2 1\n0 1 1.0\n";
+        assert!(read_matrix_market(src.as_bytes()).is_err());
+    }
+}

@@ -1,0 +1,233 @@
+//! Multi-vector transpose products: `Y += Aᵀ·X` for a block of `k`
+//! vectors — the natural generalization of the §VI-B kernel, and a user of
+//! the `spray::nd` 2-D reduction support (each scatter now updates a whole
+//! row of the result block).
+
+use crate::{Csr, Num};
+use ompsim::{Schedule, ThreadPool};
+use spray::nd::{reduce2_strategy, Grid2, Kernel2, View2};
+use spray::{ReducerView, RunReport, Strategy, Sum};
+
+/// Fig. 10 generalized to `k` right-hand sides:
+/// `for k in row(i): Y[cols[k]][..] += vals[k] * X[i][..]`.
+pub struct TmmKernel<'a, T: Num> {
+    /// The matrix.
+    pub a: &'a Csr<T>,
+    /// Input block, `nrows × k` row-major.
+    pub x: &'a Grid2<T>,
+}
+
+impl<T: Num> Kernel2<T> for TmmKernel<'_, T> {
+    #[inline]
+    fn item<V: ReducerView<T>>(&self, view: &mut View2<'_, V>, row: usize) {
+        let xs = self.x.row(row);
+        let (cols, vals) = self.a.row(row);
+        for (&c, &v) in cols.iter().zip(vals) {
+            for (j, &xj) in xs.iter().enumerate() {
+                view.apply(c as usize, j, v * xj);
+            }
+        }
+    }
+}
+
+/// Computes `Y += Aᵀ·X` with the given strategy; `X` is `nrows × k`,
+/// `Y` is `ncols × k`.
+///
+/// # Panics
+/// Panics on shape mismatch.
+pub fn tmm_with_strategy<T: Num>(
+    strategy: Strategy,
+    pool: &ThreadPool,
+    a: &Csr<T>,
+    x: &Grid2<T>,
+    y: &mut Grid2<T>,
+) -> RunReport {
+    assert_eq!(x.nrows(), a.nrows(), "X must have nrows rows");
+    assert_eq!(y.nrows(), a.ncols(), "Y must have ncols rows");
+    assert_eq!(x.ncols(), y.ncols(), "X and Y must have the same k");
+    let kernel = TmmKernel { a, x };
+    reduce2_strategy::<T, Sum, _>(
+        strategy,
+        pool,
+        y,
+        0..a.nrows(),
+        Schedule::default(),
+        &kernel,
+    )
+}
+
+/// Sequential reference for [`tmm_with_strategy`].
+pub fn tmm_seq<T: Num>(a: &Csr<T>, x: &Grid2<T>, y: &mut Grid2<T>) {
+    assert_eq!(x.nrows(), a.nrows());
+    assert_eq!(y.nrows(), a.ncols());
+    assert_eq!(x.ncols(), y.ncols());
+    for row in 0..a.nrows() {
+        let (cols, vals) = a.row(row);
+        for (&c, &v) in cols.iter().zip(vals) {
+            for j in 0..x.ncols() {
+                y[(c as usize, j)] = y[(c as usize, j)] + v * x[(row, j)];
+            }
+        }
+    }
+}
+
+/// Normal-equations assembly `G += AᵀA` into a dense `ncols × ncols` Gram
+/// matrix — the classic least-squares kernel, whose assembly is a 2-D
+/// scatter: each row `i` of `A` contributes the outer product of its
+/// nonzeros, `G[c1][c2] += v1·v2`. Only sensible when `ncols` is small
+/// (the result is dense).
+///
+/// # Panics
+/// Panics on shape mismatch.
+pub fn gram_with_strategy<T: Num>(
+    strategy: Strategy,
+    pool: &ThreadPool,
+    a: &Csr<T>,
+    g: &mut Grid2<T>,
+) -> RunReport {
+    assert_eq!(g.nrows(), a.ncols(), "G must be ncols × ncols");
+    assert_eq!(g.ncols(), a.ncols(), "G must be ncols × ncols");
+    struct GramKernel<'a, T: Num> {
+        a: &'a Csr<T>,
+    }
+    impl<T: Num> Kernel2<T> for GramKernel<'_, T> {
+        #[inline]
+        fn item<V: ReducerView<T>>(&self, view: &mut View2<'_, V>, row: usize) {
+            let (cols, vals) = self.a.row(row);
+            for (&c1, &v1) in cols.iter().zip(vals) {
+                for (&c2, &v2) in cols.iter().zip(vals) {
+                    view.apply(c1 as usize, c2 as usize, v1 * v2);
+                }
+            }
+        }
+    }
+    let kernel = GramKernel { a };
+    reduce2_strategy::<T, Sum, _>(
+        strategy,
+        pool,
+        g,
+        0..a.nrows(),
+        Schedule::default(),
+        &kernel,
+    )
+}
+
+/// Sequential reference for [`gram_with_strategy`].
+pub fn gram_seq<T: Num>(a: &Csr<T>, g: &mut Grid2<T>) {
+    assert_eq!(g.nrows(), a.ncols());
+    assert_eq!(g.ncols(), a.ncols());
+    for row in 0..a.nrows() {
+        let (cols, vals) = a.row(row);
+        for (&c1, &v1) in cols.iter().zip(vals) {
+            for (&c2, &v2) in cols.iter().zip(vals) {
+                let (i, j) = (c1 as usize, c2 as usize);
+                g[(i, j)] = g[(i, j)] + v1 * v2;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    fn block(nrows: usize, k: usize, salt: usize) -> Grid2<f64> {
+        Grid2::from_vec(
+            (0..nrows * k)
+                .map(|i| ((i * 31 + salt) % 13) as f64 * 0.5 - 3.0)
+                .collect(),
+            nrows,
+            k,
+        )
+    }
+
+    #[test]
+    fn tmm_matches_sequential_for_all_strategies() {
+        let a = gen::random(120, 90, 900, 5);
+        let x = block(120, 4, 1);
+        let mut want = Grid2::zeros(90, 4);
+        tmm_seq(&a, &x, &mut want);
+
+        let pool = ThreadPool::new(4);
+        for strategy in Strategy::all(32) {
+            let mut y = Grid2::zeros(90, 4);
+            tmm_with_strategy(strategy, &pool, &a, &x, &mut y);
+            for r in 0..90 {
+                for c in 0..4 {
+                    assert!(
+                        (y[(r, c)] - want[(r, c)]).abs() < 1e-9,
+                        "{} differs at ({r},{c})",
+                        strategy.label()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_column_tmm_equals_tmv() {
+        let a = gen::random(80, 70, 500, 6);
+        let xv: Vec<f64> = (0..80).map(|i| (i % 7) as f64).collect();
+        let x = Grid2::from_vec(xv.clone(), 80, 1);
+
+        let mut yv = vec![0.0f64; 70];
+        a.tmatvec_seq(&xv, &mut yv);
+
+        let mut y = Grid2::zeros(70, 1);
+        tmm_seq(&a, &x, &mut y);
+        for r in 0..70 {
+            assert!((y[(r, 0)] - yv[r]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn gram_matches_seq_and_is_symmetric_psd() {
+        let a = gen::random(200, 12, 600, 8);
+        let mut want = Grid2::zeros(12, 12);
+        gram_seq(&a, &mut want);
+
+        let pool = ThreadPool::new(3);
+        for strategy in [
+            Strategy::Atomic,
+            Strategy::Keeper,
+            Strategy::BlockCas { block_size: 16 },
+        ] {
+            let mut g = Grid2::zeros(12, 12);
+            gram_with_strategy(strategy, &pool, &a, &mut g);
+            for r in 0..12 {
+                for c in 0..12 {
+                    assert!(
+                        (g[(r, c)] - want[(r, c)]).abs() < 1e-9,
+                        "{} at ({r},{c})",
+                        strategy.label()
+                    );
+                }
+            }
+        }
+        // Gram matrices are symmetric with nonnegative diagonal.
+        for r in 0..12 {
+            assert!(want[(r, r)] >= 0.0);
+            for c in 0..12 {
+                assert!((want[(r, c)] - want[(c, r)]).abs() < 1e-9);
+            }
+        }
+        // x'Gx = |Ax|^2 >= 0 for a probe vector (PSD spot check).
+        let x: Vec<f64> = (0..12).map(|i| (i as f64) - 6.0).collect();
+        let quad: f64 = (0..12)
+            .flat_map(|r| (0..12).map(move |c| (r, c)))
+            .map(|(r, c)| x[r] * want[(r, c)] * x[c])
+            .sum();
+        assert!(quad >= -1e-9, "quadratic form negative: {quad}");
+    }
+
+    #[test]
+    #[should_panic(expected = "same k")]
+    fn shape_mismatch_panics() {
+        let a = gen::random(10, 10, 20, 7);
+        let x = block(10, 2, 0);
+        let mut y = Grid2::zeros(10, 3);
+        let pool = ThreadPool::new(1);
+        let _ = tmm_with_strategy(Strategy::Atomic, &pool, &a, &x, &mut y);
+    }
+}

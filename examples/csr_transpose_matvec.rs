@@ -1,0 +1,86 @@
+//! CSR transpose-matrix-vector product (the paper's §VI-B test case).
+//!
+//! Computes `y = Aᵀx` on the de Bruijn (debr-like) matrix with every
+//! strategy and the three simulated MKL baselines, printing a small
+//! comparison table. Pass a Matrix Market path to use a real matrix:
+//!
+//! ```sh
+//! cargo run --release --example csr_transpose_matvec [-- path/to/m.mtx]
+//! ```
+
+use ompsim::ThreadPool;
+use spray::Strategy;
+use spray_sparse::mkl_sim::{legacy_tmv, Hint, MklSim};
+use spray_sparse::{gen, mm, tmv_with_strategy};
+use std::time::Instant;
+
+fn main() {
+    let a = match std::env::args().nth(1) {
+        Some(path) => mm::read_matrix_market_file(&path)
+            .unwrap_or_else(|e| panic!("failed to read {path}: {e}")),
+        None => gen::de_bruijn(16),
+    };
+    println!("matrix: {} x {}, nnz = {}", a.nrows(), a.ncols(), a.nnz());
+    let threads = 4;
+    let pool = ThreadPool::new(threads);
+    let x: Vec<f64> = (0..a.nrows()).map(|i| ((i % 7) as f64) * 0.5).collect();
+
+    // Sequential reference (Fig. 10 loop).
+    let mut y_ref = vec![0.0f64; a.ncols()];
+    let t0 = Instant::now();
+    a.tmatvec_seq(&x, &mut y_ref);
+    println!(
+        "{:<22} {:>9.3} ms",
+        "sequential",
+        t0.elapsed().as_secs_f64() * 1e3
+    );
+
+    let check = |name: &str, y: &[f64]| {
+        let err = y
+            .iter()
+            .zip(&y_ref)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f64, f64::max);
+        assert!(err < 1e-9, "{name} diverged: max err {err}");
+    };
+
+    for strategy in Strategy::competitive(1024) {
+        let mut y = vec![0.0f64; a.ncols()];
+        let t0 = Instant::now();
+        let report = tmv_with_strategy(strategy, &pool, &a, &x, &mut y);
+        println!(
+            "{:<22} {:>9.3} ms   mem {:>12} B",
+            report.strategy,
+            t0.elapsed().as_secs_f64() * 1e3,
+            report.memory_overhead
+        );
+        check(&report.strategy, &y);
+    }
+
+    // Simulated MKL baselines.
+    let mut y = vec![0.0f64; a.ncols()];
+    let t0 = Instant::now();
+    legacy_tmv(&pool, &a, &x, &mut y);
+    println!(
+        "{:<22} {:>9.3} ms",
+        "mkl-legacy (sim)",
+        t0.elapsed().as_secs_f64() * 1e3
+    );
+    check("mkl-legacy", &y);
+
+    let mut handle = MklSim::new(&a);
+    handle.set_hint(Hint::TransposeMany);
+    let t0 = Instant::now();
+    handle.optimize(threads);
+    let inspect_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let mut y = vec![0.0f64; a.ncols()];
+    let t0 = Instant::now();
+    handle.tmv(&pool, &x, &mut y);
+    println!(
+        "{:<22} {:>9.3} ms   (+{inspect_ms:.3} ms untimed inspection, mem {} B)",
+        "mkl-ie-hint (sim)",
+        t0.elapsed().as_secs_f64() * 1e3,
+        handle.optimization_bytes()
+    );
+    check("mkl-ie-hint", &y);
+}

@@ -1,0 +1,121 @@
+//! The performance-portability endgame (paper §IX): let the library pick
+//! the strategy.
+//!
+//! Two complementary mechanisms on the same repeated workload:
+//! 1. **Profile-guided**: run once with a `ProfilingReduction`, inspect
+//!    the measured access pattern, take its recommendation.
+//! 2. **Online auto-tuning**: hand the repeated reduction to `AutoTuner`,
+//!    which trials every candidate and settles on the measured winner.
+//!
+//! ```sh
+//! cargo run --release --example self_tuning
+//! ```
+
+use ompsim::{Schedule, ThreadPool};
+use spray::{
+    reduce_chunked, AtomicReduction, AutoTuner, Kernel, ProfilingReduction, ReducerView, Sum,
+};
+use std::time::Instant;
+
+/// A PageRank-like push over a synthetic power-law-ish graph: mixed
+/// locality, the kind of workload where the best strategy is not obvious.
+struct Push {
+    targets: Vec<u32>,
+    offsets: Vec<usize>,
+}
+
+impl Push {
+    fn synthetic(n: usize) -> Self {
+        let mut targets = Vec::new();
+        let mut offsets = vec![0usize];
+        let mut state = 0x2545F4914F6CDD1Du64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for u in 0..n {
+            let deg = 2 + (next() % 6) as usize;
+            for _ in 0..deg {
+                // 70% local edges, 30% global (hot+cold mix).
+                let v = if next() % 10 < 7 {
+                    (u + 1 + (next() % 64) as usize) % n
+                } else {
+                    (next() % n as u64) as usize
+                };
+                targets.push(v as u32);
+            }
+            offsets.push(targets.len());
+        }
+        Push { targets, offsets }
+    }
+}
+
+impl Kernel<f64> for Push {
+    #[inline]
+    fn item<V: ReducerView<f64>>(&self, view: &mut V, u: usize) {
+        for &v in &self.targets[self.offsets[u]..self.offsets[u + 1]] {
+            view.apply(v as usize, 1.0);
+        }
+    }
+}
+
+fn main() {
+    let n = 500_000;
+    let pool = ThreadPool::new(4);
+    let kernel = Push::synthetic(n);
+    println!(
+        "workload: {} scatters into {n} locations, {} threads\n",
+        kernel.targets.len(),
+        pool.num_threads()
+    );
+
+    // --- 1. Profile-guided choice ---
+    let mut probe = vec![0.0f64; n];
+    let profiled = ProfilingReduction::new(AtomicReduction::<f64, Sum>::new(&mut probe, 4));
+    reduce_chunked(&pool, &profiled, 0..n, Schedule::default(), |v, chunk| {
+        for u in chunk {
+            kernel.item(v, u);
+        }
+    });
+    let profile = profiled.profile();
+    println!("profile: {} updates total", profile.total_updates());
+    for (t, p) in profile.per_thread.iter().enumerate() {
+        println!(
+            "  thread {t}: {} updates over [{:?}..{:?}], {} pages touched ({:.1} upd/page)",
+            p.updates,
+            p.min_index,
+            p.max_index,
+            p.distinct_pages,
+            p.updates_per_page()
+        );
+    }
+    let recommended = profile.recommend(n);
+    println!("profile recommendation: {}\n", recommended.label());
+
+    // --- 2. Online auto-tuning over repeated invocations ---
+    let mut tuner = AutoTuner::with_default_candidates(1024);
+    let mut out = vec![0.0f64; n];
+    let t0 = Instant::now();
+    let rounds = 30;
+    for _ in 0..rounds {
+        out.fill(0.0);
+        tuner.run::<f64, Sum, _>(&pool, &mut out, 0..n, Schedule::default(), &kernel);
+    }
+    let elapsed = t0.elapsed().as_secs_f64();
+
+    println!("auto-tuner after {rounds} rounds ({elapsed:.2} s total):");
+    for (s, mean) in tuner.measurements() {
+        match mean {
+            Some(m) => println!("  {:<20} {:.4} s/round", s.label(), m),
+            None => println!("  {:<20} (never tried)", s.label()),
+        }
+    }
+    println!(
+        "settled on: {} (settled = {})",
+        tuner.best().map(|s| s.label()).unwrap_or_default(),
+        tuner.settled()
+    );
+    assert_eq!(out.iter().sum::<f64>() as u64, kernel.targets.len() as u64);
+}

@@ -1,0 +1,26 @@
+//! `spray-repro` — umbrella crate for the Rust reproduction of
+//! *"Spray: Sparse Reductions of Arrays in OpenMP"* (Hückelheim & Doerfert,
+//! IPDPS workshops 2021).
+//!
+//! This crate re-exports all workspace crates under one roof so examples,
+//! integration tests and downstream users can depend on a single package:
+//!
+//! * [`spray`] — the reducer objects and parallel reduction drivers
+//!   (the paper's contribution);
+//! * [`ompsim`] — the OpenMP-like fork/join runtime the reducers run on;
+//! * [`sparse`] — CSR/CSC matrices, Matrix Market I/O, generators and the
+//!   simulated MKL baselines;
+//! * [`conv`] — 1-D convolution forward/back-propagation kernels;
+//! * [`lulesh`] — the miniature shock-hydrodynamics proxy application;
+//! * [`graph`] — PageRank / BFS / connected components on spray
+//!   reductions (the paper's graph-proxy motivation);
+//! * [`memtrack`] — counting global allocator for memory-overhead
+//!   measurements.
+
+pub use memtrack;
+pub use ompsim;
+pub use spray;
+pub use spray_conv as conv;
+pub use spray_graph as graph;
+pub use spray_lulesh as lulesh;
+pub use spray_sparse as sparse;

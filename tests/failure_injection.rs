@@ -1,0 +1,117 @@
+//! Failure injection: panics in parallel regions must propagate to the
+//! caller without poisoning the pool, and reducers must reject invalid
+//! inputs loudly rather than corrupting memory.
+
+use ompsim::{Schedule, ThreadPool};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+#[test]
+fn pool_survives_repeated_panics() {
+    let pool = ThreadPool::new(4);
+    for round in 0..5 {
+        let r = catch_unwind(AssertUnwindSafe(|| {
+            pool.parallel(|team| {
+                if team.id() == round % 4 {
+                    panic!("injected failure in round {round}");
+                }
+            });
+        }));
+        assert!(r.is_err(), "round {round} should have panicked");
+    }
+    // Pool still fully functional.
+    let count = AtomicUsize::new(0);
+    pool.parallel(|_| {
+        count.fetch_add(1, Ordering::Relaxed);
+    });
+    assert_eq!(count.into_inner(), 4);
+}
+
+#[test]
+fn panic_payload_from_leader_is_preserved() {
+    let pool = ThreadPool::new(2);
+    let r = catch_unwind(AssertUnwindSafe(|| {
+        pool.parallel(|team| {
+            if team.id() == 0 {
+                panic!("distinctive message 42");
+            }
+        });
+    }));
+    let payload = r.unwrap_err();
+    let msg = payload
+        .downcast_ref::<&str>()
+        .copied()
+        .or_else(|| payload.downcast_ref::<String>().map(|s| s.as_str()))
+        .unwrap_or("");
+    assert!(msg.contains("distinctive message 42"), "got: {msg}");
+}
+
+#[test]
+fn for_each_panic_in_barrier_free_loop_propagates() {
+    // `for_each` has no team barrier, so a panicking body is recoverable.
+    let pool = ThreadPool::new(4);
+    let r = catch_unwind(AssertUnwindSafe(|| {
+        pool.for_each(0..100, Schedule::dynamic(1), |i| {
+            if i == 57 {
+                panic!("iteration 57 exploded");
+            }
+        });
+    }));
+    assert!(r.is_err());
+    // And the pool still works.
+    let count = AtomicUsize::new(0);
+    pool.for_each(0..100, Schedule::default(), |_| {
+        count.fetch_add(1, Ordering::Relaxed);
+    });
+    assert_eq!(count.into_inner(), 100);
+}
+
+#[test]
+fn out_of_bounds_reduction_index_panics_not_corrupts() {
+    // Every strategy must bounds-check apply() — an out-of-range index is
+    // a programmer error that must fail fast (a single-threaded pool keeps
+    // the failure barrier-free and thus recoverable).
+    use spray::{reduce_strategy, Kernel, ReducerView, Strategy, Sum};
+    struct Bad;
+    impl Kernel<f64> for Bad {
+        fn item<V: ReducerView<f64>>(&self, view: &mut V, _i: usize) {
+            view.apply(1_000_000, 1.0);
+        }
+    }
+    for strategy in Strategy::all(64) {
+        let pool = ThreadPool::new(1);
+        let mut out = vec![0.0f64; 8];
+        let r = catch_unwind(AssertUnwindSafe(|| {
+            reduce_strategy::<f64, Sum, _>(
+                strategy,
+                &pool,
+                &mut out,
+                0..1,
+                Schedule::default(),
+                &Bad,
+            );
+        }));
+        assert!(r.is_err(), "{} accepted an OOB index", strategy.label());
+    }
+}
+
+#[test]
+fn zero_thread_pool_rejected() {
+    let r = catch_unwind(|| ThreadPool::new(0));
+    assert!(r.is_err());
+}
+
+#[test]
+fn mismatched_pool_width_rejected() {
+    use spray::{reduce, DenseReduction, Sum};
+    let pool = ThreadPool::new(2);
+    let mut out = vec![0.0f64; 4];
+    let red = DenseReduction::<f64, Sum>::new(&mut out, 3); // wrong width
+    let r = catch_unwind(AssertUnwindSafe(|| {
+        reduce(&pool, &red, 0..4, Schedule::default(), |v, i| {
+            use spray::ReducerView;
+            v.apply(i, 1.0);
+        });
+    }));
+    assert!(r.is_err());
+}

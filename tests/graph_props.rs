@@ -1,0 +1,118 @@
+//! Property tests for the graph algorithms: spray-reduced BFS, connected
+//! components and PageRank checked against sequential references on random
+//! graphs.
+
+use ompsim::ThreadPool;
+use proptest::prelude::*;
+use spray::Strategy;
+use spray_graph::{bfs, connected_components, in_degrees, pagerank, Graph};
+
+fn arbitrary_edges(
+    n: usize,
+    max_edges: usize,
+) -> impl proptest::strategy::Strategy<Value = Vec<(usize, usize)>> {
+    prop::collection::vec((0..n, 0..n), 0..max_edges)
+}
+
+/// Sequential BFS reference.
+fn seq_bfs(g: &Graph, src: usize) -> Vec<u64> {
+    let mut dist = vec![u64::MAX; g.num_vertices()];
+    let mut q = std::collections::VecDeque::new();
+    dist[src] = 0;
+    q.push_back(src);
+    while let Some(u) = q.pop_front() {
+        for &v in g.out_neighbors(u) {
+            let v = v as usize;
+            if dist[v] == u64::MAX {
+                dist[v] = dist[u] + 1;
+                q.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// Union-find reference for connected components on a symmetric graph.
+fn seq_components(g: &Graph) -> Vec<u64> {
+    let n = g.num_vertices();
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut [usize], x: usize) -> usize {
+        let mut r = x;
+        while parent[r] != r {
+            r = parent[r];
+        }
+        let mut c = x;
+        while parent[c] != r {
+            let next = parent[c];
+            parent[c] = r;
+            c = next;
+        }
+        r
+    }
+    for u in 0..n {
+        for &v in g.out_neighbors(u) {
+            let (ru, rv) = (find(&mut parent, u), find(&mut parent, v as usize));
+            // Union by smaller root id so labels are min-vertex ids.
+            if ru != rv {
+                let (lo, hi) = (ru.min(rv), ru.max(rv));
+                parent[hi] = lo;
+            }
+        }
+    }
+    (0..n).map(|u| find(&mut parent, u) as u64).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn bfs_matches_sequential(edges in arbitrary_edges(40, 150), src in 0usize..40) {
+        let g = Graph::from_edges(40, &edges);
+        let want = seq_bfs(&g, src);
+        let pool = ThreadPool::new(3);
+        for strategy in [Strategy::Atomic, Strategy::Keeper, Strategy::BlockCas { block_size: 8 }] {
+            let got = bfs(&pool, &g, src, strategy);
+            prop_assert_eq!(&got, &want, "strategy {}", strategy.label());
+        }
+    }
+
+    #[test]
+    fn components_match_union_find(edges in arbitrary_edges(30, 60)) {
+        let g = Graph::from_edges(30, &edges).symmetrized();
+        let want = seq_components(&g);
+        let pool = ThreadPool::new(3);
+        let got = connected_components(&pool, &g, Strategy::Atomic);
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn component_labels_are_min_member(edges in arbitrary_edges(25, 50)) {
+        let g = Graph::from_edges(25, &edges).symmetrized();
+        let pool = ThreadPool::new(2);
+        let labels = connected_components(&pool, &g, Strategy::Keeper);
+        // Every label is the minimum vertex id carrying that label, and is
+        // a member of its own component.
+        for (v, &l) in labels.iter().enumerate() {
+            prop_assert!(l as usize <= v);
+            prop_assert_eq!(labels[l as usize], l);
+        }
+    }
+
+    #[test]
+    fn pagerank_is_distribution(edges in arbitrary_edges(20, 80)) {
+        let g = Graph::from_edges(20, &edges);
+        let pool = ThreadPool::new(2);
+        let r = pagerank(&pool, &g, Strategy::Atomic, 0.85, 1e-12, 500);
+        let total: f64 = r.ranks.iter().sum();
+        prop_assert!((total - 1.0).abs() < 1e-9, "sum = {total}");
+        prop_assert!(r.ranks.iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    fn in_degrees_sum_to_edge_count(edges in arbitrary_edges(30, 100)) {
+        let g = Graph::from_edges(30, &edges);
+        let pool = ThreadPool::new(2);
+        let deg = in_degrees(&pool, &g, Strategy::BlockLock { block_size: 8 });
+        prop_assert_eq!(deg.iter().sum::<u64>(), g.num_edges() as u64);
+    }
+}

@@ -1,0 +1,113 @@
+//! Property tests for the multidimensional adapters (`spray::nd`): 2-D and
+//! 3-D reductions must agree with flat 1-D reductions over the same
+//! row-major storage, for arbitrary update streams.
+
+use ompsim::{Schedule, ThreadPool};
+use proptest::prelude::*;
+use proptest::strategy::Strategy as _;
+use spray::nd::{reduce2_strategy, reduce3_strategy, Grid2, Grid3, Kernel2, Kernel3, View2, View3};
+use spray::{reduce_strategy, Kernel, ReducerView, Strategy, Sum};
+
+#[derive(Clone, Debug)]
+struct Update2 {
+    r: usize,
+    c: usize,
+    v: i64,
+}
+
+fn updates2(nr: usize, nc: usize) -> impl proptest::strategy::Strategy<Value = Vec<Update2>> {
+    prop::collection::vec(
+        (0..nr, 0..nc, -50i64..50).prop_map(|(r, c, v)| Update2 { r, c, v }),
+        0..120,
+    )
+}
+
+struct K2<'a> {
+    ups: &'a [Update2],
+}
+impl Kernel2<i64> for K2<'_> {
+    fn item<V: ReducerView<i64>>(&self, view: &mut View2<'_, V>, i: usize) {
+        let u = &self.ups[i];
+        view.apply(u.r, u.c, u.v);
+    }
+}
+
+struct KFlat<'a> {
+    ups: &'a [Update2],
+    nc: usize,
+}
+impl Kernel<i64> for KFlat<'_> {
+    fn item<V: ReducerView<i64>>(&self, view: &mut V, i: usize) {
+        let u = &self.ups[i];
+        view.apply(u.r * self.nc + u.c, u.v);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn grid2_equals_flat_reduction(
+        ups in updates2(13, 17),
+        threads in 1usize..5,
+    ) {
+        let (nr, nc) = (13, 17);
+        let pool = ThreadPool::new(threads);
+
+        let mut flat = vec![0i64; nr * nc];
+        reduce_strategy::<i64, Sum, _>(
+            Strategy::BlockCas { block_size: 8 },
+            &pool,
+            &mut flat,
+            0..ups.len(),
+            Schedule::default(),
+            &KFlat { ups: &ups, nc },
+        );
+
+        let mut grid: Grid2<i64> = Grid2::zeros(nr, nc);
+        reduce2_strategy::<i64, Sum, _>(
+            Strategy::BlockCas { block_size: 8 },
+            &pool,
+            &mut grid,
+            0..ups.len(),
+            Schedule::default(),
+            &K2 { ups: &ups },
+        );
+
+        prop_assert_eq!(grid.as_slice(), &flat[..]);
+    }
+
+    #[test]
+    fn grid3_row_major_layout_invariant(
+        coords in prop::collection::vec((0..4usize, 0..5usize, 0..6usize), 0..80),
+        threads in 1usize..4,
+    ) {
+        struct K3<'a> {
+            coords: &'a [(usize, usize, usize)],
+        }
+        impl Kernel3<i64> for K3<'_> {
+            fn item<V: ReducerView<i64>>(&self, view: &mut View3<'_, V>, i: usize) {
+                let (a, b, c) = self.coords[i];
+                view.apply(a, b, c, 1);
+            }
+        }
+        let pool = ThreadPool::new(threads);
+        let mut g: Grid3<i64> = Grid3::zeros(4, 5, 6);
+        reduce3_strategy::<i64, Sum, _>(
+            Strategy::Keeper,
+            &pool,
+            &mut g,
+            0..coords.len(),
+            Schedule::default(),
+            &K3 { coords: &coords },
+        );
+        // Reference via direct indexing.
+        let mut want: Grid3<i64> = Grid3::zeros(4, 5, 6);
+        for &(a, b, c) in &coords {
+            want[(a, b, c)] += 1;
+        }
+        prop_assert_eq!(g.as_slice(), want.as_slice());
+        // Total is preserved.
+        prop_assert_eq!(g.as_slice().iter().sum::<i64>(), coords.len() as i64);
+    }
+}

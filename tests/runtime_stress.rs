@@ -1,0 +1,132 @@
+//! Stress tests for the ompsim runtime: pool reuse at many widths, heavy
+//! region churn, schedule edge cases under real concurrency, and the
+//! worksharing constructs under load.
+
+use ompsim::{Schedule, Single, ThreadPool};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+#[test]
+fn many_pool_widths_and_regions() {
+    for width in 1..=9 {
+        let pool = ThreadPool::new(width);
+        let total = AtomicUsize::new(0);
+        for _ in 0..50 {
+            pool.parallel(|team| {
+                assert!(team.id() < width);
+                assert_eq!(team.num_threads(), width);
+                total.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        assert_eq!(total.into_inner(), 50 * width);
+    }
+}
+
+#[test]
+fn interleaved_loops_with_different_schedules() {
+    let pool = ThreadPool::new(4);
+    let n = 10_000;
+    let acc = AtomicUsize::new(0);
+    let schedules = [
+        Schedule::static_default(),
+        Schedule::static_chunked(7),
+        Schedule::dynamic(13),
+        Schedule::guided(3),
+    ];
+    for (round, &schedule) in schedules.iter().cycle().take(20).enumerate() {
+        pool.for_each(0..n, schedule, |i| {
+            acc.fetch_add(i, Ordering::Relaxed);
+        });
+        let expected = (round + 1) * (n * (n - 1) / 2);
+        assert_eq!(acc.load(Ordering::Relaxed), expected);
+    }
+}
+
+#[test]
+fn dynamic_schedule_with_more_threads_than_items() {
+    let pool = ThreadPool::new(8);
+    for len in 0..5 {
+        let hits: Vec<AtomicUsize> = (0..len).map(|_| AtomicUsize::new(0)).collect();
+        pool.for_each(0..len, Schedule::dynamic(1), |i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+}
+
+#[test]
+fn guided_minimum_chunk_respected_under_concurrency() {
+    let pool = ThreadPool::new(4);
+    let n = 4096;
+    let min_chunk = 32;
+    let chunk_sizes = std::sync::Mutex::new(Vec::new());
+    pool.parallel_for(0..n, Schedule::guided(min_chunk), |_tid, chunk| {
+        chunk_sizes.lock().unwrap().push(chunk.len());
+    });
+    let sizes = chunk_sizes.into_inner().unwrap();
+    let total: usize = sizes.iter().sum();
+    assert_eq!(total, n);
+    // Every chunk except possibly the final remainder honors the minimum.
+    let small = sizes.iter().filter(|&&s| s < min_chunk).count();
+    assert!(small <= 1, "sizes below min: {small}");
+}
+
+#[test]
+fn scalar_reductions_under_region_churn() {
+    let pool = ThreadPool::new(3);
+    for round in 1..30usize {
+        let s = pool.map_reduce(
+            0..round * 100,
+            Schedule::dynamic(9),
+            0usize,
+            |i| i,
+            |a, b| a + b,
+        );
+        let n = round * 100;
+        assert_eq!(s, n * (n - 1) / 2);
+    }
+}
+
+#[test]
+fn single_reset_cycle_under_load() {
+    let pool = ThreadPool::new(4);
+    let once = Single::new();
+    let runs = AtomicUsize::new(0);
+    for round in 1..=25 {
+        pool.parallel(|team| {
+            once.run(|| {
+                runs.fetch_add(1, Ordering::Relaxed);
+            });
+            team.barrier();
+            assert!(once.is_done());
+        });
+        assert_eq!(runs.load(Ordering::Relaxed), round);
+        once.reset();
+    }
+}
+
+#[test]
+fn pools_can_nest_in_scope_but_not_share_regions() {
+    // Two independent pools used from the same thread interleave fine.
+    let a = ThreadPool::new(2);
+    let b = ThreadPool::new(3);
+    let count = AtomicUsize::new(0);
+    for _ in 0..10 {
+        a.for_each(0..10, Schedule::default(), |_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        b.for_each(0..10, Schedule::default(), |_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+    }
+    assert_eq!(count.into_inner(), 200);
+}
+
+#[test]
+fn drop_order_many_pools() {
+    // Creating and dropping many pools must not leak or deadlock.
+    for _ in 0..30 {
+        let pool = ThreadPool::new(4);
+        pool.parallel(|_| {});
+        drop(pool);
+    }
+}

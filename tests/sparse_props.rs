@@ -1,0 +1,115 @@
+//! Property tests for the sparse-matrix substrate: CSR construction,
+//! transpose duality, Matrix Market round-trips and the equivalence of all
+//! transpose-product implementations.
+
+use ompsim::ThreadPool;
+use proptest::prelude::*;
+// `spray::Strategy` shadows proptest's `Strategy` trait name; re-import the
+// trait anonymously so its methods stay resolvable.
+use proptest::strategy::Strategy as _;
+use spray::Strategy;
+use spray_sparse::mkl_sim::{legacy_tmv, Hint, MklSim};
+use spray_sparse::{mm, tmv_with_strategy, Csr};
+
+/// Strategy generating a random triplet list for an `r × c` matrix.
+fn triplets(
+    r: usize,
+    c: usize,
+) -> impl proptest::strategy::Strategy<Value = Vec<(usize, usize, f64)>> {
+    prop::collection::vec(
+        (0..r, 0..c, -100i32..100).prop_map(|(i, j, v)| (i, j, v as f64 * 0.5)),
+        0..200,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn csr_matches_dense_accumulation(t in triplets(20, 15)) {
+        let a = Csr::from_triplets(20, 15, t.clone());
+        let mut dense = vec![vec![0.0f64; 15]; 20];
+        for (i, j, v) in t {
+            dense[i][j] += v;
+        }
+        // Compare nonzero pattern by value (duplicates merged by CSR).
+        let d = a.to_dense();
+        for i in 0..20 {
+            for j in 0..15 {
+                prop_assert!((d[i][j] - dense[i][j]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn transpose_is_involutive(t in triplets(12, 17)) {
+        let a = Csr::from_triplets(12, 17, t);
+        let att = a.transpose().transpose();
+        prop_assert_eq!(a.to_dense(), att.to_dense());
+    }
+
+    #[test]
+    fn tmv_equals_transpose_then_matvec(t in triplets(25, 18)) {
+        let a = Csr::from_triplets(25, 18, t);
+        let x: Vec<f64> = (0..25).map(|i| (i as f64 - 12.0) * 0.25).collect();
+
+        let mut y1 = vec![0.0f64; 18];
+        a.tmatvec_seq(&x, &mut y1);
+
+        let at = a.transpose();
+        let mut y2 = vec![0.0f64; 18];
+        at.matvec_seq(&x, &mut y2);
+
+        for (u, v) in y1.iter().zip(&y2) {
+            prop_assert!((u - v).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn matrix_market_roundtrip(t in triplets(10, 10)) {
+        let a = Csr::from_triplets(10, 10, t);
+        let mut buf = Vec::new();
+        mm::write_matrix_market(&mut buf, &a).unwrap();
+        let b = mm::read_matrix_market(buf.as_slice()).unwrap();
+        let (da, db) = (a.to_dense(), b.to_dense());
+        for i in 0..10 {
+            for j in 0..10 {
+                prop_assert!((da[i][j] - db[i][j]).abs() < 1e-9 * da[i][j].abs().max(1.0));
+            }
+        }
+    }
+
+    #[test]
+    fn all_tmv_impls_agree(t in triplets(30, 22), threads in 1usize..5) {
+        let a = Csr::from_triplets(30, 22, t);
+        let x: Vec<f64> = (0..30).map(|i| ((i * 7) % 5) as f64).collect();
+        let mut want = vec![0.0f64; 22];
+        a.tmatvec_seq(&x, &mut want);
+
+        let pool = ThreadPool::new(threads);
+        for strategy in Strategy::all(8) {
+            let mut y = vec![0.0f64; 22];
+            tmv_with_strategy(strategy, &pool, &a, &x, &mut y);
+            for (i, (g, w)) in y.iter().zip(&want).enumerate() {
+                prop_assert!((g - w).abs() < 1e-9, "{} at {i}", strategy.label());
+            }
+        }
+
+        let mut y = vec![0.0f64; 22];
+        legacy_tmv(&pool, &a, &x, &mut y);
+        for (g, w) in y.iter().zip(&want) {
+            prop_assert!((g - w).abs() < 1e-9, "legacy");
+        }
+
+        for hint in [Hint::None, Hint::TransposeMany] {
+            let mut h = MklSim::new(&a);
+            h.set_hint(hint);
+            h.optimize(threads);
+            let mut y = vec![0.0f64; 22];
+            h.tmv(&pool, &x, &mut y);
+            for (g, w) in y.iter().zip(&want) {
+                prop_assert!((g - w).abs() < 1e-9, "mkl-sim {hint:?}");
+            }
+        }
+    }
+}

@@ -1,0 +1,234 @@
+//! The crate's core guarantee (paper §IV): every reducer strategy yields
+//! the same result as the sequential loop for associative & commutative
+//! operations — bit-exact for integers, up to reassociation for floats.
+//! Property-based over arbitrary update streams, schedules and team sizes.
+
+use ompsim::{Schedule, ThreadPool};
+use proptest::prelude::*;
+use spray::{reduce_strategy, Kernel, Max, Min, Prod, ReduceOp, ReducerView, Strategy, Sum};
+
+/// An explicit update stream: iteration i performs updates[i].
+struct StreamKernel<'a, T> {
+    updates: &'a [Vec<(usize, T)>],
+}
+
+impl<T: spray::AtomicElement> Kernel<T> for StreamKernel<'_, T> {
+    fn item<V: ReducerView<T>>(&self, view: &mut V, i: usize) {
+        for &(idx, v) in &self.updates[i] {
+            view.apply(idx, v);
+        }
+    }
+}
+
+fn sequential_apply<T: Copy, O: ReduceOp<T>>(out: &mut [T], updates: &[Vec<(usize, T)>]) {
+    for step in updates {
+        for &(idx, v) in step {
+            out[idx] = O::combine(out[idx], v);
+        }
+    }
+}
+
+/// Strategy list exercised by the properties.
+fn strategies(block: usize) -> Vec<Strategy> {
+    Strategy::all(block)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn integer_sums_are_bit_exact(
+        len in 1usize..80,
+        threads in 1usize..6,
+        block in prop::sample::select(vec![1usize, 3, 16, 64]),
+        seed in any::<u64>(),
+    ) {
+        // Derive a deterministic update stream from the seed.
+        let n_iters = 200;
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let updates: Vec<Vec<(usize, i64)>> = (0..n_iters)
+            .map(|_| {
+                let k = (next() % 4) as usize;
+                (0..k)
+                    .map(|_| ((next() as usize) % len, (next() % 100) as i64 - 50))
+                    .collect()
+            })
+            .collect();
+
+        let mut expected = vec![0i64; len];
+        sequential_apply::<i64, Sum>(&mut expected, &updates);
+
+        let pool = ThreadPool::new(threads);
+        let kernel = StreamKernel { updates: &updates };
+        for strategy in strategies(block) {
+            let mut out = vec![0i64; len];
+            reduce_strategy::<i64, Sum, _>(
+                strategy, &pool, &mut out, 0..n_iters, Schedule::default(), &kernel,
+            );
+            prop_assert_eq!(&out, &expected, "strategy {}", strategy.label());
+        }
+    }
+
+    #[test]
+    fn float_sums_agree_within_reassociation(
+        len in 1usize..60,
+        threads in 1usize..5,
+        seed in any::<u64>(),
+    ) {
+        let n_iters = 150;
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let updates: Vec<Vec<(usize, f64)>> = (0..n_iters)
+            .map(|_| {
+                (0..2)
+                    .map(|_| {
+                        (
+                            (next() as usize) % len,
+                            ((next() % 1000) as f64 - 500.0) * 0.125,
+                        )
+                    })
+                    .collect()
+            })
+            .collect();
+
+        let mut expected = vec![0.0f64; len];
+        sequential_apply::<f64, Sum>(&mut expected, &updates);
+        let scale = expected.iter().fold(1.0f64, |a, &b| a.max(b.abs()));
+
+        let pool = ThreadPool::new(threads);
+        let kernel = StreamKernel { updates: &updates };
+        for strategy in strategies(8) {
+            let mut out = vec![0.0f64; len];
+            reduce_strategy::<f64, Sum, _>(
+                strategy, &pool, &mut out, 0..n_iters, Schedule::default(), &kernel,
+            );
+            for (i, (&got, &want)) in out.iter().zip(&expected).enumerate() {
+                prop_assert!(
+                    (got - want).abs() <= 1e-9 * scale,
+                    "strategy {} at {i}: {got} vs {want}", strategy.label()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn min_max_ops_agree_exactly(
+        len in 1usize..40,
+        threads in 1usize..5,
+        seed in any::<u64>(),
+    ) {
+        let n_iters = 100;
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let updates: Vec<Vec<(usize, i64)>> = (0..n_iters)
+            .map(|_| vec![((next() as usize) % len, (next() % 1000) as i64 - 500)])
+            .collect();
+
+        let pool = ThreadPool::new(threads);
+        let kernel = StreamKernel { updates: &updates };
+
+        // Min and Max are idempotent, so even float-style reassociation
+        // cannot change the answer: require exact equality. (Map reducers
+        // are Sum-only in spirit but implement any ReduceOp; include all.)
+        let mut expected_min = vec![i64::MAX; len];
+        sequential_apply::<i64, Min>(&mut expected_min, &updates);
+        let mut expected_max = vec![i64::MIN; len];
+        sequential_apply::<i64, Max>(&mut expected_max, &updates);
+
+        for strategy in strategies(16) {
+            let mut out = vec![i64::MAX; len];
+            reduce_strategy::<i64, Min, _>(
+                strategy, &pool, &mut out, 0..n_iters, Schedule::default(), &kernel,
+            );
+            prop_assert_eq!(&out, &expected_min, "min {}", strategy.label());
+
+            let mut out = vec![i64::MIN; len];
+            reduce_strategy::<i64, Max, _>(
+                strategy, &pool, &mut out, 0..n_iters, Schedule::default(), &kernel,
+            );
+            prop_assert_eq!(&out, &expected_max, "max {}", strategy.label());
+        }
+    }
+
+    #[test]
+    fn schedules_do_not_change_integer_results(
+        threads in 1usize..5,
+        chunk in 1usize..40,
+        seed in any::<u64>(),
+    ) {
+        let len = 50;
+        let n_iters = 120;
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let updates: Vec<Vec<(usize, i64)>> = (0..n_iters)
+            .map(|_| vec![((next() as usize) % len, (next() % 10) as i64)])
+            .collect();
+
+        let mut expected = vec![0i64; len];
+        sequential_apply::<i64, Sum>(&mut expected, &updates);
+
+        let pool = ThreadPool::new(threads);
+        let kernel = StreamKernel { updates: &updates };
+        for schedule in [
+            Schedule::static_default(),
+            Schedule::static_chunked(chunk),
+            Schedule::dynamic(chunk),
+            Schedule::guided(chunk),
+        ] {
+            let mut out = vec![0i64; len];
+            reduce_strategy::<i64, Sum, _>(
+                Strategy::BlockCas { block_size: 8 },
+                &pool, &mut out, 0..n_iters, schedule, &kernel,
+            );
+            prop_assert_eq!(&out, &expected, "schedule {}", schedule.label());
+        }
+    }
+}
+
+#[test]
+fn product_reduction_works() {
+    // Deterministic multiplicative reduction across strategies.
+    let len = 10;
+    let n_iters = 30;
+    let updates: Vec<Vec<(usize, i64)>> = (0..n_iters)
+        .map(|i| vec![(i % len, if i % 7 == 0 { 2 } else { 1 })])
+        .collect();
+    let mut expected = vec![1i64; len];
+    sequential_apply::<i64, Prod>(&mut expected, &updates);
+
+    let pool = ThreadPool::new(3);
+    let kernel = StreamKernel { updates: &updates };
+    for strategy in strategies(4) {
+        let mut out = vec![1i64; len];
+        reduce_strategy::<i64, Prod, _>(
+            strategy,
+            &pool,
+            &mut out,
+            0..n_iters,
+            Schedule::default(),
+            &kernel,
+        );
+        assert_eq!(out, expected, "strategy {}", strategy.label());
+    }
+}
