@@ -1,0 +1,153 @@
+//! Per-apply overhead of the block reducers' hot path.
+//!
+//! Measures the cost of one `view.apply(i, v)` for block-private,
+//! block-lock and block-CAS under two access patterns (streaming and
+//! random-permutation scatter), against the legacy uncached path
+//! (`apply_uncached`: full bounds assert + status lookup + hardware
+//! div/mod on every update) measured in the *same* harness. The cached
+//! path is the shift/mask + last-block-cache fast path this crate's
+//! figures run on; the spread between the two columns is the win the
+//! hot-path overhaul buys.
+//!
+//! Prints CSV and writes `BENCH_apply_overhead.json` with both numbers
+//! per configuration.
+
+use bench::args::Opts;
+use spray::{
+    BlockCasReduction, BlockLockReduction, BlockPrivateReduction, ReducerView, Reduction, Sum,
+};
+use std::hint::black_box;
+use std::io::Write;
+use std::time::Instant;
+
+#[global_allocator]
+static ALLOC: memtrack::CountingAlloc = memtrack::CountingAlloc;
+
+/// One measured configuration.
+struct Row {
+    strategy: String,
+    pattern: &'static str,
+    cached_ns: f64,
+    uncached_ns: f64,
+}
+
+/// splitmix64, for a deterministic index permutation.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+fn patterns(n: usize) -> Vec<(&'static str, Vec<usize>)> {
+    // Streaming scatter: ascending with a ±1 neighbor touch, the
+    // conv-backprop shape the last-block cache is built for.
+    let stream: Vec<usize> = (1..n - 1).flat_map(|i| [i - 1, i, i + 1]).collect();
+    // Random permutation: every apply switches blocks — worst case for
+    // the cache, isolating the shift/mask vs div/mod difference.
+    let mut perm: Vec<usize> = (0..n).collect();
+    let mut state = 0xC0FFEE;
+    for i in (1..n).rev() {
+        let j = (splitmix64(&mut state) % (i as u64 + 1)) as usize;
+        perm.swap(i, j);
+    }
+    vec![("stream", stream), ("random", perm)]
+}
+
+/// Times `reps` single-threaded regions of `red`, timing only the apply
+/// loop, and returns best ns/apply for the cached and uncached paths.
+macro_rules! bench_flavor {
+    ($ctor:ident, $bs:expr, $n:expr, $idx:expr, $reps:expr) => {{
+        let mut out = vec![0.0f64; $n];
+        let red = $ctor::<f64, Sum>::new(&mut out, 1, $bs);
+        let name = red.name();
+        let mut cached = f64::INFINITY;
+        let mut uncached = f64::INFINITY;
+        for _ in 0..$reps + 1 {
+            // Cached region (the production `apply` fast path).
+            let mut view = red.view(0);
+            let t0 = Instant::now();
+            for &i in $idx {
+                view.apply(i, black_box(1.0));
+            }
+            let dt = t0.elapsed().as_secs_f64();
+            red.stash(0, view);
+            red.epilogue(0);
+            red.finish();
+            cached = cached.min(dt);
+
+            // Uncached region (legacy assert + status lookup + div/mod).
+            let mut view = red.view(0);
+            let t0 = Instant::now();
+            for &i in $idx {
+                view.apply_uncached(i, black_box(1.0));
+            }
+            let dt = t0.elapsed().as_secs_f64();
+            red.stash(0, view);
+            red.epilogue(0);
+            red.finish();
+            uncached = uncached.min(dt);
+        }
+        let per = 1e9 / $idx.len() as f64;
+        Row {
+            strategy: name,
+            pattern: "",
+            cached_ns: cached * per,
+            uncached_ns: uncached * per,
+        }
+    }};
+}
+
+fn main() {
+    let opts = Opts::parse();
+    let n = opts.n.unwrap_or(if opts.quick { 1 << 16 } else { 1 << 20 });
+    let block_size = 1024usize;
+    let reps = opts.reps;
+
+    println!("# apply_overhead: per-apply ns, cached fast path vs legacy uncached path");
+    println!("# N = {n}, block_size = {block_size}, reps = {reps}, 1 thread");
+    println!("strategy,pattern,cached_ns_per_apply,uncached_ns_per_apply,speedup");
+
+    let mut rows: Vec<Row> = Vec::new();
+    for (pattern, idx) in patterns(n) {
+        for mut row in [
+            bench_flavor!(BlockPrivateReduction, block_size, n, &idx, reps),
+            bench_flavor!(BlockLockReduction, block_size, n, &idx, reps),
+            bench_flavor!(BlockCasReduction, block_size, n, &idx, reps),
+        ] {
+            row.pattern = pattern;
+            println!(
+                "{},{},{:.3},{:.3},{:.3}",
+                row.strategy,
+                row.pattern,
+                row.cached_ns,
+                row.uncached_ns,
+                row.uncached_ns / row.cached_ns
+            );
+            rows.push(row);
+        }
+    }
+
+    let mut json = String::from("{\n");
+    json.push_str(&format!(
+        "  \"n\": {n},\n  \"block_size\": {block_size},\n  \"reps\": {reps},\n  \"results\": [\n"
+    ));
+    for (k, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"strategy\": \"{}\", \"pattern\": \"{}\", \
+             \"cached_ns_per_apply\": {:.3}, \"uncached_ns_per_apply\": {:.3}}}{}\n",
+            r.strategy,
+            r.pattern,
+            r.cached_ns,
+            r.uncached_ns,
+            if k + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    let path = "BENCH_apply_overhead.json";
+    std::fs::File::create(path)
+        .and_then(|mut f| f.write_all(json.as_bytes()))
+        .expect("write BENCH_apply_overhead.json");
+    eprintln!("wrote {path}");
+}

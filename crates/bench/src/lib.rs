@@ -12,6 +12,7 @@
 //! | Fig. 16 | `fig16_lulesh` | LULESH proxy whole-run time & memory, incl. the 8-copy domain scheme |
 //! | §IV/§V discussion | `ablation_schedule`, `ablation_keeper`, `ablation_atomics`, `ablation_autotune` | schedule/chunk, keeper-ownership, atomic-op and auto-tuner ablations |
 //! | §VII remarks | `summary_table` | every strategy × all three workloads, time and memory side by side |
+//! | hot path | `apply_overhead` | per-apply ns of the block reducers' cached fast path vs the legacy assert+div/mod path, per access pattern (writes `BENCH_apply_overhead.json`) |
 //! | — | `plot_ascii` | renders any results CSV as an ASCII chart |
 //!
 //! Every binary prints CSV to stdout (`column -s, -t` renders it) plus

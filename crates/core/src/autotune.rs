@@ -31,8 +31,9 @@
 //! ```
 
 use crate::elem::{AtomicElement, ReduceOp};
-use crate::strategy::{reduce_strategy, Kernel, RunReport, Strategy};
+use crate::strategy::{Kernel, ReusableReducer, RunReport, Strategy};
 use ompsim::{Schedule, ThreadPool};
+use std::any::Any;
 use std::ops::Range;
 use std::time::Instant;
 
@@ -45,7 +46,6 @@ struct CandidateStat {
 }
 
 /// Online strategy selector; see the module docs.
-#[derive(Debug, Clone)]
 pub struct AutoTuner {
     candidates: Vec<CandidateStat>,
     /// Timed exploration rounds per candidate before settling.
@@ -54,6 +54,38 @@ pub struct AutoTuner {
     invocations: usize,
     /// Cached winner index once exploration finishes.
     winner: Option<usize>,
+    /// Type-erased `Vec<ReusableReducer<T, O>>`, one per candidate, so the
+    /// winner's block scratch is reused across invocations (the tuner
+    /// exists for iterative workloads). Rebuilt when `run` is called at a
+    /// different `(T, O)`; timing therefore measures each candidate's
+    /// steady-state (scratch-warm) cost, which is what the remaining
+    /// invocations will pay.
+    scratch: Option<Box<dyn Any + Send>>,
+}
+
+impl std::fmt::Debug for AutoTuner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AutoTuner")
+            .field("candidates", &self.candidates)
+            .field("trials", &self.trials)
+            .field("invocations", &self.invocations)
+            .field("winner", &self.winner)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Clone for AutoTuner {
+    /// Clones measurements and tuning state; retained reducer scratch is
+    /// not cloned (the copy re-allocates on its first run).
+    fn clone(&self) -> Self {
+        AutoTuner {
+            candidates: self.candidates.clone(),
+            trials: self.trials,
+            invocations: self.invocations,
+            winner: self.winner,
+            scratch: None,
+        }
+    }
 }
 
 impl AutoTuner {
@@ -75,6 +107,7 @@ impl AutoTuner {
             trials: trials.max(1),
             invocations: 0,
             winner: None,
+            scratch: None,
         }
     }
 
@@ -165,9 +198,26 @@ impl AutoTuner {
         K: Kernel<T>,
     {
         let idx = self.pick();
-        let strategy = self.candidates[idx].strategy;
+        let fresh = !self
+            .scratch
+            .as_ref()
+            .is_some_and(|s| s.is::<Vec<ReusableReducer<T, O>>>());
+        if fresh {
+            self.scratch = Some(Box::new(
+                self.candidates
+                    .iter()
+                    .map(|c| ReusableReducer::<T, O>::new(c.strategy))
+                    .collect::<Vec<_>>(),
+            ));
+        }
+        let reducers = self
+            .scratch
+            .as_mut()
+            .unwrap()
+            .downcast_mut::<Vec<ReusableReducer<T, O>>>()
+            .unwrap();
         let t0 = Instant::now();
-        let report = reduce_strategy::<T, O, K>(strategy, pool, out, range, schedule, kernel);
+        let report = reducers[idx].run(pool, out, range, schedule, kernel);
         let dt = t0.elapsed().as_secs_f64();
         let c = &mut self.candidates[idx];
         c.total_secs += dt;

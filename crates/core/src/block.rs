@@ -19,6 +19,49 @@
 //! it; the `bench` crate regenerates that sweep). Strategy names carry the
 //! block size, e.g. `block-CAS-1024`.
 //!
+//! # Hot-path layout
+//!
+//! `apply(i, v)` is the whole point of the library — it must cost as close
+//! to a plain `out[i] += v` as possible. Three decisions keep it there:
+//!
+//! * **Power-of-two blocks.** Block sizes are rounded **up to the next
+//!   power of two** at construction (user-visible: `block-CAS-100` becomes
+//!   `block-CAS-128`, and [`Reduction::name`] reports the rounded size).
+//!   `i / block_size` and `i % block_size` compile to a shift and a mask
+//!   instead of hardware division.
+//! * **Last-block cache.** The view remembers the last block it touched
+//!   and the base pointer of that block's storage (the original array for
+//!   direct-owned blocks, the private copy otherwise). Streaming scatters
+//!   — conv back-prop, CSR transpose-SpMV, nodal force accumulation — hit
+//!   the same block for many consecutive updates, so the fast path is one
+//!   compare + combine with no status load. Private copies are allocated
+//!   at the full (padded) block size so every in-block offset is valid;
+//!   direct blocks are cached only when they lie wholly inside the array.
+//! * **Debug-only index assert.** The per-apply bounds `assert!` became a
+//!   `debug_assert!`; release builds bounds-check at block granularity on
+//!   the cold path (every first touch of a block, and any index whose
+//!   block is not cached). The chunked drivers perform their own up-front
+//!   range checks, so a wild index cannot touch memory outside the
+//!   reduction: the status table lookup still range-panics for blocks past
+//!   the end, and cached blocks only accept offsets inside their (valid)
+//!   storage.
+//!
+//! Per-thread state that different threads write concurrently (the stash
+//! slots, the CAS ownership words) is cache-line padded to kill false
+//! sharing; see [`crate::shared`].
+//!
+//! # Region reuse
+//!
+//! [`Reduction::finish`] does not free a view's status/blocks scratch; it
+//! resets it (statuses to unknown, private copies refilled with the
+//! identity, ownership cleared) and retains it, so a reduction driven
+//! through many regions allocates only on its first. For iterative solvers
+//! that rebind the output array every iteration (PageRank's swap of rank
+//! vectors), [`BlockReduction::into_scratch`] /
+//! [`BlockReduction::from_scratch`] detach the scratch from the borrow and
+//! reattach it to the next region's array — see also
+//! [`crate::ReusableReducer`] for the strategy-dispatched form.
+//!
 //! # Safety protocol
 //! During the loop phase a block of the original array is written only by
 //! its unique owner (lock/CAS flavors) and all other contributions go to
@@ -29,10 +72,10 @@
 
 use crate::elem::{Element, ReduceOp};
 use crate::reducer::{ReducerView, Reduction};
-use crate::shared::{MemCounter, SharedSlice, Slots};
-use parking_lot::Mutex;
+use crate::shared::{CachePadded, MemCounter, SharedSlice, Slots};
 use std::marker::PhantomData;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 const UNOWNED: usize = usize::MAX;
 
@@ -88,7 +131,7 @@ impl Ownership for LockOwnership {
     }
 
     fn try_claim(&self, b: usize, tid: usize) -> bool {
-        let mut t = self.table.lock();
+        let mut t = self.table.lock().unwrap();
         if t[b] == UNOWNED {
             t[b] = tid;
             true
@@ -98,29 +141,36 @@ impl Ownership for LockOwnership {
     }
 
     fn reset(&self) {
-        self.table.lock().fill(UNOWNED);
+        self.table.lock().unwrap().fill(UNOWNED);
     }
 
     fn footprint(&self) -> usize {
-        self.table.lock().len() * std::mem::size_of::<usize>()
+        self.table.lock().unwrap().len() * std::mem::size_of::<usize>()
     }
 }
 
-/// CAS-based ownership table (block-CAS flavor).
+/// CAS-based ownership table (block-CAS flavor). Every ownership word
+/// sits on its own cache line: threads race CASes on *different* blocks
+/// during first-touch storms, and packed words would false-share.
 struct CasOwnership {
-    table: Vec<AtomicUsize>,
+    table: Vec<CachePadded<AtomicUsize>>,
 }
 
 impl Ownership for CasOwnership {
     fn new(nblocks: usize) -> Self {
         CasOwnership {
-            table: (0..nblocks).map(|_| AtomicUsize::new(UNOWNED)).collect(),
+            table: (0..nblocks)
+                .map(|_| CachePadded(AtomicUsize::new(UNOWNED)))
+                .collect(),
         }
     }
 
     #[inline]
     fn try_claim(&self, b: usize, tid: usize) -> bool {
-        match self.table[b].compare_exchange(UNOWNED, tid, Ordering::Relaxed, Ordering::Relaxed) {
+        match self.table[b]
+            .0
+            .compare_exchange(UNOWNED, tid, Ordering::Relaxed, Ordering::Relaxed)
+        {
             Ok(_) => true,
             Err(cur) => cur == tid,
         }
@@ -128,23 +178,45 @@ impl Ownership for CasOwnership {
 
     fn reset(&self) {
         for e in &self.table {
-            e.store(UNOWNED, Ordering::Relaxed);
+            e.0.store(UNOWNED, Ordering::Relaxed);
         }
     }
 
     fn footprint(&self) -> usize {
-        self.table.len() * std::mem::size_of::<AtomicUsize>()
+        self.table.len() * std::mem::size_of::<CachePadded<AtomicUsize>>()
     }
+}
+
+/// A view's retained bookkeeping: one status byte and one optional private
+/// copy per block. Lives in the reduction's slots between regions.
+struct ViewScratch<T> {
+    status: Vec<u8>,
+    blocks: Vec<Option<Box<[T]>>>,
+}
+
+/// Detached block-reducer scratch (ownership table + per-thread view
+/// bookkeeping), produced by [`BlockReduction::into_scratch`] and consumed
+/// by [`BlockReduction::from_scratch`]. Lets iterative solvers that rebind
+/// the output array every iteration carry the allocations across regions.
+pub struct BlockScratch<T, W> {
+    owners: W,
+    per_thread: Vec<Option<ViewScratch<T>>>,
+    block_size: usize,
+    len: usize,
+    flavor: &'static str,
 }
 
 /// Generic block reducer; use the [`BlockPrivateReduction`],
 /// [`BlockLockReduction`] or [`BlockCasReduction`] aliases.
 pub struct BlockReduction<'a, T: Element, O: ReduceOp<T>, W: Ownership> {
     out: SharedSlice<T>,
-    block_size: usize,
+    /// `log2(block_size)`; the block size is always a power of two.
+    shift: u32,
+    /// `block_size - 1`.
+    mask: usize,
     nblocks: usize,
     owners: W,
-    slots: Slots<Vec<Option<Box<[T]>>>>,
+    slots: Slots<ViewScratch<T>>,
     nthreads: usize,
     mem: MemCounter,
     flavor: &'static str,
@@ -158,6 +230,13 @@ pub type BlockPrivateReduction<'a, T, O> = BlockReduction<'a, T, O, NoOwnershipS
 pub type BlockLockReduction<'a, T, O> = BlockReduction<'a, T, O, LockOwnershipSeal>;
 /// Direct block ownership acquired by CAS, privatization fallback.
 pub type BlockCasReduction<'a, T, O> = BlockReduction<'a, T, O, CasOwnershipSeal>;
+
+/// Detached scratch of a [`BlockPrivateReduction`].
+pub type BlockPrivateScratch<T> = BlockScratch<T, NoOwnershipSeal>;
+/// Detached scratch of a [`BlockLockReduction`].
+pub type BlockLockScratch<T> = BlockScratch<T, LockOwnershipSeal>;
+/// Detached scratch of a [`BlockCasReduction`].
+pub type BlockCasScratch<T> = BlockScratch<T, CasOwnershipSeal>;
 
 // Public seals so the aliases can be named without exposing the Ownership
 // trait itself.
@@ -200,11 +279,14 @@ impl<'a, T: Element, O: ReduceOp<T>, W: Ownership> BlockReduction<'a, T, O, W> {
     ) -> Self {
         assert!(nthreads > 0);
         assert!(block_size > 0, "block size must be > 0");
+        // Round up so in-block indexing is shift/mask, not div/mod.
+        let block_size = block_size.next_power_of_two();
         let len = out.len();
         let nblocks = len.div_ceil(block_size);
         BlockReduction {
             out: SharedSlice::new(out),
-            block_size,
+            shift: block_size.trailing_zeros(),
+            mask: block_size - 1,
             nblocks,
             owners: W::new(nblocks),
             slots: Slots::new(nthreads),
@@ -216,30 +298,96 @@ impl<'a, T: Element, O: ReduceOp<T>, W: Ownership> BlockReduction<'a, T, O, W> {
         }
     }
 
+    /// The effective block size (requested size rounded up to a power of
+    /// two).
+    #[inline]
+    pub fn block_size(&self) -> usize {
+        1usize << self.shift
+    }
+
     /// Block `b`'s range in the array (the last block may be short).
     #[inline]
     fn block_range(&self, b: usize) -> std::ops::Range<usize> {
-        let lo = b * self.block_size;
-        lo..((lo + self.block_size).min(self.out.len()))
+        let lo = b << self.shift;
+        lo..((lo + self.block_size()).min(self.out.len()))
+    }
+
+    /// Detaches the retained scratch (run [`Reduction::finish`] first,
+    /// which the drivers do automatically) so it can be re-attached to a
+    /// reduction over another array with [`BlockReduction::from_scratch`].
+    pub fn into_scratch(self) -> BlockScratch<T, W> {
+        BlockScratch {
+            per_thread: (0..self.nthreads)
+                // SAFETY: `self` is owned; no region is active.
+                .map(|t| unsafe { self.slots.take(t) })
+                .collect(),
+            owners: self.owners,
+            block_size: 1usize << self.shift,
+            len: self.out.len(),
+            flavor: self.flavor,
+        }
+    }
+
+    /// Rebuilds a reduction over `out` reusing `scratch`'s allocations.
+    ///
+    /// The scratch must come from a reduction of the same flavor. If its
+    /// shape does not match (different effective block size, array length
+    /// or team width), it is dropped and the reduction starts fresh —
+    /// still correct, just re-allocating.
+    pub fn from_scratch(
+        out: &'a mut [T],
+        nthreads: usize,
+        block_size: usize,
+        scratch: BlockScratch<T, W>,
+    ) -> Self {
+        let mut red = Self::with_flavor(out, nthreads, block_size, scratch.flavor);
+        let matches = scratch.block_size == red.block_size()
+            && scratch.len == red.out.len()
+            && scratch.per_thread.len() == nthreads;
+        if matches {
+            red.owners = scratch.owners;
+            for (t, s) in scratch.per_thread.into_iter().enumerate() {
+                if let Some(s) = s {
+                    // Carried allocations count toward this reduction's
+                    // footprint — `memory_overhead` stays comparable to a
+                    // fresh region's.
+                    red.mem
+                        .add(s.status.len() * (1 + std::mem::size_of::<Option<Box<[T]>>>()));
+                    red.mem.add(
+                        s.blocks
+                            .iter()
+                            .flatten()
+                            .map(|b| std::mem::size_of_val::<[T]>(b))
+                            .sum(),
+                    );
+                    // SAFETY: `red` is freshly built; no region is active.
+                    unsafe { red.slots.put(t, s) };
+                }
+            }
+        }
+        red
     }
 }
 
 impl<'a, T: Element, O: ReduceOp<T>> BlockPrivateReduction<'a, T, O> {
-    /// Wraps `out` with lazily privatized blocks of `block_size` elements.
+    /// Wraps `out` with lazily privatized blocks of `block_size` elements
+    /// (rounded up to a power of two).
     pub fn new(out: &'a mut [T], nthreads: usize, block_size: usize) -> Self {
         Self::with_flavor(out, nthreads, block_size, "block-private")
     }
 }
 
 impl<'a, T: Element, O: ReduceOp<T>> BlockLockReduction<'a, T, O> {
-    /// Wraps `out` with lock-claimed direct block ownership.
+    /// Wraps `out` with lock-claimed direct block ownership
+    /// (`block_size` rounded up to a power of two).
     pub fn new(out: &'a mut [T], nthreads: usize, block_size: usize) -> Self {
         Self::with_flavor(out, nthreads, block_size, "block-lock")
     }
 }
 
 impl<'a, T: Element, O: ReduceOp<T>> BlockCasReduction<'a, T, O> {
-    /// Wraps `out` with CAS-claimed direct block ownership.
+    /// Wraps `out` with CAS-claimed direct block ownership
+    /// (`block_size` rounded up to a power of two).
     ///
     /// ```
     /// use spray::{reduce, BlockCasReduction, ReducerView, Reduction, Sum};
@@ -270,15 +418,101 @@ pub struct BlockView<T, O, W> {
     owners: *const W,
     status: Vec<u8>,
     blocks: Vec<Option<Box<[T]>>>,
-    block_size: usize,
+    shift: u32,
+    mask: usize,
     len: usize,
     tid: usize,
+    /// Last-touched block, or `usize::MAX`. Cache invariant: when set,
+    /// `last_base` points to storage holding *all* offsets `0..=mask` of
+    /// that block — the original array for a wholly in-bounds direct
+    /// block, or a full-block-size private copy.
+    last_block: usize,
+    last_base: *mut T,
     allocated_bytes: usize,
     _op: PhantomData<O>,
 }
 
 impl<T: Element, O: ReduceOp<T>, W: Ownership> BlockView<T, O, W> {
-    /// Slow path: first touch of block `b` by this thread.
+    /// Block switch / first touch: resolve the block's status (claiming
+    /// ownership or privatizing on first touch), service the update, and
+    /// install the block in the last-block cache.
+    ///
+    /// This is the release-mode bounds check: `status[b]` range-panics for
+    /// any block past the array, and in-bounds blocks validate `i` at
+    /// block granularity below.
+    ///
+    /// Deliberately NOT `#[cold]`/`#[inline(never)]`: low-locality
+    /// scatters (random permutations) take this path on nearly every
+    /// apply, and both a size-optimized body and a forced call boundary
+    /// measurably regress them (the `apply_overhead` microbench covers
+    /// both patterns).
+    fn apply_slow(&mut self, i: usize, v: T) {
+        assert!(
+            i < self.len,
+            "reduction index {i} out of bounds (len {})",
+            self.len
+        );
+        let b = i >> self.shift;
+        let mut st = self.status[b];
+        if st == ST_UNKNOWN {
+            st = self.resolve(b);
+        }
+        if st == ST_DIRECT {
+            let lo = b << self.shift;
+            // Cache only blocks that lie wholly inside the array, so every
+            // masked offset through `last_base` stays in bounds.
+            if lo + self.mask < self.len {
+                self.last_block = b;
+                self.last_base = unsafe { self.out.as_mut_ptr().add(lo) };
+            } else {
+                self.last_block = usize::MAX;
+            }
+            // SAFETY: this thread exclusively owns block `b` of `out`
+            // during the loop phase (ownership protocol), and `i < len`.
+            unsafe { self.out.combine::<O>(i, v) };
+        } else {
+            // ST_PRIVATE implies `resolve` allocated the (full-size) copy.
+            let blk = self.blocks[b].as_mut().unwrap();
+            self.last_block = b;
+            self.last_base = blk.as_mut_ptr();
+            let slot = &mut blk[i & self.mask];
+            *slot = O::combine(*slot, v);
+        }
+    }
+
+    /// The pre-cache `apply` path: full bounds assert, status lookup and
+    /// div/mod on every update, no last-block cache. Kept (hidden) as the
+    /// in-harness baseline for the `apply_overhead` microbenchmark so the
+    /// fast path's gain is measured against the real legacy cost, not a
+    /// reconstruction. Not part of the public API.
+    #[doc(hidden)]
+    pub fn apply_uncached(&mut self, i: usize, v: T) {
+        assert!(
+            i < self.len,
+            "reduction index {i} out of bounds (len {})",
+            self.len
+        );
+        // Runtime-valued divisor: the compiler cannot prove it is a power
+        // of two, so this costs a hardware divide — exactly what the
+        // legacy generic-block-size path paid.
+        let bs = self.mask + 1;
+        let b = i / bs;
+        let mut st = self.status[b];
+        if st == ST_UNKNOWN {
+            st = self.resolve(b);
+        }
+        if st == ST_DIRECT {
+            // SAFETY: this thread owns block `b` directly (ownership
+            // protocol) and `i < len`.
+            unsafe { self.out.combine::<O>(i, v) };
+        } else {
+            let blk = self.blocks[b].as_mut().unwrap();
+            let slot = &mut blk[i % bs];
+            *slot = O::combine(*slot, v);
+        }
+    }
+
+    /// First touch of block `b` by this thread.
     #[cold]
     fn resolve(&mut self, b: usize) -> u8 {
         // SAFETY: the parent reduction outlives the view (driver contract).
@@ -286,10 +520,16 @@ impl<T: Element, O: ReduceOp<T>, W: Ownership> BlockView<T, O, W> {
         let st = if owners.try_claim(b, self.tid) {
             ST_DIRECT
         } else {
-            let lo = b * self.block_size;
-            let n = self.block_size.min(self.len - lo);
-            self.blocks[b] = Some(vec![O::identity(); n].into_boxed_slice());
-            self.allocated_bytes += n * std::mem::size_of::<T>();
+            // A copy retained from an earlier region is already
+            // identity-filled by `finish`; otherwise allocate one at the
+            // full (power-of-two) length even for the trailing partial
+            // block — that keeps the last-block cache's offset invariant
+            // and costs at most one block of slack.
+            if self.blocks[b].is_none() {
+                let n = self.mask + 1;
+                self.blocks[b] = Some(vec![O::identity(); n].into_boxed_slice());
+                self.allocated_bytes += n * std::mem::size_of::<T>();
+            }
             ST_PRIVATE
         };
         self.status[b] = st;
@@ -300,22 +540,18 @@ impl<T: Element, O: ReduceOp<T>, W: Ownership> BlockView<T, O, W> {
 impl<T: Element, O: ReduceOp<T>, W: Ownership> ReducerView<T> for BlockView<T, O, W> {
     #[inline(always)]
     fn apply(&mut self, i: usize, v: T) {
-        assert!(i < self.len, "reduction index {i} out of bounds");
-        let b = i / self.block_size;
-        let mut st = self.status[b];
-        if st == ST_UNKNOWN {
-            st = self.resolve(b);
-        }
-        if st == ST_DIRECT {
-            // SAFETY: this thread exclusively owns block `b` of `out`
-            // during the loop phase (ownership protocol).
-            unsafe { self.out.combine::<O>(i, v) };
+        debug_assert!(i < self.len, "reduction index {i} out of bounds");
+        let b = i >> self.shift;
+        if b == self.last_block {
+            // SAFETY: the cache invariant (see `last_block`) guarantees
+            // `last_base` covers every offset `0..=mask`, and this thread
+            // has exclusive write access to that storage for the region.
+            unsafe {
+                let p = self.last_base.add(i & self.mask);
+                *p = O::combine(*p, v);
+            }
         } else {
-            // SAFETY of the unwrap: ST_PRIVATE implies the block was
-            // allocated in `resolve`.
-            let blk = self.blocks[b].as_mut().unwrap();
-            let slot = &mut blk[i - b * self.block_size];
-            *slot = O::combine(*slot, v);
+            self.apply_slow(i, v);
         }
     }
 }
@@ -324,27 +560,53 @@ impl<T: Element, O: ReduceOp<T>, W: Ownership> Reduction<T> for BlockReduction<'
     type View = BlockView<T, O, W>;
 
     fn view(&self, tid: usize) -> Self::View {
-        // Only bookkeeping is allocated here (the paper's cheap `init`):
-        // one status byte and one empty option per block.
-        self.mem
-            .add(self.nblocks * (1 + std::mem::size_of::<Option<Box<[T]>>>()));
+        // SAFETY: slot `tid` is touched only by thread `tid` pre-barrier.
+        let retained = unsafe { self.slots.take(tid) };
+        let (status, blocks) = match retained {
+            // Scratch retained by `finish` from an earlier region: already
+            // reset (statuses unknown, private copies identity-filled).
+            Some(s) => (s.status, s.blocks),
+            None => {
+                // Only bookkeeping is allocated here (the paper's cheap
+                // `init`): one status byte and one empty option per block.
+                self.mem
+                    .add(self.nblocks * (1 + std::mem::size_of::<Option<Box<[T]>>>()));
+                (
+                    vec![ST_UNKNOWN; self.nblocks],
+                    (0..self.nblocks).map(|_| None).collect(),
+                )
+            }
+        };
         BlockView {
             out: self.out,
             owners: &self.owners,
-            status: vec![ST_UNKNOWN; self.nblocks],
-            blocks: (0..self.nblocks).map(|_| None).collect(),
-            block_size: self.block_size,
+            status,
+            blocks,
+            shift: self.shift,
+            mask: self.mask,
             len: self.out.len(),
             tid,
+            last_block: usize::MAX,
+            last_base: std::ptr::null_mut(),
             allocated_bytes: 0,
             _op: PhantomData,
         }
     }
 
     fn stash(&self, tid: usize, view: Self::View) {
+        // `allocated_bytes` counts only blocks newly privatized this
+        // region; retained ones are still accounted from their region.
         self.mem.add(view.allocated_bytes);
         // SAFETY: slot `tid` is written only by thread `tid`, pre-barrier.
-        unsafe { self.slots.put(tid, view.blocks) };
+        unsafe {
+            self.slots.put(
+                tid,
+                ViewScratch {
+                    status: view.status,
+                    blocks: view.blocks,
+                },
+            )
+        };
     }
 
     fn epilogue(&self, tid: usize) {
@@ -355,10 +617,10 @@ impl<T: Element, O: ReduceOp<T>, W: Ownership> Reduction<T> for BlockReduction<'
             let range = self.block_range(b);
             for t in 0..self.nthreads {
                 // SAFETY: post-barrier, slots are read-only.
-                let Some(blocks) = (unsafe { self.slots.get(t) }) else {
+                let Some(scratch) = (unsafe { self.slots.get(t) }) else {
                     continue;
                 };
-                if let Some(blk) = &blocks[b] {
+                if let Some(blk) = &scratch.blocks[b] {
                     for (off, i) in range.clone().enumerate() {
                         // SAFETY: block `b` is merged only by this thread,
                         // and owners stopped writing at the barrier.
@@ -369,24 +631,26 @@ impl<T: Element, O: ReduceOp<T>, W: Ownership> Reduction<T> for BlockReduction<'
         }
     }
 
+    /// Resets for the next region **without freeing**: statuses go back to
+    /// unknown, private copies are refilled with the identity and
+    /// retained, ownership is cleared. `memory_overhead` keeps reporting
+    /// the peak, which further regions no longer grow.
     fn finish(&self) {
         for t in 0..self.nthreads {
             // SAFETY: single-threaded after the region.
-            if let Some(blocks) = unsafe { self.slots.take(t) } {
-                let freed: usize = blocks
-                    .iter()
-                    .flatten()
-                    .map(|b| b.len() * std::mem::size_of::<T>())
-                    .sum();
-                self.mem
-                    .sub(freed + self.nblocks * (1 + std::mem::size_of::<Option<Box<[T]>>>()));
+            if let Some(mut s) = unsafe { self.slots.take(t) } {
+                s.status.fill(ST_UNKNOWN);
+                for blk in s.blocks.iter_mut().flatten() {
+                    blk.fill(O::identity());
+                }
+                unsafe { self.slots.put(t, s) };
             }
         }
         self.owners.reset();
     }
 
     fn name(&self) -> String {
-        format!("{}-{}", self.flavor, self.block_size)
+        format!("{}-{}", self.flavor, self.block_size())
     }
 
     fn num_threads(&self) -> usize {
@@ -465,6 +729,21 @@ mod tests {
     }
 
     #[test]
+    fn last_partial_block_direct_owned() {
+        // Direct ownership of a trailing short block must stay uncached
+        // (cache invariant) yet still apply correctly.
+        let pool = ThreadPool::new(2);
+        let n = 100; // blocks of 64 -> block 1 covers 64..100 only
+        let mut out = vec![0i64; n];
+        let red = BlockCasReduction::<i64, Sum>::new(&mut out, 2, 64);
+        reduce(&pool, &red, 0..n, Schedule::default(), |v, i| {
+            v.apply(i, 7);
+        });
+        drop(red);
+        assert!(out.iter().all(|&x| x == 7));
+    }
+
+    #[test]
     fn block_size_larger_than_array() {
         let pool = ThreadPool::new(2);
         let mut out = vec![0i64; 10];
@@ -474,6 +753,27 @@ mod tests {
         });
         drop(red);
         assert!(out.iter().all(|&x| x == 1));
+    }
+
+    #[test]
+    fn non_pow2_block_sizes_round_up() {
+        let mut a = vec![0.0f64; 1000];
+        let red = BlockPrivateReduction::<f64, Sum>::new(&mut a, 2, 100);
+        assert_eq!(red.block_size(), 128);
+        assert_eq!(red.name(), "block-private-128");
+        drop(red);
+
+        // Correctness with a rounded size and interleaved (non-chunk)
+        // access, forcing both flavors of block resolution.
+        let pool = ThreadPool::new(3);
+        let n = 777;
+        let mut out = vec![0i64; n];
+        let red = BlockLockReduction::<i64, Sum>::new(&mut out, 3, 100);
+        reduce(&pool, &red, 0..n, Schedule::dynamic(5), |v, i| {
+            v.apply((i * 31) % n, 1);
+        });
+        drop(red);
+        assert_eq!(out.iter().sum::<i64>(), n as i64);
     }
 
     #[test]
@@ -521,5 +821,73 @@ mod tests {
         }
         drop(red);
         assert!(out.iter().all(|&x| x == 3));
+    }
+
+    #[test]
+    fn repeated_regions_do_not_grow_peak_memory() {
+        // finish() retains + resets scratch: region 2..n must re-use it.
+        // Static schedule so each thread touches the same blocks every
+        // region (dynamic chunk assignment would legitimately privatize
+        // new blocks in later regions).
+        let pool = ThreadPool::new(2);
+        let mut out = vec![0i64; 10_000];
+        let red = BlockPrivateReduction::<i64, Sum>::new(&mut out, 2, 128);
+        reduce(&pool, &red, 0..10_000, Schedule::default(), |v, i| {
+            v.apply(i, 1);
+        });
+        let peak_after_one = red.memory_overhead();
+        for _ in 0..5 {
+            reduce(&pool, &red, 0..10_000, Schedule::default(), |v, i| {
+                v.apply(i, 1);
+            });
+        }
+        assert_eq!(red.memory_overhead(), peak_after_one);
+        drop(red);
+        assert!(out.iter().all(|&x| x == 6));
+    }
+
+    #[test]
+    fn scratch_detaches_and_reattaches_across_arrays() {
+        // PageRank-style: the output buffer changes each region, the
+        // scratch rides along.
+        let pool = ThreadPool::new(3);
+        let n = 500;
+        let mut a = vec![0i64; n];
+        let mut b = vec![0i64; n];
+
+        let red = BlockCasReduction::<i64, Sum>::new(&mut a, 3, 32);
+        reduce(&pool, &red, 0..n, Schedule::dynamic(7), |v, i| {
+            v.apply((i + 1) % n, 1);
+        });
+        let scratch = red.into_scratch();
+
+        let red = BlockCasReduction::<i64, Sum>::from_scratch(&mut b, 3, 32, scratch);
+        reduce(&pool, &red, 0..n, Schedule::dynamic(7), |v, i| {
+            v.apply((i + 1) % n, 2);
+        });
+        drop(red);
+
+        assert!(a.iter().all(|&x| x == 1));
+        assert!(b.iter().all(|&x| x == 2));
+    }
+
+    #[test]
+    fn mismatched_scratch_is_discarded_not_misused() {
+        let pool = ThreadPool::new(2);
+        let mut a = vec![0i64; 100];
+        let red = BlockPrivateReduction::<i64, Sum>::new(&mut a, 2, 16);
+        reduce(&pool, &red, 0..100, Schedule::default(), |v, i| {
+            v.apply(i, 1);
+        });
+        let scratch = red.into_scratch();
+
+        // Different length: the scratch cannot be reused; fresh start.
+        let mut b = vec![0i64; 300];
+        let red = BlockPrivateReduction::<i64, Sum>::from_scratch(&mut b, 2, 16, scratch);
+        reduce(&pool, &red, 0..300, Schedule::default(), |v, i| {
+            v.apply(i, 1);
+        });
+        drop(red);
+        assert!(b.iter().all(|&x| x == 1));
     }
 }

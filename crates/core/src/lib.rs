@@ -85,7 +85,8 @@ pub use argmax::{MaxAt, MinAt, ValueAt};
 pub use atomic::{AtomicReduction, AtomicView};
 pub use autotune::AutoTuner;
 pub use block::{
-    BlockCasReduction, BlockLockReduction, BlockPrivateReduction, BlockReduction, BlockView,
+    BlockCasReduction, BlockCasScratch, BlockLockReduction, BlockLockScratch,
+    BlockPrivateReduction, BlockPrivateScratch, BlockReduction, BlockScratch, BlockView,
 };
 pub use dense::{DenseReduction, DenseView};
 pub use elem::{
@@ -98,4 +99,6 @@ pub use log::{LogReduction, LogView};
 pub use map::{BTreeMapReduction, HashMapReduction, MapLike, MapOpView, MapReduction};
 pub use profile::{ProfilingReduction, ProfilingView, ReductionProfile, ThreadProfile, PAGE};
 pub use reducer::{reduce, reduce_chunked, reduce_seq, ReducerView, Reduction, SeqView};
-pub use strategy::{reduce_dyn, reduce_strategy, Kernel, ParseStrategyError, RunReport, Strategy};
+pub use strategy::{
+    reduce_dyn, reduce_strategy, Kernel, ParseStrategyError, ReusableReducer, RunReport, Strategy,
+};

@@ -16,7 +16,7 @@
 
 use crate::elem::Element;
 use crate::reducer::{ReducerView, Reduction};
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 /// Indices per locality page in the profile's page bitmap.
 pub const PAGE: usize = 512;
@@ -136,7 +136,11 @@ impl<R> ProfilingReduction<R> {
     /// The profile gathered during the last region.
     pub fn profile(&self) -> ReductionProfile {
         ReductionProfile {
-            per_thread: self.profiles.iter().map(|m| m.lock().clone()).collect(),
+            per_thread: self
+                .profiles
+                .iter()
+                .map(|m| m.lock().unwrap().clone())
+                .collect(),
         }
     }
 
@@ -184,7 +188,7 @@ impl<T: Element, R: Reduction<T>> Reduction<T> for ProfilingReduction<R> {
     }
 
     fn stash(&self, tid: usize, view: Self::View) {
-        *self.profiles[tid].lock() = ThreadProfile {
+        *self.profiles[tid].lock().unwrap() = ThreadProfile {
             updates: view.updates,
             min_index: view.min_index,
             max_index: view.max_index,

@@ -21,7 +21,12 @@ pub trait ReducerView<T: Element> {
     ///
     /// # Panics
     /// May panic (or debug-assert, strategy-dependent) when `i` is out of
-    /// bounds of the wrapped array.
+    /// bounds of the wrapped array. The block strategies check on the
+    /// *cold* path only in release builds — every first touch of a block
+    /// (and any index outside the last-touched block) carries the full
+    /// check, while updates streaming within one block are validated by a
+    /// `debug_assert!`. A wild index can therefore produce garbage in a
+    /// private block copy but never touches memory outside the reduction.
     fn apply(&mut self, i: usize, v: T);
 }
 
@@ -124,6 +129,15 @@ pub fn reduce_chunked<T, R, F>(
         "reduction built for {} threads but pool has {}",
         red.num_threads(),
         pool.num_threads()
+    );
+    // Up-front sanity check, once per region instead of once per apply:
+    // a nonempty iteration space over an empty output can only ever
+    // scatter out of bounds. In-range indices are then validated by the
+    // strategies themselves (block strategies: cold-path asserts at block
+    // granularity, hot-path debug asserts — see `ReducerView::apply`).
+    assert!(
+        !red.is_empty() || range.is_empty(),
+        "nonempty reduction range {range:?} over an empty output array"
     );
     let inst = ScheduleInstance::new(schedule, range, pool.num_threads());
     pool.parallel(|team| {

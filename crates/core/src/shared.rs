@@ -42,6 +42,14 @@ impl<T: Element> SharedSlice<T> {
         self.len
     }
 
+    /// The underlying base pointer. Writing through it inherits the same
+    /// contract as [`SharedSlice::combine`]: stay in bounds and respect
+    /// the calling strategy's exclusivity protocol.
+    #[inline(always)]
+    pub(crate) fn as_mut_ptr(&self) -> *mut T {
+        self.ptr
+    }
+
     /// Non-atomic `slice[i] = O::combine(slice[i], v)`.
     ///
     /// # Safety
@@ -68,15 +76,25 @@ impl<T: Element> SharedSlice<T> {
     }
 }
 
+/// Pads (and aligns) `T` to a 64-byte cache line so per-thread entries in
+/// a shared array never false-share. x86-64 and aarch64 both use 64-byte
+/// lines (some Apple cores fetch 128, for which this still removes the
+/// worst of the ping-pong).
+#[derive(Debug, Default)]
+#[repr(align(64))]
+pub(crate) struct CachePadded<T>(pub(crate) T);
+
 /// One write-once-per-phase slot per thread, used to pass per-thread view
-/// data (privatized buffers, maps, queues) to the merge phase.
+/// data (privatized buffers, maps, queues) to the merge phase. Slots are
+/// cache-line padded: adjacent threads write their slots concurrently at
+/// the stash step, and pre-padding those writes shared a line.
 ///
 /// Protocol: during the loop phase, only thread `t` touches slot `t`
 /// (via [`Slots::put`]); a team barrier separates the phases; during the
 /// merge phase slots are read-only ([`Slots::get`]) or drained by a single
 /// thread ([`Slots::take`]).
 pub(crate) struct Slots<V> {
-    slots: Vec<UnsafeCell<Option<V>>>,
+    slots: Vec<CachePadded<UnsafeCell<Option<V>>>>,
 }
 
 // SAFETY: cross-thread access is mediated by the barrier protocol above.
@@ -86,7 +104,7 @@ unsafe impl<V: Send> Sync for Slots<V> {}
 impl<V> Slots<V> {
     pub(crate) fn new(n: usize) -> Self {
         Slots {
-            slots: (0..n).map(|_| UnsafeCell::new(None)).collect(),
+            slots: (0..n).map(|_| CachePadded(UnsafeCell::new(None))).collect(),
         }
     }
 
@@ -101,7 +119,7 @@ impl<V> Slots<V> {
     /// Only thread `tid` may call this, and not concurrently with `get`
     /// or `take` on the same slot.
     pub(crate) unsafe fn put(&self, tid: usize, v: V) {
-        *self.slots[tid].get() = Some(v);
+        *self.slots[tid].0.get() = Some(v);
     }
 
     /// Reads slot `tid` (shared).
@@ -110,7 +128,7 @@ impl<V> Slots<V> {
     /// No concurrent `put`/`take` on the same slot (post-barrier phase).
     #[allow(clippy::mut_from_ref)]
     pub(crate) unsafe fn get(&self, tid: usize) -> Option<&V> {
-        (*self.slots[tid].get()).as_ref()
+        (*self.slots[tid].0.get()).as_ref()
     }
 
     /// Empties slot `tid`.
@@ -119,7 +137,7 @@ impl<V> Slots<V> {
     /// Requires exclusive access to the slot (single-threaded finish phase,
     /// or uniquely-assigned slot).
     pub(crate) unsafe fn take(&self, tid: usize) -> Option<V> {
-        (*self.slots[tid].get()).take()
+        (*self.slots[tid].0.get()).take()
     }
 }
 

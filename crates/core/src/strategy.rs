@@ -8,7 +8,10 @@
 //! [`reduce_dyn`] (closure-friendly, one virtual call per update).
 
 use crate::atomic::AtomicReduction;
-use crate::block::{BlockCasReduction, BlockLockReduction, BlockPrivateReduction};
+use crate::block::{
+    BlockCasReduction, BlockCasScratch, BlockLockReduction, BlockLockScratch,
+    BlockPrivateReduction, BlockPrivateScratch,
+};
 use crate::dense::DenseReduction;
 use crate::elem::{AtomicElement, ReduceOp};
 use crate::hybrid::HybridReduction;
@@ -17,6 +20,7 @@ use crate::log::LogReduction;
 use crate::map::{BTreeMapReduction, HashMapReduction};
 use crate::reducer::{reduce_chunked, ReducerView, Reduction};
 use ompsim::{Schedule, ThreadPool};
+use std::marker::PhantomData;
 use std::ops::Range;
 
 /// A reduction strategy choice, including its hyperparameters.
@@ -214,7 +218,7 @@ pub struct RunReport {
 
 fn run_one<T, R, K>(
     pool: &ThreadPool,
-    red: R,
+    red: &R,
     range: Range<usize>,
     schedule: Schedule,
     kernel: &K,
@@ -224,7 +228,7 @@ where
     R: Reduction<T>,
     K: Kernel<T>,
 {
-    reduce_chunked(pool, &red, range, schedule, |view, chunk| {
+    reduce_chunked(pool, red, range, schedule, |view, chunk| {
         for i in chunk {
             kernel.item(view, i);
         }
@@ -254,63 +258,63 @@ where
     match strategy {
         Strategy::Dense => run_one(
             pool,
-            DenseReduction::<T, O>::new(out, n),
+            &DenseReduction::<T, O>::new(out, n),
             range,
             schedule,
             kernel,
         ),
         Strategy::MapBTree => run_one(
             pool,
-            BTreeMapReduction::<T, O>::new(out, n),
+            &BTreeMapReduction::<T, O>::new(out, n),
             range,
             schedule,
             kernel,
         ),
         Strategy::MapHash => run_one(
             pool,
-            HashMapReduction::<T, O>::new(out, n),
+            &HashMapReduction::<T, O>::new(out, n),
             range,
             schedule,
             kernel,
         ),
         Strategy::Atomic => run_one(
             pool,
-            AtomicReduction::<T, O>::new(out, n),
+            &AtomicReduction::<T, O>::new(out, n),
             range,
             schedule,
             kernel,
         ),
         Strategy::BlockPrivate { block_size } => run_one(
             pool,
-            BlockPrivateReduction::<T, O>::new(out, n, block_size),
+            &BlockPrivateReduction::<T, O>::new(out, n, block_size),
             range,
             schedule,
             kernel,
         ),
         Strategy::BlockLock { block_size } => run_one(
             pool,
-            BlockLockReduction::<T, O>::new(out, n, block_size),
+            &BlockLockReduction::<T, O>::new(out, n, block_size),
             range,
             schedule,
             kernel,
         ),
         Strategy::BlockCas { block_size } => run_one(
             pool,
-            BlockCasReduction::<T, O>::new(out, n, block_size),
+            &BlockCasReduction::<T, O>::new(out, n, block_size),
             range,
             schedule,
             kernel,
         ),
         Strategy::Keeper => run_one(
             pool,
-            KeeperReduction::<T, O>::new(out, n),
+            &KeeperReduction::<T, O>::new(out, n),
             range,
             schedule,
             kernel,
         ),
         Strategy::Log => run_one(
             pool,
-            LogReduction::<T, O>::new(out, n),
+            &LogReduction::<T, O>::new(out, n),
             range,
             schedule,
             kernel,
@@ -320,7 +324,7 @@ where
             threshold,
         } => run_one(
             pool,
-            HybridReduction::<T, O>::new(out, n, block_size, threshold),
+            &HybridReduction::<T, O>::new(out, n, block_size, threshold),
             range,
             schedule,
             kernel,
@@ -353,6 +357,122 @@ where
     O: ReduceOp<T>,
 {
     reduce_strategy::<T, O, _>(strategy, pool, out, range, schedule, &ClosureKernel(body))
+}
+
+/// Block-reducer scratch carried between regions, keyed by flavor.
+enum RetainedScratch<T> {
+    None,
+    Private(BlockPrivateScratch<T>),
+    Lock(BlockLockScratch<T>),
+    Cas(BlockCasScratch<T>),
+}
+
+/// A strategy runner that retains reducer scratch across regions.
+///
+/// [`reduce_strategy`] builds a fresh reduction per call: per-thread
+/// status tables, block options and the ownership table are allocated
+/// every region even though [`Reduction::finish`] resets them for free.
+/// `ReusableReducer` closes that gap for iterative solvers whose *output
+/// array changes between iterations* (PageRank swapping rank vectors,
+/// SSSP relaxation rounds, LULESH force sweeps): after each [`run`] the
+/// block reducers' scratch is detached
+/// ([`crate::BlockReduction::into_scratch`]) and re-attached to the next
+/// region's array, so only the first iteration allocates.
+///
+/// Non-block strategies delegate to [`reduce_strategy`] unchanged — their
+/// per-region setup is either inherently cheap (atomic, keeper) or not
+/// shaped for retention (dense replicas are the memory problem the paper
+/// exists to avoid; maps/logs drain on merge).
+///
+/// If the array length, team width or block size changes between calls,
+/// the stale scratch is discarded and that region starts fresh — always
+/// correct, just re-allocating.
+///
+/// [`run`]: ReusableReducer::run
+pub struct ReusableReducer<T: crate::Element, O: ReduceOp<T>> {
+    strategy: Strategy,
+    scratch: RetainedScratch<T>,
+    _op: PhantomData<fn() -> O>,
+}
+
+impl<T: crate::Element, O: ReduceOp<T>> std::fmt::Debug for ReusableReducer<T, O> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReusableReducer")
+            .field("strategy", &self.strategy)
+            .field("retained", &!matches!(self.scratch, RetainedScratch::None))
+            .finish()
+    }
+}
+
+impl<T: AtomicElement, O: ReduceOp<T>> ReusableReducer<T, O> {
+    /// A reusable runner for `strategy`, with no scratch retained yet.
+    pub fn new(strategy: Strategy) -> Self {
+        ReusableReducer {
+            strategy,
+            scratch: RetainedScratch::None,
+            _op: PhantomData,
+        }
+    }
+
+    /// The strategy this runner dispatches to.
+    pub fn strategy(&self) -> Strategy {
+        self.strategy
+    }
+
+    /// Drops any retained scratch (e.g. before a long idle phase).
+    pub fn clear(&mut self) {
+        self.scratch = RetainedScratch::None;
+    }
+
+    /// Runs one region, like [`reduce_strategy`], reusing scratch retained
+    /// by the previous call when the strategy is a block flavor.
+    pub fn run<K: Kernel<T>>(
+        &mut self,
+        pool: &ThreadPool,
+        out: &mut [T],
+        range: Range<usize>,
+        schedule: Schedule,
+        kernel: &K,
+    ) -> RunReport {
+        let n = pool.num_threads();
+        let retained = std::mem::replace(&mut self.scratch, RetainedScratch::None);
+        match self.strategy {
+            Strategy::BlockPrivate { block_size } => {
+                let red = match retained {
+                    RetainedScratch::Private(s) => {
+                        BlockPrivateReduction::<T, O>::from_scratch(out, n, block_size, s)
+                    }
+                    _ => BlockPrivateReduction::<T, O>::new(out, n, block_size),
+                };
+                let report = run_one(pool, &red, range, schedule, kernel);
+                self.scratch = RetainedScratch::Private(red.into_scratch());
+                report
+            }
+            Strategy::BlockLock { block_size } => {
+                let red = match retained {
+                    RetainedScratch::Lock(s) => {
+                        BlockLockReduction::<T, O>::from_scratch(out, n, block_size, s)
+                    }
+                    _ => BlockLockReduction::<T, O>::new(out, n, block_size),
+                };
+                let report = run_one(pool, &red, range, schedule, kernel);
+                self.scratch = RetainedScratch::Lock(red.into_scratch());
+                report
+            }
+            Strategy::BlockCas { block_size } => {
+                let red = match retained {
+                    RetainedScratch::Cas(s) => {
+                        BlockCasReduction::<T, O>::from_scratch(out, n, block_size, s)
+                    }
+                    _ => BlockCasReduction::<T, O>::new(out, n, block_size),
+                };
+                let report = run_one(pool, &red, range, schedule, kernel);
+                self.scratch = RetainedScratch::Cas(red.into_scratch());
+                report
+            }
+            other => reduce_strategy::<T, O, K>(other, pool, out, range, schedule, kernel),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -431,6 +551,42 @@ mod tests {
                 &kernel,
             );
             assert_eq!(out, expected, "strategy {} wrong", report.strategy);
+        }
+    }
+
+    #[test]
+    fn reusable_reducer_matches_fresh_runs() {
+        let pool = ThreadPool::new(3);
+        let n_bins = 97;
+        let data: Vec<usize> = (0..5_000).map(|i| (i * 7919) % n_bins).collect();
+        let kernel = Histogram { data: &data };
+
+        for strategy in Strategy::all(16) {
+            let mut reducer = ReusableReducer::<i64, Sum>::new(strategy);
+            // Alternate between two buffers (PageRank-style swap) over
+            // several regions; each region must match a fresh run.
+            let mut bufs = [vec![0i64; n_bins], vec![0i64; n_bins]];
+            for region in 0..4 {
+                let out = &mut bufs[region % 2];
+                out.fill(0);
+                reducer.run(&pool, out, 0..data.len(), Schedule::default(), &kernel);
+
+                let mut expected = vec![0i64; n_bins];
+                reduce_strategy::<i64, Sum, _>(
+                    strategy,
+                    &pool,
+                    &mut expected,
+                    0..data.len(),
+                    Schedule::default(),
+                    &kernel,
+                );
+                assert_eq!(
+                    *out,
+                    expected,
+                    "strategy {} region {region}",
+                    strategy.label()
+                );
+            }
         }
     }
 

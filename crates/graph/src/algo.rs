@@ -2,7 +2,7 @@
 
 use crate::Graph;
 use ompsim::{Schedule, ThreadPool};
-use spray::{reduce_strategy, Kernel, Min, ReducerView, Strategy, Sum};
+use spray::{reduce_strategy, Kernel, Min, ReducerView, ReusableReducer, Strategy, Sum};
 
 /// Outcome of [`pagerank`].
 #[derive(Debug, Clone)]
@@ -47,6 +47,10 @@ pub fn pagerank(
     let mut ranks = vec![1.0 / n as f64; n];
     let mut contrib = vec![0.0f64; n];
     let mut next = vec![0.0f64; n];
+    // Reducer scratch survives the rank-vector swap: block strategies
+    // allocate their status tables and private copies once, on the first
+    // power iteration.
+    let mut reducer = ReusableReducer::<f64, Sum>::new(strategy);
 
     for it in 1..=max_iters {
         let mut dangling = 0.0;
@@ -65,14 +69,7 @@ pub fn pagerank(
             g,
             contrib: &contrib,
         };
-        reduce_strategy::<f64, Sum, _>(
-            strategy,
-            pool,
-            &mut next,
-            0..n,
-            Schedule::default(),
-            &kernel,
-        );
+        reducer.run(pool, &mut next, 0..n, Schedule::default(), &kernel);
         let delta: f64 = ranks.iter().zip(&next).map(|(a, b)| (a - b).abs()).sum();
         std::mem::swap(&mut ranks, &mut next);
         if delta < tol {
@@ -114,17 +111,11 @@ impl Kernel<u64> for LabelKernel<'_> {
 pub fn connected_components(pool: &ThreadPool, g: &Graph, strategy: Strategy) -> Vec<u64> {
     let n = g.num_vertices();
     let mut labels: Vec<u64> = (0..n as u64).collect();
+    let mut reducer = ReusableReducer::<u64, Min>::new(strategy);
     loop {
         let prev = labels.clone();
         let kernel = LabelKernel { g, prev: &prev };
-        reduce_strategy::<u64, Min, _>(
-            strategy,
-            pool,
-            &mut labels,
-            0..n,
-            Schedule::default(),
-            &kernel,
-        );
+        reducer.run(pool, &mut labels, 0..n, Schedule::default(), &kernel);
         if labels == prev {
             return labels;
         }
@@ -157,14 +148,14 @@ pub fn bfs(pool: &ThreadPool, g: &Graph, src: usize, strategy: Strategy) -> Vec<
     dist[src] = 0;
     let mut frontier: Vec<u32> = vec![src as u32];
     let mut level = 0u64;
+    let mut reducer = ReusableReducer::<u64, Min>::new(strategy);
     while !frontier.is_empty() {
         let kernel = RelaxKernel {
             g,
             frontier: &frontier,
             next_dist: level + 1,
         };
-        reduce_strategy::<u64, Min, _>(
-            strategy,
+        reducer.run(
             pool,
             &mut dist,
             0..frontier.len(),

@@ -8,7 +8,7 @@
 
 use crate::Graph;
 use ompsim::{Schedule, ThreadPool};
-use spray::{reduce_strategy, Kernel, Min, ReducerView, Strategy};
+use spray::{Kernel, Min, ReducerView, ReusableReducer, Strategy};
 
 /// A directed graph with nonnegative `f64` edge weights, sharing
 /// [`Graph`]'s CSR topology.
@@ -85,18 +85,13 @@ pub fn sssp(pool: &ThreadPool, g: &WeightedGraph, src: usize, strategy: Strategy
     dist[src] = 0.0;
     // Bellman–Ford converges within |V| - 1 rounds; stop early at a fixed
     // point. Each round relaxes against the previous round's distances
-    // (Jacobi-style) so the reduction output never aliases its input.
+    // (Jacobi-style) so the reduction output never aliases its input. The
+    // reusable reducer carries block scratch across relaxation rounds.
+    let mut reducer = ReusableReducer::<f64, Min>::new(strategy);
     for _ in 0..n.max(1) {
         let prev = dist.clone();
         let kernel = RelaxAll { g, dist: &prev };
-        reduce_strategy::<f64, Min, _>(
-            strategy,
-            pool,
-            &mut dist,
-            0..n,
-            Schedule::default(),
-            &kernel,
-        );
+        reducer.run(pool, &mut dist, 0..n, Schedule::default(), &kernel);
         if dist == prev {
             return dist;
         }

@@ -19,7 +19,7 @@
 use crate::domain::Domain;
 use crate::hex::{node_normals, GAMMA};
 use ompsim::{Schedule, ThreadPool};
-use spray::{reduce_strategy, Kernel, ReducerView, Strategy, Sum};
+use spray::{Kernel, ReducerView, ReusableReducer, Strategy, Sum};
 
 /// How nodal force contributions are accumulated.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -130,11 +130,12 @@ impl std::str::FromStr for ForceScheme {
     }
 }
 
-/// Which of the two force sweeps a pass runs.
+/// Which of the two force sweeps a pass runs (also the index of the
+/// pass's retained reducer in [`ForceAccum`]).
 #[derive(Clone, Copy)]
 enum Pass {
-    Stress,
-    Hourglass,
+    Stress = 0,
+    Hourglass = 1,
 }
 
 struct ForceKernel<'a> {
@@ -179,38 +180,75 @@ pub struct ForceStats {
     pub memory_overhead: usize,
 }
 
+/// Reusable force-accumulation state for a fixed [`ForceScheme`].
+///
+/// The timestep loop runs the force scatter twice per cycle (stress +
+/// hourglass) for thousands of cycles over the same nodal array shape.
+/// Holding the spray reducers' block scratch (and the 8-copy scheme's
+/// replica buffer) here means those allocations happen once, on the first
+/// sweep, instead of every pass — build one with [`ForceAccum::new`] and
+/// thread it through [`crate::step_with`]/[`calc_force_for_nodes_with`].
+/// It is deliberately *not* stored in [`Domain`], which stays a plain
+/// bitwise-checkpointable value.
+pub struct ForceAccum {
+    scheme: ForceScheme,
+    /// One reducer per pass so each sweep's ownership pattern warms its
+    /// own scratch (the two passes scatter identically, but keeping them
+    /// separate costs one extra table and avoids any cross-pass reset
+    /// subtleties).
+    reducers: Option<[ReusableReducer<f64, Sum>; 2]>,
+    /// Retained 8-replica buffer for [`ForceScheme::EightCopy`].
+    copies: Vec<f64>,
+}
+
+impl ForceAccum {
+    /// Fresh accumulation state for `scheme` (no scratch retained yet).
+    pub fn new(scheme: ForceScheme) -> Self {
+        ForceAccum {
+            scheme,
+            reducers: match scheme {
+                ForceScheme::Spray(s) => Some([ReusableReducer::new(s), ReusableReducer::new(s)]),
+                _ => None,
+            },
+            copies: Vec::new(),
+        }
+    }
+
+    /// The scheme this state accumulates with.
+    pub fn scheme(&self) -> ForceScheme {
+        self.scheme
+    }
+}
+
 fn run_pass(
     d: &Domain,
     f: &mut [f64],
     pool: &ThreadPool,
-    scheme: ForceScheme,
+    accum: &mut ForceAccum,
     pass: Pass,
 ) -> ForceStats {
     let nelem = d.nelem();
-    match scheme {
+    match accum.scheme {
         ForceScheme::Seq => {
             let kernel = ForceKernel { d, pass };
             spray::reduce_seq::<f64, Sum, _>(f, 0..nelem, |view, e| kernel.item(view, e));
             ForceStats::default()
         }
-        ForceScheme::Spray(strategy) => {
+        ForceScheme::Spray(_) => {
             let kernel = ForceKernel { d, pass };
-            let report = reduce_strategy::<f64, Sum, _>(
-                strategy,
-                pool,
-                f,
-                0..nelem,
-                Schedule::default(),
-                &kernel,
-            );
+            let reducer = &mut accum.reducers.as_mut().expect("spray scheme")[pass as usize];
+            let report = reducer.run(pool, f, 0..nelem, Schedule::default(), &kernel);
             ForceStats {
                 memory_overhead: report.memory_overhead,
             }
         }
         ForceScheme::EightCopy => {
             let stride = f.len(); // 3 * nnode
-                                  // The domain-specific scheme's memory cost: 8 full replicas.
-            let mut copies = vec![0.0f64; 8 * stride];
+                                  // The domain-specific scheme's memory cost: 8 full replicas
+                                  // (retained across passes/cycles; re-zeroed, not re-allocated).
+            accum.copies.clear();
+            accum.copies.resize(8 * stride, 0.0);
+            let copies = &mut accum.copies;
             let out = RawOut(copies.as_mut_ptr());
             pool.for_each(0..nelem, Schedule::default(), |e| {
                 let (fx, fy, fz) = match pass {
@@ -251,16 +289,26 @@ fn run_pass(
 }
 
 /// Computes all nodal forces (stress sweep + hourglass sweep) into `d.f`,
-/// replacing its previous contents.
-pub fn calc_force_for_nodes(d: &mut Domain, pool: &ThreadPool, scheme: ForceScheme) -> ForceStats {
+/// replacing its previous contents, reusing `accum`'s retained scratch.
+pub fn calc_force_for_nodes_with(
+    d: &mut Domain,
+    pool: &ThreadPool,
+    accum: &mut ForceAccum,
+) -> ForceStats {
     let mut f = std::mem::take(&mut d.f);
     f.fill(0.0);
-    let s1 = run_pass(d, &mut f, pool, scheme, Pass::Stress);
-    let s2 = run_pass(d, &mut f, pool, scheme, Pass::Hourglass);
+    let s1 = run_pass(d, &mut f, pool, accum, Pass::Stress);
+    let s2 = run_pass(d, &mut f, pool, accum, Pass::Hourglass);
     d.f = f;
     ForceStats {
         memory_overhead: s1.memory_overhead.max(s2.memory_overhead),
     }
+}
+
+/// One-shot form of [`calc_force_for_nodes_with`] (fresh scratch; loops
+/// should build a [`ForceAccum`] once and use the `_with` variant).
+pub fn calc_force_for_nodes(d: &mut Domain, pool: &ThreadPool, scheme: ForceScheme) -> ForceStats {
+    calc_force_for_nodes_with(d, pool, &mut ForceAccum::new(scheme))
 }
 
 #[cfg(test)]

@@ -3,8 +3,9 @@
 //! benchmark runs.
 
 use crate::domain::Domain;
+use crate::forces::ForceAccum;
 use crate::forces::ForceScheme;
-use crate::hydro::{run_stats_of, step};
+use crate::hydro::{run_stats_of, step_with};
 use crate::RunStats;
 use ompsim::ThreadPool;
 use std::io::Write;
@@ -56,10 +57,11 @@ pub fn run_with_history(
     cycles: usize,
 ) -> (RunStats, History) {
     let mut history = History::default();
+    let mut accum = ForceAccum::new(scheme);
     let mut mem = 0usize;
     for _ in 0..cycles {
         let dt_used = d.dt;
-        let s = step(d, pool, scheme);
+        let s = step_with(d, pool, &mut accum);
         mem = mem.max(s.memory_overhead);
         let max_velocity = (0..d.nnode())
             .map(|n| (d.xd[n] * d.xd[n] + d.yd[n] * d.yd[n] + d.zd[n] * d.zd[n]).sqrt())

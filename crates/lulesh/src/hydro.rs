@@ -12,7 +12,7 @@
 //! element updates, a team min-reduction for the time-step constraint.
 
 use crate::domain::{Domain, QMode};
-use crate::forces::{calc_force_for_nodes, ForceScheme, ForceStats};
+use crate::forces::{calc_force_for_nodes_with, ForceAccum, ForceScheme, ForceStats};
 use crate::hex::{char_length, elem_volume};
 use crate::qmono;
 use ompsim::{Schedule, ThreadPool};
@@ -57,13 +57,24 @@ pub struct RunStats {
     pub max_velocity: f64,
 }
 
-/// Advances the simulation by one cycle. Returns the force-scheme stats.
+/// Advances the simulation by one cycle with a fresh [`ForceAccum`].
+/// Loops should build the accumulator once and call [`step_with`].
 ///
 /// # Panics
 /// Panics if an element inverts (negative volume) — the simulation has
 /// gone unstable, as LULESH would abort with `VolumeError`.
 pub fn step(d: &mut Domain, pool: &ThreadPool, scheme: ForceScheme) -> ForceStats {
-    let stats = calc_force_for_nodes(d, pool, scheme);
+    step_with(d, pool, &mut ForceAccum::new(scheme))
+}
+
+/// Advances the simulation by one cycle, reusing `accum`'s retained force
+/// scratch. Returns the force-scheme stats.
+///
+/// # Panics
+/// Panics if an element inverts (negative volume) — the simulation has
+/// gone unstable, as LULESH would abort with `VolumeError`.
+pub fn step_with(d: &mut Domain, pool: &ThreadPool, accum: &mut ForceAccum) -> ForceStats {
+    let stats = calc_force_for_nodes_with(d, pool, accum);
     let dt = d.dt;
     let nnode = d.nnode();
     let nelem = d.nelem();
@@ -242,11 +253,14 @@ fn pv_old_times_dt(d: &Domain, e: usize, dt: f64) -> f64 {
     vold * dt
 }
 
-/// Runs `cycles` steps and reports summary statistics.
+/// Runs `cycles` steps and reports summary statistics. Force-accumulation
+/// scratch (reducer tables, replica buffers) is built on the first cycle
+/// and reused for the rest of the run.
 pub fn run(d: &mut Domain, pool: &ThreadPool, scheme: ForceScheme, cycles: usize) -> RunStats {
+    let mut accum = ForceAccum::new(scheme);
     let mut mem = 0usize;
     for _ in 0..cycles {
-        let s = step(d, pool, scheme);
+        let s = step_with(d, pool, &mut accum);
         mem = mem.max(s.memory_overhead);
     }
     run_stats_of(d, mem)

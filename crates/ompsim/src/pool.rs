@@ -1,12 +1,81 @@
 //! Persistent fork/join thread pool with OpenMP-style teams.
+//!
+//! # Hot-path design
+//!
+//! Production OpenMP runtimes do not take a mutex to start a region or to
+//! pass a barrier; they publish work through atomics and let waiters spin
+//! briefly before sleeping. This pool does the same:
+//!
+//! * **Region handoff** is an epoch-stamped job slot: the leader writes
+//!   the type-erased closure pointer, bumps an `AtomicU64` epoch
+//!   (release), and wakes any parked workers. Workers detect the new
+//!   epoch with an acquire load — no lock on the fast path.
+//! * **[`Team::barrier`]** is a central **sense-reversing barrier**: one
+//!   `fetch_add` per arriving thread, and the last arriver resets the
+//!   count and flips the shared sense flag that everyone else is
+//!   watching. Each thread keeps its expected sense locally, so the
+//!   barrier is reusable back-to-back with no reinitialization.
+//! * **Graded waiting** everywhere: a bounded spin (with `spin_loop`
+//!   hints), then a bounded run of `yield_now`, then a condvar park with
+//!   a short timeout re-check. The bounds keep oversubscribed or 1-vCPU
+//!   hosts from burning cycles, while uncontended handoffs stay in the
+//!   spin phase and never touch a lock.
+//!
+//! A thread that panics inside a region can no longer strand its
+//! teammates: barrier waits watch the team panic flag and abort with a
+//! panic of their own, so the region unwinds everywhere and the pool
+//! stays usable.
 
 use crate::schedule::{Schedule, ScheduleInstance};
-use parking_lot::{Condvar, Mutex};
+use std::cell::{Cell, UnsafeCell};
 use std::ops::Range;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Barrier};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Bounded-wait tuning. Spin counts are deliberately modest: a wasted
+/// spin phase on a 1-vCPU container costs well under a microsecond,
+/// while a hit avoids the park/unpark round trip entirely.
+const SPIN_ROUNDS: u32 = 128;
+const YIELD_ROUNDS: u32 = 32;
+const PARK_RECHECK: Duration = Duration::from_millis(1);
+
+/// Spin → yield → park until `ready` returns true. `parked` pairs a
+/// mutex with a condvar; wakers notify under the mutex, and the short
+/// `wait_timeout` re-check makes a lost wakeup cost at most
+/// [`PARK_RECHECK`] instead of a deadlock.
+fn wait_until(parked: &(Mutex<()>, Condvar), ready: impl Fn() -> bool) {
+    for _ in 0..SPIN_ROUNDS {
+        if ready() {
+            return;
+        }
+        std::hint::spin_loop();
+    }
+    for _ in 0..YIELD_ROUNDS {
+        if ready() {
+            return;
+        }
+        std::thread::yield_now();
+    }
+    let (lock, cv) = parked;
+    let mut guard = lock.lock().unwrap_or_else(|e| e.into_inner());
+    while !ready() {
+        let (g, _timeout) = cv
+            .wait_timeout(guard, PARK_RECHECK)
+            .unwrap_or_else(|e| e.into_inner());
+        guard = g;
+    }
+}
+
+/// Wake every thread parked on `parked`. Taking the mutex orders the
+/// notify against a waiter that has checked `ready` but not yet slept.
+fn notify_parked(parked: &(Mutex<()>, Condvar)) {
+    let (lock, cv) = parked;
+    drop(lock.lock().unwrap_or_else(|e| e.into_inner()));
+    cv.notify_all();
+}
 
 /// Handle to the executing team, passed to every thread of a parallel
 /// region. Mirrors what `omp_get_thread_num()` / `omp_get_num_threads()` /
@@ -15,9 +84,25 @@ pub struct Team<'a> {
     tid: usize,
     nthreads: usize,
     shared: &'a Shared,
+    /// Sense-reversing barrier: the value the shared sense flag will take
+    /// once the barrier this thread arrives at next has completed.
+    barrier_sense: Cell<bool>,
 }
 
 impl<'a> Team<'a> {
+    fn new(tid: usize, nthreads: usize, shared: &'a Shared) -> Self {
+        // The shared sense only flips when all `nthreads` threads reach a
+        // barrier — which cannot complete before this team member is
+        // constructed — so reading it here is race-free.
+        let barrier_sense = Cell::new(!shared.barrier_sense.load(Ordering::Acquire));
+        Team {
+            tid,
+            nthreads,
+            shared,
+            barrier_sense,
+        }
+    }
+
     /// This thread's id within the team, `0..num_threads()`. The thread that
     /// called [`ThreadPool::parallel`] is always id 0.
     #[inline]
@@ -34,12 +119,37 @@ impl<'a> Team<'a> {
     /// Team-wide barrier: blocks until every thread of the team has called
     /// it. Equivalent to `#pragma omp barrier`.
     ///
-    /// As in OpenMP, a thread that exits the region (e.g. by panicking)
-    /// without reaching a barrier that others wait on causes a deadlock;
-    /// panics are only recovered from in barrier-free regions.
+    /// If a teammate panics out of the region without reaching the
+    /// barrier, waiting threads detect the panic and abort the wait with
+    /// a panic of their own (re-raised to the [`ThreadPool::parallel`]
+    /// caller), instead of deadlocking as a raw barrier would.
     #[inline]
     pub fn barrier(&self) {
-        self.shared.barrier.wait();
+        let sense = self.barrier_sense.get();
+        self.barrier_sense.set(!sense);
+        if self.nthreads == 1 {
+            return;
+        }
+        let prev = self.shared.barrier_arrived.fetch_add(1, Ordering::AcqRel);
+        if prev + 1 == self.nthreads {
+            // Last arriver: reset the count *before* flipping the sense,
+            // so a thread that races into the next barrier finds a clean
+            // counter.
+            self.shared.barrier_arrived.store(0, Ordering::Release);
+            self.shared.barrier_sense.store(sense, Ordering::Release);
+            notify_parked(&self.shared.barrier_parked);
+        } else {
+            let shared = self.shared;
+            wait_until(&shared.barrier_parked, || {
+                shared.panicked.load(Ordering::Relaxed)
+                    || shared.barrier_sense.load(Ordering::Acquire) == sense
+            });
+            if shared.barrier_sense.load(Ordering::Acquire) != sense
+                && shared.panicked.load(Ordering::Relaxed)
+            {
+                panic!("ompsim: teammate panicked; aborting barrier wait");
+            }
+        }
     }
 }
 
@@ -53,27 +163,32 @@ struct JobRef {
 // SAFETY: the pointee is `Sync` and `parallel` blocks until all uses end.
 unsafe impl Send for JobRef {}
 
-struct PoolState {
-    /// Monotonically increasing region counter; a changed epoch tells a
-    /// worker a new job is available.
-    epoch: u64,
-    job: Option<JobRef>,
-    /// Worker threads that have not yet finished the current epoch.
-    remaining: usize,
-    shutdown: bool,
-}
-
 struct Shared {
-    state: Mutex<PoolState>,
-    /// Workers wait here for a new epoch.
-    work_cv: Condvar,
-    /// The region leader waits here for `remaining == 0`.
-    done_cv: Condvar,
-    /// Reusable team barrier (leader + workers).
-    barrier: Barrier,
+    /// Monotonically increasing region counter; a changed epoch tells a
+    /// worker a new job is available in `job`.
+    epoch: AtomicU64,
+    /// Written by the region leader strictly before the epoch bump that
+    /// publishes it; read by workers strictly after observing the bump.
+    job: UnsafeCell<Option<JobRef>>,
+    /// Worker threads that have not yet finished the current epoch.
+    remaining: AtomicUsize,
+    shutdown: AtomicBool,
     /// Set when any team thread panicked during the current region.
     panicked: AtomicBool,
+    /// Workers park here between regions.
+    work_parked: (Mutex<()>, Condvar),
+    /// The region leader parks here while draining `remaining`.
+    done_parked: (Mutex<()>, Condvar),
+    /// Sense-reversing team barrier state (see [`Team::barrier`]).
+    barrier_arrived: AtomicUsize,
+    barrier_sense: AtomicBool,
+    barrier_parked: (Mutex<()>, Condvar),
 }
+
+// SAFETY: `job` is the only non-Sync field; the epoch/remaining protocol
+// (release-publish before the bump, acquire-read after it, leader blocked
+// until `remaining == 0`) gives it single-writer/quiescent-reader access.
+unsafe impl Sync for Shared {}
 
 /// A persistent pool of `n - 1` worker threads forming, together with the
 /// calling thread, teams of `n` threads for [`ThreadPool::parallel`]
@@ -96,16 +211,16 @@ impl ThreadPool {
     pub fn new(nthreads: usize) -> Self {
         assert!(nthreads > 0, "thread pool needs at least one thread");
         let shared = Arc::new(Shared {
-            state: Mutex::new(PoolState {
-                epoch: 0,
-                job: None,
-                remaining: 0,
-                shutdown: false,
-            }),
-            work_cv: Condvar::new(),
-            done_cv: Condvar::new(),
-            barrier: Barrier::new(nthreads),
+            epoch: AtomicU64::new(0),
+            job: UnsafeCell::new(None),
+            remaining: AtomicUsize::new(0),
+            shutdown: AtomicBool::new(false),
             panicked: AtomicBool::new(false),
+            work_parked: (Mutex::new(()), Condvar::new()),
+            done_parked: (Mutex::new(()), Condvar::new()),
+            barrier_arrived: AtomicUsize::new(0),
+            barrier_sense: AtomicBool::new(false),
+            barrier_parked: (Mutex::new(()), Condvar::new()),
         });
         let workers = (1..nthreads)
             .map(|tid| {
@@ -136,13 +251,17 @@ impl ThreadPool {
     ///
     /// # Panics
     /// If any team thread panics, the panic is captured and re-raised on
-    /// the calling thread after the region completes (only safe for
-    /// barrier-free regions; see [`Team::barrier`]).
+    /// the calling thread after the region completes. Threads blocked at a
+    /// [`Team::barrier`] when a teammate panics abort their wait (see
+    /// there), so panics propagate from barrier-ful regions too.
     pub fn parallel<F>(&self, f: F)
     where
         F: Fn(&Team<'_>) + Sync,
     {
-        let _region = self.region_lock.lock();
+        // Poison-tolerant: a leader panic unwinds through this guard (the
+        // payload is re-raised below while it is held), which must not
+        // brick the pool for later regions.
+        let _region = self.region_lock.lock().unwrap_or_else(|e| e.into_inner());
         let erased: &(dyn Fn(&Team<'_>) + Sync) = &f;
         let job = JobRef {
             // Erase the lifetime: we block below until every worker is done.
@@ -154,35 +273,41 @@ impl ThreadPool {
             },
         };
 
-        {
-            let mut st = self.shared.state.lock();
-            st.epoch += 1;
-            st.job = Some(job);
-            st.remaining = self.nthreads - 1;
+        // Publish the job: slot and countdown first, then the epoch bump
+        // (release) that workers synchronize on.
+        // SAFETY: workers are quiescent between regions (they only touch
+        // the slot after observing an epoch bump, and the previous region
+        // drained `remaining` to 0), so this plain write is exclusive.
+        unsafe { *self.shared.job.get() = Some(job) };
+        self.shared
+            .remaining
+            .store(self.nthreads - 1, Ordering::Relaxed);
+        self.shared.epoch.fetch_add(1, Ordering::Release);
+        if self.nthreads > 1 {
+            notify_parked(&self.shared.work_parked);
         }
-        self.shared.work_cv.notify_all();
 
         // The caller participates as thread 0.
-        let team = Team {
-            tid: 0,
-            nthreads: self.nthreads,
-            shared: &self.shared,
-        };
+        let team = Team::new(0, self.nthreads, &self.shared);
         let leader_result = catch_unwind(AssertUnwindSafe(|| f(&team)));
         if leader_result.is_err() {
             self.shared.panicked.store(true, Ordering::Relaxed);
         }
 
-        // Join the epoch.
-        {
-            let mut st = self.shared.state.lock();
-            while st.remaining != 0 {
-                self.shared.done_cv.wait(&mut st);
-            }
-            st.job = None;
-        }
+        // Join the epoch: wait for every worker to retire. The acquire
+        // load pairs with the workers' release decrement, making all their
+        // region writes visible to the caller.
+        let shared = &*self.shared;
+        wait_until(&shared.done_parked, || {
+            shared.remaining.load(Ordering::Acquire) == 0
+        });
 
         let worker_panicked = self.shared.panicked.swap(false, Ordering::Relaxed);
+        if worker_panicked || leader_result.is_err() {
+            // A panic may have left threads mid-barrier; restore the
+            // arrival count so the next region starts clean.
+            self.shared.barrier_arrived.store(0, Ordering::Release);
+        }
         if let Err(payload) = leader_result {
             // Prefer the leader's own payload so callers see the original
             // panic message.
@@ -238,19 +363,27 @@ impl ThreadPool {
             return;
         }
         let (r0, c0) = (rows.start, cols.start);
-        self.for_each(0..nrows * ncols, schedule, |k| {
-            body(r0 + k / ncols, c0 + k % ncols);
+        // Decompose each chunk once and walk rows within it, instead of a
+        // div + mod per index — the 2-D conv hot loop is why.
+        self.parallel_for(0..nrows * ncols, schedule, |_tid, chunk| {
+            let mut i = chunk.start / ncols;
+            let mut j = chunk.start - i * ncols;
+            for _ in chunk.clone() {
+                body(r0 + i, c0 + j);
+                j += 1;
+                if j == ncols {
+                    j = 0;
+                    i += 1;
+                }
+            }
         });
     }
 }
 
 impl Drop for ThreadPool {
     fn drop(&mut self) {
-        {
-            let mut st = self.shared.state.lock();
-            st.shutdown = true;
-        }
-        self.shared.work_cv.notify_all();
+        self.shared.shutdown.store(true, Ordering::Release);
+        notify_parked(&self.shared.work_parked);
         for w in self.workers.drain(..) {
             let _ = w.join();
         }
@@ -260,25 +393,20 @@ impl Drop for ThreadPool {
 fn worker_loop(shared: &Shared, tid: usize, nthreads: usize) {
     let mut last_epoch = 0u64;
     loop {
-        let job = {
-            let mut st = shared.state.lock();
-            loop {
-                if st.shutdown {
-                    return;
-                }
-                if st.epoch != last_epoch {
-                    last_epoch = st.epoch;
-                    break st.job.expect("epoch advanced without a job");
-                }
-                shared.work_cv.wait(&mut st);
-            }
-        };
+        wait_until(&shared.work_parked, || {
+            shared.shutdown.load(Ordering::Acquire)
+                || shared.epoch.load(Ordering::Acquire) != last_epoch
+        });
+        if shared.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        last_epoch = shared.epoch.load(Ordering::Acquire);
+        // SAFETY: the acquire epoch load above pairs with the leader's
+        // release bump, ordering this read after the leader's slot write;
+        // the leader does not reuse the slot until `remaining` drains.
+        let job = unsafe { (*shared.job.get()).expect("epoch advanced without a job") };
 
-        let team = Team {
-            tid,
-            nthreads,
-            shared,
-        };
+        let team = Team::new(tid, nthreads, shared);
         // SAFETY: the leader blocks in `parallel` until `remaining == 0`,
         // so the borrowed closure behind `job.f` is still alive here.
         let result = catch_unwind(AssertUnwindSafe(|| unsafe { (*job.f)(&team) }));
@@ -286,10 +414,8 @@ fn worker_loop(shared: &Shared, tid: usize, nthreads: usize) {
             shared.panicked.store(true, Ordering::Relaxed);
         }
 
-        let mut st = shared.state.lock();
-        st.remaining -= 1;
-        if st.remaining == 0 {
-            shared.done_cv.notify_one();
+        if shared.remaining.fetch_sub(1, Ordering::Release) == 1 {
+            notify_parked(&shared.done_parked);
         }
     }
 }
@@ -354,6 +480,27 @@ mod tests {
     }
 
     #[test]
+    fn many_barriers_back_to_back() {
+        // Sense reversal must survive consecutive barriers and regions.
+        let pool = ThreadPool::new(3);
+        for _ in 0..10 {
+            let counter = AtomicUsize::new(0);
+            pool.parallel(|team| {
+                for phase in 0..25 {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                    team.barrier();
+                    assert_eq!(
+                        counter.load(Ordering::SeqCst),
+                        (phase + 1) * team.num_threads(),
+                        "barrier let a thread run ahead"
+                    );
+                    team.barrier();
+                }
+            });
+        }
+    }
+
+    #[test]
     fn panic_in_region_propagates_and_pool_survives() {
         let pool = ThreadPool::new(4);
         let caught = catch_unwind(AssertUnwindSafe(|| {
@@ -391,6 +538,31 @@ mod tests {
     }
 
     #[test]
+    fn panic_before_barrier_releases_waiters() {
+        // A panicking teammate used to deadlock threads already waiting at
+        // the barrier; now they abort the wait and the region unwinds.
+        let pool = ThreadPool::new(4);
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            pool.parallel(|team| {
+                if team.id() == 1 {
+                    panic!("dies before the barrier");
+                }
+                team.barrier();
+            });
+        }));
+        assert!(caught.is_err());
+        // Barrier state must be clean: both plain and barrier-ful regions
+        // still work.
+        let n = AtomicUsize::new(0);
+        pool.parallel(|team| {
+            n.fetch_add(1, Ordering::SeqCst);
+            team.barrier();
+            assert_eq!(n.load(Ordering::SeqCst), team.num_threads());
+        });
+        assert_eq!(n.into_inner(), 4);
+    }
+
+    #[test]
     fn for_each_covers_range_exactly_once() {
         let pool = ThreadPool::new(3);
         let n = 1000;
@@ -411,6 +583,23 @@ mod tests {
             hits[(i - 2) * nc + (j - 5)].fetch_add(1, Ordering::Relaxed);
         });
         assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn for_each_2d_chunks_crossing_row_boundaries() {
+        // Chunk sizes that straddle rows exercise the row-walking carry.
+        let pool = ThreadPool::new(2);
+        let (nr, nc) = (5, 7);
+        for chunk in [1, 2, 3, 5, 7, 11, 35] {
+            let hits: Vec<AtomicUsize> = (0..nr * nc).map(|_| AtomicUsize::new(0)).collect();
+            pool.for_each_2d(0..nr, 0..nc, Schedule::static_chunked(chunk), |i, j| {
+                hits[i * nc + j].fetch_add(1, Ordering::Relaxed);
+            });
+            assert!(
+                hits.iter().all(|h| h.load(Ordering::Relaxed) == 1),
+                "chunk size {chunk} missed or duplicated an index"
+            );
+        }
     }
 
     #[test]

@@ -4,8 +4,8 @@
 
 use crate::pool::ThreadPool;
 use crate::schedule::{Schedule, ScheduleInstance};
-use parking_lot::Mutex;
 use std::ops::Range;
+use std::sync::Mutex;
 
 impl ThreadPool {
     /// Parallel map-reduce over `range`: each index is mapped with `map`,
@@ -42,11 +42,11 @@ impl ThreadPool {
                     });
                 }
             }
-            *partials[team.id()].lock() = acc;
+            *partials[team.id()].lock().unwrap() = acc;
         });
         partials
             .into_iter()
-            .filter_map(|m| m.into_inner())
+            .filter_map(|m| m.into_inner().unwrap())
             .fold(identity, &combine)
     }
 

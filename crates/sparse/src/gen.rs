@@ -13,8 +13,67 @@
 //!   to `2i mod n` and `2i+1 mod n`), symmetrized, exactly as the original.
 
 use crate::Csr;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+
+/// Deterministic splitmix64 generator standing in for `rand::StdRng`
+/// (the workspace builds offline, with no registry dependencies). Keeps
+/// the `seed_from_u64`/`gen_range` call shape so generator code reads
+/// like the rand idiom; streams are stable across runs for a given seed.
+struct StdRng {
+    state: u64,
+}
+
+impl StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        StdRng {
+            state: seed ^ 0x9E3779B97F4A7C15,
+        }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    fn gen(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Out {
+        range.sample(self)
+    }
+}
+
+/// Ranges [`StdRng::gen_range`] can draw from.
+trait SampleRange {
+    type Out;
+    fn sample(self, rng: &mut StdRng) -> Self::Out;
+}
+
+impl SampleRange for std::ops::Range<usize> {
+    type Out = usize;
+    fn sample(self, rng: &mut StdRng) -> usize {
+        assert!(self.start < self.end, "empty range");
+        self.start + (rng.next_u64() % (self.end - self.start) as u64) as usize
+    }
+}
+
+impl SampleRange for std::ops::RangeInclusive<usize> {
+    type Out = usize;
+    fn sample(self, rng: &mut StdRng) -> usize {
+        rng.gen_range(*self.start()..self.end() + 1)
+    }
+}
+
+impl SampleRange for std::ops::Range<f64> {
+    type Out = f64;
+    fn sample(self, rng: &mut StdRng) -> f64 {
+        self.start + (self.end - self.start) * rng.gen()
+    }
+}
 
 /// Uniform random matrix with `nnz` entries (before duplicate merging),
 /// values in `(0, 1]`, deterministic in `seed`.

@@ -21,7 +21,7 @@
 
 use crate::{par_matvec, Csr, Num};
 use ompsim::{Schedule, ThreadPool};
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 /// Number of lock stripes guarding the legacy routine's output vector.
 const LEGACY_STRIPES: usize = 1024;
@@ -42,7 +42,7 @@ pub fn legacy_tmv<T: Num>(pool: &ThreadPool, a: &Csr<T>, x: &[T], y: &mut [T]) {
         let (cols, vals) = a.row(r);
         for (&c, &v) in cols.iter().zip(vals) {
             let c = c as usize;
-            let _g = stripes[c % nstripes].lock();
+            let _g = stripes[c % nstripes].lock().unwrap();
             // SAFETY: all writers to y[c] hold stripe lock c % nstripes.
             unsafe { out.add_to(c, v * xi) };
         }

@@ -5,7 +5,9 @@
 
 use ompsim::{Schedule, ThreadPool};
 use proptest::prelude::*;
-use spray::{reduce_strategy, Kernel, Max, Min, Prod, ReduceOp, ReducerView, Strategy, Sum};
+use spray::{
+    reduce_strategy, Kernel, Max, Min, Prod, ReduceOp, ReducerView, ReusableReducer, Strategy, Sum,
+};
 
 /// An explicit update stream: iteration i performs updates[i].
 struct StreamKernel<'a, T> {
@@ -163,6 +165,115 @@ proptest! {
                 strategy, &pool, &mut out, 0..n_iters, Schedule::default(), &kernel,
             );
             prop_assert_eq!(&out, &expected_max, "max {}", strategy.label());
+        }
+    }
+
+    /// The block reducers round requested block sizes up to powers of two
+    /// so the hot path can index with shift/mask. Rounding must be purely
+    /// an implementation detail: any requested size must produce the same
+    /// bits as the sequential loop *and* as explicitly requesting the
+    /// rounded (power-of-two) size.
+    #[test]
+    fn pow2_rounding_is_bit_exact(
+        len in 1usize..120,
+        threads in 1usize..6,
+        block in prop::sample::select(vec![3usize, 5, 6, 7, 12, 24, 100]),
+        seed in any::<u64>(),
+    ) {
+        let n_iters = 180;
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let updates: Vec<Vec<(usize, i64)>> = (0..n_iters)
+            .map(|_| {
+                let k = (next() % 4) as usize;
+                (0..k)
+                    .map(|_| ((next() as usize) % len, (next() % 100) as i64 - 50))
+                    .collect()
+            })
+            .collect();
+
+        let mut expected = vec![0i64; len];
+        sequential_apply::<i64, Sum>(&mut expected, &updates);
+
+        let pool = ThreadPool::new(threads);
+        let kernel = StreamKernel { updates: &updates };
+        let pow2 = block.next_power_of_two();
+        let flavors: [(Strategy, Strategy); 3] = [
+            (
+                Strategy::BlockPrivate { block_size: block },
+                Strategy::BlockPrivate { block_size: pow2 },
+            ),
+            (
+                Strategy::BlockLock { block_size: block },
+                Strategy::BlockLock { block_size: pow2 },
+            ),
+            (
+                Strategy::BlockCas { block_size: block },
+                Strategy::BlockCas { block_size: pow2 },
+            ),
+        ];
+        for (requested, rounded) in flavors {
+            let mut out = vec![0i64; len];
+            reduce_strategy::<i64, Sum, _>(
+                requested, &pool, &mut out, 0..n_iters, Schedule::default(), &kernel,
+            );
+            prop_assert_eq!(&out, &expected, "strategy {} vs sequential", requested.label());
+
+            let mut out_pow2 = vec![0i64; len];
+            reduce_strategy::<i64, Sum, _>(
+                rounded, &pool, &mut out_pow2, 0..n_iters, Schedule::default(), &kernel,
+            );
+            prop_assert_eq!(&out, &out_pow2, "strategy {} vs {}", requested.label(), rounded.label());
+        }
+    }
+
+    /// A [`ReusableReducer`] carries privatization scratch from one region
+    /// to the next; every region must still produce exactly what a fresh
+    /// sequential loop over that region's updates produces.
+    #[test]
+    fn region_reuse_matches_sequential(
+        len in 1usize..80,
+        threads in 1usize..5,
+        block in prop::sample::select(vec![4usize, 7, 16]),
+        seed in any::<u64>(),
+    ) {
+        let n_iters = 120;
+        let n_regions = 4;
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let pool = ThreadPool::new(threads);
+        for strategy in strategies(block) {
+            let mut reducer = ReusableReducer::<i64, Sum>::new(strategy);
+            for region in 0..n_regions {
+                let updates: Vec<Vec<(usize, i64)>> = (0..n_iters)
+                    .map(|_| {
+                        let k = (next() % 3) as usize;
+                        (0..k)
+                            .map(|_| ((next() as usize) % len, (next() % 40) as i64 - 20))
+                            .collect()
+                    })
+                    .collect();
+                let mut expected = vec![0i64; len];
+                sequential_apply::<i64, Sum>(&mut expected, &updates);
+
+                let kernel = StreamKernel { updates: &updates };
+                let mut out = vec![0i64; len];
+                reducer.run(&pool, &mut out, 0..n_iters, Schedule::default(), &kernel);
+                prop_assert_eq!(
+                    &out, &expected,
+                    "strategy {} region {}", strategy.label(), region
+                );
+            }
         }
     }
 
