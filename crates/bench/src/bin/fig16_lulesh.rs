@@ -29,7 +29,8 @@ fn main() {
         nx * nx * nx
     );
     println!("# whole-run wall time (like the paper: includes all unchanged phases)");
-    println!("scheme,threads,elapsed_s,mem_overhead_mib,final_energy");
+    println!("# applies = corner-force contributions routed through spray reducers (0 for non-spray schemes)");
+    println!("scheme,threads,elapsed_s,mem_overhead_mib,applies,final_energy");
 
     // Sequential reference.
     {
@@ -38,7 +39,7 @@ fn main() {
         let t0 = Instant::now();
         let stats = run(&mut d, &pool, ForceScheme::Seq, iters);
         println!(
-            "sequential,1,{:.4},0.00,{:.6e}",
+            "sequential,1,{:.4},0.00,0,{:.6e}",
             t0.elapsed().as_secs_f64(),
             stats.total_energy
         );
@@ -59,11 +60,12 @@ fn main() {
             let t0 = Instant::now();
             let stats = run(&mut d, &pool, scheme, iters);
             println!(
-                "{},{},{:.4},{},{:.6e}",
+                "{},{},{:.4},{},{},{:.6e}",
                 scheme.label(),
                 threads,
                 t0.elapsed().as_secs_f64(),
                 fmt_mib(stats.memory_overhead),
+                stats.applies,
                 stats.total_energy
             );
         }

@@ -1,0 +1,125 @@
+//! Telemetry smoke test (run by CI).
+//!
+//! Runs one scatter reduction under each strategy family — block, keeper,
+//! atomic, map — plus dense, log and hybrid, prints every `RunReport` as
+//! JSON, then re-parses each document with `bench::json` and asserts the
+//! pipeline end to end:
+//!
+//! * the JSON parses and carries all four report sections,
+//! * counter totals show the applies actually issued,
+//! * per-phase wall times are present and the region time is nonzero,
+//! * the reduction result itself is correct.
+//!
+//! Exits nonzero on any violation, so a strategy that silently stops
+//! reporting (or a `to_json` drift the reader can't handle) fails the
+//! build rather than producing empty dashboards.
+
+use bench::json::{parse, Json};
+use spray::{reduce_dyn, Strategy, Sum};
+
+#[global_allocator]
+static ALLOC: memtrack::CountingAlloc = memtrack::CountingAlloc;
+
+fn check(doc: &Json, strategy: Strategy, expected_applies: f64) {
+    let label = strategy.label();
+    let name = doc
+        .get("strategy")
+        .and_then(Json::as_str)
+        .unwrap_or_else(|| panic!("{label}: report lacks a strategy name"));
+    assert!(!name.is_empty(), "{label}: empty strategy name");
+
+    let totals = doc
+        .get("counters")
+        .and_then(|c| c.get("totals"))
+        .unwrap_or_else(|| panic!("{label}: report lacks counter totals"));
+    let applies = totals.get("applies").and_then(Json::as_num).unwrap();
+    assert_eq!(
+        applies, expected_applies,
+        "{label}: applies {applies} != updates issued {expected_applies}"
+    );
+
+    let per_thread = doc
+        .get("counters")
+        .and_then(|c| c.get("per_thread"))
+        .and_then(Json::as_arr)
+        .unwrap_or_else(|| panic!("{label}: report lacks per-thread counters"));
+    assert!(!per_thread.is_empty(), "{label}: no per-thread slots");
+
+    let phases = doc
+        .get("phases")
+        .unwrap_or_else(|| panic!("{label}: report lacks phases"));
+    for key in [
+        "loop_secs",
+        "barrier_secs",
+        "epilogue_secs",
+        "finish_secs",
+        "region_secs",
+    ] {
+        let v = phases
+            .get(key)
+            .and_then(Json::as_num)
+            .unwrap_or_else(|| panic!("{label}: phases lack {key}"));
+        assert!(v >= 0.0, "{label}: negative {key}");
+    }
+    let region = phases.get("region_secs").and_then(Json::as_num).unwrap();
+    assert!(region > 0.0, "{label}: zero region time");
+
+    assert!(
+        doc.get("memory_overhead").and_then(Json::as_num).is_some(),
+        "{label}: report lacks memory_overhead"
+    );
+}
+
+fn main() {
+    let threads = 4;
+    let pool = ompsim::ThreadPool::new(threads);
+    let n = 10_000usize;
+    let updates = 100_000usize;
+
+    // One representative per strategy family, plus the extras.
+    let strategies = [
+        Strategy::BlockCas { block_size: 64 },
+        Strategy::BlockLock { block_size: 64 },
+        Strategy::BlockPrivate { block_size: 64 },
+        Strategy::Keeper,
+        Strategy::Atomic,
+        Strategy::MapBTree,
+        Strategy::MapHash,
+        Strategy::Dense,
+        Strategy::Log,
+        Strategy::Hybrid {
+            block_size: 64,
+            threshold: 4,
+        },
+    ];
+
+    let mut ok = 0;
+    for strategy in strategies {
+        let mut out = vec![0i64; n];
+        let report = reduce_dyn::<i64, Sum>(
+            strategy,
+            &pool,
+            &mut out,
+            0..updates,
+            ompsim::Schedule::default(),
+            &|v, i| v.apply((i * 7919) % n, 1),
+        );
+        assert_eq!(
+            out.iter().sum::<i64>(),
+            updates as i64,
+            "{}: wrong reduction result",
+            strategy.label()
+        );
+
+        let text = report.to_json();
+        println!("{text}");
+        let doc = parse(&text)
+            .unwrap_or_else(|e| panic!("{}: report does not parse: {e}", strategy.label()));
+        check(&doc, strategy, updates as f64);
+        ok += 1;
+    }
+    eprintln!(
+        "telemetry_smoke: {ok}/{} strategies reported and parsed",
+        strategies.len()
+    );
+}

@@ -12,7 +12,8 @@
 //! | Fig. 16 | `fig16_lulesh` | LULESH proxy whole-run time & memory, incl. the 8-copy domain scheme |
 //! | §IV/§V discussion | `ablation_schedule`, `ablation_keeper`, `ablation_atomics`, `ablation_autotune` | schedule/chunk, keeper-ownership, atomic-op and auto-tuner ablations |
 //! | §VII remarks | `summary_table` | every strategy × all three workloads, time and memory side by side |
-//! | hot path | `apply_overhead` | per-apply ns of the block reducers' cached fast path vs the legacy assert+div/mod path, per access pattern (writes `BENCH_apply_overhead.json`) |
+//! | hot path | `apply_overhead` | per-apply ns of the block reducers' cached fast path (telemetry on and off) vs the legacy assert+div/mod path, per access pattern (writes `BENCH_apply_overhead.json`) |
+//! | telemetry | `telemetry_smoke` | runs a scatter under every strategy family, prints each `RunReport` as JSON and re-parses it, asserting counters are populated (CI gate) |
 //! | — | `plot_ascii` | renders any results CSV as an ASCII chart |
 //!
 //! Every binary prints CSV to stdout (`column -s, -t` renders it) plus
@@ -24,6 +25,7 @@
 use std::time::Instant;
 
 pub mod args;
+pub mod json;
 pub mod plot;
 pub mod spmv_fig;
 pub mod workloads;

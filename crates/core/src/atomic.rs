@@ -15,12 +15,14 @@
 use crate::elem::{AtomicElement, ReduceOp};
 use crate::reducer::{ReducerView, Reduction};
 use crate::shared::SharedSlice;
+use crate::telemetry::{Counters, Telemetry, TelemetryBoard};
 use std::marker::PhantomData;
 
 /// Atomically-updating reducer; see the module docs.
 pub struct AtomicReduction<'a, T: AtomicElement, O: ReduceOp<T>> {
     out: SharedSlice<T>,
     nthreads: usize,
+    telem: TelemetryBoard,
     _borrow: PhantomData<&'a mut [T]>,
     _op: PhantomData<O>,
 }
@@ -47,6 +49,7 @@ impl<'a, T: AtomicElement, O: ReduceOp<T>> AtomicReduction<'a, T, O> {
         AtomicReduction {
             out: SharedSlice::new(out),
             nthreads,
+            telem: TelemetryBoard::new(nthreads),
             _borrow: PhantomData,
             _op: PhantomData,
         }
@@ -97,6 +100,20 @@ impl<T: AtomicElement, O: ReduceOp<T>> Reduction<T> for AtomicReduction<'_, T, O
 
     fn memory_overhead(&self) -> usize {
         0
+    }
+
+    fn telemetry(&self) -> Telemetry {
+        self.telem.snapshot()
+    }
+
+    fn record_applies(&self, tid: usize, applies: u64) {
+        self.telem.record(
+            tid,
+            &Counters {
+                applies,
+                ..Counters::default()
+            },
+        );
     }
 }
 

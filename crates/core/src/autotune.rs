@@ -6,9 +6,13 @@
 //! every cycle, PageRank every power iteration) an *online* tuner is the
 //! natural fit: the first `trials × candidates` invocations measure each
 //! candidate strategy round-robin, after which every further invocation
-//! uses the best-measured one. Every invocation — including exploration —
-//! produces the correct reduction result, so tuning is invisible to the
-//! caller.
+//! uses the best-measured one. Candidates are ranked not on wall time
+//! alone but on a [`score`] that folds in the telemetry each run reports —
+//! ownership-race losses, remote forwarding, and barrier-wait fraction —
+//! so a strategy that is merely lucky on a small trial but structurally
+//! contended loses to a clean one of equal speed. Every invocation —
+//! including exploration — produces the correct reduction result, so
+//! tuning is invisible to the caller.
 //!
 //! ```
 //! use spray::{AutoTuner, Kernel, ReducerView, Strategy, Sum};
@@ -31,18 +35,52 @@
 //! ```
 
 use crate::elem::{AtomicElement, ReduceOp};
-use crate::strategy::{Kernel, ReusableReducer, RunReport, Strategy};
+use crate::executor::ReusableReducer;
+use crate::strategy::{Kernel, Strategy};
+use crate::telemetry::RunReport;
 use ompsim::{Schedule, ThreadPool};
 use std::any::Any;
 use std::ops::Range;
 use std::time::Instant;
 
-/// Per-candidate measurement state.
+/// Per-candidate measurement state: wall time plus the telemetry signals
+/// each run reported.
 #[derive(Debug, Clone)]
 struct CandidateStat {
     strategy: Strategy,
     total_secs: f64,
+    /// Summed per-run contention ratios (ownership-race losses + remote
+    /// enqueues per apply) from [`RunReport::counters`].
+    total_contention: f64,
+    /// Summed per-run barrier fractions (barrier wait / region time) from
+    /// [`RunReport::phases`].
+    total_barrier_frac: f64,
     runs: usize,
+}
+
+impl CandidateStat {
+    fn mean_secs(&self) -> f64 {
+        self.total_secs / self.runs as f64
+    }
+
+    fn score(&self) -> f64 {
+        let n = self.runs as f64;
+        score(
+            self.mean_secs(),
+            self.total_contention / n,
+            self.total_barrier_frac / n,
+        )
+    }
+}
+
+/// Ranking score: measured mean wall time, inflated by the measured
+/// contention and barrier-wait signals. Candidates within timing noise of
+/// each other are separated by *how* they got there — a strategy whose
+/// updates keep losing ownership races (or shipping to remote queues), or
+/// whose threads spend the region waiting at the barrier, degrades first
+/// as the problem grows, so it is penalized now.
+fn score(mean_secs: f64, contention_ratio: f64, barrier_fraction: f64) -> f64 {
+    mean_secs * (1.0 + 0.2 * contention_ratio.min(1.0) + 0.2 * barrier_fraction)
 }
 
 /// Online strategy selector; see the module docs.
@@ -101,6 +139,8 @@ impl AutoTuner {
                 .map(|strategy| CandidateStat {
                     strategy,
                     total_secs: 0.0,
+                    total_contention: 0.0,
+                    total_barrier_frac: 0.0,
                     runs: 0,
                 })
                 .collect(),
@@ -123,7 +163,8 @@ impl AutoTuner {
     }
 
     /// The strategy the tuner currently considers best (the measured
-    /// winner once settled; before that, the best-so-far by mean time).
+    /// winner once settled; before that, the best-so-far by the
+    /// contention- and barrier-penalized score).
     pub fn best(&self) -> Option<Strategy> {
         if let Some(w) = self.winner {
             return Some(self.candidates[w].strategy);
@@ -131,11 +172,7 @@ impl AutoTuner {
         self.candidates
             .iter()
             .filter(|c| c.runs > 0)
-            .min_by(|a, b| {
-                (a.total_secs / a.runs as f64)
-                    .partial_cmp(&(b.total_secs / b.runs as f64))
-                    .unwrap()
-            })
+            .min_by(|a, b| a.score().partial_cmp(&b.score()).unwrap())
             .map(|c| c.strategy)
     }
 
@@ -166,16 +203,13 @@ impl AutoTuner {
             // Round-robin so every candidate sees the same workload mix.
             return self.invocations % self.candidates.len();
         }
-        // Exploration over: settle on the argmin of mean time.
+        // Exploration over: settle on the argmin of the contention- and
+        // barrier-penalized score.
         let w = self
             .candidates
             .iter()
             .enumerate()
-            .min_by(|(_, a), (_, b)| {
-                (a.total_secs / a.runs as f64)
-                    .partial_cmp(&(b.total_secs / b.runs as f64))
-                    .unwrap()
-            })
+            .min_by(|(_, a), (_, b)| a.score().partial_cmp(&b.score()).unwrap())
             .map(|(i, _)| i)
             .expect("nonempty candidates");
         self.winner = Some(w);
@@ -183,7 +217,7 @@ impl AutoTuner {
     }
 
     /// Runs the reduction with the tuner-chosen strategy, recording its
-    /// wall time. Semantics are identical to [`reduce_strategy`].
+    /// wall time. Semantics are identical to [`crate::reduce_strategy`].
     pub fn run<T, O, K>(
         &mut self,
         pool: &ThreadPool,
@@ -221,6 +255,8 @@ impl AutoTuner {
         let dt = t0.elapsed().as_secs_f64();
         let c = &mut self.candidates[idx];
         c.total_secs += dt;
+        c.total_contention += report.counters.totals().contention_ratio();
+        c.total_barrier_frac += report.phases.barrier_fraction();
         c.runs += 1;
         self.invocations += 1;
         report
@@ -314,5 +350,18 @@ mod tests {
     #[should_panic(expected = "at least one candidate")]
     fn empty_candidates_rejected() {
         let _ = AutoTuner::new(vec![], 3);
+    }
+
+    #[test]
+    fn score_penalizes_contention_and_barrier_wait() {
+        let clean = score(1.0, 0.0, 0.0);
+        assert_eq!(clean, 1.0);
+        // Same wall time, contended updates: ranked strictly worse.
+        assert!(score(1.0, 0.5, 0.0) > clean);
+        // Same wall time, half the region spent at the barrier: worse.
+        assert!(score(1.0, 0.0, 0.5) > clean);
+        // Contention ratio saturates at 1 — a pathological ratio cannot
+        // dominate an order-of-magnitude wall-time difference.
+        assert!(score(1.0, 1e9, 1.0) < score(10.0, 0.0, 0.0));
     }
 }

@@ -73,6 +73,7 @@
 use crate::elem::{Element, ReduceOp};
 use crate::reducer::{ReducerView, Reduction};
 use crate::shared::{CachePadded, MemCounter, SharedSlice, Slots};
+use crate::telemetry::{Counters, Telemetry, TelemetryBoard};
 use std::marker::PhantomData;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -84,17 +85,35 @@ const ST_UNKNOWN: u8 = 0;
 const ST_DIRECT: u8 = 1;
 const ST_PRIVATE: u8 = 2;
 
+/// Outcome of an ownership claim attempt, distinguished so the telemetry
+/// layer can tell a *lost race* (another thread owns the block — a
+/// contention event) from the block-private flavor's by-design refusal.
+#[doc(hidden)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Claim {
+    /// The block was unowned; the claiming thread now owns it.
+    Won,
+    /// The claiming thread already owned the block.
+    Retained,
+    /// The claim failed: another thread owns the block, or the flavor
+    /// never grants direct ownership.
+    Lost,
+}
+
 /// How block ownership of the original array is acquired.
 ///
 /// Implementation detail of the block flavors; sealed (the only
 /// implementors are the `*Seal` types below).
 #[doc(hidden)]
 pub trait Ownership: Send + Sync {
+    /// Whether this flavor grants direct ownership at all. `false` for the
+    /// block-private flavor, whose lost claims are by design and must not
+    /// count as contention.
+    const DIRECT: bool;
     /// Builds the ownership state for `nblocks`.
     fn new(nblocks: usize) -> Self;
-    /// Tries to claim block `b` for thread `tid`; returns `true` if `tid`
-    /// is now (or already was) the owner.
-    fn try_claim(&self, b: usize, tid: usize) -> bool;
+    /// Tries to claim block `b` for thread `tid`.
+    fn try_claim(&self, b: usize, tid: usize) -> Claim;
     /// Resets all ownership (single-threaded, between regions).
     fn reset(&self);
     /// Bytes used by the ownership table.
@@ -105,12 +124,13 @@ pub trait Ownership: Send + Sync {
 struct NoOwnership;
 
 impl Ownership for NoOwnership {
+    const DIRECT: bool = false;
     fn new(_nblocks: usize) -> Self {
         NoOwnership
     }
     #[inline(always)]
-    fn try_claim(&self, _b: usize, _tid: usize) -> bool {
-        false
+    fn try_claim(&self, _b: usize, _tid: usize) -> Claim {
+        Claim::Lost
     }
     fn reset(&self) {}
     fn footprint(&self) -> usize {
@@ -124,19 +144,22 @@ struct LockOwnership {
 }
 
 impl Ownership for LockOwnership {
+    const DIRECT: bool = true;
     fn new(nblocks: usize) -> Self {
         LockOwnership {
             table: Mutex::new(vec![UNOWNED; nblocks]),
         }
     }
 
-    fn try_claim(&self, b: usize, tid: usize) -> bool {
+    fn try_claim(&self, b: usize, tid: usize) -> Claim {
         let mut t = self.table.lock().unwrap();
         if t[b] == UNOWNED {
             t[b] = tid;
-            true
+            Claim::Won
+        } else if t[b] == tid {
+            Claim::Retained
         } else {
-            t[b] == tid
+            Claim::Lost
         }
     }
 
@@ -157,6 +180,7 @@ struct CasOwnership {
 }
 
 impl Ownership for CasOwnership {
+    const DIRECT: bool = true;
     fn new(nblocks: usize) -> Self {
         CasOwnership {
             table: (0..nblocks)
@@ -166,13 +190,14 @@ impl Ownership for CasOwnership {
     }
 
     #[inline]
-    fn try_claim(&self, b: usize, tid: usize) -> bool {
+    fn try_claim(&self, b: usize, tid: usize) -> Claim {
         match self.table[b]
             .0
             .compare_exchange(UNOWNED, tid, Ordering::Relaxed, Ordering::Relaxed)
         {
-            Ok(_) => true,
-            Err(cur) => cur == tid,
+            Ok(_) => Claim::Won,
+            Err(cur) if cur == tid => Claim::Retained,
+            Err(_) => Claim::Lost,
         }
     }
 
@@ -219,6 +244,7 @@ pub struct BlockReduction<'a, T: Element, O: ReduceOp<T>, W: Ownership> {
     slots: Slots<ViewScratch<T>>,
     nthreads: usize,
     mem: MemCounter,
+    telem: TelemetryBoard,
     flavor: &'static str,
     _borrow: PhantomData<&'a mut [T]>,
     _op: PhantomData<O>,
@@ -250,11 +276,12 @@ pub struct CasOwnershipSeal(CasOwnership);
 macro_rules! impl_seal {
     ($seal:ident, $inner:ty) => {
         impl Ownership for $seal {
+            const DIRECT: bool = <$inner>::DIRECT;
             fn new(nblocks: usize) -> Self {
                 $seal(<$inner>::new(nblocks))
             }
             #[inline(always)]
-            fn try_claim(&self, b: usize, tid: usize) -> bool {
+            fn try_claim(&self, b: usize, tid: usize) -> Claim {
                 self.0.try_claim(b, tid)
             }
             fn reset(&self) {
@@ -292,6 +319,7 @@ impl<'a, T: Element, O: ReduceOp<T>, W: Ownership> BlockReduction<'a, T, O, W> {
             slots: Slots::new(nthreads),
             nthreads,
             mem: MemCounter::new(),
+            telem: TelemetryBoard::new(nthreads),
             flavor,
             _borrow: PhantomData,
             _op: PhantomData,
@@ -411,7 +439,30 @@ impl<'a, T: Element, O: ReduceOp<T>> BlockCasReduction<'a, T, O> {
 }
 
 /// Per-thread view for all block flavors.
+///
+/// Split in two on purpose: the last-block cache fields stay direct,
+/// everything else lives in an inner core struct, and the slow path
+/// borrows **only** `self.core` — so an inlined kernel loop can keep the
+/// cache in registers. Apply *counting* does not live here at all: it is done
+/// by the driver's [`crate::CountedView`] wrapper, whose counter is
+/// register-resident, and credited via
+/// [`Reduction::record_applies`] — a view-resident counter is a
+/// loop-carried load-add-store chain whose store-forwarding latency
+/// rivals the whole fast path (the `apply_overhead` microbench measures
+/// exactly this).
 pub struct BlockView<T, O, W> {
+    /// Last-touched block, or `usize::MAX`. Cache invariant: when set,
+    /// `last_base` points to storage holding *all* offsets `0..=mask` of
+    /// that block — the original array for a wholly in-bounds direct
+    /// block, or a full-block-size private copy.
+    last_block: usize,
+    last_base: *mut T,
+    core: ViewCore<T, O, W>,
+}
+
+/// The part of a [`BlockView`] whose address escapes into the outlined
+/// slow path; see the view's docs for why the hot fields stay outside.
+struct ViewCore<T, O, W> {
     out: SharedSlice<T>,
     /// Borrow of the parent reduction's ownership table; valid for the
     /// region because the driver keeps the reduction alive and pinned.
@@ -422,20 +473,16 @@ pub struct BlockView<T, O, W> {
     mask: usize,
     len: usize,
     tid: usize,
-    /// Last-touched block, or `usize::MAX`. Cache invariant: when set,
-    /// `last_base` points to storage holding *all* offsets `0..=mask` of
-    /// that block — the original array for a wholly in-bounds direct
-    /// block, or a full-block-size private copy.
-    last_block: usize,
-    last_base: *mut T,
     allocated_bytes: usize,
+    /// Cold-path event counters (touched only on block switches).
+    counters: Counters,
     _op: PhantomData<O>,
 }
 
-impl<T: Element, O: ReduceOp<T>, W: Ownership> BlockView<T, O, W> {
+impl<T: Element, O: ReduceOp<T>, W: Ownership> ViewCore<T, O, W> {
     /// Block switch / first touch: resolve the block's status (claiming
     /// ownership or privatizing on first touch), service the update, and
-    /// install the block in the last-block cache.
+    /// return the new last-block cache entry for the caller to install.
     ///
     /// This is the release-mode bounds check: `status[b]` range-panics for
     /// any block past the array, and in-bounds blocks validate `i` at
@@ -446,7 +493,7 @@ impl<T: Element, O: ReduceOp<T>, W: Ownership> BlockView<T, O, W> {
     /// apply, and both a size-optimized body and a forced call boundary
     /// measurably regress them (the `apply_overhead` microbench covers
     /// both patterns).
-    fn apply_slow(&mut self, i: usize, v: T) {
+    fn apply_slow(&mut self, i: usize, v: T) -> (usize, *mut T) {
         assert!(
             i < self.len,
             "reduction index {i} out of bounds (len {})",
@@ -458,35 +505,29 @@ impl<T: Element, O: ReduceOp<T>, W: Ownership> BlockView<T, O, W> {
             st = self.resolve(b);
         }
         if st == ST_DIRECT {
+            // SAFETY: this thread exclusively owns block `b` of `out`
+            // during the loop phase (ownership protocol), and `i < len`.
+            unsafe { self.out.combine::<O>(i, v) };
             let lo = b << self.shift;
             // Cache only blocks that lie wholly inside the array, so every
             // masked offset through `last_base` stays in bounds.
             if lo + self.mask < self.len {
-                self.last_block = b;
-                self.last_base = unsafe { self.out.as_mut_ptr().add(lo) };
+                (b, unsafe { self.out.as_mut_ptr().add(lo) })
             } else {
-                self.last_block = usize::MAX;
+                (usize::MAX, std::ptr::null_mut())
             }
-            // SAFETY: this thread exclusively owns block `b` of `out`
-            // during the loop phase (ownership protocol), and `i < len`.
-            unsafe { self.out.combine::<O>(i, v) };
         } else {
             // ST_PRIVATE implies `resolve` allocated the (full-size) copy.
             let blk = self.blocks[b].as_mut().unwrap();
-            self.last_block = b;
-            self.last_base = blk.as_mut_ptr();
             let slot = &mut blk[i & self.mask];
             *slot = O::combine(*slot, v);
+            (b, blk.as_mut_ptr())
         }
     }
 
     /// The pre-cache `apply` path: full bounds assert, status lookup and
-    /// div/mod on every update, no last-block cache. Kept (hidden) as the
-    /// in-harness baseline for the `apply_overhead` microbenchmark so the
-    /// fast path's gain is measured against the real legacy cost, not a
-    /// reconstruction. Not part of the public API.
-    #[doc(hidden)]
-    pub fn apply_uncached(&mut self, i: usize, v: T) {
+    /// div/mod on every update, no last-block cache.
+    fn apply_uncached(&mut self, i: usize, v: T) {
         assert!(
             i < self.len,
             "reduction index {i} out of bounds (len {})",
@@ -517,41 +558,61 @@ impl<T: Element, O: ReduceOp<T>, W: Ownership> BlockView<T, O, W> {
     fn resolve(&mut self, b: usize) -> u8 {
         // SAFETY: the parent reduction outlives the view (driver contract).
         let owners = unsafe { &*self.owners };
-        let st = if owners.try_claim(b, self.tid) {
-            ST_DIRECT
-        } else {
-            // A copy retained from an earlier region is already
-            // identity-filled by `finish`; otherwise allocate one at the
-            // full (power-of-two) length even for the trailing partial
-            // block — that keeps the last-block cache's offset invariant
-            // and costs at most one block of slack.
-            if self.blocks[b].is_none() {
-                let n = self.mask + 1;
-                self.blocks[b] = Some(vec![O::identity(); n].into_boxed_slice());
-                self.allocated_bytes += n * std::mem::size_of::<T>();
+        self.counters.block_first_touches += 1;
+        let st = match owners.try_claim(b, self.tid) {
+            Claim::Won | Claim::Retained => ST_DIRECT,
+            Claim::Lost => {
+                if W::DIRECT {
+                    // Lost to another thread — contention. The
+                    // block-private flavor loses every claim by design
+                    // (`DIRECT == false`) and records privatizations only.
+                    self.counters.ownership_conflicts += 1;
+                }
+                self.counters.fallback_privatizations += 1;
+                // A copy retained from an earlier region is already
+                // identity-filled by `finish`; otherwise allocate one at the
+                // full (power-of-two) length even for the trailing partial
+                // block — that keeps the last-block cache's offset invariant
+                // and costs at most one block of slack.
+                if self.blocks[b].is_none() {
+                    let n = self.mask + 1;
+                    self.blocks[b] = Some(vec![O::identity(); n].into_boxed_slice());
+                    self.allocated_bytes += n * std::mem::size_of::<T>();
+                }
+                ST_PRIVATE
             }
-            ST_PRIVATE
         };
         self.status[b] = st;
         st
     }
 }
 
+impl<T: Element, O: ReduceOp<T>, W: Ownership> BlockView<T, O, W> {
+    /// The legacy pre-cache `apply` path. Kept (hidden) as the in-harness
+    /// baseline for the `apply_overhead` microbenchmark so the fast
+    /// path's gain is measured against the real legacy cost, not a
+    /// reconstruction. Not part of the public API, and left uncounted.
+    #[doc(hidden)]
+    pub fn apply_uncached(&mut self, i: usize, v: T) {
+        self.core.apply_uncached(i, v);
+    }
+}
+
 impl<T: Element, O: ReduceOp<T>, W: Ownership> ReducerView<T> for BlockView<T, O, W> {
     #[inline(always)]
     fn apply(&mut self, i: usize, v: T) {
-        debug_assert!(i < self.len, "reduction index {i} out of bounds");
-        let b = i >> self.shift;
+        debug_assert!(i < self.core.len, "reduction index {i} out of bounds");
+        let b = i >> self.core.shift;
         if b == self.last_block {
             // SAFETY: the cache invariant (see `last_block`) guarantees
             // `last_base` covers every offset `0..=mask`, and this thread
             // has exclusive write access to that storage for the region.
             unsafe {
-                let p = self.last_base.add(i & self.mask);
+                let p = self.last_base.add(i & self.core.mask);
                 *p = O::combine(*p, v);
             }
         } else {
-            self.apply_slow(i, v);
+            (self.last_block, self.last_base) = self.core.apply_slow(i, v);
         }
     }
 }
@@ -578,32 +639,36 @@ impl<T: Element, O: ReduceOp<T>, W: Ownership> Reduction<T> for BlockReduction<'
             }
         };
         BlockView {
-            out: self.out,
-            owners: &self.owners,
-            status,
-            blocks,
-            shift: self.shift,
-            mask: self.mask,
-            len: self.out.len(),
-            tid,
             last_block: usize::MAX,
             last_base: std::ptr::null_mut(),
-            allocated_bytes: 0,
-            _op: PhantomData,
+            core: ViewCore {
+                out: self.out,
+                owners: &self.owners,
+                status,
+                blocks,
+                shift: self.shift,
+                mask: self.mask,
+                len: self.out.len(),
+                tid,
+                allocated_bytes: 0,
+                counters: Counters::default(),
+                _op: PhantomData,
+            },
         }
     }
 
     fn stash(&self, tid: usize, view: Self::View) {
         // `allocated_bytes` counts only blocks newly privatized this
         // region; retained ones are still accounted from their region.
-        self.mem.add(view.allocated_bytes);
+        self.mem.add(view.core.allocated_bytes);
+        self.telem.record(tid, &view.core.counters);
         // SAFETY: slot `tid` is written only by thread `tid`, pre-barrier.
         unsafe {
             self.slots.put(
                 tid,
                 ViewScratch {
-                    status: view.status,
-                    blocks: view.blocks,
+                    status: view.core.status,
+                    blocks: view.core.blocks,
                 },
             )
         };
@@ -613,6 +678,7 @@ impl<T: Element, O: ReduceOp<T>, W: Ownership> Reduction<T> for BlockReduction<'
         // Thread `tid` merges the private copies of every block it is
         // responsible for, across all threads in ascending order (matching
         // the dense merge order for the block-private flavor).
+        let mut merged_elems = 0u64;
         for b in (tid..self.nblocks).step_by(self.nthreads) {
             let range = self.block_range(b);
             for t in 0..self.nthreads {
@@ -626,8 +692,13 @@ impl<T: Element, O: ReduceOp<T>, W: Ownership> Reduction<T> for BlockReduction<'
                         // and owners stopped writing at the barrier.
                         unsafe { self.out.combine::<O>(i, blk[off]) };
                     }
+                    merged_elems += range.len() as u64;
                 }
             }
+        }
+        if merged_elems > 0 {
+            self.telem
+                .add_merged_bytes(tid, merged_elems * std::mem::size_of::<T>() as u64);
         }
     }
 
@@ -663,6 +734,20 @@ impl<T: Element, O: ReduceOp<T>, W: Ownership> Reduction<T> for BlockReduction<'
 
     fn memory_overhead(&self) -> usize {
         self.mem.peak() + self.owners.footprint()
+    }
+
+    fn telemetry(&self) -> Telemetry {
+        self.telem.snapshot()
+    }
+
+    fn record_applies(&self, tid: usize, applies: u64) {
+        self.telem.record(
+            tid,
+            &Counters {
+                applies,
+                ..Counters::default()
+            },
+        );
     }
 }
 
@@ -869,6 +954,55 @@ mod tests {
 
         assert!(a.iter().all(|&x| x == 1));
         assert!(b.iter().all(|&x| x == 2));
+    }
+
+    #[test]
+    fn telemetry_distinguishes_flavors() {
+        let pool = ThreadPool::new(4);
+        let n = 4096;
+
+        // Every thread folds its whole static chunk into the same four
+        // blocks, so each block has one CAS winner and three losers —
+        // conflicts and fallback privatizations are guaranteed however
+        // the threads interleave.
+        let mut out = vec![0i64; n];
+        let red = BlockCasReduction::<i64, Sum>::new(&mut out, 4, 16);
+        reduce(&pool, &red, 0..n, Schedule::default(), |v, i| {
+            v.apply(i % 64, 1);
+        });
+        let t = red.telemetry().totals();
+        assert_eq!(t.applies, n as u64);
+        assert_eq!(t.block_first_touches, 4 * 4, "one per block per thread");
+        assert_eq!(
+            t.ownership_conflicts,
+            3 * 4,
+            "three losers per block: {t:?}"
+        );
+        assert_eq!(t.fallback_privatizations, 3 * 4);
+        assert!(t.merged_bytes > 0);
+
+        // The block-private flavor privatizes everything by design:
+        // privatizations, yes — conflicts, never.
+        let mut out = vec![0i64; n];
+        let red = BlockPrivateReduction::<i64, Sum>::new(&mut out, 4, 16);
+        reduce(&pool, &red, 0..n, Schedule::dynamic(3), |v, i| {
+            v.apply(i, 1);
+        });
+        let t = red.telemetry().totals();
+        assert_eq!(t.applies, n as u64);
+        assert_eq!(t.ownership_conflicts, 0);
+        assert_eq!(t.fallback_privatizations, t.block_first_touches);
+
+        // An uncontended static sweep with CAS: all blocks direct-owned,
+        // nothing privatized, nothing merged.
+        let mut out = vec![0i64; n];
+        let red = BlockCasReduction::<i64, Sum>::new(&mut out, 4, 1024);
+        reduce(&pool, &red, 0..n, Schedule::default(), |v, i| {
+            v.apply(i, 1);
+        });
+        let t = red.telemetry().totals();
+        assert_eq!(t.fallback_privatizations, 0, "uncontended: {t:?}");
+        assert_eq!(t.merged_bytes, 0);
     }
 
     #[test]

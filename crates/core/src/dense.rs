@@ -20,6 +20,7 @@
 use crate::elem::{Element, ReduceOp};
 use crate::reducer::{ReducerView, Reduction};
 use crate::shared::{chunk_of, MemCounter, SharedSlice, Slots};
+use crate::telemetry::{Counters, Telemetry, TelemetryBoard};
 use std::marker::PhantomData;
 
 /// Fully privatizing reducer; see the module docs.
@@ -28,6 +29,7 @@ pub struct DenseReduction<'a, T: Element, O: ReduceOp<T>> {
     slots: Slots<Vec<T>>,
     nthreads: usize,
     mem: MemCounter,
+    telem: TelemetryBoard,
     _borrow: PhantomData<&'a mut [T]>,
     _op: PhantomData<O>,
 }
@@ -56,6 +58,7 @@ impl<'a, T: Element, O: ReduceOp<T>> DenseReduction<'a, T, O> {
             slots: Slots::new(nthreads),
             nthreads,
             mem: MemCounter::new(),
+            telem: TelemetryBoard::new(nthreads),
             _borrow: PhantomData,
             _op: PhantomData,
         }
@@ -98,6 +101,7 @@ impl<T: Element, O: ReduceOp<T>> Reduction<T> for DenseReduction<'_, T, O> {
         // accumulates every thread's private copy over it, in thread order
         // (fixing the summation order irrespective of merge parallelism).
         let (lo, hi) = chunk_of(tid, self.nthreads, self.out.len());
+        let mut merged = 0u64;
         for t in 0..self.nthreads {
             // SAFETY: post-barrier, slots are read-only.
             if let Some(buf) = unsafe { self.slots.get(t) } {
@@ -105,7 +109,12 @@ impl<T: Element, O: ReduceOp<T>> Reduction<T> for DenseReduction<'_, T, O> {
                     // SAFETY: out[lo..hi) is written by this thread only.
                     unsafe { self.out.combine::<O>(i, v) };
                 }
+                merged += (hi - lo) as u64;
             }
+        }
+        if merged > 0 {
+            self.telem
+                .add_merged_bytes(tid, merged * std::mem::size_of::<T>() as u64);
         }
     }
 
@@ -132,6 +141,20 @@ impl<T: Element, O: ReduceOp<T>> Reduction<T> for DenseReduction<'_, T, O> {
 
     fn memory_overhead(&self) -> usize {
         self.mem.peak()
+    }
+
+    fn telemetry(&self) -> Telemetry {
+        self.telem.snapshot()
+    }
+
+    fn record_applies(&self, tid: usize, applies: u64) {
+        self.telem.record(
+            tid,
+            &Counters {
+                applies,
+                ..Counters::default()
+            },
+        );
     }
 }
 

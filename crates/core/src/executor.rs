@@ -1,0 +1,368 @@
+//! The unified region executor — the **single** strategy-dispatch site.
+//!
+//! Every runtime-dispatched path into a reduction region routes through
+//! [`RegionExecutor::run`]: [`crate::reduce_strategy`] (one-shot regions),
+//! [`crate::reduce_dyn`] (closure bodies), [`ReusableReducer`] (the
+//! region-reuse API, now an alias of the executor), and
+//! [`crate::AutoTuner`] (online strategy selection). The `match` over
+//! [`Strategy`] variants in [`RegionExecutor::run`] is the only place in
+//! the workspace that turns a `Strategy` value into a concrete
+//! [`Reduction`] — previously this dispatch existed in three near-identical
+//! copies (`reduce_strategy`, `ReusableReducer::run`, and indirectly the
+//! autotuner), each a chance for the copies to drift.
+//!
+//! The executor also owns the two cross-cutting concerns the copies used
+//! to split between them:
+//!
+//! * **scratch retention** — block-reducer allocations are detached after
+//!   each region ([`crate::BlockReduction::into_scratch`]) and re-attached
+//!   to the next region's array, so iterative solvers allocate only on
+//!   their first iteration, for *every* caller;
+//! * **telemetry** — each region runs under the phased driver, which
+//!   times the loop / barrier-wait / epilogue / finish phases, and the
+//!   strategy's own counters are snapshotted into the returned
+//!   [`RunReport`].
+
+use crate::atomic::AtomicReduction;
+use crate::block::{
+    BlockCasReduction, BlockCasScratch, BlockLockReduction, BlockLockScratch,
+    BlockPrivateReduction, BlockPrivateScratch,
+};
+use crate::dense::DenseReduction;
+use crate::elem::{AtomicElement, ReduceOp};
+use crate::hybrid::HybridReduction;
+use crate::keeper::KeeperReduction;
+use crate::log::LogReduction;
+use crate::map::{BTreeMapReduction, HashMapReduction};
+use crate::reducer::{reduce_chunked_phased, Reduction};
+use crate::strategy::{Kernel, Strategy};
+use crate::telemetry::{PhaseBoard, RunReport};
+use ompsim::{Schedule, ThreadPool};
+use std::marker::PhantomData;
+use std::ops::Range;
+
+/// Block-reducer scratch carried between regions, keyed by flavor.
+enum RetainedScratch<T> {
+    None,
+    Private(BlockPrivateScratch<T>),
+    Lock(BlockLockScratch<T>),
+    Cas(BlockCasScratch<T>),
+}
+
+/// Runs reduction regions for a [`Strategy`], retaining block-reducer
+/// scratch across regions and reporting telemetry per region.
+///
+/// [`reduce_strategy`](crate::reduce_strategy) builds a throwaway executor
+/// per call; keep one alive across regions to get reuse: after each
+/// [`run`](RegionExecutor::run) the block reducers' scratch (per-thread
+/// status tables, block options, ownership table) is detached and
+/// re-attached to the next region's array, so iterative solvers whose
+/// *output array changes between iterations* (PageRank swapping rank
+/// vectors, SSSP relaxation rounds, LULESH force sweeps) allocate only on
+/// the first iteration.
+///
+/// Non-block strategies construct fresh per region — their setup is either
+/// inherently cheap (atomic, keeper) or not shaped for retention (dense
+/// replicas are the memory problem the paper exists to avoid; maps/logs
+/// drain on merge).
+///
+/// If the array length, team width or block size changes between calls,
+/// the stale scratch is discarded and that region starts fresh — always
+/// correct, just re-allocating. [`clear`](RegionExecutor::clear) drops the
+/// scratch explicitly (e.g. before a long idle phase).
+pub struct RegionExecutor<T: crate::Element, O: ReduceOp<T>> {
+    strategy: Strategy,
+    scratch: RetainedScratch<T>,
+    _op: PhantomData<fn() -> O>,
+}
+
+/// The region-reuse API name from earlier revisions; the executor *is*
+/// the reusable reducer now that dispatch and retention live in one type.
+pub type ReusableReducer<T, O> = RegionExecutor<T, O>;
+
+impl<T: crate::Element, O: ReduceOp<T>> std::fmt::Debug for RegionExecutor<T, O> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RegionExecutor")
+            .field("strategy", &self.strategy)
+            .field("retained", &!matches!(self.scratch, RetainedScratch::None))
+            .finish()
+    }
+}
+
+impl<T: AtomicElement, O: ReduceOp<T>> RegionExecutor<T, O> {
+    /// An executor for `strategy`, with no scratch retained yet.
+    pub fn new(strategy: Strategy) -> Self {
+        RegionExecutor {
+            strategy,
+            scratch: RetainedScratch::None,
+            _op: PhantomData,
+        }
+    }
+
+    /// The strategy this executor dispatches to.
+    pub fn strategy(&self) -> Strategy {
+        self.strategy
+    }
+
+    /// Switches strategy for subsequent regions. Retained scratch is kept:
+    /// the dispatch only re-attaches it when the new strategy is the same
+    /// block flavor with a matching shape, and discards it otherwise.
+    pub fn set_strategy(&mut self, strategy: Strategy) {
+        self.strategy = strategy;
+    }
+
+    /// Drops any retained scratch (e.g. before a long idle phase).
+    pub fn clear(&mut self) {
+        self.scratch = RetainedScratch::None;
+    }
+
+    /// Runs one region: executes `kernel` over `range` on `pool`, reducing
+    /// into `out` with the configured strategy, under the phased (timed)
+    /// driver. Block flavors reuse scratch retained by the previous call.
+    ///
+    /// This method contains the workspace's only `Strategy` → reduction
+    /// dispatch; every other entry point delegates here.
+    pub fn run<K: Kernel<T>>(
+        &mut self,
+        pool: &ThreadPool,
+        out: &mut [T],
+        range: Range<usize>,
+        schedule: Schedule,
+        kernel: &K,
+    ) -> RunReport {
+        let n = pool.num_threads();
+        let retained = std::mem::replace(&mut self.scratch, RetainedScratch::None);
+        // One-shot arm: construct, execute, drop.
+        macro_rules! fresh {
+            ($red:expr) => {
+                execute(pool, &$red, range, schedule, kernel)
+            };
+        }
+        // Block arm: re-attach retained scratch of the matching flavor
+        // (shape mismatches are discarded inside `from_scratch`), execute,
+        // detach for the next region. One expansion per flavor replaces
+        // the three hand-written copies the old `ReusableReducer` carried.
+        macro_rules! block {
+            ($Red:ident, $Scratch:path, $bs:expr) => {{
+                let red = match retained {
+                    $Scratch(s) => $Red::<T, O>::from_scratch(out, n, $bs, s),
+                    _ => $Red::<T, O>::new(out, n, $bs),
+                };
+                let report = execute(pool, &red, range, schedule, kernel);
+                self.scratch = $Scratch(red.into_scratch());
+                report
+            }};
+        }
+        match self.strategy {
+            Strategy::Dense => fresh!(DenseReduction::<T, O>::new(out, n)),
+            Strategy::MapBTree => fresh!(BTreeMapReduction::<T, O>::new(out, n)),
+            Strategy::MapHash => fresh!(HashMapReduction::<T, O>::new(out, n)),
+            Strategy::Atomic => fresh!(AtomicReduction::<T, O>::new(out, n)),
+            Strategy::BlockPrivate { block_size } => {
+                block!(BlockPrivateReduction, RetainedScratch::Private, block_size)
+            }
+            Strategy::BlockLock { block_size } => {
+                block!(BlockLockReduction, RetainedScratch::Lock, block_size)
+            }
+            Strategy::BlockCas { block_size } => {
+                block!(BlockCasReduction, RetainedScratch::Cas, block_size)
+            }
+            Strategy::Keeper => fresh!(KeeperReduction::<T, O>::new(out, n)),
+            Strategy::Log => fresh!(LogReduction::<T, O>::new(out, n)),
+            Strategy::Hybrid {
+                block_size,
+                threshold,
+            } => fresh!(HybridReduction::<T, O>::new(out, n, block_size, threshold)),
+        }
+    }
+}
+
+/// Runs one constructed reduction under the phased driver and assembles
+/// its [`RunReport`] (strategy label, memory overhead, counters, phases).
+fn execute<T, R, K>(
+    pool: &ThreadPool,
+    red: &R,
+    range: Range<usize>,
+    schedule: Schedule,
+    kernel: &K,
+) -> RunReport
+where
+    T: crate::Element,
+    R: Reduction<T>,
+    K: Kernel<T>,
+{
+    let board = PhaseBoard::new(pool.num_threads());
+    reduce_chunked_phased(
+        pool,
+        red,
+        range,
+        schedule,
+        |view, chunk| {
+            for i in chunk {
+                kernel.item(view, i);
+            }
+        },
+        Some(&board),
+    );
+    RunReport {
+        strategy: red.name(),
+        memory_overhead: red.memory_overhead(),
+        counters: red.telemetry(),
+        phases: board.summarize(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reducer::ReducerView;
+    use crate::{reduce_seq, reduce_strategy, Sum};
+
+    struct Histogram<'a> {
+        data: &'a [usize],
+    }
+    impl Kernel<i64> for Histogram<'_> {
+        fn item<V: ReducerView<i64>>(&self, view: &mut V, i: usize) {
+            view.apply(self.data[i], 1);
+        }
+    }
+
+    fn expected(data: &[usize], n_bins: usize) -> Vec<i64> {
+        let mut out = vec![0i64; n_bins];
+        reduce_seq::<i64, Sum, _>(&mut out, 0..data.len(), |v, i| v.apply(data[i], 1));
+        out
+    }
+
+    #[test]
+    fn clear_then_run_discards_stale_scratch() {
+        // Warm an executor's scratch at one shape, then perturb every
+        // component of the shape key (array length, team width, block
+        // size), clear() and run again: each region must match a fresh
+        // run, never reading stale retained blocks.
+        for strategy in [
+            Strategy::BlockPrivate { block_size: 16 },
+            Strategy::BlockLock { block_size: 16 },
+            Strategy::BlockCas { block_size: 16 },
+        ] {
+            let data: Vec<usize> = (0..4_000).map(|i| (i * 131) % 200).collect();
+            let pool4 = ompsim::ThreadPool::new(4);
+            let mut ex = RegionExecutor::<i64, Sum>::new(strategy);
+            let mut out = vec![0i64; 200];
+            ex.run(
+                &pool4,
+                &mut out,
+                0..data.len(),
+                Schedule::default(),
+                &Histogram { data: &data },
+            );
+            assert_eq!(out, expected(&data, 200), "warm-up {strategy:?}");
+            assert!(format!("{ex:?}").contains("retained: true"));
+
+            // (a) length change.
+            let small: Vec<usize> = data.iter().map(|&d| d % 73).collect();
+            let mut out = vec![0i64; 73];
+            ex.clear();
+            ex.run(
+                &pool4,
+                &mut out,
+                0..small.len(),
+                Schedule::default(),
+                &Histogram { data: &small },
+            );
+            assert_eq!(out, expected(&small, 73), "len change {strategy:?}");
+
+            // (b) team-width change.
+            let pool2 = ompsim::ThreadPool::new(2);
+            let mut out = vec![0i64; 73];
+            ex.clear();
+            ex.run(
+                &pool2,
+                &mut out,
+                0..small.len(),
+                Schedule::default(),
+                &Histogram { data: &small },
+            );
+            assert_eq!(out, expected(&small, 73), "width change {strategy:?}");
+
+            // (c) block-size change (same flavor, new hyperparameter).
+            let bigger = match strategy {
+                Strategy::BlockPrivate { .. } => Strategy::BlockPrivate { block_size: 64 },
+                Strategy::BlockLock { .. } => Strategy::BlockLock { block_size: 64 },
+                _ => Strategy::BlockCas { block_size: 64 },
+            };
+            ex.set_strategy(bigger);
+            let mut out = vec![0i64; 73];
+            ex.clear();
+            ex.run(
+                &pool2,
+                &mut out,
+                0..small.len(),
+                Schedule::default(),
+                &Histogram { data: &small },
+            );
+            assert_eq!(out, expected(&small, 73), "block-size change {strategy:?}");
+        }
+    }
+
+    #[test]
+    fn shape_change_without_clear_is_still_correct() {
+        // Even without clear(), from_scratch discards mismatched scratch.
+        let pool = ompsim::ThreadPool::new(3);
+        let data: Vec<usize> = (0..3_000).map(|i| (i * 7) % 150).collect();
+        let mut ex = RegionExecutor::<i64, Sum>::new(Strategy::BlockCas { block_size: 32 });
+        let mut out = vec![0i64; 150];
+        ex.run(
+            &pool,
+            &mut out,
+            0..data.len(),
+            Schedule::default(),
+            &Histogram { data: &data },
+        );
+
+        let small: Vec<usize> = data.iter().map(|&d| d % 31).collect();
+        let mut out = vec![0i64; 31];
+        ex.run(
+            &pool,
+            &mut out,
+            0..small.len(),
+            Schedule::default(),
+            &Histogram { data: &small },
+        );
+        assert_eq!(out, expected(&small, 31));
+    }
+
+    #[test]
+    fn executor_reports_match_reduce_strategy_reports() {
+        let pool = ompsim::ThreadPool::new(2);
+        let data: Vec<usize> = (0..1_000).map(|i| i % 50).collect();
+        let kernel = Histogram { data: &data };
+        for strategy in Strategy::all(16) {
+            let mut out = vec![0i64; 50];
+            let via_fn = reduce_strategy::<i64, Sum, _>(
+                strategy,
+                &pool,
+                &mut out,
+                0..data.len(),
+                Schedule::default(),
+                &kernel,
+            );
+            let mut out2 = vec![0i64; 50];
+            let mut ex = RegionExecutor::<i64, Sum>::new(strategy);
+            let via_ex = ex.run(
+                &pool,
+                &mut out2,
+                0..data.len(),
+                Schedule::default(),
+                &kernel,
+            );
+            assert_eq!(out, out2);
+            assert_eq!(via_fn.strategy, via_ex.strategy);
+            assert_eq!(
+                via_fn.counters.totals().applies,
+                via_ex.counters.totals().applies,
+                "{}",
+                strategy.label()
+            );
+        }
+    }
+}

@@ -28,6 +28,7 @@
 use crate::elem::{AtomicElement, ReduceOp};
 use crate::reducer::{ReducerView, Reduction};
 use crate::shared::{MemCounter, SharedSlice, Slots};
+use crate::telemetry::{Counters, Telemetry, TelemetryBoard};
 use std::marker::PhantomData;
 
 /// Adaptive atomic/privatized reducer; see the module docs.
@@ -39,6 +40,7 @@ pub struct HybridReduction<'a, T: AtomicElement, O: ReduceOp<T>> {
     slots: Slots<Vec<Option<Box<[T]>>>>,
     nthreads: usize,
     mem: MemCounter,
+    telem: TelemetryBoard,
     _borrow: PhantomData<&'a mut [T]>,
     _op: PhantomData<O>,
 }
@@ -74,6 +76,7 @@ impl<'a, T: AtomicElement, O: ReduceOp<T>> HybridReduction<'a, T, O> {
             slots: Slots::new(nthreads),
             nthreads,
             mem: MemCounter::new(),
+            telem: TelemetryBoard::new(nthreads),
             _borrow: PhantomData,
             _op: PhantomData,
         }
@@ -90,6 +93,7 @@ pub struct HybridView<T, O> {
     threshold: u32,
     len: usize,
     allocated_bytes: usize,
+    counters: Counters,
     _op: PhantomData<O>,
 }
 
@@ -116,9 +120,13 @@ impl<T: AtomicElement, O: ReduceOp<T>> ReducerView<T> for HybridView<T, O> {
             return;
         }
         let t = self.touches[b];
+        if t == 0 {
+            self.counters.block_first_touches += 1;
+        }
         if t >= self.threshold {
             // This block just became hot for this thread: privatize and
             // divert the current update to the private copy.
+            self.counters.fallback_privatizations += 1;
             let block_size = self.block_size;
             let blk = self.privatize(b);
             let slot = &mut blk[i - b * block_size];
@@ -147,18 +155,21 @@ impl<T: AtomicElement, O: ReduceOp<T>> Reduction<T> for HybridReduction<'_, T, O
             threshold: self.threshold,
             len: self.out.len(),
             allocated_bytes: 0,
+            counters: Counters::default(),
             _op: PhantomData,
         }
     }
 
     fn stash(&self, tid: usize, view: Self::View) {
         self.mem.add(view.allocated_bytes);
+        self.telem.record(tid, &view.counters);
         // SAFETY: slot `tid` is written only by thread `tid`, pre-barrier.
         unsafe { self.slots.put(tid, view.blocks) };
     }
 
     fn epilogue(&self, tid: usize) {
         // Merge hot private copies, block-partitioned across threads.
+        let mut merged = 0u64;
         for b in (tid..self.nblocks).step_by(self.nthreads) {
             let lo = b * self.block_size;
             let n = self.block_size.min(self.out.len() - lo);
@@ -173,8 +184,13 @@ impl<T: AtomicElement, O: ReduceOp<T>> Reduction<T> for HybridReduction<'_, T, O
                         // atomic writers stopped at the barrier.
                         unsafe { self.out.combine::<O>(lo + off, blk[off]) };
                     }
+                    merged += n as u64;
                 }
             }
+        }
+        if merged > 0 {
+            self.telem
+                .add_merged_bytes(tid, merged * std::mem::size_of::<T>() as u64);
         }
     }
 
@@ -211,6 +227,20 @@ impl<T: AtomicElement, O: ReduceOp<T>> Reduction<T> for HybridReduction<'_, T, O
 
     fn memory_overhead(&self) -> usize {
         self.mem.peak()
+    }
+
+    fn telemetry(&self) -> Telemetry {
+        self.telem.snapshot()
+    }
+
+    fn record_applies(&self, tid: usize, applies: u64) {
+        self.telem.record(
+            tid,
+            &Counters {
+                applies,
+                ..Counters::default()
+            },
+        );
     }
 }
 

@@ -24,6 +24,7 @@
 use crate::elem::{Element, ReduceOp};
 use crate::reducer::{ReducerView, Reduction};
 use crate::shared::{chunk_of, owner_of, MemCounter, SharedSlice};
+use crate::telemetry::{Counters, Telemetry, TelemetryBoard};
 use std::cell::UnsafeCell;
 use std::marker::PhantomData;
 
@@ -67,6 +68,7 @@ pub struct KeeperReduction<'a, T: Element, O: ReduceOp<T>> {
     queues: QueueMatrix<T>,
     nthreads: usize,
     mem: MemCounter,
+    telem: TelemetryBoard,
     _borrow: PhantomData<&'a mut [T]>,
     _op: PhantomData<O>,
 }
@@ -98,6 +100,7 @@ impl<'a, T: Element, O: ReduceOp<T>> KeeperReduction<'a, T, O> {
             queues: QueueMatrix::new(nthreads),
             nthreads,
             mem: MemCounter::new(),
+            telem: TelemetryBoard::new(nthreads),
             _borrow: PhantomData,
             _op: PhantomData,
         }
@@ -112,6 +115,9 @@ pub struct KeeperView<T: Element, O> {
     nthreads: usize,
     lo: usize,
     hi: usize,
+    /// Plain per-view counter, published to the padded board at stash.
+    /// (Applies are counted by the driver's `CountedView` instead.)
+    remote_enqueues: u64,
     _op: PhantomData<O>,
 }
 
@@ -124,6 +130,7 @@ impl<T: Element, O: ReduceOp<T>> ReducerView<T> for KeeperView<T, O> {
             // loop phase.
             unsafe { self.out.combine::<O>(i, v) };
         } else {
+            self.remote_enqueues += 1;
             let owner = owner_of(i, self.nthreads, self.out.len());
             // SAFETY: cell (owner, tid) is written only by this thread
             // pre-barrier; the parent reduction outlives the view.
@@ -150,6 +157,7 @@ impl<T: Element, O: ReduceOp<T>> Reduction<T> for KeeperReduction<'_, T, O> {
             nthreads: self.nthreads,
             lo,
             hi,
+            remote_enqueues: 0,
             _op: PhantomData,
         }
     }
@@ -163,13 +171,20 @@ impl<T: Element, O: ReduceOp<T>> Reduction<T> for KeeperReduction<'_, T, O> {
             bytes += q.capacity() * std::mem::size_of::<Request<T>>();
         }
         self.mem.add(bytes);
-        let _ = view;
+        self.telem.record(
+            tid,
+            &Counters {
+                remote_enqueues: view.remote_enqueues,
+                ..Counters::default()
+            },
+        );
     }
 
     fn epilogue(&self, tid: usize) {
         // Drain every queue addressed to this owner, in writer order (a
         // fixed order keeps repeated runs on the same schedule bitwise
         // reproducible for this strategy).
+        let mut flushed = 0u64;
         for writer in 0..self.nthreads {
             // SAFETY: post-barrier, cell (tid, writer) is read only by the
             // owner `tid`.
@@ -179,7 +194,15 @@ impl<T: Element, O: ReduceOp<T>> Reduction<T> for KeeperReduction<'_, T, O> {
                 // belong to this owner's exclusive range.
                 unsafe { self.out.combine::<O>(i as usize, v) };
             }
+            flushed += q.len() as u64;
             q.clear();
+        }
+        if flushed > 0 {
+            self.telem.add_remote_flushed(
+                tid,
+                flushed,
+                flushed * std::mem::size_of::<Request<T>>() as u64,
+            );
         }
     }
 
@@ -211,6 +234,20 @@ impl<T: Element, O: ReduceOp<T>> Reduction<T> for KeeperReduction<'_, T, O> {
 
     fn memory_overhead(&self) -> usize {
         self.mem.peak()
+    }
+
+    fn telemetry(&self) -> Telemetry {
+        self.telem.snapshot()
+    }
+
+    fn record_applies(&self, tid: usize, applies: u64) {
+        self.telem.record(
+            tid,
+            &Counters {
+                applies,
+                ..Counters::default()
+            },
+        );
     }
 }
 
@@ -282,6 +319,36 @@ mod tests {
         });
         drop(red);
         assert_eq!(out.iter().sum::<i64>(), 100);
+    }
+
+    #[test]
+    fn telemetry_tracks_forwarding() {
+        let pool = ThreadPool::new(4);
+        let n = 1000;
+
+        // Matched ownership: nothing forwarded, nothing flushed.
+        let mut out = vec![0i64; n];
+        let red = KeeperReduction::<i64, Sum>::new(&mut out, 4);
+        reduce(&pool, &red, 0..n, Schedule::default(), |v, i| {
+            v.apply(i, 1);
+        });
+        let t = red.telemetry().totals();
+        assert_eq!(t.applies, n as u64);
+        assert_eq!(t.remote_enqueues, 0);
+        assert_eq!(t.remote_flushed, 0);
+
+        // Mismatched scatter: every update forwarded, and conservation
+        // holds — every enqueued request is flushed by its owner.
+        let mut out = vec![0i64; n];
+        let red = KeeperReduction::<i64, Sum>::new(&mut out, 4);
+        reduce(&pool, &red, 0..n, Schedule::default(), |v, i| {
+            v.apply((i + n / 2) % n, 1);
+        });
+        let t = red.telemetry().totals();
+        assert_eq!(t.applies, n as u64);
+        assert!(t.remote_enqueues > 0);
+        assert_eq!(t.remote_enqueues, t.remote_flushed);
+        assert!(t.merged_bytes > 0);
     }
 
     #[test]

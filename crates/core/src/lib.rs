@@ -70,16 +70,17 @@ mod autotune;
 mod block;
 mod dense;
 mod elem;
+mod executor;
 mod hybrid;
 mod kahan;
 mod keeper;
 mod log;
 mod map;
 pub mod nd;
-mod profile;
 mod reducer;
 mod shared;
 mod strategy;
+mod telemetry;
 
 pub use argmax::{MaxAt, MinAt, ValueAt};
 pub use atomic::{AtomicReduction, AtomicView};
@@ -92,13 +93,17 @@ pub use dense::{DenseReduction, DenseView};
 pub use elem::{
     AtomicElement, Element, Max, Min, OpKind, OrdOps, Prod, ProdOps, ReduceOp, Sum, SumOps,
 };
+pub use executor::{RegionExecutor, ReusableReducer};
 pub use hybrid::{HybridReduction, HybridView};
 pub use kahan::Kahan64;
 pub use keeper::{KeeperReduction, KeeperView};
 pub use log::{LogReduction, LogView};
 pub use map::{BTreeMapReduction, HashMapReduction, MapLike, MapOpView, MapReduction};
-pub use profile::{ProfilingReduction, ProfilingView, ReductionProfile, ThreadProfile, PAGE};
-pub use reducer::{reduce, reduce_chunked, reduce_seq, ReducerView, Reduction, SeqView};
-pub use strategy::{
-    reduce_dyn, reduce_strategy, Kernel, ParseStrategyError, ReusableReducer, RunReport, Strategy,
+pub use reducer::{
+    reduce, reduce_chunked, reduce_seq, CountedView, ReducerView, Reduction, SeqView,
+};
+pub use strategy::{reduce_dyn, reduce_strategy, Kernel, ParseStrategyError, Strategy};
+pub use telemetry::{
+    Counters, PhaseTimes, ProfilingReduction, ProfilingView, ReductionProfile, RunReport,
+    Telemetry, ThreadProfile, PAGE,
 };

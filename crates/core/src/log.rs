@@ -19,6 +19,7 @@
 use crate::elem::{Element, ReduceOp};
 use crate::reducer::{ReducerView, Reduction};
 use crate::shared::{chunk_of, MemCounter, SharedSlice, Slots};
+use crate::telemetry::{Counters, Telemetry, TelemetryBoard};
 use std::marker::PhantomData;
 
 /// One logged update.
@@ -30,6 +31,7 @@ pub struct LogReduction<'a, T: Element, O: ReduceOp<T>> {
     slots: Slots<Vec<Record<T>>>,
     nthreads: usize,
     mem: MemCounter,
+    telem: TelemetryBoard,
     _borrow: PhantomData<&'a mut [T]>,
     _op: PhantomData<O>,
 }
@@ -61,6 +63,7 @@ impl<'a, T: Element, O: ReduceOp<T>> LogReduction<'a, T, O> {
             slots: Slots::new(nthreads),
             nthreads,
             mem: MemCounter::new(),
+            telem: TelemetryBoard::new(nthreads),
             _borrow: PhantomData,
             _op: PhantomData,
         }
@@ -107,6 +110,7 @@ impl<T: Element, O: ReduceOp<T>> Reduction<T> for LogReduction<'_, T, O> {
         if lo == hi {
             return;
         }
+        let mut merged = 0u64;
         for writer in 0..self.nthreads {
             // SAFETY: post-barrier, slots are read-only.
             let Some(log) = (unsafe { self.slots.get(writer) }) else {
@@ -117,8 +121,13 @@ impl<T: Element, O: ReduceOp<T>> Reduction<T> for LogReduction<'_, T, O> {
                 if i >= lo && i < hi {
                     // SAFETY: out[lo..hi) is written only by this thread.
                     unsafe { self.out.combine::<O>(i, v) };
+                    merged += 1;
                 }
             }
+        }
+        if merged > 0 {
+            self.telem
+                .add_merged_bytes(tid, merged * std::mem::size_of::<Record<T>>() as u64);
         }
     }
 
@@ -146,6 +155,20 @@ impl<T: Element, O: ReduceOp<T>> Reduction<T> for LogReduction<'_, T, O> {
 
     fn memory_overhead(&self) -> usize {
         self.mem.peak()
+    }
+
+    fn telemetry(&self) -> Telemetry {
+        self.telem.snapshot()
+    }
+
+    fn record_applies(&self, tid: usize, applies: u64) {
+        self.telem.record(
+            tid,
+            &Counters {
+                applies,
+                ..Counters::default()
+            },
+        );
     }
 }
 

@@ -15,6 +15,7 @@
 use crate::elem::{Element, ReduceOp};
 use crate::reducer::{ReducerView, Reduction};
 use crate::shared::{MemCounter, SharedSlice, Slots};
+use crate::telemetry::{Counters, Telemetry, TelemetryBoard};
 use std::collections::{BTreeMap, HashMap};
 use std::marker::PhantomData;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -101,6 +102,7 @@ pub struct MapReduction<'a, T: Element, O: ReduceOp<T>, M: MapLike<T>> {
     turn: AtomicUsize,
     nthreads: usize,
     mem: MemCounter,
+    telem: TelemetryBoard,
     _borrow: PhantomData<&'a mut [T]>,
     _op: PhantomData<O>,
 }
@@ -120,6 +122,7 @@ impl<'a, T: Element, O: ReduceOp<T>, M: MapLike<T>> MapReduction<'a, T, O, M> {
             turn: AtomicUsize::new(0),
             nthreads,
             mem: MemCounter::new(),
+            telem: TelemetryBoard::new(nthreads),
             _borrow: PhantomData,
             _op: PhantomData,
         }
@@ -184,6 +187,7 @@ impl<T: Element, O: ReduceOp<T>, M: MapLike<T>> Reduction<T> for MapReduction<'_
                 unsafe { self.out.combine::<O>(i, v) };
             });
             self.mem.sub(bytes);
+            self.telem.add_merged_bytes(tid, bytes as u64);
         }
         self.turn.store(tid + 1, Ordering::Release);
     }
@@ -206,6 +210,20 @@ impl<T: Element, O: ReduceOp<T>, M: MapLike<T>> Reduction<T> for MapReduction<'_
 
     fn memory_overhead(&self) -> usize {
         self.mem.peak()
+    }
+
+    fn telemetry(&self) -> Telemetry {
+        self.telem.snapshot()
+    }
+
+    fn record_applies(&self, tid: usize, applies: u64) {
+        self.telem.record(
+            tid,
+            &Counters {
+                applies,
+                ..Counters::default()
+            },
+        );
     }
 }
 

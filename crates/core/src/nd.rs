@@ -32,7 +32,8 @@
 
 use crate::elem::{AtomicElement, Element, ReduceOp};
 use crate::reducer::ReducerView;
-use crate::strategy::{reduce_strategy, Kernel, RunReport, Strategy};
+use crate::strategy::{reduce_strategy, Kernel, Strategy};
+use crate::telemetry::RunReport;
 use ompsim::{Schedule, ThreadPool};
 use std::ops::{Index, IndexMut, Range};
 

@@ -9,8 +9,10 @@
 //! queuing, merge order) is strategy-private.
 
 use crate::elem::Element;
+use crate::telemetry::{PhaseBoard, Telemetry};
 use ompsim::{Schedule, ScheduleInstance, ThreadPool};
 use std::ops::Range;
+use std::time::Instant;
 
 /// A per-thread handle used by loop bodies to contribute updates.
 ///
@@ -84,6 +86,60 @@ pub trait Reduction<T: Element>: Sync {
     /// privatization/bookkeeping — the per-strategy analogue of the
     /// paper's memory-overhead measurement.
     fn memory_overhead(&self) -> usize;
+
+    /// Per-thread event counters accumulated since this reduction was
+    /// constructed (see [`crate::Counters`] for field semantics). The
+    /// default is all-zero, for wrappers and strategies with nothing to
+    /// report. [`crate::RegionExecutor`] builds a fresh reduction per
+    /// region, so reports it produces are per-region; a manually reused
+    /// reduction keeps counting across regions.
+    fn telemetry(&self) -> Telemetry {
+        Telemetry::empty(self.num_threads())
+    }
+
+    /// Driver callback crediting thread `tid` with `applies` updates made
+    /// through its [`CountedView`] this region. The drivers count applies
+    /// themselves — a view-resident counter is a loop-carried memory
+    /// round-trip the hot path can't afford, while the driver's wrapper
+    /// field stays register-resident (see [`CountedView`]). Strategies
+    /// with a telemetry board fold the count into it; the default drops
+    /// it.
+    fn record_applies(&self, _tid: usize, _applies: u64) {}
+}
+
+/// The view the drivers actually hand to loop bodies: forwards every
+/// [`apply`](ReducerView::apply) to the strategy view while counting it.
+///
+/// The counter lives here — in a short-lived wrapper whose address never
+/// escapes the inlined loop — rather than in the strategy views, because
+/// scalar replacement then keeps it in a register: the strategy view's own
+/// address escapes into outlined slow paths (and the sret return of
+/// [`Reduction::view`]), which would turn a view-resident counter into a
+/// load-add-store chain whose store-forwarding latency rivals the whole
+/// fast path. The `apply_overhead` microbench measures both placements.
+pub struct CountedView<'a, V> {
+    inner: &'a mut V,
+    applies: u64,
+}
+
+impl<'a, V> CountedView<'a, V> {
+    /// Wraps a strategy view for one loop phase.
+    pub fn new(inner: &'a mut V) -> Self {
+        CountedView { inner, applies: 0 }
+    }
+
+    /// Applies counted so far.
+    pub fn applies(&self) -> u64 {
+        self.applies
+    }
+}
+
+impl<T: Element, V: ReducerView<T>> ReducerView<T> for CountedView<'_, V> {
+    #[inline(always)]
+    fn apply(&mut self, i: usize, v: T) {
+        self.applies += 1;
+        self.inner.apply(i, v);
+    }
 }
 
 /// Runs `body(view, i)` for every `i` in `range`, distributing iterations
@@ -100,7 +156,7 @@ pub fn reduce<T, R, F>(pool: &ThreadPool, red: &R, range: Range<usize>, schedule
 where
     T: Element,
     R: Reduction<T>,
-    F: Fn(&mut R::View, usize) + Sync,
+    F: Fn(&mut CountedView<'_, R::View>, usize) + Sync,
 {
     reduce_chunked(pool, red, range, schedule, |view, chunk| {
         for i in chunk {
@@ -121,7 +177,27 @@ pub fn reduce_chunked<T, R, F>(
 ) where
     T: Element,
     R: Reduction<T>,
-    F: Fn(&mut R::View, Range<usize>) + Sync,
+    F: Fn(&mut CountedView<'_, R::View>, Range<usize>) + Sync,
+{
+    reduce_chunked_phased(pool, red, range, schedule, body, None);
+}
+
+/// The driver behind [`reduce_chunked`], optionally recording per-phase
+/// wall times into `phases` (one [`Instant`] pair per phase per thread —
+/// only taken when a board is attached, so the untimed path stays
+/// untouched). The [`crate::RegionExecutor`] is the only caller that
+/// attaches a board.
+pub(crate) fn reduce_chunked_phased<T, R, F>(
+    pool: &ThreadPool,
+    red: &R,
+    range: Range<usize>,
+    schedule: Schedule,
+    body: F,
+    phases: Option<&PhaseBoard>,
+) where
+    T: Element,
+    R: Reduction<T>,
+    F: Fn(&mut CountedView<'_, R::View>, Range<usize>) + Sync,
 {
     assert_eq!(
         pool.num_threads(),
@@ -140,17 +216,45 @@ pub fn reduce_chunked<T, R, F>(
         "nonempty reduction range {range:?} over an empty output array"
     );
     let inst = ScheduleInstance::new(schedule, range, pool.num_threads());
-    pool.parallel(|team| {
-        let tid = team.id();
-        let mut view = red.view(tid);
-        for chunk in inst.chunks(tid) {
-            body(&mut view, chunk);
+    match phases {
+        None => {
+            pool.parallel(|team| {
+                let tid = team.id();
+                let mut view = red.view(tid);
+                let mut counted = CountedView::new(&mut view);
+                for chunk in inst.chunks(tid) {
+                    body(&mut counted, chunk);
+                }
+                red.record_applies(tid, counted.applies());
+                red.stash(tid, view);
+                team.barrier();
+                red.epilogue(tid);
+            });
+            red.finish();
         }
-        red.stash(tid, view);
-        team.barrier();
-        red.epilogue(tid);
-    });
-    red.finish();
+        Some(board) => {
+            let region = pool.parallel_timed(|team| {
+                let tid = team.id();
+                let loop_start = Instant::now();
+                let mut view = red.view(tid);
+                let mut counted = CountedView::new(&mut view);
+                for chunk in inst.chunks(tid) {
+                    body(&mut counted, chunk);
+                }
+                red.record_applies(tid, counted.applies());
+                red.stash(tid, view);
+                let loop_time = loop_start.elapsed();
+                let barrier_time = team.barrier_timed();
+                let epilogue_start = Instant::now();
+                red.epilogue(tid);
+                board.record(tid, loop_time, barrier_time, epilogue_start.elapsed());
+            });
+            board.set_region(region);
+            let finish_start = Instant::now();
+            red.finish();
+            board.set_finish(finish_start.elapsed());
+        }
+    }
 }
 
 /// Sequential reference reduction: applies `body` over `range` directly on

@@ -7,20 +7,11 @@
 //! kernel written once against the [`Kernel`] trait) or
 //! [`reduce_dyn`] (closure-friendly, one virtual call per update).
 
-use crate::atomic::AtomicReduction;
-use crate::block::{
-    BlockCasReduction, BlockCasScratch, BlockLockReduction, BlockLockScratch,
-    BlockPrivateReduction, BlockPrivateScratch,
-};
-use crate::dense::DenseReduction;
 use crate::elem::{AtomicElement, ReduceOp};
-use crate::hybrid::HybridReduction;
-use crate::keeper::KeeperReduction;
-use crate::log::LogReduction;
-use crate::map::{BTreeMapReduction, HashMapReduction};
-use crate::reducer::{reduce_chunked, ReducerView, Reduction};
+use crate::executor::RegionExecutor;
+use crate::reducer::ReducerView;
+use crate::telemetry::RunReport;
 use ompsim::{Schedule, ThreadPool};
-use std::marker::PhantomData;
 use std::ops::Range;
 
 /// A reduction strategy choice, including its hyperparameters.
@@ -207,40 +198,13 @@ pub trait Kernel<T: crate::Element>: Sync {
     fn item<V: ReducerView<T>>(&self, view: &mut V, i: usize);
 }
 
-/// Outcome metadata of a strategy run, for benchmark reporting.
-#[derive(Debug, Clone)]
-pub struct RunReport {
-    /// Strategy label (paper naming).
-    pub strategy: String,
-    /// Peak extra bytes the reducer allocated.
-    pub memory_overhead: usize,
-}
-
-fn run_one<T, R, K>(
-    pool: &ThreadPool,
-    red: &R,
-    range: Range<usize>,
-    schedule: Schedule,
-    kernel: &K,
-) -> RunReport
-where
-    T: crate::Element,
-    R: Reduction<T>,
-    K: Kernel<T>,
-{
-    reduce_chunked(pool, red, range, schedule, |view, chunk| {
-        for i in chunk {
-            kernel.item(view, i);
-        }
-    });
-    RunReport {
-        strategy: red.name(),
-        memory_overhead: red.memory_overhead(),
-    }
-}
-
 /// Runs `kernel` over `range` on `pool`, reducing into `out` with the
 /// chosen `strategy`. Fully monomorphized per strategy.
+///
+/// This is a one-shot convenience over [`RegionExecutor`]: it builds a
+/// throwaway executor per call, so nothing is retained between regions.
+/// Iterative callers should hold a [`RegionExecutor`] (alias
+/// [`crate::ReusableReducer`]) instead.
 pub fn reduce_strategy<T, O, K>(
     strategy: Strategy,
     pool: &ThreadPool,
@@ -254,82 +218,7 @@ where
     O: ReduceOp<T>,
     K: Kernel<T>,
 {
-    let n = pool.num_threads();
-    match strategy {
-        Strategy::Dense => run_one(
-            pool,
-            &DenseReduction::<T, O>::new(out, n),
-            range,
-            schedule,
-            kernel,
-        ),
-        Strategy::MapBTree => run_one(
-            pool,
-            &BTreeMapReduction::<T, O>::new(out, n),
-            range,
-            schedule,
-            kernel,
-        ),
-        Strategy::MapHash => run_one(
-            pool,
-            &HashMapReduction::<T, O>::new(out, n),
-            range,
-            schedule,
-            kernel,
-        ),
-        Strategy::Atomic => run_one(
-            pool,
-            &AtomicReduction::<T, O>::new(out, n),
-            range,
-            schedule,
-            kernel,
-        ),
-        Strategy::BlockPrivate { block_size } => run_one(
-            pool,
-            &BlockPrivateReduction::<T, O>::new(out, n, block_size),
-            range,
-            schedule,
-            kernel,
-        ),
-        Strategy::BlockLock { block_size } => run_one(
-            pool,
-            &BlockLockReduction::<T, O>::new(out, n, block_size),
-            range,
-            schedule,
-            kernel,
-        ),
-        Strategy::BlockCas { block_size } => run_one(
-            pool,
-            &BlockCasReduction::<T, O>::new(out, n, block_size),
-            range,
-            schedule,
-            kernel,
-        ),
-        Strategy::Keeper => run_one(
-            pool,
-            &KeeperReduction::<T, O>::new(out, n),
-            range,
-            schedule,
-            kernel,
-        ),
-        Strategy::Log => run_one(
-            pool,
-            &LogReduction::<T, O>::new(out, n),
-            range,
-            schedule,
-            kernel,
-        ),
-        Strategy::Hybrid {
-            block_size,
-            threshold,
-        } => run_one(
-            pool,
-            &HybridReduction::<T, O>::new(out, n, block_size, threshold),
-            range,
-            schedule,
-            kernel,
-        ),
-    }
+    RegionExecutor::<T, O>::new(strategy).run(pool, out, range, schedule, kernel)
 }
 
 struct ClosureKernel<'f, T>(&'f (dyn Fn(&mut dyn ReducerView<T>, usize) + Sync));
@@ -359,126 +248,10 @@ where
     reduce_strategy::<T, O, _>(strategy, pool, out, range, schedule, &ClosureKernel(body))
 }
 
-/// Block-reducer scratch carried between regions, keyed by flavor.
-enum RetainedScratch<T> {
-    None,
-    Private(BlockPrivateScratch<T>),
-    Lock(BlockLockScratch<T>),
-    Cas(BlockCasScratch<T>),
-}
-
-/// A strategy runner that retains reducer scratch across regions.
-///
-/// [`reduce_strategy`] builds a fresh reduction per call: per-thread
-/// status tables, block options and the ownership table are allocated
-/// every region even though [`Reduction::finish`] resets them for free.
-/// `ReusableReducer` closes that gap for iterative solvers whose *output
-/// array changes between iterations* (PageRank swapping rank vectors,
-/// SSSP relaxation rounds, LULESH force sweeps): after each [`run`] the
-/// block reducers' scratch is detached
-/// ([`crate::BlockReduction::into_scratch`]) and re-attached to the next
-/// region's array, so only the first iteration allocates.
-///
-/// Non-block strategies delegate to [`reduce_strategy`] unchanged — their
-/// per-region setup is either inherently cheap (atomic, keeper) or not
-/// shaped for retention (dense replicas are the memory problem the paper
-/// exists to avoid; maps/logs drain on merge).
-///
-/// If the array length, team width or block size changes between calls,
-/// the stale scratch is discarded and that region starts fresh — always
-/// correct, just re-allocating.
-///
-/// [`run`]: ReusableReducer::run
-pub struct ReusableReducer<T: crate::Element, O: ReduceOp<T>> {
-    strategy: Strategy,
-    scratch: RetainedScratch<T>,
-    _op: PhantomData<fn() -> O>,
-}
-
-impl<T: crate::Element, O: ReduceOp<T>> std::fmt::Debug for ReusableReducer<T, O> {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("ReusableReducer")
-            .field("strategy", &self.strategy)
-            .field("retained", &!matches!(self.scratch, RetainedScratch::None))
-            .finish()
-    }
-}
-
-impl<T: AtomicElement, O: ReduceOp<T>> ReusableReducer<T, O> {
-    /// A reusable runner for `strategy`, with no scratch retained yet.
-    pub fn new(strategy: Strategy) -> Self {
-        ReusableReducer {
-            strategy,
-            scratch: RetainedScratch::None,
-            _op: PhantomData,
-        }
-    }
-
-    /// The strategy this runner dispatches to.
-    pub fn strategy(&self) -> Strategy {
-        self.strategy
-    }
-
-    /// Drops any retained scratch (e.g. before a long idle phase).
-    pub fn clear(&mut self) {
-        self.scratch = RetainedScratch::None;
-    }
-
-    /// Runs one region, like [`reduce_strategy`], reusing scratch retained
-    /// by the previous call when the strategy is a block flavor.
-    pub fn run<K: Kernel<T>>(
-        &mut self,
-        pool: &ThreadPool,
-        out: &mut [T],
-        range: Range<usize>,
-        schedule: Schedule,
-        kernel: &K,
-    ) -> RunReport {
-        let n = pool.num_threads();
-        let retained = std::mem::replace(&mut self.scratch, RetainedScratch::None);
-        match self.strategy {
-            Strategy::BlockPrivate { block_size } => {
-                let red = match retained {
-                    RetainedScratch::Private(s) => {
-                        BlockPrivateReduction::<T, O>::from_scratch(out, n, block_size, s)
-                    }
-                    _ => BlockPrivateReduction::<T, O>::new(out, n, block_size),
-                };
-                let report = run_one(pool, &red, range, schedule, kernel);
-                self.scratch = RetainedScratch::Private(red.into_scratch());
-                report
-            }
-            Strategy::BlockLock { block_size } => {
-                let red = match retained {
-                    RetainedScratch::Lock(s) => {
-                        BlockLockReduction::<T, O>::from_scratch(out, n, block_size, s)
-                    }
-                    _ => BlockLockReduction::<T, O>::new(out, n, block_size),
-                };
-                let report = run_one(pool, &red, range, schedule, kernel);
-                self.scratch = RetainedScratch::Lock(red.into_scratch());
-                report
-            }
-            Strategy::BlockCas { block_size } => {
-                let red = match retained {
-                    RetainedScratch::Cas(s) => {
-                        BlockCasReduction::<T, O>::from_scratch(out, n, block_size, s)
-                    }
-                    _ => BlockCasReduction::<T, O>::new(out, n, block_size),
-                };
-                let report = run_one(pool, &red, range, schedule, kernel);
-                self.scratch = RetainedScratch::Cas(red.into_scratch());
-                report
-            }
-            other => reduce_strategy::<T, O, K>(other, pool, out, range, schedule, kernel),
-        }
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::Sum;
+    use crate::{ReusableReducer, Sum};
 
     #[test]
     fn labels_match_paper_naming() {
@@ -492,9 +265,23 @@ mod tests {
 
     #[test]
     fn parse_roundtrips_labels() {
-        for s in Strategy::all(512) {
-            assert_eq!(s.label().parse::<Strategy>().unwrap(), s, "{}", s.label());
+        // Every label the library can emit must parse back to the same
+        // variant, across block sizes (catches label drift like the
+        // capitalized `block-CAS-1024`) and for both strategy sets.
+        for bs in [1, 16, 512, 1024, 4096] {
+            for s in Strategy::all(bs)
+                .into_iter()
+                .chain(Strategy::competitive(bs))
+            {
+                assert_eq!(s.label().parse::<Strategy>().unwrap(), s, "{}", s.label());
+            }
         }
+        // Non-default hybrid thresholds round-trip too.
+        let h = Strategy::Hybrid {
+            block_size: 128,
+            threshold: 9,
+        };
+        assert_eq!(h.label().parse::<Strategy>().unwrap(), h);
     }
 
     #[test]

@@ -1,0 +1,819 @@
+//! Run telemetry: per-strategy counters, per-phase wall times, and the
+//! extended [`RunReport`] every region executor invocation returns.
+//!
+//! The paper frames strategy choice as depending on "the hardware,
+//! application, and input data" (§I) but leaves measuring those inputs to
+//! the user. This module is the measurement layer:
+//!
+//! * **[`Counters`]** — per-thread event counts. Cold-path events
+//!   (first touches, conflicts, privatizations, forwards) are tallied on
+//!   the strategy views' private fields; the hot-path `applies` count is
+//!   kept by the *driver* in its register-resident
+//!   [`crate::CountedView`] wrapper and credited via
+//!   [`Reduction::record_applies`]. Everything is published once per
+//!   phase into cache-line-padded per-thread slots ([`TelemetryBoard`]),
+//!   so counting never false-shares.
+//! * **[`PhaseTimes`]** — wall time of the region's four phases (loop,
+//!   barrier wait, epilogue/merge, finish), measured per thread by the
+//!   driver via the [`ompsim`] timing hooks and reduced to the critical
+//!   path (max across threads).
+//! * **[`RunReport`]** — strategy label, memory overhead, counters and
+//!   phases in one value, with hand-rolled JSON serialization
+//!   ([`RunReport::to_json`]) for the bench harnesses (the workspace is
+//!   offline-first, so no serde).
+//! * **[`ProfilingReduction`]** — the opt-in locality profiler (updates,
+//!   touched index range, distinct pages), folded into this layer from
+//!   the former standalone `profile` module. Counters answer "*how did
+//!   this strategy behave*"; the profile answers "*what does the access
+//!   pattern look like*" — together they drive [`crate::AutoTuner`] and
+//!   [`ReductionProfile::recommend`].
+//!
+//! Counter semantics are cumulative since the reduction object was
+//! constructed. [`crate::RegionExecutor`] builds a fresh reduction per
+//! region (reusing only detached scratch), so executor-produced reports
+//! are per-region.
+
+use crate::elem::Element;
+use crate::reducer::{ReducerView, Reduction};
+use crate::shared::CachePadded;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Event counts recorded by one thread of one reduction.
+///
+/// Which fields a strategy drives (all others stay zero):
+///
+/// | field | strategies | meaning |
+/// |---|---|---|
+/// | `applies` | all | `ReducerView::apply` calls serviced |
+/// | `block_first_touches` | block-\*, hybrid | blocks resolved for the first time by this thread |
+/// | `ownership_conflicts` | block-lock, block-CAS | ownership claims lost to another thread (CAS acquire failures / lock-table losses) |
+/// | `fallback_privatizations` | block-\*, hybrid | private block copies allocated (for the direct-ownership flavors: the lock/CAS fallback path) |
+/// | `remote_enqueues` | keeper | updates forwarded to a foreign owner's queue |
+/// | `remote_flushed` | keeper | forwarded updates this thread drained as owner |
+/// | `merged_bytes` | all privatizing | bytes this thread combined into the output during the merge phase |
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counters {
+    /// `apply` calls serviced by this thread's view.
+    pub applies: u64,
+    /// Blocks resolved (claimed or privatized) for the first time.
+    pub block_first_touches: u64,
+    /// Ownership claims lost to another thread (CAS acquire failures for
+    /// block-CAS, lock-table losses for block-lock).
+    pub ownership_conflicts: u64,
+    /// Blocks resolved to a private copy (for the direct-ownership
+    /// flavors: the lock/CAS fallback path; for block-private: every
+    /// first touch).
+    pub fallback_privatizations: u64,
+    /// Keeper updates forwarded to a foreign owner's queue.
+    pub remote_enqueues: u64,
+    /// Forwarded keeper updates drained by this thread as owner.
+    pub remote_flushed: u64,
+    /// Bytes combined into the output array during the merge phase.
+    pub merged_bytes: u64,
+}
+
+impl Counters {
+    /// Field-wise sum of `self` and `other`.
+    pub fn merged(&self, other: &Counters) -> Counters {
+        Counters {
+            applies: self.applies + other.applies,
+            block_first_touches: self.block_first_touches + other.block_first_touches,
+            ownership_conflicts: self.ownership_conflicts + other.ownership_conflicts,
+            fallback_privatizations: self.fallback_privatizations + other.fallback_privatizations,
+            remote_enqueues: self.remote_enqueues + other.remote_enqueues,
+            remote_flushed: self.remote_flushed + other.remote_flushed,
+            merged_bytes: self.merged_bytes + other.merged_bytes,
+        }
+    }
+
+    /// Fraction of applies that hit a contention event (ownership
+    /// conflicts + keeper remote forwards); 0 when nothing was applied.
+    pub fn contention_ratio(&self) -> f64 {
+        if self.applies == 0 {
+            0.0
+        } else {
+            (self.ownership_conflicts + self.remote_enqueues) as f64 / self.applies as f64
+        }
+    }
+
+    fn to_json(self) -> String {
+        format!(
+            "{{\"applies\": {}, \"block_first_touches\": {}, \"ownership_conflicts\": {}, \
+             \"fallback_privatizations\": {}, \"remote_enqueues\": {}, \"remote_flushed\": {}, \
+             \"merged_bytes\": {}}}",
+            self.applies,
+            self.block_first_touches,
+            self.ownership_conflicts,
+            self.fallback_privatizations,
+            self.remote_enqueues,
+            self.remote_flushed,
+            self.merged_bytes
+        )
+    }
+}
+
+/// Per-thread [`Counters`] of one reduction, as returned by
+/// [`Reduction::telemetry`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Telemetry {
+    /// One entry per team thread.
+    pub per_thread: Vec<Counters>,
+}
+
+impl Telemetry {
+    /// All-zero telemetry for an `nthreads`-wide team (the default for
+    /// strategies that do not record counters).
+    pub fn empty(nthreads: usize) -> Self {
+        Telemetry {
+            per_thread: vec![Counters::default(); nthreads],
+        }
+    }
+
+    /// Field-wise sum over all threads.
+    pub fn totals(&self) -> Counters {
+        self.per_thread
+            .iter()
+            .fold(Counters::default(), |acc, c| acc.merged(c))
+    }
+}
+
+/// One thread's counter slot: padded so neighboring threads' stash-time
+/// publishes never share a cache line. Written with relaxed atomics —
+/// each slot is only ever written by its owning thread, the atomics just
+/// make the cross-phase publication safe without `unsafe`.
+#[derive(Default)]
+struct CounterCell {
+    applies: AtomicU64,
+    block_first_touches: AtomicU64,
+    ownership_conflicts: AtomicU64,
+    fallback_privatizations: AtomicU64,
+    remote_enqueues: AtomicU64,
+    remote_flushed: AtomicU64,
+    merged_bytes: AtomicU64,
+}
+
+/// Shared per-thread counter slots a reduction owns; views publish into
+/// slot `tid` at stash time, merge phases add into their own slot.
+#[derive(Default)]
+pub(crate) struct TelemetryBoard {
+    slots: Vec<CachePadded<CounterCell>>,
+}
+
+impl TelemetryBoard {
+    pub(crate) fn new(nthreads: usize) -> Self {
+        TelemetryBoard {
+            slots: (0..nthreads).map(|_| CachePadded::default()).collect(),
+        }
+    }
+
+    /// Adds `c` into thread `tid`'s slot (loop-phase publication).
+    pub(crate) fn record(&self, tid: usize, c: &Counters) {
+        let s = &self.slots[tid].0;
+        s.applies.fetch_add(c.applies, Ordering::Relaxed);
+        s.block_first_touches
+            .fetch_add(c.block_first_touches, Ordering::Relaxed);
+        s.ownership_conflicts
+            .fetch_add(c.ownership_conflicts, Ordering::Relaxed);
+        s.fallback_privatizations
+            .fetch_add(c.fallback_privatizations, Ordering::Relaxed);
+        s.remote_enqueues
+            .fetch_add(c.remote_enqueues, Ordering::Relaxed);
+        s.remote_flushed
+            .fetch_add(c.remote_flushed, Ordering::Relaxed);
+        s.merged_bytes.fetch_add(c.merged_bytes, Ordering::Relaxed);
+    }
+
+    /// Adds merge-phase bytes into thread `tid`'s slot.
+    pub(crate) fn add_merged_bytes(&self, tid: usize, bytes: u64) {
+        self.slots[tid]
+            .0
+            .merged_bytes
+            .fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Adds keeper flush counts into owner `tid`'s slot.
+    pub(crate) fn add_remote_flushed(&self, tid: usize, n: u64, bytes: u64) {
+        let s = &self.slots[tid].0;
+        s.remote_flushed.fetch_add(n, Ordering::Relaxed);
+        s.merged_bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Snapshot of every thread's counters.
+    pub(crate) fn snapshot(&self) -> Telemetry {
+        Telemetry {
+            per_thread: self
+                .slots
+                .iter()
+                .map(|s| Counters {
+                    applies: s.0.applies.load(Ordering::Relaxed),
+                    block_first_touches: s.0.block_first_touches.load(Ordering::Relaxed),
+                    ownership_conflicts: s.0.ownership_conflicts.load(Ordering::Relaxed),
+                    fallback_privatizations: s.0.fallback_privatizations.load(Ordering::Relaxed),
+                    remote_enqueues: s.0.remote_enqueues.load(Ordering::Relaxed),
+                    remote_flushed: s.0.remote_flushed.load(Ordering::Relaxed),
+                    merged_bytes: s.0.merged_bytes.load(Ordering::Relaxed),
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Wall time of each region phase, in seconds.
+///
+/// The parallel phases (`loop_secs`, `barrier_secs`, `epilogue_secs`)
+/// report the **maximum across team threads** — the critical path.
+/// `finish_secs` is the single-threaded cleanup after the region, and
+/// `region_secs` the wall time of the whole parallel region including the
+/// pool's fork/join handoff (measured by
+/// [`ompsim::ThreadPool::parallel_timed`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PhaseTimes {
+    /// Slowest thread's loop phase (view + body + stash).
+    pub loop_secs: f64,
+    /// Slowest thread's wait at the team barrier.
+    pub barrier_secs: f64,
+    /// Slowest thread's merge phase.
+    pub epilogue_secs: f64,
+    /// Single-threaded cleanup after the region.
+    pub finish_secs: f64,
+    /// Whole parallel region including fork/join handoff.
+    pub region_secs: f64,
+}
+
+impl PhaseTimes {
+    /// Fraction of the measured parallel phases spent waiting at the
+    /// barrier — a direct load-imbalance signal (0 when nothing was
+    /// measured).
+    pub fn barrier_fraction(&self) -> f64 {
+        let total = self.loop_secs + self.barrier_secs + self.epilogue_secs;
+        if total <= 0.0 {
+            0.0
+        } else {
+            self.barrier_secs / total
+        }
+    }
+
+    fn to_json(self) -> String {
+        format!(
+            "{{\"loop_secs\": {}, \"barrier_secs\": {}, \"epilogue_secs\": {}, \
+             \"finish_secs\": {}, \"region_secs\": {}}}",
+            self.loop_secs,
+            self.barrier_secs,
+            self.epilogue_secs,
+            self.finish_secs,
+            self.region_secs
+        )
+    }
+}
+
+/// One thread's phase-time slot (nanoseconds), padded like the counters.
+#[derive(Default)]
+struct PhaseCell {
+    loop_ns: AtomicU64,
+    barrier_ns: AtomicU64,
+    epilogue_ns: AtomicU64,
+}
+
+/// Per-thread phase times for one region, filled by the phased driver.
+pub(crate) struct PhaseBoard {
+    slots: Vec<CachePadded<PhaseCell>>,
+    finish_ns: AtomicU64,
+    region_ns: AtomicU64,
+}
+
+impl PhaseBoard {
+    pub(crate) fn new(nthreads: usize) -> Self {
+        PhaseBoard {
+            slots: (0..nthreads).map(|_| CachePadded::default()).collect(),
+            finish_ns: AtomicU64::new(0),
+            region_ns: AtomicU64::new(0),
+        }
+    }
+
+    pub(crate) fn record(
+        &self,
+        tid: usize,
+        loop_d: Duration,
+        barrier_d: Duration,
+        epilogue_d: Duration,
+    ) {
+        let s = &self.slots[tid].0;
+        s.loop_ns.store(loop_d.as_nanos() as u64, Ordering::Relaxed);
+        s.barrier_ns
+            .store(barrier_d.as_nanos() as u64, Ordering::Relaxed);
+        s.epilogue_ns
+            .store(epilogue_d.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    pub(crate) fn set_finish(&self, d: Duration) {
+        self.finish_ns.store(d.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    pub(crate) fn set_region(&self, d: Duration) {
+        self.region_ns.store(d.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Critical-path summary (max across threads per parallel phase).
+    pub(crate) fn summarize(&self) -> PhaseTimes {
+        let max_of = |f: fn(&PhaseCell) -> &AtomicU64| {
+            self.slots
+                .iter()
+                .map(|s| f(&s.0).load(Ordering::Relaxed))
+                .max()
+                .unwrap_or(0) as f64
+                / 1e9
+        };
+        PhaseTimes {
+            loop_secs: max_of(|s| &s.loop_ns),
+            barrier_secs: max_of(|s| &s.barrier_ns),
+            epilogue_secs: max_of(|s| &s.epilogue_ns),
+            finish_secs: self.finish_ns.load(Ordering::Relaxed) as f64 / 1e9,
+            region_secs: self.region_ns.load(Ordering::Relaxed) as f64 / 1e9,
+        }
+    }
+}
+
+/// Outcome of one region run: strategy label, memory overhead, and the
+/// telemetry the region recorded. Returned by every path through the
+/// [`crate::RegionExecutor`] ([`crate::reduce_strategy`],
+/// [`crate::reduce_dyn`], [`crate::ReusableReducer::run`],
+/// [`crate::AutoTuner::run`]).
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Strategy label (paper naming).
+    pub strategy: String,
+    /// Peak extra bytes the reducer allocated.
+    pub memory_overhead: usize,
+    /// Per-thread event counters the strategy recorded.
+    pub counters: Telemetry,
+    /// Per-phase wall times of the region.
+    pub phases: PhaseTimes,
+}
+
+impl RunReport {
+    /// Serializes the report as a JSON object (schema documented in
+    /// DESIGN.md §"Telemetry layer"). Strategy labels contain only
+    /// `[A-Za-z0-9-]`, so no string escaping is needed beyond quoting.
+    pub fn to_json(&self) -> String {
+        let per_thread: Vec<String> = self
+            .counters
+            .per_thread
+            .iter()
+            .map(|c| format!("    {}", c.to_json()))
+            .collect();
+        format!(
+            "{{\n  \"strategy\": \"{}\",\n  \"memory_overhead\": {},\n  \"phases\": {},\n  \
+             \"counters\": {{\n   \"totals\": {},\n   \"per_thread\": [\n{}\n   ]\n  }}\n}}",
+            self.strategy,
+            self.memory_overhead,
+            self.phases.to_json(),
+            self.counters.totals().to_json(),
+            per_thread.join(",\n")
+        )
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Locality profiling (folded in from the former `profile` module).
+// ---------------------------------------------------------------------------
+
+/// Indices per locality page in the profile's page bitmap.
+pub const PAGE: usize = 512;
+
+/// Per-thread access pattern statistics.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ThreadProfile {
+    /// Updates issued by the thread.
+    pub updates: u64,
+    /// Smallest index touched (`None` if no updates).
+    pub min_index: Option<usize>,
+    /// Largest index touched.
+    pub max_index: Option<usize>,
+    /// Number of distinct [`PAGE`]-sized pages touched.
+    pub distinct_pages: usize,
+}
+
+impl ThreadProfile {
+    /// Mean updates per touched page (∞-free: 0 when nothing was touched).
+    pub fn updates_per_page(&self) -> f64 {
+        if self.distinct_pages == 0 {
+            0.0
+        } else {
+            self.updates as f64 / self.distinct_pages as f64
+        }
+    }
+}
+
+/// Aggregated profile of one reduction region.
+#[derive(Debug, Clone, Default)]
+pub struct ReductionProfile {
+    /// One entry per team thread.
+    pub per_thread: Vec<ThreadProfile>,
+}
+
+impl ReductionProfile {
+    /// Total updates across the team.
+    pub fn total_updates(&self) -> u64 {
+        self.per_thread.iter().map(|t| t.updates).sum()
+    }
+
+    /// Crude strategy hint from the measured locality: many updates per
+    /// touched page favor privatization (block reducers), few favor
+    /// atomics — §VII's summary, as a heuristic.
+    pub fn suggests_privatization(&self) -> bool {
+        let touched: usize = self.per_thread.iter().map(|t| t.distinct_pages).sum();
+        if touched == 0 {
+            return false;
+        }
+        (self.total_updates() as f64 / touched as f64) > 8.0
+    }
+
+    /// Recommends a strategy from the measured access pattern, encoding
+    /// §VII's summary as rules:
+    ///
+    /// * no updates → atomics (nothing to privatize);
+    /// * high per-page density → block privatization (block size ≈ page);
+    /// * per-thread index ranges that barely overlap the static partition
+    ///   boundaries → keeper;
+    /// * otherwise → atomics.
+    ///
+    /// `len` is the reduced array's length (for the keeper-match check).
+    /// For *online* selection that also weighs measured contention and
+    /// phase times, use [`crate::AutoTuner`].
+    pub fn recommend(&self, len: usize) -> crate::Strategy {
+        use crate::Strategy;
+        let total = self.total_updates();
+        if total == 0 || len == 0 {
+            return Strategy::Atomic;
+        }
+        // Keeper check: does each thread's touched range resemble its
+        // static ownership chunk?
+        let nthreads = self.per_thread.len().max(1);
+        let chunk = len.div_ceil(nthreads);
+        let keeper_match = self.per_thread.iter().enumerate().all(|(t, p)| {
+            match (p.min_index, p.max_index) {
+                (Some(lo), Some(hi)) => {
+                    let own_lo = t * chunk;
+                    let own_hi = ((t + 1) * chunk).min(len);
+                    // Allow one page of slop on each side (halo updates).
+                    lo + PAGE >= own_lo && hi <= own_hi + PAGE
+                }
+                _ => true, // idle thread matches trivially
+            }
+        });
+        if keeper_match {
+            return Strategy::Keeper;
+        }
+        if self.suggests_privatization() {
+            return Strategy::BlockCas { block_size: PAGE };
+        }
+        Strategy::Atomic
+    }
+}
+
+/// Profiling decorator: wraps any [`Reduction`] and records, per thread,
+/// total updates, the touched index range, and distinct touched
+/// [`PAGE`]-element pages (a locality proxy). It composes with every
+/// strategy (it is itself a `Reduction`), so a run can be profiled once
+/// and the profile used to pick — or to seed [`crate::AutoTuner`]
+/// candidates for — the production strategy.
+pub struct ProfilingReduction<R> {
+    inner: R,
+    profiles: Vec<Mutex<ThreadProfile>>,
+}
+
+impl<R> ProfilingReduction<R> {
+    /// Wraps `inner`, recording per-thread access statistics.
+    pub fn new<T: Element>(inner: R) -> Self
+    where
+        R: Reduction<T>,
+    {
+        let n = inner.num_threads();
+        ProfilingReduction {
+            inner,
+            profiles: (0..n)
+                .map(|_| Mutex::new(ThreadProfile::default()))
+                .collect(),
+        }
+    }
+
+    /// The profile gathered during the last region.
+    pub fn profile(&self) -> ReductionProfile {
+        ReductionProfile {
+            per_thread: self
+                .profiles
+                .iter()
+                .map(|m| m.lock().unwrap().clone())
+                .collect(),
+        }
+    }
+
+    /// The wrapped reduction.
+    pub fn inner(&self) -> &R {
+        &self.inner
+    }
+}
+
+/// View wrapper: forwards updates while counting them.
+pub struct ProfilingView<V> {
+    inner: V,
+    updates: u64,
+    min_index: Option<usize>,
+    max_index: Option<usize>,
+    pages: Vec<u64>,
+}
+
+impl<T: Element, V: ReducerView<T>> ReducerView<T> for ProfilingView<V> {
+    #[inline]
+    fn apply(&mut self, i: usize, v: T) {
+        self.updates += 1;
+        self.min_index = Some(self.min_index.map_or(i, |m| m.min(i)));
+        self.max_index = Some(self.max_index.map_or(i, |m| m.max(i)));
+        let page = i / PAGE;
+        if let Some(word) = self.pages.get_mut(page / 64) {
+            *word |= 1 << (page % 64);
+        }
+        self.inner.apply(i, v);
+    }
+}
+
+impl<T: Element, R: Reduction<T>> Reduction<T> for ProfilingReduction<R> {
+    type View = ProfilingView<R::View>;
+
+    fn view(&self, tid: usize) -> Self::View {
+        let npages = self.inner.len().div_ceil(PAGE);
+        ProfilingView {
+            inner: self.inner.view(tid),
+            updates: 0,
+            min_index: None,
+            max_index: None,
+            pages: vec![0u64; npages.div_ceil(64)],
+        }
+    }
+
+    fn stash(&self, tid: usize, view: Self::View) {
+        *self.profiles[tid].lock().unwrap() = ThreadProfile {
+            updates: view.updates,
+            min_index: view.min_index,
+            max_index: view.max_index,
+            distinct_pages: view.pages.iter().map(|w| w.count_ones() as usize).sum(),
+        };
+        self.inner.stash(tid, view.inner);
+    }
+
+    fn epilogue(&self, tid: usize) {
+        self.inner.epilogue(tid);
+    }
+
+    fn finish(&self) {
+        self.inner.finish();
+    }
+
+    fn name(&self) -> String {
+        format!("profiled({})", self.inner.name())
+    }
+
+    fn num_threads(&self) -> usize {
+        self.inner.num_threads()
+    }
+
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    fn memory_overhead(&self) -> usize {
+        self.inner.memory_overhead()
+    }
+
+    fn telemetry(&self) -> Telemetry {
+        self.inner.telemetry()
+    }
+
+    fn record_applies(&self, tid: usize, applies: u64) {
+        self.inner.record_applies(tid, applies);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{reduce, AtomicReduction, BlockCasReduction, KeeperReduction, Sum};
+    use ompsim::{Schedule, ThreadPool};
+
+    #[test]
+    fn counters_merge_and_ratio() {
+        let a = Counters {
+            applies: 10,
+            ownership_conflicts: 2,
+            remote_enqueues: 3,
+            ..Counters::default()
+        };
+        let b = Counters {
+            applies: 10,
+            merged_bytes: 64,
+            ..Counters::default()
+        };
+        let m = a.merged(&b);
+        assert_eq!(m.applies, 20);
+        assert_eq!(m.merged_bytes, 64);
+        assert_eq!(m.contention_ratio(), 0.25);
+        assert_eq!(Counters::default().contention_ratio(), 0.0);
+    }
+
+    #[test]
+    fn board_accumulates_per_thread() {
+        let board = TelemetryBoard::new(2);
+        board.record(
+            0,
+            &Counters {
+                applies: 5,
+                ..Counters::default()
+            },
+        );
+        board.record(
+            0,
+            &Counters {
+                applies: 2,
+                ..Counters::default()
+            },
+        );
+        board.add_merged_bytes(1, 128);
+        board.add_remote_flushed(1, 3, 24);
+        let t = board.snapshot();
+        assert_eq!(t.per_thread[0].applies, 7);
+        assert_eq!(t.per_thread[1].merged_bytes, 152);
+        assert_eq!(t.per_thread[1].remote_flushed, 3);
+        assert_eq!(t.totals().applies, 7);
+    }
+
+    #[test]
+    fn phase_board_reports_critical_path() {
+        let board = PhaseBoard::new(2);
+        board.record(
+            0,
+            Duration::from_millis(4),
+            Duration::from_millis(1),
+            Duration::from_millis(2),
+        );
+        board.record(
+            1,
+            Duration::from_millis(3),
+            Duration::from_millis(5),
+            Duration::from_millis(1),
+        );
+        board.set_finish(Duration::from_millis(7));
+        board.set_region(Duration::from_millis(11));
+        let p = board.summarize();
+        assert_eq!(p.loop_secs, 0.004);
+        assert_eq!(p.barrier_secs, 0.005);
+        assert_eq!(p.epilogue_secs, 0.002);
+        assert_eq!(p.finish_secs, 0.007);
+        assert_eq!(p.region_secs, 0.011);
+        assert!(p.barrier_fraction() > 0.45 && p.barrier_fraction() < 0.46);
+    }
+
+    #[test]
+    fn report_json_contains_all_sections() {
+        let report = RunReport {
+            strategy: "block-CAS-1024".into(),
+            memory_overhead: 4096,
+            counters: Telemetry {
+                per_thread: vec![
+                    Counters {
+                        applies: 3,
+                        ..Counters::default()
+                    },
+                    Counters {
+                        applies: 4,
+                        merged_bytes: 32,
+                        ..Counters::default()
+                    },
+                ],
+            },
+            phases: PhaseTimes {
+                loop_secs: 0.5,
+                barrier_secs: 0.25,
+                epilogue_secs: 0.125,
+                finish_secs: 0.0625,
+                region_secs: 1.0,
+            },
+        };
+        let json = report.to_json();
+        for needle in [
+            "\"strategy\": \"block-CAS-1024\"",
+            "\"memory_overhead\": 4096",
+            "\"loop_secs\": 0.5",
+            "\"applies\": 7",
+            "\"per_thread\": [",
+            "\"merged_bytes\": 32",
+        ] {
+            assert!(json.contains(needle), "missing {needle} in:\n{json}");
+        }
+    }
+
+    #[test]
+    fn counts_updates_and_range() {
+        let pool = ThreadPool::new(4);
+        let n = 10_000;
+        let mut out = vec![0.0f64; n];
+        let red = ProfilingReduction::new(AtomicReduction::<f64, Sum>::new(&mut out, 4));
+        reduce(&pool, &red, 0..1000, Schedule::default(), |v, i| {
+            v.apply(100 + i * 2, 1.0);
+        });
+        let p = red.profile();
+        assert_eq!(p.total_updates(), 1000);
+        let min = p.per_thread.iter().filter_map(|t| t.min_index).min();
+        let max = p.per_thread.iter().filter_map(|t| t.max_index).max();
+        assert_eq!(min, Some(100));
+        assert_eq!(max, Some(100 + 999 * 2));
+        // The profiler forwards the wrapped strategy's own telemetry.
+        assert_eq!(red.telemetry().totals().applies, 1000);
+        drop(red);
+        assert_eq!(out.iter().sum::<f64>(), 1000.0);
+    }
+
+    #[test]
+    fn locality_heuristic_distinguishes_patterns() {
+        let pool = ThreadPool::new(2);
+        let n = 1_000_000;
+
+        // Dense local updates: many updates per page → privatize.
+        let mut out = vec![0.0f64; n];
+        let red = ProfilingReduction::new(BlockCasReduction::<f64, Sum>::new(&mut out, 2, 1024));
+        reduce(&pool, &red, 0..100_000, Schedule::default(), |v, i| {
+            v.apply(i % 4096, 1.0);
+        });
+        assert!(red.profile().suggests_privatization());
+
+        // Scattered one-shot updates: ~1 update per page → atomics.
+        let mut out2 = vec![0.0f64; n];
+        let red2 = ProfilingReduction::new(AtomicReduction::<f64, Sum>::new(&mut out2, 2));
+        reduce(&pool, &red2, 0..1000, Schedule::default(), |v, i| {
+            v.apply((i * 997) % n, 1.0);
+        });
+        assert!(!red2.profile().suggests_privatization());
+    }
+
+    #[test]
+    fn composes_with_stateful_strategies() {
+        // Keeper needs its epilogue forwarded; results must stay correct.
+        let pool = ThreadPool::new(3);
+        let mut out = vec![0i64; 300];
+        let red = ProfilingReduction::new(KeeperReduction::<i64, Sum>::new(&mut out, 3));
+        reduce(&pool, &red, 0..300, Schedule::default(), |v, i| {
+            v.apply(299 - i, 2);
+        });
+        assert_eq!(red.profile().total_updates(), 300);
+        assert_eq!(red.name(), "profiled(keeper)");
+        drop(red);
+        assert!(out.iter().all(|&x| x == 2));
+    }
+
+    #[test]
+    fn recommendation_rules() {
+        let pool = ThreadPool::new(4);
+        let n = 100_000;
+
+        // Stencil-like, ownership-aligned updates → keeper.
+        let mut out = vec![0.0f64; n];
+        let red = ProfilingReduction::new(AtomicReduction::<f64, Sum>::new(&mut out, 4));
+        reduce(&pool, &red, 1..n - 1, Schedule::default(), |v, i| {
+            v.apply(i - 1, 1.0);
+            v.apply(i + 1, 1.0);
+        });
+        assert_eq!(red.profile().recommend(n), crate::Strategy::Keeper);
+
+        // Dense repeated updates to a small hot region → block privatize.
+        let mut out = vec![0.0f64; n];
+        let red = ProfilingReduction::new(AtomicReduction::<f64, Sum>::new(&mut out, 4));
+        reduce(&pool, &red, 0..100_000, Schedule::dynamic(64), |v, i| {
+            v.apply(i % 3000, 1.0);
+        });
+        assert!(matches!(
+            red.profile().recommend(n),
+            crate::Strategy::BlockCas { .. }
+        ));
+
+        // Sparse one-shot global scatter → atomics.
+        let mut out = vec![0.0f64; n];
+        let red = ProfilingReduction::new(AtomicReduction::<f64, Sum>::new(&mut out, 4));
+        reduce(&pool, &red, 0..500, Schedule::dynamic(8), |v, i| {
+            v.apply((i * 7919) % n, 1.0);
+        });
+        assert_eq!(red.profile().recommend(n), crate::Strategy::Atomic);
+    }
+
+    #[test]
+    fn empty_region_profile_is_empty() {
+        let pool = ThreadPool::new(2);
+        let mut out = vec![0.0f64; 10];
+        let red = ProfilingReduction::new(AtomicReduction::<f64, Sum>::new(&mut out, 2));
+        reduce(&pool, &red, 0..0, Schedule::default(), |_v, _i| {});
+        let p = red.profile();
+        assert_eq!(p.total_updates(), 0);
+        assert!(!p.suggests_privatization());
+        assert_eq!(p.per_thread[0].updates_per_page(), 0.0);
+    }
+}

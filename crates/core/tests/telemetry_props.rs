@@ -1,0 +1,76 @@
+//! Counter-conservation properties for the telemetry layer.
+//!
+//! For every strategy, over randomized shapes (array length, update
+//! count, team width, block size, schedule):
+//!
+//! * the per-thread `applies` counters sum to exactly the number of
+//!   updates the kernel issued — no update is lost or double-counted,
+//!   regardless of which thread ran which chunk;
+//! * the reduced array matches [`spray::reduce_seq`] on the same body.
+//!
+//! Together these pin the telemetry pipeline end to end: the driver's
+//! `CountedView` counting, `record_applies` crediting, the padded
+//! per-thread boards, and the `RunReport` roll-up.
+
+use proptest::prelude::*;
+use spray::{reduce_dyn, reduce_seq, ReducerView, Strategy, Sum};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+    #[test]
+    fn applies_are_conserved_and_result_matches_seq(
+        n in 8..200usize,
+        updates in 1..300usize,
+        threads in 1..5usize,
+        bs in prop::sample::select(vec![4usize, 16, 64]),
+        dynamic in prop::sample::select(vec![false, true]),
+    ) {
+        let pool = ompsim::ThreadPool::new(threads);
+        let schedule = if dynamic {
+            ompsim::Schedule::dynamic(3)
+        } else {
+            ompsim::Schedule::default()
+        };
+
+        // Two applies per iteration, to distinct indices, so conservation
+        // is checked against a count that differs from the range length.
+        let issued = (2 * updates) as u64;
+        let mut expected = vec![0i64; n];
+        reduce_seq::<i64, Sum, _>(&mut expected, 0..updates, |v, i| {
+            v.apply((i * 7919) % n, 1);
+            v.apply((i * 31 + 7) % n, 2);
+        });
+
+        for strategy in Strategy::all(bs) {
+            let mut out = vec![0i64; n];
+            let report = reduce_dyn::<i64, Sum>(
+                strategy,
+                &pool,
+                &mut out,
+                0..updates,
+                schedule,
+                &|v, i| {
+                    v.apply((i * 7919) % n, 1);
+                    v.apply((i * 31 + 7) % n, 2);
+                },
+            );
+
+            let label = strategy.label();
+            prop_assert_eq!(&out, &expected, "{}: result diverges from reduce_seq", label);
+
+            let per_thread: u64 = report.counters.per_thread.iter().map(|c| c.applies).sum();
+            prop_assert_eq!(
+                per_thread, issued,
+                "{}: per-thread applies don't sum to updates issued", label
+            );
+            prop_assert_eq!(
+                report.counters.totals().applies, issued,
+                "{}: totals().applies disagrees with updates issued", label
+            );
+            prop_assert_eq!(
+                report.counters.per_thread.len(), threads,
+                "{}: one counter slot per team thread", label
+            );
+        }
+    }
+}

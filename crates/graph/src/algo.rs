@@ -2,7 +2,7 @@
 
 use crate::Graph;
 use ompsim::{Schedule, ThreadPool};
-use spray::{reduce_strategy, Kernel, Min, ReducerView, ReusableReducer, Strategy, Sum};
+use spray::{reduce_strategy, Kernel, Min, ReducerView, ReusableReducer, RunReport, Strategy, Sum};
 
 /// Outcome of [`pagerank`].
 #[derive(Debug, Clone)]
@@ -13,6 +13,14 @@ pub struct PageRankResult {
     pub iterations: usize,
     /// Whether the L1 tolerance was reached within the iteration budget.
     pub converged: bool,
+    /// The final power iteration's region report (phase times, per-thread
+    /// counters) — the steady-state behavior of the scatter, after
+    /// reducer scratch has warmed up. `None` only for a zero-iteration
+    /// budget.
+    pub report: Option<RunReport>,
+    /// Rank pushes applied across *all* iterations (sum of every region's
+    /// `applies` totals) — edge traversals actually performed.
+    pub total_applies: u64,
 }
 
 struct PushKernel<'a> {
@@ -51,6 +59,8 @@ pub fn pagerank(
     // allocate their status tables and private copies once, on the first
     // power iteration.
     let mut reducer = ReusableReducer::<f64, Sum>::new(strategy);
+    let mut last_report = None;
+    let mut total_applies = 0u64;
 
     for it in 1..=max_iters {
         let mut dangling = 0.0;
@@ -69,7 +79,9 @@ pub fn pagerank(
             g,
             contrib: &contrib,
         };
-        reducer.run(pool, &mut next, 0..n, Schedule::default(), &kernel);
+        let report = reducer.run(pool, &mut next, 0..n, Schedule::default(), &kernel);
+        total_applies += report.counters.totals().applies;
+        last_report = Some(report);
         let delta: f64 = ranks.iter().zip(&next).map(|(a, b)| (a - b).abs()).sum();
         std::mem::swap(&mut ranks, &mut next);
         if delta < tol {
@@ -77,6 +89,8 @@ pub fn pagerank(
                 ranks,
                 iterations: it,
                 converged: true,
+                report: last_report,
+                total_applies,
             };
         }
     }
@@ -84,6 +98,8 @@ pub fn pagerank(
         ranks,
         iterations: max_iters,
         converged: false,
+        report: last_report,
+        total_applies,
     }
 }
 

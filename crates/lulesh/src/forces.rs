@@ -178,6 +178,10 @@ impl RawOut {
 pub struct ForceStats {
     /// Peak extra bytes allocated by the accumulation scheme.
     pub memory_overhead: usize,
+    /// Corner-force contributions applied through spray reducers (both
+    /// sweeps). Zero for the sequential and 8-copy schemes, which bypass
+    /// the reduction telemetry.
+    pub applies: u64,
 }
 
 /// Reusable force-accumulation state for a fixed [`ForceScheme`].
@@ -240,6 +244,7 @@ fn run_pass(
             let report = reducer.run(pool, f, 0..nelem, Schedule::default(), &kernel);
             ForceStats {
                 memory_overhead: report.memory_overhead,
+                applies: report.counters.totals().applies,
             }
         }
         ForceScheme::EightCopy => {
@@ -283,6 +288,7 @@ fn run_pass(
             });
             ForceStats {
                 memory_overhead: 8 * stride * std::mem::size_of::<f64>(),
+                applies: 0,
             }
         }
     }
@@ -302,6 +308,7 @@ pub fn calc_force_for_nodes_with(
     d.f = f;
     ForceStats {
         memory_overhead: s1.memory_overhead.max(s2.memory_overhead),
+        applies: s1.applies + s2.applies,
     }
 }
 

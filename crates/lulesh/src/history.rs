@@ -59,10 +59,12 @@ pub fn run_with_history(
     let mut history = History::default();
     let mut accum = ForceAccum::new(scheme);
     let mut mem = 0usize;
+    let mut applies = 0u64;
     for _ in 0..cycles {
         let dt_used = d.dt;
         let s = step_with(d, pool, &mut accum);
         mem = mem.max(s.memory_overhead);
+        applies += s.applies;
         let max_velocity = (0..d.nnode())
             .map(|n| (d.xd[n] * d.xd[n] + d.yd[n] * d.yd[n] + d.zd[n] * d.zd[n]).sqrt())
             .fold(0.0f64, f64::max);
@@ -75,7 +77,9 @@ pub fn run_with_history(
             max_velocity,
         });
     }
-    (run_stats_of(d, mem), history)
+    let mut stats = run_stats_of(d, mem);
+    stats.applies = applies;
+    (stats, history)
 }
 
 #[cfg(test)]

@@ -51,6 +51,9 @@ pub struct RunStats {
     pub final_dt: f64,
     /// Peak memory overhead of the force-accumulation scheme.
     pub memory_overhead: usize,
+    /// Total corner-force contributions applied through spray reducers
+    /// over the whole run (zero for non-spray schemes).
+    pub applies: u64,
     /// Final total (internal + kinetic) energy.
     pub total_energy: f64,
     /// Maximum absolute nodal velocity at the end (sanity/NaN guard).
@@ -259,11 +262,15 @@ fn pv_old_times_dt(d: &Domain, e: usize, dt: f64) -> f64 {
 pub fn run(d: &mut Domain, pool: &ThreadPool, scheme: ForceScheme, cycles: usize) -> RunStats {
     let mut accum = ForceAccum::new(scheme);
     let mut mem = 0usize;
+    let mut applies = 0u64;
     for _ in 0..cycles {
         let s = step_with(d, pool, &mut accum);
         mem = mem.max(s.memory_overhead);
+        applies += s.applies;
     }
-    run_stats_of(d, mem)
+    let mut stats = run_stats_of(d, mem);
+    stats.applies = applies;
+    stats
 }
 
 /// Builds the summary statistics for the current state.
@@ -276,6 +283,7 @@ pub(crate) fn run_stats_of(d: &Domain, memory_overhead: usize) -> RunStats {
         final_time: d.time,
         final_dt: d.dt,
         memory_overhead,
+        applies: 0,
         total_energy: d.total_energy(),
         max_velocity,
     }

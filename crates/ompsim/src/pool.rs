@@ -33,7 +33,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Bounded-wait tuning. Spin counts are deliberately modest: a wasted
 /// spin phase on a 1-vCPU container costs well under a microsecond,
@@ -150,6 +150,18 @@ impl<'a> Team<'a> {
                 panic!("ompsim: teammate panicked; aborting barrier wait");
             }
         }
+    }
+
+    /// [`barrier`](Team::barrier), returning how long this thread waited
+    /// for its teammates. The wait time is a direct per-thread load
+    /// imbalance signal: the slowest thread of a balanced region waits
+    /// ~zero, everyone else waits out the stragglers. Used by spray's
+    /// telemetry layer to attribute region time to the barrier phase.
+    #[inline]
+    pub fn barrier_timed(&self) -> Duration {
+        let start = Instant::now();
+        self.barrier();
+        start.elapsed()
     }
 }
 
@@ -318,6 +330,20 @@ impl ThreadPool {
         }
     }
 
+    /// [`parallel`](ThreadPool::parallel), returning the wall time of the
+    /// whole region including the pool's fork/join handoff. Subtracting
+    /// the slowest thread's in-region time from this yields the pool's own
+    /// overhead — the number spray's telemetry layer reports as
+    /// `region_secs`.
+    pub fn parallel_timed<F>(&self, f: F) -> Duration
+    where
+        F: Fn(&Team<'_>) + Sync,
+    {
+        let start = Instant::now();
+        self.parallel(f);
+        start.elapsed()
+    }
+
     /// OpenMP-style `parallel for` over `range`: `body(tid, chunk)` is
     /// invoked for every chunk the schedule assigns to thread `tid`.
     /// Chunk-level granularity keeps per-index overhead out of the runtime.
@@ -423,7 +449,7 @@ fn worker_loop(shared: &Shared, tid: usize, nthreads: usize) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::AtomicUsize;
+    use std::sync::atomic::{AtomicU64, AtomicUsize};
 
     #[test]
     fn single_thread_pool_runs_on_caller() {
@@ -636,5 +662,30 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(total.load(Ordering::Relaxed), 4 * 25 * 2);
+    }
+
+    #[test]
+    fn barrier_timed_charges_the_fast_thread() {
+        let pool = ThreadPool::new(2);
+        let waits = [AtomicU64::new(0), AtomicU64::new(0)];
+        pool.parallel(|team| {
+            if team.id() == 1 {
+                std::thread::sleep(Duration::from_millis(30));
+            }
+            let waited = team.barrier_timed();
+            waits[team.id()].store(waited.as_nanos() as u64, Ordering::Relaxed);
+        });
+        let fast = Duration::from_nanos(waits[0].load(Ordering::Relaxed));
+        let slow = Duration::from_nanos(waits[1].load(Ordering::Relaxed));
+        // Thread 0 waits out thread 1's sleep; thread 1 barely waits.
+        assert!(fast >= Duration::from_millis(20), "fast waited {fast:?}");
+        assert!(slow < Duration::from_millis(20), "slow waited {slow:?}");
+    }
+
+    #[test]
+    fn parallel_timed_covers_the_region() {
+        let pool = ThreadPool::new(3);
+        let wall = pool.parallel_timed(|_| std::thread::sleep(Duration::from_millis(10)));
+        assert!(wall >= Duration::from_millis(10), "region took {wall:?}");
     }
 }
