@@ -13,6 +13,9 @@ pub struct Opts {
     pub quick: bool,
     /// Problem-size override (`--n N`), meaning depends on the binary.
     pub n: Option<usize>,
+    /// Gate mode (`--check`): exit nonzero when the binary's acceptance
+    /// assertion fails, for use as a CI smoke gate.
+    pub check: bool,
 }
 
 impl Default for Opts {
@@ -29,6 +32,7 @@ impl Default for Opts {
             reps: 5,
             quick: false,
             n: None,
+            check: false,
         }
     }
 }
@@ -81,6 +85,7 @@ impl Opts {
                     );
                 }
                 "--quick" => opts.quick = true,
+                "--check" => opts.check = true,
                 "--help" | "-h" => usage(""),
                 other => usage(&format!("unknown flag '{other}'")),
             }
@@ -94,7 +99,7 @@ fn usage(err: &str) -> ! {
         eprintln!("error: {err}");
     }
     eprintln!(
-        "usage: <bin> [--threads 1,2,4] [--reps N] [--n SIZE] [--quick]\n\
+        "usage: <bin> [--threads 1,2,4] [--reps N] [--n SIZE] [--quick] [--check]\n\
          prints CSV to stdout; lines starting with # are context"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
@@ -119,10 +124,11 @@ mod tests {
 
     #[test]
     fn full_flags() {
-        let o = parse("--threads 1,3,9 --reps 2 --n 1000 --quick");
+        let o = parse("--threads 1,3,9 --reps 2 --n 1000 --quick --check");
         assert_eq!(o.threads, vec![1, 3, 9]);
         assert_eq!(o.reps, 2);
         assert_eq!(o.n, Some(1000));
         assert!(o.quick);
+        assert!(o.check);
     }
 }

@@ -68,6 +68,14 @@ fn check(doc: &Json, strategy: Strategy, expected_applies: f64) {
         doc.get("memory_overhead").and_then(Json::as_num).is_some(),
         "{label}: report lacks memory_overhead"
     );
+
+    for key in ["plan_build_secs", "planned_regions"] {
+        let v = doc
+            .get(key)
+            .and_then(Json::as_num)
+            .unwrap_or_else(|| panic!("{label}: report lacks {key}"));
+        assert!(v >= 0.0, "{label}: negative {key}");
+    }
 }
 
 fn main() {
@@ -122,4 +130,46 @@ fn main() {
         "telemetry_smoke: {ok}/{} strategies reported and parsed",
         strategies.len()
     );
+
+    // Planned-region pipeline: a recording region then a replay through
+    // the same executor must report the replay in `planned_regions`, and
+    // the fields must survive the JSON round trip.
+    let mut ex = spray::RegionExecutor::<i64, Sum>::new(Strategy::BlockCas { block_size: 64 });
+    struct ScatterKernel {
+        n: usize,
+    }
+    impl spray::Kernel<i64> for ScatterKernel {
+        fn item<V: spray::ReducerView<i64>>(&self, view: &mut V, i: usize) {
+            view.apply((i * 7919) % self.n, 1);
+        }
+    }
+    let k = ScatterKernel { n };
+    let mut replay = None;
+    for _ in 0..2 {
+        let mut out = vec![0i64; n];
+        let report = ex.run_planned(
+            0,
+            &pool,
+            &mut out,
+            0..updates,
+            ompsim::Schedule::default(),
+            &k,
+        );
+        assert_eq!(
+            out.iter().sum::<i64>(),
+            updates as i64,
+            "planned: wrong result"
+        );
+        replay = Some(report);
+    }
+    let replay = replay.unwrap();
+    assert_eq!(replay.planned_regions, 1, "replay not counted as planned");
+    assert!(replay.plan_build_secs > 0.0, "plan build time not recorded");
+    let doc = parse(&replay.to_json()).expect("planned report does not parse");
+    assert_eq!(
+        doc.get("planned_regions").and_then(Json::as_num),
+        Some(1.0),
+        "planned_regions lost in JSON round trip"
+    );
+    eprintln!("telemetry_smoke: planned-region fields round-trip");
 }

@@ -336,5 +336,40 @@ mod tests {
             .as_arr()
             .unwrap();
         assert_eq!(per_thread.len(), 2);
+        // Plan amortization fields are always present (zero when the
+        // region ran without a caller-supplied region id).
+        assert_eq!(j.get("plan_build_secs").unwrap().as_num(), Some(0.0));
+        assert_eq!(j.get("planned_regions").unwrap().as_num(), Some(0.0));
+    }
+
+    #[test]
+    fn planned_run_report_round_trips() {
+        // A recording + replay pair through the executor: the replay's
+        // report must carry a nonzero planned_regions through the parser.
+        use spray::{Kernel, ReducerView, RegionExecutor, Strategy, Sum};
+        struct Mod64;
+        impl Kernel<i64> for Mod64 {
+            fn item<V: ReducerView<i64>>(&self, view: &mut V, i: usize) {
+                view.apply(i % 64, 1);
+            }
+        }
+        let pool = ompsim::ThreadPool::new(2);
+        let mut ex = RegionExecutor::<i64, Sum>::new(Strategy::BlockPrivate { block_size: 16 });
+        let mut last = None;
+        for _ in 0..3 {
+            let mut out = vec![0i64; 64];
+            last = Some(ex.run_planned(
+                9,
+                &pool,
+                &mut out,
+                0..640,
+                ompsim::Schedule::default(),
+                &Mod64,
+            ));
+        }
+        let j = parse(&last.unwrap().to_json()).expect("planned RunReport JSON must parse");
+        assert_eq!(j.get("planned_regions").unwrap().as_num(), Some(2.0));
+        let build = j.get("plan_build_secs").unwrap().as_num().unwrap();
+        assert!(build > 0.0, "plan build time should be recorded and > 0");
     }
 }

@@ -14,6 +14,7 @@
 //! | §VII remarks | `summary_table` | every strategy × all three workloads, time and memory side by side |
 //! | hot path | `apply_overhead` | per-apply ns of the block reducers' cached fast path (telemetry on and off) vs the legacy assert+div/mod path, per access pattern (writes `BENCH_apply_overhead.json`) |
 //! | telemetry | `telemetry_smoke` | runs a scatter under every strategy family, prints each `RunReport` as JSON and re-parses it, asserting counters are populated (CI gate) |
+//! | region plans | `plan_amortize` | planned vs unplanned steady-state region time for the block flavors and Keeper on streaming-scatter and transpose-SpMV shapes, plus plan-build cost and break-even region count (writes `BENCH_plan_amortize.json`; `--check` turns it into a CI gate) |
 //! | — | `plot_ascii` | renders any results CSV as an ASCII chart |
 //!
 //! Every binary prints CSV to stdout (`column -s, -t` renders it) plus

@@ -71,12 +71,13 @@
 //! by two threads without intervening synchronization.
 
 use crate::elem::{Element, ReduceOp};
+use crate::plan::RegionPlan;
 use crate::reducer::{ReducerView, Reduction};
 use crate::shared::{CachePadded, MemCounter, SharedSlice, Slots};
 use crate::telemetry::{Counters, Telemetry, TelemetryBoard};
 use std::marker::PhantomData;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 
 const UNOWNED: usize = usize::MAX;
 
@@ -213,10 +214,20 @@ impl Ownership for CasOwnership {
 }
 
 /// A view's retained bookkeeping: one status byte and one optional private
-/// copy per block. Lives in the reduction's slots between regions.
+/// copy per block, plus the region's footprint lists. Lives in the
+/// reduction's slots between regions.
+///
+/// The `touched`/`dirty` lists are the sparse-epilogue index: `touched`
+/// records every block the thread resolved this region (whatever the
+/// outcome), `dirty` the subset with a privatized copy that received
+/// contributions. They are retained through [`Reduction::finish`] — so a
+/// [`RegionPlan`] can be extracted from the last region's footprint — and
+/// cleared when the next region's view starts.
 struct ViewScratch<T> {
     status: Vec<u8>,
     blocks: Vec<Option<Box<[T]>>>,
+    touched: Vec<u32>,
+    dirty: Vec<u32>,
 }
 
 /// Detached block-reducer scratch (ownership table + per-thread view
@@ -246,6 +257,13 @@ pub struct BlockReduction<'a, T: Element, O: ReduceOp<T>, W: Ownership> {
     mem: MemCounter,
     telem: TelemetryBoard,
     flavor: &'static str,
+    /// Installed region plan; replayed regions skip ownership claims.
+    plan: Option<Arc<RegionPlan>>,
+    /// Sticky flag: some view touched a block outside the installed plan.
+    /// The executor reads it after the region to decide on a rebuild; it
+    /// is never reset because the executor builds a fresh reduction (over
+    /// retained scratch) per region.
+    deviated: AtomicBool,
     _borrow: PhantomData<&'a mut [T]>,
     _op: PhantomData<O>,
 }
@@ -321,6 +339,8 @@ impl<'a, T: Element, O: ReduceOp<T>, W: Ownership> BlockReduction<'a, T, O, W> {
             mem: MemCounter::new(),
             telem: TelemetryBoard::new(nthreads),
             flavor,
+            plan: None,
+            deviated: AtomicBool::new(false),
             _borrow: PhantomData,
             _op: PhantomData,
         }
@@ -394,6 +414,44 @@ impl<'a, T: Element, O: ReduceOp<T>, W: Ownership> BlockReduction<'a, T, O, W> {
             }
         }
         red
+    }
+
+    /// Installs a [`RegionPlan`] for the next region. Returns `false`
+    /// (plan rejected, region runs unplanned) if the plan's shape — array
+    /// length, team width, effective block size — does not match.
+    ///
+    /// Planned regions never touch the ownership table: exclusive blocks
+    /// are pre-marked for direct writes, shared blocks are privatized up
+    /// front, and any block *outside* the plan privatizes (never claims)
+    /// and raises the deviation flag, so a stale plan degrades to the
+    /// dirty-list epilogue instead of racing a planned direct owner.
+    pub fn install_plan(&mut self, plan: Arc<RegionPlan>) -> bool {
+        if plan.matches_block(self.out.len(), self.nthreads, self.block_size()) {
+            self.plan = Some(plan);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Whether the last region touched blocks outside the installed plan
+    /// (always `false` when no plan is installed). Sticky for the lifetime
+    /// of this reduction object; see the field docs.
+    pub fn plan_deviated(&self) -> bool {
+        self.deviated.load(Ordering::Relaxed)
+    }
+
+    /// Builds a [`RegionPlan`] from the last region's recorded footprint
+    /// (the per-thread touched-block lists the sparse epilogue keeps).
+    /// Call between regions; `&mut self` guarantees no region is active.
+    /// After a planned region the footprint includes the plan's own blocks
+    /// plus any deviations, so rebuilding on deviation is self-healing.
+    pub fn extract_plan(&mut self) -> RegionPlan {
+        let touched: Vec<Vec<u32>> = (0..self.nthreads)
+            // SAFETY: `&mut self` — no region is active, slots are ours.
+            .map(|t| unsafe { self.slots.get(t) }.map_or(Vec::new(), |s| s.touched.clone()))
+            .collect();
+        RegionPlan::for_blocks(self.out.len(), self.nthreads, self.block_size(), &touched)
     }
 }
 
@@ -474,6 +532,14 @@ struct ViewCore<T, O, W> {
     len: usize,
     tid: usize,
     allocated_bytes: usize,
+    /// Blocks resolved this region (footprint; drives plan extraction).
+    touched: Vec<u32>,
+    /// Blocks privatized this region (drives the sparse epilogue/finish).
+    dirty: Vec<u32>,
+    /// Replaying an installed plan: `resolve` must not claim ownership.
+    planned: bool,
+    /// This view touched a block outside its plan.
+    deviated: bool,
     /// Cold-path event counters (touched only on block switches).
     counters: Counters,
     _op: PhantomData<O>,
@@ -554,15 +620,27 @@ impl<T: Element, O: ReduceOp<T>, W: Ownership> ViewCore<T, O, W> {
     }
 
     /// First touch of block `b` by this thread.
+    ///
+    /// In planned mode this only runs for blocks *outside* the plan (the
+    /// plan pre-resolves its own blocks): the deviation privatizes — never
+    /// claims, so it cannot race a planned direct owner — and raises the
+    /// deviation flag so the epilogue falls back to the dirty lists and
+    /// the executor rebuilds the plan.
     #[cold]
     fn resolve(&mut self, b: usize) -> u8 {
-        // SAFETY: the parent reduction outlives the view (driver contract).
-        let owners = unsafe { &*self.owners };
         self.counters.block_first_touches += 1;
-        let st = match owners.try_claim(b, self.tid) {
+        let claim = if self.planned {
+            self.deviated = true;
+            Claim::Lost
+        } else {
+            // SAFETY: the parent reduction outlives the view (driver
+            // contract).
+            unsafe { &*self.owners }.try_claim(b, self.tid)
+        };
+        let st = match claim {
             Claim::Won | Claim::Retained => ST_DIRECT,
             Claim::Lost => {
-                if W::DIRECT {
+                if W::DIRECT && !self.planned {
                     // Lost to another thread — contention. The
                     // block-private flavor loses every claim by design
                     // (`DIRECT == false`) and records privatizations only.
@@ -579,9 +657,11 @@ impl<T: Element, O: ReduceOp<T>, W: Ownership> ViewCore<T, O, W> {
                     self.blocks[b] = Some(vec![O::identity(); n].into_boxed_slice());
                     self.allocated_bytes += n * std::mem::size_of::<T>();
                 }
+                self.dirty.push(b as u32);
                 ST_PRIVATE
             }
         };
+        self.touched.push(b as u32);
         self.status[b] = st;
         st
     }
@@ -623,10 +703,12 @@ impl<T: Element, O: ReduceOp<T>, W: Ownership> Reduction<T> for BlockReduction<'
     fn view(&self, tid: usize) -> Self::View {
         // SAFETY: slot `tid` is touched only by thread `tid` pre-barrier.
         let retained = unsafe { self.slots.take(tid) };
-        let (status, blocks) = match retained {
+        let (status, blocks, mut touched, mut dirty) = match retained {
             // Scratch retained by `finish` from an earlier region: already
             // reset (statuses unknown, private copies identity-filled).
-            Some(s) => (s.status, s.blocks),
+            // The footprint lists still hold the *previous* region's record
+            // (kept for plan extraction); they restart empty here.
+            Some(s) => (s.status, s.blocks, s.touched, s.dirty),
             None => {
                 // Only bookkeeping is allocated here (the paper's cheap
                 // `init`): one status byte and one empty option per block.
@@ -635,25 +717,58 @@ impl<T: Element, O: ReduceOp<T>, W: Ownership> Reduction<T> for BlockReduction<'
                 (
                     vec![ST_UNKNOWN; self.nblocks],
                     (0..self.nblocks).map(|_| None).collect(),
+                    Vec::new(),
+                    Vec::new(),
                 )
             }
         };
+        touched.clear();
+        dirty.clear();
+        let mut core = ViewCore {
+            out: self.out,
+            owners: &self.owners,
+            status,
+            blocks,
+            shift: self.shift,
+            mask: self.mask,
+            len: self.out.len(),
+            tid,
+            allocated_bytes: 0,
+            touched,
+            dirty,
+            planned: self.plan.is_some(),
+            deviated: false,
+            counters: Counters::default(),
+            _op: PhantomData,
+        };
+        // Replay: pre-resolve the plan's blocks so the loop phase never
+        // claims ownership — exclusive blocks write straight into `out`,
+        // shared blocks go to (pre-allocated) private copies. Blocks the
+        // plan lists but the region never touches stay identity/unwritten
+        // and merge as no-ops.
+        if let Some(plan) = self.plan.as_deref() {
+            if let Some(tb) = plan.thread_blocks(tid) {
+                for &b in &tb.exclusive {
+                    core.status[b as usize] = ST_DIRECT;
+                    core.touched.push(b);
+                }
+                for &b in &tb.shared {
+                    let bi = b as usize;
+                    core.status[bi] = ST_PRIVATE;
+                    if core.blocks[bi].is_none() {
+                        let n = core.mask + 1;
+                        core.blocks[bi] = Some(vec![O::identity(); n].into_boxed_slice());
+                        core.allocated_bytes += n * std::mem::size_of::<T>();
+                    }
+                    core.touched.push(b);
+                    core.dirty.push(b);
+                }
+            }
+        }
         BlockView {
             last_block: usize::MAX,
             last_base: std::ptr::null_mut(),
-            core: ViewCore {
-                out: self.out,
-                owners: &self.owners,
-                status,
-                blocks,
-                shift: self.shift,
-                mask: self.mask,
-                len: self.out.len(),
-                tid,
-                allocated_bytes: 0,
-                counters: Counters::default(),
-                _op: PhantomData,
-            },
+            core,
         }
     }
 
@@ -662,6 +777,9 @@ impl<T: Element, O: ReduceOp<T>, W: Ownership> Reduction<T> for BlockReduction<'
         // region; retained ones are still accounted from their region.
         self.mem.add(view.core.allocated_bytes);
         self.telem.record(tid, &view.core.counters);
+        if view.core.deviated {
+            self.deviated.store(true, Ordering::Relaxed);
+        }
         // SAFETY: slot `tid` is written only by thread `tid`, pre-barrier.
         unsafe {
             self.slots.put(
@@ -669,24 +787,65 @@ impl<T: Element, O: ReduceOp<T>, W: Ownership> Reduction<T> for BlockReduction<'
                 ViewScratch {
                     status: view.core.status,
                     blocks: view.core.blocks,
+                    touched: view.core.touched,
+                    dirty: view.core.dirty,
                 },
             )
         };
     }
 
     fn epilogue(&self, tid: usize) {
-        // Thread `tid` merges the private copies of every block it is
-        // responsible for, across all threads in ascending order (matching
-        // the dense merge order for the block-private flavor).
+        // Sparse merge: visit only `(thread, block)` pairs that privatized
+        // a copy this region, instead of probing all nblocks × nthreads
+        // slots. With a clean plan the schedule is the plan's (balanced by
+        // copy count); otherwise each thread walks the team's dirty lists
+        // and merges the blocks it owns (`b % nthreads == tid` — the same
+        // assignment the dense probe used). Either way, for a fixed block
+        // the contributions merge in ascending thread order, matching the
+        // dense strategy's order.
         let mut merged_elems = 0u64;
-        for b in (tid..self.nblocks).step_by(self.nthreads) {
-            let range = self.block_range(b);
+        let clean_plan = self
+            .plan
+            .as_deref()
+            .filter(|_| !self.deviated.load(Ordering::Relaxed));
+        if let Some(plan) = clean_plan {
+            for &b in plan.merge_list(tid) {
+                let b = b as usize;
+                let range = self.block_range(b);
+                for t in 0..self.nthreads {
+                    // SAFETY: post-barrier, slots are read-only.
+                    let Some(scratch) = (unsafe { self.slots.get(t) }) else {
+                        continue;
+                    };
+                    // Status (reset only after the epilogue) identifies the
+                    // threads holding a live copy this region; is_some()
+                    // would also sweep identity copies retained from
+                    // earlier regions.
+                    if scratch.status[b] == ST_PRIVATE {
+                        let blk = scratch.blocks[b].as_ref().unwrap();
+                        for (off, i) in range.clone().enumerate() {
+                            // SAFETY: block `b` is merged only by this
+                            // thread (plan schedule), and nothing writes
+                            // `out` post-barrier.
+                            unsafe { self.out.combine::<O>(i, blk[off]) };
+                        }
+                        merged_elems += range.len() as u64;
+                    }
+                }
+            }
+        } else {
             for t in 0..self.nthreads {
                 // SAFETY: post-barrier, slots are read-only.
                 let Some(scratch) = (unsafe { self.slots.get(t) }) else {
                     continue;
                 };
-                if let Some(blk) = &scratch.blocks[b] {
+                for &b in &scratch.dirty {
+                    let b = b as usize;
+                    if b % self.nthreads != tid {
+                        continue;
+                    }
+                    let range = self.block_range(b);
+                    let blk = scratch.blocks[b].as_ref().unwrap();
                     for (off, i) in range.clone().enumerate() {
                         // SAFETY: block `b` is merged only by this thread,
                         // and owners stopped writing at the barrier.
@@ -702,22 +861,34 @@ impl<T: Element, O: ReduceOp<T>, W: Ownership> Reduction<T> for BlockReduction<'
         }
     }
 
-    /// Resets for the next region **without freeing**: statuses go back to
-    /// unknown, private copies are refilled with the identity and
-    /// retained, ownership is cleared. `memory_overhead` keeps reporting
-    /// the peak, which further regions no longer grow.
+    /// Resets for the next region **without freeing**: statuses of touched
+    /// blocks go back to unknown, *dirty* private copies are refilled with
+    /// the identity (untouched retained copies are already identity — the
+    /// old full sweep rewrote every retained block on every region), and
+    /// ownership is cleared unless a plan made it moot. The footprint
+    /// lists are retained so [`BlockReduction::extract_plan`] can read the
+    /// region's record; the next region's views clear them.
+    /// `memory_overhead` keeps reporting the peak, which further regions
+    /// no longer grow.
     fn finish(&self) {
         for t in 0..self.nthreads {
             // SAFETY: single-threaded after the region.
             if let Some(mut s) = unsafe { self.slots.take(t) } {
-                s.status.fill(ST_UNKNOWN);
-                for blk in s.blocks.iter_mut().flatten() {
-                    blk.fill(O::identity());
+                for &b in &s.dirty {
+                    if let Some(blk) = s.blocks[b as usize].as_mut() {
+                        blk.fill(O::identity());
+                    }
+                }
+                for &b in &s.touched {
+                    s.status[b as usize] = ST_UNKNOWN;
                 }
                 unsafe { self.slots.put(t, s) };
             }
         }
-        self.owners.reset();
+        // Planned regions never claim, so the table is already clear.
+        if self.plan.is_none() {
+            self.owners.reset();
+        }
     }
 
     fn name(&self) -> String {

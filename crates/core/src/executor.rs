@@ -34,12 +34,16 @@ use crate::hybrid::HybridReduction;
 use crate::keeper::KeeperReduction;
 use crate::log::LogReduction;
 use crate::map::{BTreeMapReduction, HashMapReduction};
+use crate::plan::RegionPlan;
 use crate::reducer::{reduce_chunked_phased, Reduction};
 use crate::strategy::{Kernel, Strategy};
 use crate::telemetry::{PhaseBoard, RunReport};
 use ompsim::{Schedule, ThreadPool};
+use std::collections::BTreeMap;
 use std::marker::PhantomData;
 use std::ops::Range;
+use std::sync::Arc;
+use std::time::Instant;
 
 /// Block-reducer scratch carried between regions, keyed by flavor.
 enum RetainedScratch<T> {
@@ -73,6 +77,14 @@ enum RetainedScratch<T> {
 pub struct RegionExecutor<T: crate::Element, O: ReduceOp<T>> {
     strategy: Strategy,
     scratch: RetainedScratch<T>,
+    /// Region plans keyed by caller-supplied region id; see
+    /// [`RegionExecutor::run_planned`].
+    plans: BTreeMap<u64, Arc<RegionPlan>>,
+    /// Cumulative seconds spent extracting plans (the inspection cost MKL
+    /// leaves untimed; we report it in every [`RunReport`]).
+    plan_build_secs: f64,
+    /// Regions that replayed a cached plan to completion without deviating.
+    planned_regions: u64,
     _op: PhantomData<fn() -> O>,
 }
 
@@ -95,6 +107,9 @@ impl<T: AtomicElement, O: ReduceOp<T>> RegionExecutor<T, O> {
         RegionExecutor {
             strategy,
             scratch: RetainedScratch::None,
+            plans: BTreeMap::new(),
+            plan_build_secs: 0.0,
+            planned_regions: 0,
             _op: PhantomData,
         }
     }
@@ -116,6 +131,23 @@ impl<T: AtomicElement, O: ReduceOp<T>> RegionExecutor<T, O> {
         self.scratch = RetainedScratch::None;
     }
 
+    /// Drops every cached region plan (e.g. when the caller knows the
+    /// sparsity pattern changed wholesale and stale plans would only pay
+    /// one wasted recording region each to heal).
+    pub fn clear_plans(&mut self) {
+        self.plans = BTreeMap::new();
+    }
+
+    /// Regions (cumulative) that replayed a cached plan without deviating.
+    pub fn planned_regions(&self) -> u64 {
+        self.planned_regions
+    }
+
+    /// Cumulative seconds spent building region plans.
+    pub fn plan_build_secs(&self) -> f64 {
+        self.plan_build_secs
+    }
+
     /// Runs one region: executes `kernel` over `range` on `pool`, reducing
     /// into `out` with the configured strategy, under the phased (timed)
     /// driver. Block flavors reuse scratch retained by the previous call.
@@ -130,6 +162,53 @@ impl<T: AtomicElement, O: ReduceOp<T>> RegionExecutor<T, O> {
         schedule: Schedule,
         kernel: &K,
     ) -> RunReport {
+        self.run_inner(pool, out, range, schedule, kernel, None)
+    }
+
+    /// Like [`run`](RegionExecutor::run), but caches and replays a
+    /// [`RegionPlan`] for the region identified by `region`.
+    ///
+    /// The first call with a given id runs in **recording mode**: the
+    /// region executes exactly as unplanned would, except the footprint it
+    /// discovers anyway (touched blocks, conflicts, forwarding traffic) is
+    /// kept and distilled into a plan after the region. Subsequent calls
+    /// **replay** the plan: block flavors skip the ownership CAS /
+    /// first-touch checks for plan-exclusive blocks (direct writes into
+    /// `out`), privatize only plan-listed shared blocks, and merge with
+    /// the plan's balanced sparse schedule; Keeper pre-sizes its
+    /// forwarding queues. If a region's index stream deviates from the
+    /// recorded one, the block flavors privatize the deviating blocks,
+    /// fall back to the dirty-list epilogue, and the plan is rebuilt from
+    /// the region's actual footprint — always correct, just unamortized.
+    ///
+    /// Plan construction time is accumulated in
+    /// [`RunReport::plan_build_secs`] and clean replays in
+    /// [`RunReport::planned_regions`] — the inspection cost MKL's
+    /// inspector/executor leaves out of its timed loop, reported here so
+    /// comparisons stay fair. Strategies without a planned path (dense,
+    /// maps, atomic, log, hybrid) execute exactly as
+    /// [`run`](RegionExecutor::run) would.
+    pub fn run_planned<K: Kernel<T>>(
+        &mut self,
+        region: u64,
+        pool: &ThreadPool,
+        out: &mut [T],
+        range: Range<usize>,
+        schedule: Schedule,
+        kernel: &K,
+    ) -> RunReport {
+        self.run_inner(pool, out, range, schedule, kernel, Some(region))
+    }
+
+    fn run_inner<K: Kernel<T>>(
+        &mut self,
+        pool: &ThreadPool,
+        out: &mut [T],
+        range: Range<usize>,
+        schedule: Schedule,
+        kernel: &K,
+        region: Option<u64>,
+    ) -> RunReport {
         let n = pool.num_threads();
         let retained = std::mem::replace(&mut self.scratch, RetainedScratch::None);
         // One-shot arm: construct, execute, drop.
@@ -139,21 +218,38 @@ impl<T: AtomicElement, O: ReduceOp<T>> RegionExecutor<T, O> {
             };
         }
         // Block arm: re-attach retained scratch of the matching flavor
-        // (shape mismatches are discarded inside `from_scratch`), execute,
-        // detach for the next region. One expansion per flavor replaces
+        // (shape mismatches are discarded inside `from_scratch`), install
+        // the cached plan if the caller named a region, execute, detach
+        // the scratch for the next region. A failed install (shape
+        // mismatch) or a deviating replay rebuilds the plan from the
+        // region's recorded footprint. One expansion per flavor replaces
         // the three hand-written copies the old `ReusableReducer` carried.
         macro_rules! block {
             ($Red:ident, $Scratch:path, $bs:expr) => {{
-                let red = match retained {
+                let mut red = match retained {
                     $Scratch(s) => $Red::<T, O>::from_scratch(out, n, $bs, s),
                     _ => $Red::<T, O>::new(out, n, $bs),
                 };
+                let installed = match region.and_then(|id| self.plans.get(&id)) {
+                    Some(plan) => red.install_plan(Arc::clone(plan)),
+                    None => false,
+                };
                 let report = execute(pool, &red, range, schedule, kernel);
+                if let Some(id) = region {
+                    if installed && !red.plan_deviated() {
+                        self.planned_regions += 1;
+                    } else {
+                        let t0 = Instant::now();
+                        let plan = red.extract_plan();
+                        self.plan_build_secs += t0.elapsed().as_secs_f64();
+                        self.plans.insert(id, Arc::new(plan));
+                    }
+                }
                 self.scratch = $Scratch(red.into_scratch());
                 report
             }};
         }
-        match self.strategy {
+        let mut report = match self.strategy {
             Strategy::Dense => fresh!(DenseReduction::<T, O>::new(out, n)),
             Strategy::MapBTree => fresh!(BTreeMapReduction::<T, O>::new(out, n)),
             Strategy::MapHash => fresh!(HashMapReduction::<T, O>::new(out, n)),
@@ -167,13 +263,36 @@ impl<T: AtomicElement, O: ReduceOp<T>> RegionExecutor<T, O> {
             Strategy::BlockCas { block_size } => {
                 block!(BlockCasReduction, RetainedScratch::Cas, block_size)
             }
-            Strategy::Keeper => fresh!(KeeperReduction::<T, O>::new(out, n)),
+            Strategy::Keeper => {
+                let mut red = KeeperReduction::<T, O>::new(out, n);
+                let installed = match region.and_then(|id| self.plans.get(&id)) {
+                    Some(plan) => red.install_plan(plan),
+                    None => false,
+                };
+                let report = execute(pool, &red, range, schedule, kernel);
+                if let Some(id) = region {
+                    // A keeper plan is advisory (queue pre-sizing), so a
+                    // replayed region is planned even when traffic shifts.
+                    if installed {
+                        self.planned_regions += 1;
+                    } else {
+                        let t0 = Instant::now();
+                        let plan = red.extract_plan();
+                        self.plan_build_secs += t0.elapsed().as_secs_f64();
+                        self.plans.insert(id, Arc::new(plan));
+                    }
+                }
+                report
+            }
             Strategy::Log => fresh!(LogReduction::<T, O>::new(out, n)),
             Strategy::Hybrid {
                 block_size,
                 threshold,
             } => fresh!(HybridReduction::<T, O>::new(out, n, block_size, threshold)),
-        }
+        };
+        report.plan_build_secs = self.plan_build_secs;
+        report.planned_regions = self.planned_regions;
+        report
     }
 }
 
@@ -207,6 +326,9 @@ where
     RunReport {
         strategy: red.name(),
         memory_overhead: red.memory_overhead(),
+        // Patched by `run_inner` after plan bookkeeping settles.
+        plan_build_secs: 0.0,
+        planned_regions: 0,
         counters: red.telemetry(),
         phases: board.summarize(),
     }
@@ -302,6 +424,84 @@ mod tests {
             );
             assert_eq!(out, expected(&small, 73), "block-size change {strategy:?}");
         }
+    }
+
+    #[test]
+    fn planned_replay_skips_ownership_discovery() {
+        // After the recording region, a clean replay pre-resolves every
+        // block from the plan: the hot path must never hit the cold
+        // `resolve` (no first-touches, no conflicts) and the region must
+        // count as planned.
+        let pool = ompsim::ThreadPool::new(4);
+        let data: Vec<usize> = (0..8_000).map(|i| (i * 131) % 500).collect();
+        let kernel = Histogram { data: &data };
+        for strategy in [
+            Strategy::BlockPrivate { block_size: 16 },
+            Strategy::BlockLock { block_size: 16 },
+            Strategy::BlockCas { block_size: 16 },
+        ] {
+            let mut ex = RegionExecutor::<i64, Sum>::new(strategy);
+            let mut out = vec![0i64; 500];
+            let recording = ex.run_planned(
+                3,
+                &pool,
+                &mut out,
+                0..data.len(),
+                Schedule::default(),
+                &kernel,
+            );
+            assert_eq!(recording.planned_regions, 0);
+            assert!(recording.counters.totals().block_first_touches > 0);
+            assert!(recording.plan_build_secs > 0.0);
+
+            let mut out = vec![0i64; 500];
+            let replay = ex.run_planned(
+                3,
+                &pool,
+                &mut out,
+                0..data.len(),
+                Schedule::default(),
+                &kernel,
+            );
+            assert_eq!(out, expected(&data, 500), "{strategy:?}");
+            assert_eq!(replay.planned_regions, 1, "{strategy:?}");
+            assert_eq!(
+                replay.counters.totals().block_first_touches,
+                0,
+                "{strategy:?}: replay should never take the cold resolve path"
+            );
+            assert_eq!(replay.counters.totals().ownership_conflicts, 0);
+        }
+    }
+
+    #[test]
+    fn distinct_region_ids_cache_distinct_plans() {
+        // Two alternating workloads under different ids replay cleanly
+        // from the second round on; under a single shared id each switch
+        // would deviate and re-record.
+        let pool = ompsim::ThreadPool::new(2);
+        let a: Vec<usize> = (0..2_000).map(|i| (i * 7) % 100).collect();
+        let b: Vec<usize> = (0..2_000).map(|i| (i * 13 + 50) % 100).collect();
+        let mut ex = RegionExecutor::<i64, Sum>::new(Strategy::BlockCas { block_size: 8 });
+        for round in 0..3u64 {
+            for (id, data) in [(0u64, &a), (1u64, &b)] {
+                let mut out = vec![0i64; 100];
+                let report = ex.run_planned(
+                    id,
+                    &pool,
+                    &mut out,
+                    0..data.len(),
+                    Schedule::default(),
+                    &Histogram { data },
+                );
+                assert_eq!(out, expected(data, 100));
+                // Regions run in sequence; the first round records both
+                // plans, every later region is a clean replay.
+                let seq = round * 2 + id;
+                assert_eq!(report.planned_regions, seq.saturating_sub(1));
+            }
+        }
+        assert_eq!(ex.planned_regions(), 4);
     }
 
     #[test]

@@ -22,11 +22,13 @@
 //!   which applies requests to its own (exclusive) range.
 
 use crate::elem::{Element, ReduceOp};
+use crate::plan::RegionPlan;
 use crate::reducer::{ReducerView, Reduction};
 use crate::shared::{chunk_of, owner_of, MemCounter, SharedSlice};
 use crate::telemetry::{Counters, Telemetry, TelemetryBoard};
 use std::cell::UnsafeCell;
 use std::marker::PhantomData;
+use std::sync::atomic::{AtomicU32, Ordering};
 
 /// One update request: accumulate `value` at `index`.
 type Request<T> = (u32, T);
@@ -69,6 +71,12 @@ pub struct KeeperReduction<'a, T: Element, O: ReduceOp<T>> {
     nthreads: usize,
     mem: MemCounter,
     telem: TelemetryBoard,
+    /// Per-cell request counts from the most recent region,
+    /// `counts[owner * nthreads + writer]`, recorded at stash. Feeds
+    /// [`KeeperReduction::extract_plan`]; a plan is purely advisory here
+    /// (it pre-sizes queues — there is no deviation concept, a region
+    /// whose traffic differs just grows the queues as usual).
+    plan_counts: Vec<AtomicU32>,
     _borrow: PhantomData<&'a mut [T]>,
     _op: PhantomData<O>,
 }
@@ -101,9 +109,42 @@ impl<'a, T: Element, O: ReduceOp<T>> KeeperReduction<'a, T, O> {
             nthreads,
             mem: MemCounter::new(),
             telem: TelemetryBoard::new(nthreads),
+            plan_counts: (0..nthreads * nthreads)
+                .map(|_| AtomicU32::new(0))
+                .collect(),
             _borrow: PhantomData,
             _op: PhantomData,
         }
+    }
+
+    /// Pre-sizes the forwarding queues from a recorded plan so the loop
+    /// phase never reallocates mid-region. Returns `false` (and installs
+    /// nothing) when the plan was recorded for a different shape.
+    pub fn install_plan(&mut self, plan: &RegionPlan) -> bool {
+        if !plan.matches_keeper(self.out.len(), self.nthreads) {
+            return false;
+        }
+        let Some(counts) = plan.keeper_counts() else {
+            return false;
+        };
+        for (cell, &count) in self.queues.cells.iter_mut().zip(counts) {
+            // Capacity is accounted at stash (which sees the final
+            // capacity either way), not here — avoids double counting.
+            cell.get_mut().reserve(count as usize);
+        }
+        true
+    }
+
+    /// Captures the most recent region's forwarding traffic as a plan.
+    /// Call after a region completes (the driver's barrier and `finish`
+    /// make the counts coherent).
+    pub fn extract_plan(&self) -> RegionPlan {
+        let counts: Vec<u32> = self
+            .plan_counts
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect();
+        RegionPlan::for_keeper(self.out.len(), self.nthreads, counts)
     }
 }
 
@@ -169,6 +210,9 @@ impl<T: Element, O: ReduceOp<T>> Reduction<T> for KeeperReduction<'_, T, O> {
             // SAFETY: cell (owner, tid) belongs to this thread pre-barrier.
             let q = unsafe { &*self.queues.cell(owner, tid) };
             bytes += q.capacity() * std::mem::size_of::<Request<T>>();
+            // Record this region's traffic for `extract_plan`. Cell
+            // (owner, tid) is only ever stored by thread `tid`.
+            self.plan_counts[owner * self.nthreads + tid].store(q.len() as u32, Ordering::Relaxed);
         }
         self.mem.add(bytes);
         self.telem.record(

@@ -77,6 +77,7 @@ mod keeper;
 mod log;
 mod map;
 pub mod nd;
+mod plan;
 mod reducer;
 mod shared;
 mod strategy;
@@ -99,6 +100,7 @@ pub use kahan::Kahan64;
 pub use keeper::{KeeperReduction, KeeperView};
 pub use log::{LogReduction, LogView};
 pub use map::{BTreeMapReduction, HashMapReduction, MapLike, MapOpView, MapReduction};
+pub use plan::{RegionPlan, ThreadBlocks};
 pub use reducer::{
     reduce, reduce_chunked, reduce_seq, CountedView, ReducerView, Reduction, SeqView,
 };

@@ -346,6 +346,14 @@ pub struct RunReport {
     pub strategy: String,
     /// Peak extra bytes the reducer allocated.
     pub memory_overhead: usize,
+    /// Cumulative seconds the owning executor spent building region plans
+    /// (inspection). Reported so plan amortization is measured *fairly*,
+    /// unlike MKL's untimed `mkl_sparse_optimize` inspection; zero for
+    /// executors that never planned.
+    pub plan_build_secs: f64,
+    /// Regions (cumulative, per executor) that replayed a cached plan to
+    /// completion without deviating.
+    pub planned_regions: u64,
     /// Per-thread event counters the strategy recorded.
     pub counters: Telemetry,
     /// Per-phase wall times of the region.
@@ -364,10 +372,13 @@ impl RunReport {
             .map(|c| format!("    {}", c.to_json()))
             .collect();
         format!(
-            "{{\n  \"strategy\": \"{}\",\n  \"memory_overhead\": {},\n  \"phases\": {},\n  \
+            "{{\n  \"strategy\": \"{}\",\n  \"memory_overhead\": {},\n  \
+             \"plan_build_secs\": {:?},\n  \"planned_regions\": {},\n  \"phases\": {},\n  \
              \"counters\": {{\n   \"totals\": {},\n   \"per_thread\": [\n{}\n   ]\n  }}\n}}",
             self.strategy,
             self.memory_overhead,
+            self.plan_build_secs,
+            self.planned_regions,
             self.phases.to_json(),
             self.counters.totals().to_json(),
             per_thread.join(",\n")
@@ -679,6 +690,8 @@ mod tests {
         let report = RunReport {
             strategy: "block-CAS-1024".into(),
             memory_overhead: 4096,
+            plan_build_secs: 0.03125,
+            planned_regions: 9,
             counters: Telemetry {
                 per_thread: vec![
                     Counters {
@@ -704,6 +717,8 @@ mod tests {
         for needle in [
             "\"strategy\": \"block-CAS-1024\"",
             "\"memory_overhead\": 4096",
+            "\"plan_build_secs\": 0.03125",
+            "\"planned_regions\": 9",
             "\"loop_secs\": 0.5",
             "\"applies\": 7",
             "\"per_thread\": [",

@@ -79,7 +79,9 @@ pub fn pagerank(
             g,
             contrib: &contrib,
         };
-        let report = reducer.run(pool, &mut next, 0..n, Schedule::default(), &kernel);
+        // The push pattern is the graph's CSR structure — identical every
+        // power iteration — so one recorded plan replays for all of them.
+        let report = reducer.run_planned(0, pool, &mut next, 0..n, Schedule::default(), &kernel);
         total_applies += report.counters.totals().applies;
         last_report = Some(report);
         let delta: f64 = ranks.iter().zip(&next).map(|(a, b)| (a - b).abs()).sum();
@@ -131,7 +133,9 @@ pub fn connected_components(pool: &ThreadPool, g: &Graph, strategy: Strategy) ->
     loop {
         let prev = labels.clone();
         let kernel = LabelKernel { g, prev: &prev };
-        reducer.run(pool, &mut labels, 0..n, Schedule::default(), &kernel);
+        // Label propagation scatters along the fixed edge set every
+        // round: the first round's plan serves all later rounds.
+        reducer.run_planned(0, pool, &mut labels, 0..n, Schedule::default(), &kernel);
         if labels == prev {
             return labels;
         }
@@ -171,6 +175,9 @@ pub fn bfs(pool: &ThreadPool, g: &Graph, src: usize, strategy: Strategy) -> Vec<
             frontier: &frontier,
             next_dist: level + 1,
         };
+        // Deliberately unplanned: the frontier (and with it the iteration
+        // range and scatter footprint) changes every level, so a recorded
+        // plan would deviate immediately and only add rebuild cost.
         reducer.run(
             pool,
             &mut dist,

@@ -91,7 +91,12 @@ pub fn sssp(pool: &ThreadPool, g: &WeightedGraph, src: usize, strategy: Strategy
     for _ in 0..n.max(1) {
         let prev = dist.clone();
         let kernel = RelaxAll { g, dist: &prev };
-        reducer.run(pool, &mut dist, 0..n, Schedule::default(), &kernel);
+        // The kernel only relaxes edges whose source distance is finite,
+        // so the scatter footprint *grows* as the frontier expands: early
+        // rounds deviate from the recorded plan and rebuild it (each
+        // rebuild is a superset, so it converges with the distances), and
+        // once distances settle the steady-state rounds replay cleanly.
+        reducer.run_planned(0, pool, &mut dist, 0..n, Schedule::default(), &kernel);
         if dist == prev {
             return dist;
         }

@@ -241,7 +241,12 @@ fn run_pass(
         ForceScheme::Spray(_) => {
             let kernel = ForceKernel { d, pass };
             let reducer = &mut accum.reducers.as_mut().expect("spray scheme")[pass as usize];
-            let report = reducer.run(pool, f, 0..nelem, Schedule::default(), &kernel);
+            // Both passes scatter along the fixed element→node incidence,
+            // so one plan per mesh replays across all timesteps. Each pass
+            // already has its own reducer (own plan cache); keying by pass
+            // keeps the ids meaningful if the reducers are ever merged.
+            let report =
+                reducer.run_planned(pass as u64, pool, f, 0..nelem, Schedule::default(), &kernel);
             ForceStats {
                 memory_overhead: report.memory_overhead,
                 applies: report.counters.totals().applies,

@@ -2,7 +2,7 @@
 
 use crate::{Csr, Num};
 use ompsim::{Schedule, ThreadPool};
-use spray::{reduce_strategy, Kernel, ReducerView, RunReport, Strategy};
+use spray::{reduce_strategy, Kernel, ReducerView, RegionExecutor, RunReport, Strategy};
 
 /// The Fig. 10 loop body as a [`spray::Kernel`] over rows:
 /// `for k in row(i): y[cols[k]] += vals[k] * x[i]`.
@@ -47,6 +47,52 @@ pub fn tmv_with_strategy<T: Num>(
         Schedule::default(),
         &kernel,
     )
+}
+
+/// Repeated `y += Aᵀ·x` with a cached region plan — spray's answer to
+/// MKL's `mkl_sparse_optimize()`: the first product records the column
+/// scatter footprint, every later product with the *same matrix* replays
+/// it (exclusive blocks write `y` directly, only genuinely shared blocks
+/// privatize, the merge visits only dirty copies). Unlike MKL's untimed
+/// inspection, the plan-build time is reported in the returned
+/// [`RunReport::plan_build_secs`], so amortization claims stay fair.
+///
+/// Swapping in a matrix with a different sparsity pattern is correct (the
+/// deviating product falls back and rebuilds the plan) but wastes the
+/// recording; use one `PlannedTmv` per matrix.
+pub struct PlannedTmv<T: Num> {
+    executor: RegionExecutor<T, spray::Sum>,
+}
+
+impl<T: Num> PlannedTmv<T> {
+    /// A planned-TMV context for `strategy`, with nothing recorded yet.
+    pub fn new(strategy: Strategy) -> Self {
+        PlannedTmv {
+            executor: RegionExecutor::new(strategy),
+        }
+    }
+
+    /// Computes `y += Aᵀ·x`, replaying (or first recording) the plan.
+    ///
+    /// # Panics
+    /// Panics on dimension mismatch.
+    pub fn run(&mut self, pool: &ThreadPool, a: &Csr<T>, x: &[T], y: &mut [T]) -> RunReport {
+        assert_eq!(x.len(), a.nrows(), "x must have nrows elements");
+        assert_eq!(y.len(), a.ncols(), "y must have ncols elements");
+        let kernel = TmvKernel { a, x };
+        self.executor
+            .run_planned(0, pool, y, 0..a.nrows(), Schedule::default(), &kernel)
+    }
+
+    /// Cumulative seconds spent building plans (the inspection cost).
+    pub fn plan_build_secs(&self) -> f64 {
+        self.executor.plan_build_secs()
+    }
+
+    /// Products so far that replayed a plan without deviating.
+    pub fn planned_regions(&self) -> u64 {
+        self.executor.planned_regions()
+    }
 }
 
 /// Disjoint-write shared output used by the row-parallel gather.
@@ -110,6 +156,32 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn planned_tmv_matches_seq_and_replays() {
+        let a = gen::random(400, 256, 4000, 9);
+        let x: Vec<f64> = (0..400).map(|i| (i as f64 * 0.02).cos()).collect();
+        let mut expected = vec![0.0f64; 256];
+        a.tmatvec_seq(&x, &mut expected);
+
+        let pool = ThreadPool::new(4);
+        let mut tmv = PlannedTmv::new(Strategy::BlockCas { block_size: 32 });
+        // Several products with the same matrix: the first records, the
+        // rest replay; all must match the sequential reference.
+        for rep in 0..3 {
+            let mut y = vec![0.0f64; 256];
+            let report = tmv.run(&pool, &a, &x, &mut y);
+            for (i, (&got, &want)) in y.iter().zip(&expected).enumerate() {
+                assert!(
+                    (got - want).abs() < 1e-9,
+                    "rep {rep} differs at {i}: {got} vs {want}"
+                );
+            }
+            assert_eq!(report.planned_regions, rep as u64);
+        }
+        assert_eq!(tmv.planned_regions(), 2);
+        assert!(tmv.plan_build_secs() >= 0.0);
     }
 
     #[test]
