@@ -1,0 +1,304 @@
+//! Diffs two `BENCH_*.json` artifacts with relative slack (CI
+//! bench-regression gate).
+//!
+//! ```text
+//! bench_diff <baseline.json> <candidate.json> [--slack-pct 25]
+//! ```
+//!
+//! Both files must share the harness's shape: top-level scalar config
+//! keys (`n`, `block_size`, `reps`, ...) plus a `results` array of flat
+//! row objects. Rows are matched by their identity fields (every string
+//! field, plus `threads` when present); *timing* fields — names ending
+//! in `_secs` or `_ns_per_apply` — regress when the candidate exceeds
+//! `base * (1 + slack) + floor`, where the floor (50 µs / 0.3 ns)
+//! absorbs scheduler jitter on micro-sized smoke runs. Improvements and
+//! non-timing fields never fail. Prints a markdown diff table (CI pipes
+//! it into the job summary).
+//!
+//! Exit codes: 0 clean, 1 regression, 2 incomparable configs (the
+//! committed baseline was generated with different flags than the CI
+//! re-run — regenerate it).
+
+use bench::json::{parse, Json};
+
+/// Slack floor for `_secs` fields (50 µs).
+const FLOOR_SECS: f64 = 50e-6;
+/// Slack floor for `_ns_per_apply` fields (0.3 ns).
+const FLOOR_NS: f64 = 0.3;
+
+fn is_timing(field: &str) -> bool {
+    field.ends_with("_secs") || field.ends_with("_ns_per_apply")
+}
+
+fn floor_for(field: &str) -> f64 {
+    if field.ends_with("_secs") {
+        FLOOR_SECS
+    } else {
+        FLOOR_NS
+    }
+}
+
+/// Identity of a result row: every string field plus `threads`, in key
+/// order (`Json::Obj` is a `BTreeMap`, so this is deterministic).
+fn row_key(row: &Json) -> String {
+    let Json::Obj(map) = row else {
+        return String::from("<non-object row>");
+    };
+    let mut parts = Vec::new();
+    for (k, v) in map {
+        match v {
+            Json::Str(s) => parts.push(format!("{k}={s}")),
+            Json::Num(n) if k == "threads" => parts.push(format!("threads={n}")),
+            _ => {}
+        }
+    }
+    parts.join(" ")
+}
+
+/// One compared timing metric.
+struct DiffRow {
+    key: String,
+    metric: String,
+    base: f64,
+    cand: f64,
+    delta_pct: f64,
+    regressed: bool,
+}
+
+enum DiffError {
+    /// Top-level config key disagrees: the artifacts are not comparable.
+    Incomparable(String),
+    /// Structural problem (missing `results`, row shapes).
+    Malformed(String),
+}
+
+/// Compares candidate against baseline; returns the metric table or why
+/// the comparison is impossible.
+fn diff(base: &Json, cand: &Json, slack_pct: f64) -> Result<Vec<DiffRow>, DiffError> {
+    let (Json::Obj(bmap), Json::Obj(cmap)) = (base, cand) else {
+        return Err(DiffError::Malformed("top level must be an object".into()));
+    };
+    for (k, bv) in bmap {
+        if k == "results" {
+            continue;
+        }
+        match cmap.get(k) {
+            Some(cv) if cv == bv => {}
+            Some(cv) => {
+                return Err(DiffError::Incomparable(format!(
+                    "config key {k:?}: baseline {bv:?} vs candidate {cv:?}"
+                )))
+            }
+            None => {
+                return Err(DiffError::Incomparable(format!(
+                    "config key {k:?} missing from candidate"
+                )))
+            }
+        }
+    }
+    let rows = |j: &Json| -> Result<Vec<Json>, DiffError> {
+        j.get("results")
+            .and_then(|r| r.as_arr())
+            .map(<[Json]>::to_vec)
+            .ok_or_else(|| DiffError::Malformed("missing results array".into()))
+    };
+    let brows = rows(base)?;
+    let crows = rows(cand)?;
+
+    let mut out = Vec::new();
+    for brow in &brows {
+        let key = row_key(brow);
+        let Some(crow) = crows.iter().find(|c| row_key(c) == key) else {
+            return Err(DiffError::Malformed(format!(
+                "row {key:?} missing from candidate results"
+            )));
+        };
+        let Json::Obj(bfields) = brow else { continue };
+        for (field, bval) in bfields {
+            if !is_timing(field) {
+                continue;
+            }
+            let (Some(b), Some(c)) = (bval.as_num(), crow.get(field).and_then(Json::as_num)) else {
+                continue;
+            };
+            let limit = b * (1.0 + slack_pct / 100.0) + floor_for(field);
+            let delta_pct = if b.abs() > f64::EPSILON {
+                (c - b) / b * 100.0
+            } else {
+                0.0
+            };
+            out.push(DiffRow {
+                key: key.clone(),
+                metric: field.clone(),
+                base: b,
+                cand: c,
+                delta_pct,
+                regressed: c > limit,
+            });
+        }
+    }
+    Ok(out)
+}
+
+fn print_table(name: &str, rows: &[DiffRow]) {
+    println!("### bench-diff: {name}");
+    println!();
+    println!("| config | metric | baseline | candidate | Δ% | status |");
+    println!("|---|---|---:|---:|---:|---|");
+    for r in rows {
+        println!(
+            "| {} | {} | {:.4e} | {:.4e} | {:+.1}% | {} |",
+            r.key,
+            r.metric,
+            r.base,
+            r.cand,
+            r.delta_pct,
+            if r.regressed { "**REGRESSED**" } else { "ok" }
+        );
+    }
+    println!();
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut slack_pct = 25.0;
+    let mut files = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--slack-pct" {
+            slack_pct = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                eprintln!("--slack-pct needs a number");
+                std::process::exit(2);
+            });
+        } else {
+            files.push(a.clone());
+        }
+    }
+    if files.len() != 2 {
+        eprintln!("usage: bench_diff <baseline.json> <candidate.json> [--slack-pct P]");
+        std::process::exit(2);
+    }
+    let read = |path: &str| -> Json {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(2);
+        });
+        parse(&text).unwrap_or_else(|e| {
+            eprintln!("cannot parse {path}: {e}");
+            std::process::exit(2);
+        })
+    };
+    let base = read(&files[0]);
+    let cand = read(&files[1]);
+    match diff(&base, &cand, slack_pct) {
+        Ok(rows) => {
+            print_table(&files[1], &rows);
+            let regressed = rows.iter().filter(|r| r.regressed).count();
+            if regressed > 0 {
+                eprintln!(
+                    "bench_diff: {regressed} metric(s) beyond +{slack_pct}% slack vs {}",
+                    files[0]
+                );
+                std::process::exit(1);
+            }
+            println!(
+                "bench_diff: {} metric(s) within +{slack_pct}% slack",
+                rows.len()
+            );
+        }
+        Err(DiffError::Incomparable(why)) => {
+            eprintln!(
+                "bench_diff: artifacts are not comparable ({why}); regenerate the committed \
+                 baseline with the CI flags"
+            );
+            std::process::exit(2);
+        }
+        Err(DiffError::Malformed(why)) => {
+            eprintln!("bench_diff: {why}");
+            std::process::exit(2);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn j(s: &str) -> Json {
+        parse(s).expect("test json parses")
+    }
+
+    const BASE: &str = r#"{"n": 100, "reps": 2, "results": [
+        {"strategy": "block-CAS-32", "pattern": "stream", "cached_ns_per_apply": 2.0, "note": "x"},
+        {"strategy": "keeper", "threads": 2, "steady_secs": 1.0e-3}
+    ]}"#;
+
+    #[test]
+    fn within_slack_passes() {
+        let cand = r#"{"n": 100, "reps": 2, "results": [
+            {"strategy": "block-CAS-32", "pattern": "stream", "cached_ns_per_apply": 2.2, "note": "x"},
+            {"strategy": "keeper", "threads": 2, "steady_secs": 1.1e-3}
+        ]}"#;
+        let rows = diff(&j(BASE), &j(cand), 25.0).ok().expect("comparable");
+        assert_eq!(rows.len(), 2);
+        assert!(rows.iter().all(|r| !r.regressed));
+    }
+
+    #[test]
+    fn beyond_slack_regresses() {
+        let cand = r#"{"n": 100, "reps": 2, "results": [
+            {"strategy": "block-CAS-32", "pattern": "stream", "cached_ns_per_apply": 3.1, "note": "x"},
+            {"strategy": "keeper", "threads": 2, "steady_secs": 2.0e-3}
+        ]}"#;
+        let rows = diff(&j(BASE), &j(cand), 25.0).ok().expect("comparable");
+        assert_eq!(rows.iter().filter(|r| r.regressed).count(), 2);
+    }
+
+    #[test]
+    fn floor_absorbs_micro_jitter() {
+        // 10 µs -> 55 µs is a 450% "regression" but sits under the 50 µs
+        // floor that keeps smoke-sized runs from flapping.
+        let base = r#"{"results": [{"s": "a", "t_secs": 1.0e-5}]}"#;
+        let cand = r#"{"results": [{"s": "a", "t_secs": 5.5e-5}]}"#;
+        let rows = diff(&j(base), &j(cand), 25.0).ok().expect("comparable");
+        assert!(!rows[0].regressed);
+    }
+
+    #[test]
+    fn improvements_never_fail() {
+        let cand = r#"{"n": 100, "reps": 2, "results": [
+            {"strategy": "block-CAS-32", "pattern": "stream", "cached_ns_per_apply": 0.5, "note": "x"},
+            {"strategy": "keeper", "threads": 2, "steady_secs": 1.0e-6}
+        ]}"#;
+        let rows = diff(&j(BASE), &j(cand), 25.0).ok().expect("comparable");
+        assert!(rows.iter().all(|r| !r.regressed));
+    }
+
+    #[test]
+    fn config_drift_is_incomparable() {
+        let cand = r#"{"n": 200, "reps": 2, "results": []}"#;
+        assert!(matches!(
+            diff(&j(BASE), &j(cand), 25.0),
+            Err(DiffError::Incomparable(_))
+        ));
+    }
+
+    #[test]
+    fn missing_row_is_malformed() {
+        let cand = r#"{"n": 100, "reps": 2, "results": [
+            {"strategy": "block-CAS-32", "pattern": "stream", "cached_ns_per_apply": 2.0, "note": "x"}
+        ]}"#;
+        assert!(matches!(
+            diff(&j(BASE), &j(cand), 25.0),
+            Err(DiffError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn non_timing_fields_are_ignored() {
+        let base = r#"{"results": [{"s": "a", "break_even_regions": 3, "planned_regions": 5}]}"#;
+        let cand = r#"{"results": [{"s": "a", "break_even_regions": 99, "planned_regions": 1}]}"#;
+        let rows = diff(&j(base), &j(cand), 25.0).ok().expect("comparable");
+        assert!(rows.is_empty());
+    }
+}

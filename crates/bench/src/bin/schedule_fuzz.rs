@@ -1,0 +1,282 @@
+//! Schedule fuzzer: sweeps seeds through the differential oracle.
+//!
+//! Each seed runs every strategy (unplanned + plan-recording + replays,
+//! i64 and f64) against the sequential reduction. Built with
+//! `--features verify`, each sweep also installs ompsim's seeded
+//! schedule controller, so the interleaving is perturbed PCT-style and
+//! any failure is a one-line repro: re-running with `--seed <S>`
+//! replays the exact decision stream that exposed it. Without the
+//! feature the binary degenerates to an unperturbed differential sweep
+//! (and says so).
+//!
+//! Modes:
+//!
+//! * default — sweep `--seeds` seeds from `--start` (or just `--seed`),
+//!   failing if any seed mismatches;
+//! * `--broken` — run the planted-bug canary (block-CAS with the
+//!   ownership CAS dropped) and exit 0 only if some seed in the budget
+//!   *catches* the bug (CI inverts the gate: not catching is the
+//!   failure);
+//! * `--faults N` — N fault-injection iterations: an injected mid-region
+//!   panic must poison the region (never deadlock) and leave pool +
+//!   executor able to produce exact results afterwards.
+
+use spray::verify::OracleCfg;
+use spray::Strategy;
+
+struct FuzzOpts {
+    seeds: u64,
+    start: u64,
+    threads: usize,
+    n: usize,
+    updates: usize,
+    block_size: usize,
+    dynamic: bool,
+    no_floats: bool,
+    replays: usize,
+    broken: bool,
+    faults: u64,
+    quiet: bool,
+}
+
+impl Default for FuzzOpts {
+    fn default() -> Self {
+        FuzzOpts {
+            seeds: 16,
+            start: 0,
+            threads: 4,
+            n: 512,
+            updates: 4096,
+            block_size: 32,
+            dynamic: false,
+            no_floats: false,
+            replays: 2,
+            broken: false,
+            faults: 0,
+            quiet: false,
+        }
+    }
+}
+
+const USAGE: &str = "usage: schedule_fuzz [--seed S | --seeds N --start S] [--threads T] \
+[--n N] [--updates U] [--block-size B] [--replays R] [--dynamic] [--no-floats] \
+[--broken] [--faults N] [--quiet]";
+
+fn parse_opts() -> FuzzOpts {
+    let mut o = FuzzOpts::default();
+    let mut args = std::env::args().skip(1);
+    let value = |args: &mut dyn Iterator<Item = String>, flag: &str| -> String {
+        args.next().unwrap_or_else(|| {
+            eprintln!("{flag} needs a value\n{USAGE}");
+            std::process::exit(2);
+        })
+    };
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--seed" => {
+                o.start = value(&mut args, "--seed").parse().expect("--seed: u64");
+                o.seeds = 1;
+            }
+            "--seeds" => o.seeds = value(&mut args, "--seeds").parse().expect("--seeds: u64"),
+            "--start" => o.start = value(&mut args, "--start").parse().expect("--start: u64"),
+            "--threads" => {
+                o.threads = value(&mut args, "--threads")
+                    .parse()
+                    .expect("--threads: usize")
+            }
+            "--n" => o.n = value(&mut args, "--n").parse().expect("--n: usize"),
+            "--updates" => {
+                o.updates = value(&mut args, "--updates")
+                    .parse()
+                    .expect("--updates: usize")
+            }
+            "--block-size" => {
+                o.block_size = value(&mut args, "--block-size")
+                    .parse()
+                    .expect("--block-size: usize")
+            }
+            "--replays" => {
+                o.replays = value(&mut args, "--replays")
+                    .parse()
+                    .expect("--replays: usize")
+            }
+            "--dynamic" => o.dynamic = true,
+            "--no-floats" => o.no_floats = true,
+            "--broken" => o.broken = true,
+            "--faults" => o.faults = value(&mut args, "--faults").parse().expect("--faults: u64"),
+            "--quiet" => o.quiet = true,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown flag {other}\n{USAGE}");
+                std::process::exit(2);
+            }
+        }
+    }
+    o
+}
+
+fn oracle_cfg(o: &FuzzOpts) -> OracleCfg {
+    OracleCfg {
+        n: o.n,
+        updates: o.updates,
+        threads: o.threads,
+        block_size: o.block_size,
+        strategies: Strategy::all(o.block_size),
+        check_floats: !o.no_floats,
+        dynamic: o.dynamic,
+        replays: o.replays,
+    }
+}
+
+fn repro_line(o: &FuzzOpts, seed: u64) -> String {
+    let mut extra = String::new();
+    if o.dynamic {
+        extra.push_str(" --dynamic");
+    }
+    if o.no_floats {
+        extra.push_str(" --no-floats");
+    }
+    format!(
+        "repro: cargo run --release -p bench --features verify --bin schedule_fuzz -- \
+         --seed {seed} --threads {} --n {} --updates {} --block-size {} --replays {}{extra}",
+        o.threads, o.n, o.updates, o.block_size, o.replays
+    )
+}
+
+#[cfg(feature = "verify")]
+fn sweep(o: &FuzzOpts) -> u64 {
+    use spray::verify::fuzz::fuzz_case;
+    let cfg = oracle_cfg(o);
+    let mut failures = 0u64;
+    for seed in o.start..o.start + o.seeds {
+        let outcome = fuzz_case(&cfg, seed);
+        match outcome.result {
+            Ok(stats) => {
+                if !o.quiet {
+                    let crossings: u64 = outcome.hook_totals.iter().sum();
+                    println!(
+                        "seed {seed}: ok ({} regions, {crossings} hook crossings, \
+                         {} preemptions, {} merges by t0)",
+                        stats.regions,
+                        outcome.preemptions,
+                        outcome.merge_orders.first().map_or(0, |m| m.len())
+                    );
+                }
+            }
+            Err(m) => {
+                failures += 1;
+                eprintln!("FAIL {m}");
+                eprintln!("{}", repro_line(o, seed));
+            }
+        }
+    }
+    failures
+}
+
+#[cfg(not(feature = "verify"))]
+fn sweep(o: &FuzzOpts) -> u64 {
+    use ompsim::ThreadPool;
+    use spray::verify::check_seed;
+    eprintln!(
+        "note: built without --features verify — running the unperturbed differential \
+         oracle only (no schedule control, no replay)"
+    );
+    let cfg = oracle_cfg(o);
+    let pool = ThreadPool::new(o.threads);
+    let mut failures = 0u64;
+    for seed in o.start..o.start + o.seeds {
+        match check_seed(&pool, &cfg, seed) {
+            Ok(stats) => {
+                if !o.quiet {
+                    println!("seed {seed}: ok ({} regions)", stats.regions);
+                }
+            }
+            Err(m) => {
+                failures += 1;
+                eprintln!("FAIL {m}");
+                eprintln!("{}", repro_line(o, seed));
+            }
+        }
+    }
+    failures
+}
+
+#[cfg(feature = "verify")]
+fn broken_main(o: &FuzzOpts) -> i32 {
+    use spray::verify::fuzz::broken_case;
+    for seed in o.start..o.start + o.seeds {
+        if broken_case(o.threads, seed) {
+            println!(
+                "broken-CAS canary: lost updates exposed at seed {seed} \
+                 ({} seed(s) into the sweep)",
+                seed - o.start + 1
+            );
+            return 0;
+        }
+    }
+    eprintln!(
+        "broken-CAS canary NOT caught in {} seed(s) — the fuzzer lost its teeth",
+        o.seeds
+    );
+    1
+}
+
+#[cfg(feature = "verify")]
+fn faults_main(o: &FuzzOpts) -> i32 {
+    use spray::verify::fuzz::fault_case;
+    let mut bad = 0;
+    for seed in o.start..o.start + o.faults {
+        match fault_case(o.threads, seed) {
+            Ok(()) => {
+                if !o.quiet {
+                    println!("fault seed {seed}: poisoned cleanly, rerun exact");
+                }
+            }
+            Err(e) => {
+                bad += 1;
+                eprintln!("FAIL fault seed {seed}: {e}");
+            }
+        }
+    }
+    if bad > 0 {
+        eprintln!("fault injection: {bad} failure(s)");
+        1
+    } else {
+        println!("fault injection: {} iteration(s) clean", o.faults);
+        0
+    }
+}
+
+#[cfg(not(feature = "verify"))]
+fn broken_main(_o: &FuzzOpts) -> i32 {
+    eprintln!("--broken requires --features verify");
+    2
+}
+
+#[cfg(not(feature = "verify"))]
+fn faults_main(_o: &FuzzOpts) -> i32 {
+    eprintln!("--faults requires --features verify");
+    2
+}
+
+fn main() {
+    let o = parse_opts();
+    if o.broken {
+        std::process::exit(broken_main(&o));
+    }
+    if o.faults > 0 {
+        std::process::exit(faults_main(&o));
+    }
+    let failures = sweep(&o);
+    if failures > 0 {
+        eprintln!("schedule_fuzz: {failures} failing seed(s) of {}", o.seeds);
+        std::process::exit(1);
+    }
+    println!(
+        "schedule_fuzz: {} seed(s) from {} clean ({} threads)",
+        o.seeds, o.start, o.threads
+    );
+}

@@ -315,6 +315,59 @@ impl_seal!(NoOwnershipSeal, NoOwnership);
 impl_seal!(LockOwnershipSeal, LockOwnership);
 impl_seal!(CasOwnershipSeal, CasOwnership);
 
+/// **Deliberately broken** ownership used only by the verification
+/// harness: block-CAS with the CAS dropped. `try_claim` does a plain
+/// load / perturb / store — two threads can both observe `UNOWNED` (or
+/// each other's claim) and both walk away believing they own the block,
+/// after which their direct writes race on `out` and drop updates. The
+/// schedule fuzzer must catch this within its seed budget; it proves the
+/// harness can see the exact class of bug the real protocol prevents.
+#[cfg(feature = "verify")]
+#[doc(hidden)]
+pub struct BrokenCasOwnershipSeal(CasOwnership);
+
+#[cfg(feature = "verify")]
+impl Ownership for BrokenCasOwnershipSeal {
+    const DIRECT: bool = true;
+    fn new(nblocks: usize) -> Self {
+        BrokenCasOwnershipSeal(CasOwnership::new(nblocks))
+    }
+    fn try_claim(&self, b: usize, tid: usize) -> Claim {
+        let cur = self.0.table[b].0.load(Ordering::Relaxed);
+        // The bug: the check and the store are separate steps, and the
+        // perturbation point invites a context switch between them.
+        ompsim::verify::perturb_idx(ompsim::verify::HookPoint::OwnershipClaim, b as u64);
+        if cur == tid {
+            Claim::Retained
+        } else {
+            // Steals occupied blocks too — a second thread that raced the
+            // claim window "wins" alongside the first.
+            self.0.table[b].0.store(tid, Ordering::Relaxed);
+            Claim::Won
+        }
+    }
+    fn reset(&self) {
+        self.0.reset()
+    }
+    fn footprint(&self) -> usize {
+        self.0.footprint()
+    }
+}
+
+/// Verification-only reduction over the broken ownership above. Never
+/// use outside the fuzz harness.
+#[cfg(feature = "verify")]
+#[doc(hidden)]
+pub type BlockBrokenCasReduction<'a, T, O> = BlockReduction<'a, T, O, BrokenCasOwnershipSeal>;
+
+#[cfg(feature = "verify")]
+impl<'a, T: Element, O: ReduceOp<T>> BlockBrokenCasReduction<'a, T, O> {
+    /// Constructs the planted-bug reduction (verification harness only).
+    pub fn new(out: &'a mut [T], nthreads: usize, block_size: usize) -> Self {
+        Self::with_flavor(out, nthreads, block_size, "block-brokenCAS")
+    }
+}
+
 impl<'a, T: Element, O: ReduceOp<T>, W: Ownership> BlockReduction<'a, T, O, W> {
     fn with_flavor(
         out: &'a mut [T],
@@ -629,6 +682,7 @@ impl<T: Element, O: ReduceOp<T>, W: Ownership> ViewCore<T, O, W> {
     #[cold]
     fn resolve(&mut self, b: usize) -> u8 {
         self.counters.block_first_touches += 1;
+        ompsim::verify::perturb_idx(ompsim::verify::HookPoint::OwnershipClaim, b as u64);
         let claim = if self.planned {
             self.deviated = true;
             Claim::Lost
@@ -689,7 +743,18 @@ impl<T: Element, O: ReduceOp<T>, W: Ownership> ReducerView<T> for BlockView<T, O
             // has exclusive write access to that storage for the region.
             unsafe {
                 let p = self.last_base.add(i & self.core.mask);
-                *p = O::combine(*p, v);
+                #[cfg(feature = "verify")]
+                {
+                    // Widened race window (see `SharedSlice::combine`):
+                    // the cached target may be the shared output array.
+                    let cur = *p;
+                    ompsim::verify::perturb_idx(ompsim::verify::HookPoint::SharedWrite, i as u64);
+                    *p = O::combine(cur, v);
+                }
+                #[cfg(not(feature = "verify"))]
+                {
+                    *p = O::combine(*p, v);
+                }
             }
         } else {
             (self.last_block, self.last_base) = self.core.apply_slow(i, v);
@@ -811,6 +876,7 @@ impl<T: Element, O: ReduceOp<T>, W: Ownership> Reduction<T> for BlockReduction<'
         if let Some(plan) = clean_plan {
             for &b in plan.merge_list(tid) {
                 let b = b as usize;
+                ompsim::verify::perturb_idx(ompsim::verify::HookPoint::MergeStep, b as u64);
                 let range = self.block_range(b);
                 for t in 0..self.nthreads {
                     // SAFETY: post-barrier, slots are read-only.
@@ -844,6 +910,7 @@ impl<T: Element, O: ReduceOp<T>, W: Ownership> Reduction<T> for BlockReduction<'
                     if b % self.nthreads != tid {
                         continue;
                     }
+                    ompsim::verify::perturb_idx(ompsim::verify::HookPoint::MergeStep, b as u64);
                     let range = self.block_range(b);
                     let blk = scratch.blocks[b].as_ref().unwrap();
                     for (off, i) in range.clone().enumerate() {

@@ -173,6 +173,7 @@ impl<T: Element, O: ReduceOp<T>> ReducerView<T> for KeeperView<T, O> {
         } else {
             self.remote_enqueues += 1;
             let owner = owner_of(i, self.nthreads, self.out.len());
+            ompsim::verify::perturb_idx(ompsim::verify::HookPoint::QueuePush, owner as u64);
             // SAFETY: cell (owner, tid) is written only by this thread
             // pre-barrier; the parent reduction outlives the view.
             unsafe {
@@ -230,6 +231,7 @@ impl<T: Element, O: ReduceOp<T>> Reduction<T> for KeeperReduction<'_, T, O> {
         // reproducible for this strategy).
         let mut flushed = 0u64;
         for writer in 0..self.nthreads {
+            ompsim::verify::perturb_idx(ompsim::verify::HookPoint::QueueDrain, writer as u64);
             // SAFETY: post-barrier, cell (tid, writer) is read only by the
             // owner `tid`.
             let q = unsafe { &mut *self.queues.cell(tid, writer) };

@@ -82,6 +82,7 @@ mod reducer;
 mod shared;
 mod strategy;
 mod telemetry;
+pub mod verify;
 
 pub use argmax::{MaxAt, MinAt, ValueAt};
 pub use atomic::{AtomicReduction, AtomicView};

@@ -1,0 +1,486 @@
+//! Differential concurrency-verification oracle.
+//!
+//! The oracle runs every strategy over the same seeded scatter kernel —
+//! unplanned, plan-recording, and plan-replaying — and compares each
+//! result against the sequential reduction: bit-for-bit for integer
+//! elements, within a tight reassociation tolerance for floats. On its
+//! own (`check_seed`) it is an always-compiled correctness sweep; under
+//! the `verify` feature the `fuzz` module pairs it with ompsim's
+//! seeded schedule controller so every sweep runs under a replayable
+//! perturbed interleaving, turning the oracle into a schedule fuzzer
+//! (PCT-style randomized preemption, fault injection, and a planted-bug
+//! canary). The `schedule_fuzz` bench binary drives it from the CLI;
+//! DESIGN.md's "Verification" section maps the hook points.
+
+use crate::{reduce_seq, Counters, Kernel, ReducerView, RegionExecutor, Strategy, Sum};
+use ompsim::verify::mix64;
+use ompsim::{Schedule, ThreadPool};
+use std::fmt;
+
+/// Deterministic scatter kernel: iteration `i` applies two updates at
+/// pseudo-random indices derived from `(seed, i)` — the shape the
+/// proptest oracles use, shared here so fuzz failures replay under the
+/// exact kernel that found them.
+pub struct ScatterKernel {
+    /// Output array length (indices are reduced mod `n`).
+    pub n: usize,
+    /// Stream seed: each seed is a distinct scatter pattern.
+    pub seed: u64,
+}
+
+impl ScatterKernel {
+    #[inline(always)]
+    fn hash(&self, i: usize) -> u64 {
+        mix64(self.seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+}
+
+impl Kernel<i64> for ScatterKernel {
+    #[inline(always)]
+    fn item<V: ReducerView<i64>>(&self, view: &mut V, i: usize) {
+        let h = self.hash(i);
+        view.apply((h as usize) % self.n, 1 + ((h >> 32) % 5) as i64);
+        view.apply(((h >> 16) as usize) % self.n, 3);
+    }
+}
+
+impl Kernel<f64> for ScatterKernel {
+    #[inline(always)]
+    fn item<V: ReducerView<f64>>(&self, view: &mut V, i: usize) {
+        let h = self.hash(i);
+        view.apply(
+            (h as usize) % self.n,
+            ((h % 1000) as f64).mul_add(1e-3, 1.0),
+        );
+        view.apply(((h >> 16) as usize) % self.n, 0.5);
+    }
+}
+
+/// Which executor path produced a checked result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// `RegionExecutor::run`.
+    Unplanned,
+    /// `run_planned`, first region (plan recording).
+    Recording,
+    /// `run_planned`, replay number `n` (1-based).
+    Replay(usize),
+}
+
+impl fmt::Display for Mode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Mode::Unplanned => write!(f, "unplanned"),
+            Mode::Recording => write!(f, "recording"),
+            Mode::Replay(n) => write!(f, "replay{n}"),
+        }
+    }
+}
+
+/// A differential failure: one element disagreed with the sequential
+/// reduction. `Display` prints a one-line repro-oriented description.
+#[derive(Debug, Clone)]
+pub struct Mismatch {
+    /// Seed whose sweep failed (the one-line repro handle).
+    pub seed: u64,
+    /// Strategy label (paper naming).
+    pub strategy: String,
+    /// Executor path that produced the bad result.
+    pub mode: Mode,
+    /// Element type of the failing sweep (`"i64"` / `"f64"`).
+    pub elem: &'static str,
+    /// First disagreeing element index.
+    pub index: usize,
+    /// Parallel result at `index`.
+    pub got: String,
+    /// Sequential result at `index`.
+    pub want: String,
+}
+
+impl fmt::Display for Mismatch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "seed {}: {} ({}, {}) out[{}] = {} != sequential {}",
+            self.seed, self.strategy, self.mode, self.elem, self.index, self.got, self.want
+        )
+    }
+}
+
+/// Oracle workload parameters.
+#[derive(Debug, Clone)]
+pub struct OracleCfg {
+    /// Output array length.
+    pub n: usize,
+    /// Loop iterations per region (two applies each).
+    pub updates: usize,
+    /// Team size.
+    pub threads: usize,
+    /// Block size for the block-flavor strategies.
+    pub block_size: usize,
+    /// Strategies to sweep.
+    pub strategies: Vec<Strategy>,
+    /// Also run the f64 sweep (tolerance compare).
+    pub check_floats: bool,
+    /// Use a `dynamic` loop schedule instead of the default static one.
+    pub dynamic: bool,
+    /// Planned replays per strategy after the recording region.
+    pub replays: usize,
+}
+
+impl OracleCfg {
+    /// The CI smoke shape: small array, heavy overlap, every strategy.
+    pub fn quick(threads: usize) -> Self {
+        let block_size = 32;
+        OracleCfg {
+            n: 512,
+            updates: 4096,
+            threads,
+            block_size,
+            strategies: Strategy::all(block_size),
+            check_floats: true,
+            dynamic: false,
+            replays: 2,
+        }
+    }
+}
+
+/// Per-seed summary: every `(strategy, mode)` region that ran and its
+/// telemetry counter totals, in execution order. Under a deterministic
+/// schedule (static, non-claiming strategies) the whole vector is a
+/// replayable fingerprint.
+#[derive(Debug, Clone, Default)]
+pub struct OracleStats {
+    /// Parallel regions executed by the sweep.
+    pub regions: usize,
+    /// `("strategy/elem/mode", counter totals)` per region, in order.
+    pub reports: Vec<(String, Counters)>,
+}
+
+fn check_elem<T, CMP>(
+    pool: &ThreadPool,
+    cfg: &OracleCfg,
+    seed: u64,
+    elem: &'static str,
+    same: CMP,
+    stats: &mut OracleStats,
+) -> Result<(), Box<Mismatch>>
+where
+    T: crate::AtomicElement + fmt::Debug + Default + Copy,
+    ScatterKernel: Kernel<T>,
+    crate::Sum: crate::ReduceOp<T>,
+    CMP: Fn(T, T) -> bool,
+{
+    let schedule = if cfg.dynamic {
+        Schedule::Dynamic { chunk: 3 }
+    } else {
+        Schedule::default()
+    };
+    let kernel = ScatterKernel { n: cfg.n, seed };
+    let mut want = vec![T::default(); cfg.n];
+    reduce_seq::<T, Sum, _>(&mut want, 0..cfg.updates, |v, i| kernel.item(v, i));
+
+    let check = |out: &[T], strategy: &Strategy, mode: Mode| -> Result<(), Box<Mismatch>> {
+        for (i, (&got, &w)) in out.iter().zip(want.iter()).enumerate() {
+            if !same(got, w) {
+                return Err(Box::new(Mismatch {
+                    seed,
+                    strategy: strategy.label(),
+                    mode,
+                    elem,
+                    index: i,
+                    got: format!("{got:?}"),
+                    want: format!("{w:?}"),
+                }));
+            }
+        }
+        Ok(())
+    };
+
+    for &strategy in &cfg.strategies {
+        let mut ex = RegionExecutor::<T, Sum>::new(strategy);
+        let mut out = vec![T::default(); cfg.n];
+        let report = ex.run(pool, &mut out, 0..cfg.updates, schedule, &kernel);
+        stats.regions += 1;
+        stats.reports.push((
+            format!("{}/{elem}/unplanned", strategy.label()),
+            report.counters.totals(),
+        ));
+        check(&out, &strategy, Mode::Unplanned)?;
+
+        let mut ex = RegionExecutor::<T, Sum>::new(strategy);
+        for r in 0..=cfg.replays {
+            let mode = if r == 0 {
+                Mode::Recording
+            } else {
+                Mode::Replay(r)
+            };
+            let mut out = vec![T::default(); cfg.n];
+            let report = ex.run_planned(1, pool, &mut out, 0..cfg.updates, schedule, &kernel);
+            stats.regions += 1;
+            stats.reports.push((
+                format!("{}/{elem}/{mode}", strategy.label()),
+                report.counters.totals(),
+            ));
+            check(&out, &strategy, mode)?;
+        }
+    }
+    Ok(())
+}
+
+/// Runs the full differential sweep for one seed: every configured
+/// strategy, unplanned + recording + replays, i64 exactly and (when
+/// configured) f64 within reassociation tolerance. Returns the region
+/// fingerprint on success, the first mismatch otherwise.
+pub fn check_seed(
+    pool: &ThreadPool,
+    cfg: &OracleCfg,
+    seed: u64,
+) -> Result<OracleStats, Box<Mismatch>> {
+    let mut stats = OracleStats::default();
+    check_elem::<i64, _>(pool, cfg, seed, "i64", |a, b| a == b, &mut stats)?;
+    if cfg.check_floats {
+        // Reassociation-only tolerance: each element accumulates a few
+        // hundred O(1) contributions, so true reassociation error is
+        // ~1e-13 relative; 1e-9 passes every legal merge order and still
+        // flags any lost or doubled update (magnitude >= 0.5).
+        let same = |a: f64, b: f64| (a - b).abs() <= 1e-9 * (1.0 + a.abs().max(b.abs()));
+        check_elem::<f64, _>(pool, cfg, seed, "f64", same, &mut stats)?;
+    }
+    Ok(stats)
+}
+
+/// Seed budget for fuzz loops in tests/CI: `SPRAY_FUZZ_SEEDS` when set
+/// and parseable, `default` otherwise. The TSan job runs the same tests
+/// with a smaller budget through this knob.
+pub fn seed_budget(default: u64) -> u64 {
+    std::env::var("SPRAY_FUZZ_SEEDS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+#[cfg(feature = "verify")]
+pub mod fuzz {
+    //! Schedule fuzzing on top of the differential oracle (requires the
+    //! `verify` feature): each case installs a seeded
+    //! [`ompsim::verify`] controller, so the oracle sweep runs under a
+    //! replayable perturbed interleaving.
+
+    use super::*;
+    use crate::block::BlockBrokenCasReduction;
+    use crate::reduce;
+    use ompsim::verify::{self, FaultSpec, HookPoint, VerifyConfig, NPOINTS};
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// PCT-style parameters derived deterministically from the seed:
+    /// preemption probability, per-thread budget, and (for a quarter of
+    /// seeds) real delays instead of yields.
+    pub fn params_for_seed(seed: u64) -> VerifyConfig {
+        let h = mix64(seed ^ 0x5EED_F00D);
+        VerifyConfig {
+            seed,
+            preempt_per_mille: (50 + h % 450) as u16,
+            budget: (16 + ((h >> 16) % 120)) as u32,
+            delay_nanos: if (h >> 32).is_multiple_of(4) {
+                20_000
+            } else {
+                0
+            },
+            fault: None,
+        }
+    }
+
+    /// Everything one fuzz iteration observed: the oracle verdict plus
+    /// the controller's replay fingerprint.
+    pub struct FuzzOutcome {
+        /// The differential-oracle verdict for this seed.
+        pub result: Result<OracleStats, Box<Mismatch>>,
+        /// Preemptions the controller charged (all threads).
+        pub preemptions: u64,
+        /// Hook crossings, indexed like [`HookPoint::ALL`].
+        pub hook_totals: [u64; NPOINTS],
+        /// Per-thread merge orders (block index sequences).
+        pub merge_orders: Vec<Vec<u64>>,
+    }
+
+    /// One fuzz iteration: install the seed's controller, run the full
+    /// differential sweep under it, return verdict + fingerprint.
+    pub fn fuzz_case(cfg: &OracleCfg, seed: u64) -> FuzzOutcome {
+        let session = verify::install(params_for_seed(seed));
+        let pool = ThreadPool::new(cfg.threads);
+        let result = check_seed(&pool, cfg, seed);
+        drop(pool);
+        let merge_orders = (0..cfg.threads.min(verify::MAX_THREADS))
+            .map(|t| session.merge_order(t))
+            .collect();
+        FuzzOutcome {
+            result,
+            preemptions: session.preemptions(),
+            hook_totals: session.totals(),
+            merge_orders,
+        }
+    }
+
+    /// The planted-bug canary: runs the deliberately broken block-CAS
+    /// reduction (ownership CAS dropped — see
+    /// [`crate::block::BlockBrokenCasReduction`]) under the seed's
+    /// controller, with every thread hammering one block. Returns `true`
+    /// when the schedule exposed the race (lost updates), i.e. the
+    /// fuzzer *caught* the bug on this seed.
+    pub fn broken_case(threads: usize, seed: u64) -> bool {
+        let n = 64;
+        let updates = 20_000usize;
+        let session = verify::install(VerifyConfig {
+            seed,
+            preempt_per_mille: 120,
+            budget: 4096,
+            delay_nanos: 0,
+            fault: None,
+        });
+        let pool = ThreadPool::new(threads);
+        let mut out = vec![0i64; n];
+        let red = BlockBrokenCasReduction::<i64, Sum>::new(&mut out, threads, n);
+        reduce(&pool, &red, 0..updates, Schedule::default(), |v, i| {
+            let h = mix64(seed ^ i as u64);
+            v.apply((h as usize) % n, 1);
+        });
+        drop(red);
+        drop(pool);
+        drop(session);
+        // Every apply added exactly 1, so any schedule that loses an
+        // update shows up as a short total.
+        let got: i64 = out.iter().sum();
+        got != updates as i64
+    }
+
+    /// Round-robin kernel: iteration `i` hits `i % n`. With a static
+    /// schedule every thread deterministically touches every block,
+    /// enqueues remote keeper traffic, and merges at least one block —
+    /// which makes every fault point below *guaranteed reachable*.
+    struct RoundRobinKernel {
+        n: usize,
+    }
+
+    impl Kernel<i64> for RoundRobinKernel {
+        #[inline(always)]
+        fn item<V: ReducerView<i64>>(&self, view: &mut V, i: usize) {
+            view.apply(i % self.n, 1);
+        }
+    }
+
+    /// One fault-injection iteration: derive a guaranteed-reachable
+    /// `(strategy, hook, tid)` from the seed, inject a panic at that
+    /// crossing, and demand that (a) the region panics instead of
+    /// deadlocking, and (b) the same pool and executor then run the
+    /// region cleanly to the exact sequential result — proving the
+    /// barrier's panic detection and the executor's scratch/plan
+    /// recovery survive a mid-region death.
+    pub fn fault_case(threads: usize, seed: u64) -> Result<(), String> {
+        let n = 256usize;
+        let block_size = 32usize;
+        let updates = 16 * n;
+        let h = mix64(seed ^ 0xFA17);
+
+        let mut combos: Vec<(Strategy, HookPoint)> = vec![
+            (Strategy::BlockCas { block_size }, HookPoint::BarrierEnter),
+            (Strategy::BlockCas { block_size }, HookPoint::SharedWrite),
+            (Strategy::BlockCas { block_size }, HookPoint::OwnershipClaim),
+            (Strategy::BlockPrivate { block_size }, HookPoint::MergeStep),
+            (Strategy::Keeper, HookPoint::QueueDrain),
+            (Strategy::Keeper, HookPoint::BarrierEnter),
+        ];
+        if threads > 1 {
+            combos.push((Strategy::Keeper, HookPoint::QueuePush));
+        }
+        let (strategy, point) = combos[(h % combos.len() as u64) as usize];
+        let tid = ((h >> 8) % threads as u64) as usize;
+        // Low crossing numbers are reachable for every point above;
+        // BarrierEnter is crossed exactly once per thread per region.
+        let nth = if point == HookPoint::BarrierEnter {
+            1
+        } else {
+            1 + (h >> 16) % 3
+        };
+
+        let session = verify::install(VerifyConfig {
+            seed,
+            preempt_per_mille: 100,
+            budget: 64,
+            delay_nanos: 0,
+            fault: Some(FaultSpec { tid, point, nth }),
+        });
+        let pool = ThreadPool::new(threads);
+        let kernel = RoundRobinKernel { n };
+        let mut ex = RegionExecutor::<i64, Sum>::new(strategy);
+        let mut out = vec![0i64; n];
+        // The injected panic (and the teammates it poisons) would spam
+        // stderr through the default hook; the session lock already
+        // serializes fault cases, so a temporary silent hook is safe.
+        let default_hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let poisoned = catch_unwind(AssertUnwindSafe(|| {
+            ex.run(&pool, &mut out, 0..updates, Schedule::default(), &kernel);
+        }))
+        .is_err();
+        std::panic::set_hook(default_hook);
+        if !poisoned {
+            return Err(format!(
+                "seed {seed}: injected fault at {} #{nth} on tid {tid} ({}) never fired",
+                point.name(),
+                strategy.label()
+            ));
+        }
+        drop(session);
+
+        // The pool and the executor must both survive the poisoned
+        // region: rerun the same region on the same objects, unperturbed,
+        // and demand the exact sequential result.
+        let mut out = vec![0i64; n];
+        ex.run(&pool, &mut out, 0..updates, Schedule::default(), &kernel);
+        let mut want = vec![0i64; n];
+        reduce_seq::<i64, Sum, _>(&mut want, 0..updates, |v, i| kernel.item(v, i));
+        if out != want {
+            return Err(format!(
+                "seed {seed}: post-fault rerun of {} diverged after {} fault on tid {tid}",
+                strategy.label(),
+                point.name()
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn oracle_accepts_correct_strategies() {
+        let pool = ThreadPool::new(3);
+        let cfg = OracleCfg::quick(3);
+        let stats = check_seed(&pool, &cfg, 7).expect("all strategies agree with sequential");
+        // 10 strategies x 2 element types x (1 unplanned + 1 recording
+        // + 2 replays) regions.
+        assert_eq!(stats.regions, cfg.strategies.len() * 2 * (2 + cfg.replays));
+        assert_eq!(stats.reports.len(), stats.regions);
+    }
+
+    #[test]
+    fn oracle_works_under_dynamic_schedules() {
+        let pool = ThreadPool::new(2);
+        let mut cfg = OracleCfg::quick(2);
+        cfg.dynamic = true;
+        cfg.check_floats = false;
+        cfg.replays = 1;
+        check_seed(&pool, &cfg, 11).expect("dynamic schedule stays exact");
+    }
+
+    #[test]
+    fn seed_budget_defaults_and_parses() {
+        // Not set in the test environment unless CI exported it; both
+        // ways the call must return something sane.
+        let b = seed_budget(17);
+        assert!(b > 0);
+    }
+}

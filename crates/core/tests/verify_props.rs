@@ -1,0 +1,95 @@
+//! Schedule-fuzz properties (requires `--features verify`).
+//!
+//! Each test installs a process-global controller session; sessions
+//! serialize on ompsim's internal session lock, so these tests never
+//! perturb each other's pools even when the harness runs them in
+//! parallel. Seed budgets honor `SPRAY_FUZZ_SEEDS` (the TSan job runs
+//! this file with a smaller budget through that knob).
+#![cfg(feature = "verify")]
+
+use spray::verify::fuzz::{broken_case, fault_case, fuzz_case, params_for_seed};
+use spray::verify::{seed_budget, OracleCfg};
+use spray::Strategy;
+
+const THREADS: usize = 4;
+
+/// Strategies whose fuzz fingerprints are deterministic under a static
+/// schedule: block-private never claims ownership and keeper's
+/// partition is static, so every counter and merge order is a pure
+/// per-thread function of the seed. CAS/lock claim outcomes depend on
+/// real OS timing and stay outside the determinism envelope (see
+/// DESIGN.md "Verification").
+fn deterministic_cfg() -> OracleCfg {
+    let mut cfg = OracleCfg::quick(THREADS);
+    cfg.strategies = vec![Strategy::BlockPrivate { block_size: 32 }, Strategy::Keeper];
+    cfg.check_floats = false;
+    cfg
+}
+
+#[test]
+fn same_seed_replays_identical_telemetry_and_merge_orders() {
+    let cfg = deterministic_cfg();
+    let a = fuzz_case(&cfg, 42);
+    let b = fuzz_case(&cfg, 42);
+    let sa = a.result.expect("correct strategies never mismatch");
+    let sb = b.result.expect("correct strategies never mismatch");
+    assert_eq!(sa.regions, sb.regions);
+    assert_eq!(
+        sa.reports, sb.reports,
+        "per-region telemetry counter totals must replay bit-for-bit"
+    );
+    assert_eq!(a.hook_totals, b.hook_totals);
+    assert_eq!(a.preemptions, b.preemptions);
+    assert_eq!(a.merge_orders, b.merge_orders);
+    assert!(
+        a.preemptions > 0,
+        "the controller must actually perturb the schedule"
+    );
+    assert!(
+        a.merge_orders.iter().any(|m| !m.is_empty()),
+        "block-private must have merged privatized blocks"
+    );
+}
+
+#[test]
+fn seed_parameters_vary_across_seeds() {
+    let p: Vec<_> = (0..16u64)
+        .map(|s| {
+            let c = params_for_seed(s);
+            (c.preempt_per_mille, c.budget, c.delay_nanos)
+        })
+        .collect();
+    let first = p[0];
+    assert!(
+        p.iter().any(|&x| x != first),
+        "PCT parameters must be seed-dependent"
+    );
+}
+
+#[test]
+fn fuzz_sweep_finds_no_bugs_in_correct_strategies() {
+    let cfg = OracleCfg::quick(THREADS);
+    for seed in 0..seed_budget(6) {
+        let outcome = fuzz_case(&cfg, seed);
+        if let Err(m) = outcome.result {
+            panic!("schedule fuzz found a mismatch: {m}");
+        }
+    }
+}
+
+#[test]
+fn broken_cas_reducer_is_caught_within_200_seeds() {
+    let budget = seed_budget(200);
+    let caught = (0..budget).find(|&s| broken_case(THREADS, s));
+    match caught {
+        Some(s) => assert!(s < budget),
+        None => panic!("planted lost-update bug survived {budget} seeds"),
+    }
+}
+
+#[test]
+fn fault_injection_poisons_but_never_corrupts() {
+    for seed in 0..seed_budget(10) {
+        fault_case(THREADS, seed).unwrap_or_else(|e| panic!("fault case failed: {e}"));
+    }
+}

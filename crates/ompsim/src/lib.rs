@@ -32,6 +32,7 @@ mod constructs;
 mod pool;
 mod scalar;
 mod schedule;
+pub mod verify;
 
 pub use constructs::{single_sync, Single};
 pub use pool::{Team, ThreadPool};

@@ -125,6 +125,7 @@ impl<'a> Team<'a> {
     /// caller), instead of deadlocking as a raw barrier would.
     #[inline]
     pub fn barrier(&self) {
+        crate::verify::perturb(crate::verify::HookPoint::BarrierEnter);
         let sense = self.barrier_sense.get();
         self.barrier_sense.set(!sense);
         if self.nthreads == 1 {
@@ -301,7 +302,10 @@ impl ThreadPool {
 
         // The caller participates as thread 0.
         let team = Team::new(0, self.nthreads, &self.shared);
-        let leader_result = catch_unwind(AssertUnwindSafe(|| f(&team)));
+        let leader_result = catch_unwind(AssertUnwindSafe(|| {
+            crate::verify::enter_region(0);
+            f(&team)
+        }));
         if leader_result.is_err() {
             self.shared.panicked.store(true, Ordering::Relaxed);
         }
@@ -435,7 +439,10 @@ fn worker_loop(shared: &Shared, tid: usize, nthreads: usize) {
         let team = Team::new(tid, nthreads, shared);
         // SAFETY: the leader blocks in `parallel` until `remaining == 0`,
         // so the borrowed closure behind `job.f` is still alive here.
-        let result = catch_unwind(AssertUnwindSafe(|| unsafe { (*job.f)(&team) }));
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            crate::verify::enter_region(tid);
+            unsafe { (*job.f)(&team) }
+        }));
         if result.is_err() {
             shared.panicked.store(true, Ordering::Relaxed);
         }
