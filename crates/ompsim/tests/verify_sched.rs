@@ -74,6 +74,9 @@ fn distinct_seeds_draw_distinct_decision_streams() {
 
 #[test]
 fn uninstalled_hooks_are_inert() {
+    // The premise — no session installed — only holds while no other
+    // test in this binary is mid-install, so serialize like the rest.
+    let _l = lock();
     // No session: hooks must be callable no-ops from any thread.
     ompsim::verify::perturb(HookPoint::BarrierEnter);
     ompsim::verify::perturb_idx(HookPoint::SharedWrite, 3);
