@@ -19,7 +19,16 @@
 //!   failure);
 //! * `--faults N` — N fault-injection iterations: an injected mid-region
 //!   panic must poison the region (never deadlock) and leave pool +
-//!   executor able to produce exact results afterwards.
+//!   executor able to produce exact results afterwards;
+//! * `--migrations N` — N seeds through the adaptive differential
+//!   oracle: each seed installs a controller that plants forced strategy
+//!   migrations at region boundaries (plus the cost model's own) and
+//!   checks the adaptive executor bit-for-bit (i64) against the
+//!   sequential loop, then injects a fault during a migration drain and
+//!   requires poison-not-deadlock with no lost updates afterwards. The
+//!   sweep fails if NO seed planted a migration (the mode lost its
+//!   teeth). Without `--features verify` it degrades to the unperturbed
+//!   adaptive oracle (cost-model migrations only, no fault injection).
 
 use spray::verify::OracleCfg;
 use spray::Strategy;
@@ -36,6 +45,7 @@ struct FuzzOpts {
     replays: usize,
     broken: bool,
     faults: u64,
+    migrations: u64,
     quiet: bool,
 }
 
@@ -53,6 +63,7 @@ impl Default for FuzzOpts {
             replays: 2,
             broken: false,
             faults: 0,
+            migrations: 0,
             quiet: false,
         }
     }
@@ -60,7 +71,7 @@ impl Default for FuzzOpts {
 
 const USAGE: &str = "usage: schedule_fuzz [--seed S | --seeds N --start S] [--threads T] \
 [--n N] [--updates U] [--block-size B] [--replays R] [--dynamic] [--no-floats] \
-[--broken] [--faults N] [--quiet]";
+[--broken] [--faults N] [--migrations N] [--quiet]";
 
 fn parse_opts() -> FuzzOpts {
     let mut o = FuzzOpts::default();
@@ -104,6 +115,11 @@ fn parse_opts() -> FuzzOpts {
             "--no-floats" => o.no_floats = true,
             "--broken" => o.broken = true,
             "--faults" => o.faults = value(&mut args, "--faults").parse().expect("--faults: u64"),
+            "--migrations" => {
+                o.migrations = value(&mut args, "--migrations")
+                    .parse()
+                    .expect("--migrations: u64")
+            }
             "--quiet" => o.quiet = true,
             "--help" | "-h" => {
                 println!("{USAGE}");
@@ -250,6 +266,125 @@ fn faults_main(o: &FuzzOpts) -> i32 {
     }
 }
 
+/// One-line repro for a failing migration seed.
+fn migration_repro_line(o: &FuzzOpts, seed: u64) -> String {
+    let mut extra = String::new();
+    if o.no_floats {
+        extra.push_str(" --no-floats");
+    }
+    format!(
+        "repro: cargo run --release -p bench --features verify --bin schedule_fuzz -- \
+         --migrations 1 --start {seed} --threads {} --n {} --updates {} --block-size {} \
+         --replays {}{extra}",
+        o.threads, o.n, o.updates, o.block_size, o.replays
+    )
+}
+
+#[cfg(feature = "verify")]
+fn migrations_main(o: &FuzzOpts) -> i32 {
+    use spray::verify::fuzz::{migration_case, migration_fault_case};
+    let cfg = oracle_cfg(o);
+    let mut bad = 0u64;
+    let mut planted = 0u64;
+    for seed in o.start..o.start + o.migrations {
+        let outcome = migration_case(&cfg, seed);
+        planted += outcome.migrations;
+        match outcome.result {
+            Ok(stats) => {
+                if !o.quiet {
+                    println!(
+                        "migration seed {seed}: ok ({} regions, {} migrations, \
+                         {} decision crossings)",
+                        stats.regions, outcome.migrations, outcome.decision_crossings
+                    );
+                }
+            }
+            Err(m) => {
+                bad += 1;
+                eprintln!("FAIL {m}");
+                eprintln!("{}", migration_repro_line(o, seed));
+            }
+        }
+        // A fault injected during a migration drain must poison the
+        // region — never deadlock — and lose no updates afterwards.
+        if let Err(e) = migration_fault_case(o.threads, seed) {
+            bad += 1;
+            eprintln!("FAIL migration fault seed {seed}: {e}");
+            eprintln!("{}", migration_repro_line(o, seed));
+        }
+    }
+    if bad > 0 {
+        eprintln!(
+            "migration fuzz: {bad} failure(s) over {} seed(s)",
+            o.migrations
+        );
+        return 1;
+    }
+    if planted == 0 {
+        eprintln!(
+            "migration fuzz: {} seed(s) planted NO migrations — the mode lost its teeth",
+            o.migrations
+        );
+        return 1;
+    }
+    println!(
+        "migration fuzz: {} seed(s) from {} clean ({planted} migrations exercised, {} threads)",
+        o.migrations, o.start, o.threads
+    );
+    0
+}
+
+#[cfg(not(feature = "verify"))]
+fn migrations_main(o: &FuzzOpts) -> i32 {
+    use ompsim::ThreadPool;
+    use spray::verify::check_adaptive_seed;
+    eprintln!(
+        "note: built without --features verify — running the unperturbed adaptive \
+         oracle only (cost-model migrations, no planted schedule, no fault injection)"
+    );
+    let cfg = oracle_cfg(o);
+    let pool = ThreadPool::new(o.threads);
+    let mut bad = 0u64;
+    let mut migrations = 0u64;
+    for seed in o.start..o.start + o.migrations {
+        match check_adaptive_seed(&pool, &cfg, seed) {
+            Ok(stats) => {
+                migrations += stats.migrations;
+                if !o.quiet {
+                    println!(
+                        "migration seed {seed}: ok ({} regions, {} migrations)",
+                        stats.regions, stats.migrations
+                    );
+                }
+            }
+            Err(m) => {
+                bad += 1;
+                eprintln!("FAIL {m}");
+                eprintln!("{}", migration_repro_line(o, seed));
+            }
+        }
+    }
+    if bad > 0 {
+        eprintln!(
+            "migration fuzz: {bad} failure(s) over {} seed(s)",
+            o.migrations
+        );
+        return 1;
+    }
+    if migrations == 0 {
+        eprintln!(
+            "migration fuzz: {} seed(s) drove NO migrations — the mode lost its teeth",
+            o.migrations
+        );
+        return 1;
+    }
+    println!(
+        "migration fuzz: {} seed(s) from {} clean ({migrations} migrations exercised, {} threads)",
+        o.migrations, o.start, o.threads
+    );
+    0
+}
+
 #[cfg(not(feature = "verify"))]
 fn broken_main(_o: &FuzzOpts) -> i32 {
     eprintln!("--broken requires --features verify");
@@ -269,6 +404,9 @@ fn main() {
     }
     if o.faults > 0 {
         std::process::exit(faults_main(&o));
+    }
+    if o.migrations > 0 {
+        std::process::exit(migrations_main(&o));
     }
     let failures = sweep(&o);
     if failures > 0 {

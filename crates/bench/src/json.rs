@@ -340,6 +340,12 @@ mod tests {
         // region ran without a caller-supplied region id).
         assert_eq!(j.get("plan_build_secs").unwrap().as_num(), Some(0.0));
         assert_eq!(j.get("planned_regions").unwrap().as_num(), Some(0.0));
+        // So are the adaptive-execution fields (zero / single-entry under
+        // a fixed one-shot region).
+        assert_eq!(j.get("migrations").unwrap().as_num(), Some(0.0));
+        assert_eq!(j.get("migration_secs").unwrap().as_num(), Some(0.0));
+        let regions = j.get("strategy_regions").unwrap();
+        assert_eq!(regions.get("block-CAS-16").unwrap().as_num(), Some(1.0));
     }
 
     #[test]
@@ -371,5 +377,47 @@ mod tests {
         assert_eq!(j.get("planned_regions").unwrap().as_num(), Some(2.0));
         let build = j.get("plan_build_secs").unwrap().as_num().unwrap();
         assert!(build > 0.0, "plan build time should be recorded and > 0");
+    }
+
+    #[test]
+    fn migrated_run_report_round_trips() {
+        // A migration mid-stream: the final report's migration telemetry
+        // (count, protocol seconds, per-strategy region map) must survive
+        // serialization and this parser.
+        use spray::{Kernel, ReducerView, RegionExecutor, Strategy, Sum};
+        struct Mod64;
+        impl Kernel<i64> for Mod64 {
+            fn item<V: ReducerView<i64>>(&self, view: &mut V, i: usize) {
+                view.apply(i % 64, 1);
+            }
+        }
+        let pool = ompsim::ThreadPool::new(2);
+        let mut ex = RegionExecutor::<i64, Sum>::new(Strategy::BlockPrivate { block_size: 16 });
+        let mut out = vec![0i64; 64];
+        ex.run_planned(
+            0,
+            &pool,
+            &mut out,
+            0..640,
+            ompsim::Schedule::default(),
+            &Mod64,
+        );
+        ex.migrate_to(Strategy::Atomic);
+        out.fill(0);
+        let report = ex.run_planned(
+            0,
+            &pool,
+            &mut out,
+            0..640,
+            ompsim::Schedule::default(),
+            &Mod64,
+        );
+
+        let j = parse(&report.to_json()).expect("migrated RunReport JSON must parse");
+        assert_eq!(j.get("migrations").unwrap().as_num(), Some(1.0));
+        assert!(j.get("migration_secs").unwrap().as_num().unwrap() > 0.0);
+        let regions = j.get("strategy_regions").unwrap();
+        assert_eq!(regions.get("block-private-16").unwrap().as_num(), Some(1.0));
+        assert_eq!(regions.get("atomic").unwrap().as_num(), Some(1.0));
     }
 }

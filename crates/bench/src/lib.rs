@@ -15,6 +15,7 @@
 //! | hot path | `apply_overhead` | per-apply ns of the block reducers' cached fast path (telemetry on and off) vs the legacy assert+div/mod path, per access pattern (writes `BENCH_apply_overhead.json`) |
 //! | telemetry | `telemetry_smoke` | runs a scatter under every strategy family, prints each `RunReport` as JSON and re-parses it, asserting counters are populated (CI gate) |
 //! | region plans | `plan_amortize` | planned vs unplanned steady-state region time for the block flavors and Keeper on streaming-scatter and transpose-SpMV shapes, plus plan-build cost and break-even region count (writes `BENCH_plan_amortize.json`; `--check` turns it into a CI gate) |
+//! | adaptive execution | `adaptive_shift` | dense front-loaded region stream with a sparse tail, run fixed (block-private, atomic) vs adaptive: per-phase steady-state time plus migration count/seconds and per-strategy region counts (writes `BENCH_adaptive_shift.json`; `--check` turns it into a CI gate) |
 //! | — | `plot_ascii` | renders any results CSV as an ASCII chart |
 //!
 //! Every binary prints CSV to stdout (`column -s, -t` renders it) plus

@@ -151,10 +151,15 @@ impl AutoTuner {
         }
     }
 
-    /// Tuner over the paper's competitive strategy set with the given
-    /// block size, 3 trials each.
+    /// Tuner over the default migration candidate set
+    /// ([`crate::default_candidates`]): the paper's competitive subset at
+    /// `block_size` **plus a second `BlockPrivate` granularity (4×)**, 3
+    /// trials each. Earlier revisions hard-coded a single block size
+    /// here, which locked both the tuner and the adaptive layer that
+    /// shares this list out of migrating block *granularity*; use
+    /// [`AutoTuner::new`] for a fully custom list.
     pub fn with_default_candidates(block_size: usize) -> Self {
-        Self::new(Strategy::competitive(block_size), 3)
+        Self::new(crate::adaptive::default_candidates(block_size), 3)
     }
 
     /// Whether exploration has finished and a winner is being used.
@@ -350,6 +355,29 @@ mod tests {
     #[should_panic(expected = "at least one candidate")]
     fn empty_candidates_rejected() {
         let _ = AutoTuner::new(vec![], 3);
+    }
+
+    #[test]
+    fn default_candidates_span_block_granularities() {
+        // Regression: the default list used to pin one BlockPrivate size,
+        // so neither the tuner nor the adaptive layer could trade block
+        // granularity. It must now carry at least two distinct sizes.
+        let tuner = AutoTuner::with_default_candidates(512);
+        let mut sizes: Vec<usize> = tuner
+            .measurements()
+            .into_iter()
+            .filter_map(|(s, _)| match s {
+                Strategy::BlockPrivate { block_size } => Some(block_size),
+                _ => None,
+            })
+            .collect();
+        sizes.sort_unstable();
+        sizes.dedup();
+        assert!(
+            sizes.len() >= 2,
+            "expected >= 2 BlockPrivate granularities, got {sizes:?}"
+        );
+        assert!(sizes.contains(&512) && sizes.contains(&2048));
     }
 
     #[test]

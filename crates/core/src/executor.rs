@@ -23,6 +23,7 @@
 //!   strategy's own counters are snapshotted into the returned
 //!   [`RunReport`].
 
+use crate::adaptive::{recommend, score, AdaptiveState, ExecutorPolicy, RegionSignals};
 use crate::atomic::AtomicReduction;
 use crate::block::{
     BlockCasReduction, BlockCasScratch, BlockLockReduction, BlockLockScratch,
@@ -85,6 +86,16 @@ pub struct RegionExecutor<T: crate::Element, O: ReduceOp<T>> {
     plan_build_secs: f64,
     /// Regions that replayed a cached plan to completion without deviating.
     planned_regions: u64,
+    /// Adaptive bookkeeping when the policy is
+    /// [`ExecutorPolicy::Adaptive`]; `None` for fixed executors.
+    adaptive: Option<AdaptiveState>,
+    /// Strategy migrations performed (adaptive decisions and explicit
+    /// [`migrate_to`](RegionExecutor::migrate_to) calls alike).
+    migrations: u64,
+    /// Cumulative seconds spent inside the migration protocol.
+    migration_secs: f64,
+    /// Regions run per strategy label, in first-use order.
+    strategy_regions: Vec<(String, u64)>,
     _op: PhantomData<fn() -> O>,
 }
 
@@ -102,14 +113,34 @@ impl<T: crate::Element, O: ReduceOp<T>> std::fmt::Debug for RegionExecutor<T, O>
 }
 
 impl<T: AtomicElement, O: ReduceOp<T>> RegionExecutor<T, O> {
-    /// An executor for `strategy`, with no scratch retained yet.
+    /// An executor for `strategy`, with no scratch retained yet. The
+    /// strategy stays fixed; for online migration use
+    /// [`with_policy`](RegionExecutor::with_policy).
     pub fn new(strategy: Strategy) -> Self {
+        Self::with_policy(strategy, ExecutorPolicy::Fixed)
+    }
+
+    /// An executor that starts on `strategy` and selects strategies per
+    /// `policy`: [`ExecutorPolicy::Fixed`] behaves exactly like
+    /// [`new`](RegionExecutor::new); [`ExecutorPolicy::Adaptive`] scores
+    /// every region's telemetry against the cost model in
+    /// [`crate::AdaptiveConfig`] and, after `patience` consecutive
+    /// out-of-band regions, migrates via
+    /// [`migrate_to`](RegionExecutor::migrate_to).
+    pub fn with_policy(strategy: Strategy, policy: ExecutorPolicy) -> Self {
         RegionExecutor {
             strategy,
             scratch: RetainedScratch::None,
             plans: BTreeMap::new(),
             plan_build_secs: 0.0,
             planned_regions: 0,
+            adaptive: match policy {
+                ExecutorPolicy::Fixed => None,
+                ExecutorPolicy::Adaptive(cfg) => Some(AdaptiveState::new(cfg)),
+            },
+            migrations: 0,
+            migration_secs: 0.0,
+            strategy_regions: Vec::new(),
             _op: PhantomData,
         }
     }
@@ -117,6 +148,29 @@ impl<T: AtomicElement, O: ReduceOp<T>> RegionExecutor<T, O> {
     /// The strategy this executor dispatches to.
     pub fn strategy(&self) -> Strategy {
         self.strategy
+    }
+
+    /// The executor's strategy-selection policy.
+    pub fn policy(&self) -> ExecutorPolicy {
+        match &self.adaptive {
+            Some(st) => ExecutorPolicy::Adaptive(st.cfg.clone()),
+            None => ExecutorPolicy::Fixed,
+        }
+    }
+
+    /// Strategy migrations performed so far.
+    pub fn migrations(&self) -> u64 {
+        self.migrations
+    }
+
+    /// Cumulative seconds spent inside the migration protocol.
+    pub fn migration_secs(&self) -> f64 {
+        self.migration_secs
+    }
+
+    /// Regions run per strategy label, in first-use order.
+    pub fn strategy_regions(&self) -> &[(String, u64)] {
+        &self.strategy_regions
     }
 
     /// Switches strategy for subsequent regions. Retained scratch is kept:
@@ -134,8 +188,55 @@ impl<T: AtomicElement, O: ReduceOp<T>> RegionExecutor<T, O> {
     /// Drops every cached region plan (e.g. when the caller knows the
     /// sparsity pattern changed wholesale and stale plans would only pay
     /// one wasted recording region each to heal).
+    ///
+    /// The plan statistics ([`planned_regions`](RegionExecutor::planned_regions),
+    /// [`plan_build_secs`](RegionExecutor::plan_build_secs)) are reset
+    /// with the plans: they describe the cache being discarded, and
+    /// carrying them across the clear would blend two planning epochs in
+    /// every later [`RunReport`] (a post-migration report would claim
+    /// replays and build time the new strategy never performed).
     pub fn clear_plans(&mut self) {
         self.plans = BTreeMap::new();
+        self.planned_regions = 0;
+        self.plan_build_secs = 0.0;
+    }
+
+    /// Switches to `strategy` using the migration protocol, updating the
+    /// migration telemetry. Works under either policy — the adaptive
+    /// layer calls it when the cost model (or a planted `verify`
+    /// schedule) decides to move, and callers may force a migration
+    /// explicitly. A no-op if `strategy` is already current.
+    ///
+    /// Protocol, in order:
+    /// 1. **Drain** — retained block scratch is dropped. Every region
+    ///    publishes its contributions through `finish` before the
+    ///    executor detaches scratch, so at a region boundary the scratch
+    ///    holds no pending updates; dropping it completes the old
+    ///    strategy's epoch.
+    /// 2. **Invalidate** — cached [`RegionPlan`]s describe the old
+    ///    strategy's execution shape; [`clear_plans`](RegionExecutor::clear_plans)
+    ///    drops them (and their stats epoch) so the new strategy
+    ///    re-records lazily on its first planned region.
+    /// 3. **Switch** — the strategy value is replaced; the next region
+    ///    dispatches to the new reduction.
+    ///
+    /// Under the `verify` feature a [`ompsim::verify::migration_choice`]
+    /// crossing sits between drain and invalidation (it never forces,
+    /// `n_choices` = 0) so the fault injector can land a panic *inside*
+    /// the migration window; the executor stays consistent there —
+    /// scratch already dropped, plans and strategy untouched — so a
+    /// caught panic leaves it runnable on the old strategy.
+    pub fn migrate_to(&mut self, strategy: Strategy) {
+        if strategy == self.strategy {
+            return;
+        }
+        let t0 = Instant::now();
+        self.scratch = RetainedScratch::None;
+        ompsim::verify::migration_choice(self.migrations, 0);
+        self.clear_plans();
+        self.strategy = strategy;
+        self.migration_secs += t0.elapsed().as_secs_f64();
+        self.migrations += 1;
     }
 
     /// Regions (cumulative) that replayed a cached plan without deviating.
@@ -211,6 +312,9 @@ impl<T: AtomicElement, O: ReduceOp<T>> RegionExecutor<T, O> {
     ) -> RunReport {
         let n = pool.num_threads();
         let retained = std::mem::replace(&mut self.scratch, RetainedScratch::None);
+        // A cached plan was replayed and deviated this region (one of the
+        // adaptive cost model's inputs); set inside the block arms.
+        let mut replay_deviated = false;
         // One-shot arm: construct, execute, drop.
         macro_rules! fresh {
             ($red:expr) => {
@@ -239,6 +343,7 @@ impl<T: AtomicElement, O: ReduceOp<T>> RegionExecutor<T, O> {
                     if installed && !red.plan_deviated() {
                         self.planned_regions += 1;
                     } else {
+                        replay_deviated = installed;
                         let t0 = Instant::now();
                         let plan = red.extract_plan();
                         self.plan_build_secs += t0.elapsed().as_secs_f64();
@@ -290,9 +395,65 @@ impl<T: AtomicElement, O: ReduceOp<T>> RegionExecutor<T, O> {
                 threshold,
             } => fresh!(HybridReduction::<T, O>::new(out, n, block_size, threshold)),
         };
+        let label = report.strategy.clone();
+        match self.strategy_regions.iter_mut().find(|(l, _)| *l == label) {
+            Some((_, count)) => *count += 1,
+            None => self.strategy_regions.push((label, 1)),
+        }
+        self.adaptive_step(&report, out.len(), replay_deviated);
         report.plan_build_secs = self.plan_build_secs;
         report.planned_regions = self.planned_regions;
+        report.migrations = self.migrations;
+        report.migration_secs = self.migration_secs;
+        report.strategy_regions = self.strategy_regions.clone();
         report
+    }
+
+    /// The adaptive policy's post-region decision: score this region's
+    /// signals, and migrate once the score has been out of the `[0, 1]`
+    /// hysteresis band for `patience` consecutive regions. Under the
+    /// `verify` feature the schedule controller can instead *force* a
+    /// migration to a planted candidate at any region boundary, making
+    /// the whole migration sequence a pure function of the seed. A no-op
+    /// for fixed-policy executors.
+    fn adaptive_step(&mut self, report: &RunReport, len: usize, deviated: bool) {
+        let Some(st) = self.adaptive.as_mut() else {
+            return;
+        };
+        let seq = st.region_seq;
+        st.region_seq += 1;
+        let ncand = st.cfg.candidates.len() as u64;
+        let target = if let Some(k) = ompsim::verify::migration_choice(seq, ncand) {
+            st.streak = 0;
+            st.cfg.candidates.get(k as usize).copied()
+        } else {
+            let totals = report.counters.totals();
+            let signals = RegionSignals {
+                applies_per_element: if len == 0 {
+                    0.0
+                } else {
+                    totals.applies as f64 / len as f64
+                },
+                contention_ratio: totals.contention_ratio(),
+                barrier_fraction: report.phases.barrier_fraction(),
+                deviated,
+            };
+            if score(self.strategy, &signals, &st.cfg) > 1.0 {
+                st.streak += 1;
+                if st.streak >= st.cfg.patience.max(1) {
+                    st.streak = 0;
+                    Some(recommend(self.strategy, &signals, &st.cfg))
+                } else {
+                    None
+                }
+            } else {
+                st.streak = 0;
+                None
+            }
+        };
+        if let Some(target) = target {
+            self.migrate_to(target);
+        }
     }
 }
 
@@ -326,9 +487,13 @@ where
     RunReport {
         strategy: red.name(),
         memory_overhead: red.memory_overhead(),
-        // Patched by `run_inner` after plan bookkeeping settles.
+        // Patched by `run_inner` after plan and migration bookkeeping
+        // settles.
         plan_build_secs: 0.0,
         planned_regions: 0,
+        migrations: 0,
+        migration_secs: 0.0,
+        strategy_regions: Vec::new(),
         counters: red.telemetry(),
         phases: board.summarize(),
     }
@@ -529,6 +694,140 @@ mod tests {
             &Histogram { data: &small },
         );
         assert_eq!(out, expected(&small, 31));
+    }
+
+    /// Scatter whose density (applies per output element) is dialed by
+    /// the caller: `updates` kernel iterations hash-spread over `bins`.
+    struct DialedScatter {
+        bins: usize,
+    }
+    impl Kernel<i64> for DialedScatter {
+        fn item<V: ReducerView<i64>>(&self, view: &mut V, i: usize) {
+            view.apply((i.wrapping_mul(7919)) % self.bins, 1);
+        }
+    }
+
+    #[test]
+    fn adaptive_migrates_on_sparsity_shift() {
+        // Dense phase (16 applies/element) keeps BlockPrivate in band;
+        // after the workload turns sparse (1/16 applies/element) the
+        // score leaves the band and, after `patience` regions, the
+        // executor must migrate to Atomic — while every region's result
+        // stays exact.
+        let pool = ompsim::ThreadPool::new(4);
+        let bins = 4096;
+        let cfg = crate::AdaptiveConfig {
+            candidates: crate::default_candidates(64),
+            patience: 3,
+            ..crate::AdaptiveConfig::default()
+        };
+        let mut ex = RegionExecutor::<i64, Sum>::with_policy(
+            Strategy::BlockPrivate { block_size: 64 },
+            crate::ExecutorPolicy::Adaptive(cfg),
+        );
+        let kernel = DialedScatter { bins };
+        let mut last = None;
+        for phase in 0..2 {
+            let updates = if phase == 0 { bins * 16 } else { bins / 16 };
+            for _ in 0..6 {
+                let mut out = vec![0i64; bins];
+                let report = ex.run_planned(
+                    phase,
+                    &pool,
+                    &mut out,
+                    0..updates,
+                    Schedule::default(),
+                    &kernel,
+                );
+                let mut expected = vec![0i64; bins];
+                for i in 0..updates {
+                    expected[(i.wrapping_mul(7919)) % bins] += 1;
+                }
+                assert_eq!(out, expected, "phase {phase}");
+                last = Some(report);
+            }
+            if phase == 0 {
+                assert_eq!(ex.migrations(), 0, "dense phase must stay put");
+                assert!(matches!(ex.strategy(), Strategy::BlockPrivate { .. }));
+            }
+        }
+        assert_eq!(ex.strategy(), Strategy::Atomic);
+        assert_eq!(ex.migrations(), 1);
+        assert!(ex.migration_secs() > 0.0);
+        // The report carries the migration telemetry and both epochs.
+        let report = last.unwrap();
+        assert_eq!(report.migrations, 1);
+        let labels: Vec<&str> = report
+            .strategy_regions
+            .iter()
+            .map(|(l, _)| l.as_str())
+            .collect();
+        assert_eq!(labels, ["block-private-64", "atomic"]);
+        let regions: u64 = report.strategy_regions.iter().map(|(_, n)| n).sum();
+        assert_eq!(regions, 12);
+    }
+
+    #[test]
+    fn fixed_policy_never_migrates() {
+        let pool = ompsim::ThreadPool::new(2);
+        let bins = 2048;
+        let mut ex = RegionExecutor::<i64, Sum>::new(Strategy::BlockPrivate { block_size: 64 });
+        let kernel = DialedScatter { bins };
+        for _ in 0..8 {
+            // Persistently sparse: adaptive would migrate, fixed must not.
+            let mut out = vec![0i64; bins];
+            ex.run(&pool, &mut out, 0..bins / 16, Schedule::default(), &kernel);
+        }
+        assert_eq!(ex.migrations(), 0);
+        assert_eq!(ex.strategy(), Strategy::BlockPrivate { block_size: 64 });
+        assert!(matches!(ex.policy(), crate::ExecutorPolicy::Fixed));
+    }
+
+    #[test]
+    fn explicit_migration_preserves_results_and_resets_plan_epoch() {
+        // migrate_to works on fixed executors too: results stay exact
+        // across the switch, and the plan cache + its stats restart as a
+        // fresh epoch (recording once, then replaying).
+        let pool = ompsim::ThreadPool::new(3);
+        let data: Vec<usize> = (0..4_000).map(|i| (i * 131) % 200).collect();
+        let kernel = Histogram { data: &data };
+        let mut ex = RegionExecutor::<i64, Sum>::new(Strategy::BlockPrivate { block_size: 16 });
+        for _ in 0..3 {
+            let mut out = vec![0i64; 200];
+            ex.run_planned(
+                0,
+                &pool,
+                &mut out,
+                0..data.len(),
+                Schedule::default(),
+                &kernel,
+            );
+            assert_eq!(out, expected(&data, 200));
+        }
+        assert_eq!(ex.planned_regions(), 2);
+        assert!(ex.plan_build_secs() > 0.0);
+
+        ex.migrate_to(Strategy::BlockCas { block_size: 64 });
+        assert_eq!(ex.migrations(), 1);
+        assert_eq!(ex.planned_regions(), 0, "plan stats must restart");
+        assert_eq!(ex.plan_build_secs(), 0.0);
+
+        for round in 0..2 {
+            let mut out = vec![0i64; 200];
+            let report = ex.run_planned(
+                0,
+                &pool,
+                &mut out,
+                0..data.len(),
+                Schedule::default(),
+                &kernel,
+            );
+            assert_eq!(out, expected(&data, 200), "round {round}");
+            assert_eq!(report.planned_regions, round as u64);
+        }
+        // Migrating to the current strategy is a no-op.
+        ex.migrate_to(Strategy::BlockCas { block_size: 64 });
+        assert_eq!(ex.migrations(), 1);
     }
 
     #[test]

@@ -64,6 +64,7 @@
 
 #![warn(missing_docs)]
 
+mod adaptive;
 mod argmax;
 mod atomic;
 mod autotune;
@@ -84,6 +85,10 @@ mod strategy;
 mod telemetry;
 pub mod verify;
 
+pub use adaptive::{
+    default_candidates, recommend, score as adaptive_score, AdaptiveConfig, ExecutorPolicy,
+    RegionSignals,
+};
 pub use argmax::{MaxAt, MinAt, ValueAt};
 pub use atomic::{AtomicReduction, AtomicView};
 pub use autotune::AutoTuner;

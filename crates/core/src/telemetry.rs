@@ -354,6 +354,19 @@ pub struct RunReport {
     /// Regions (cumulative, per executor) that replayed a cached plan to
     /// completion without deviating.
     pub planned_regions: u64,
+    /// Strategy migrations (cumulative, per executor) performed so far —
+    /// adaptive-policy decisions and explicit
+    /// [`crate::RegionExecutor::migrate_to`] calls alike; zero for
+    /// one-shot runs.
+    pub migrations: u64,
+    /// Cumulative seconds spent inside the migration protocol (scratch
+    /// drain + plan invalidation + strategy switch).
+    pub migration_secs: f64,
+    /// Regions run per strategy label over the executor's lifetime, in
+    /// first-use order — after a migration this shows both epochs
+    /// (e.g. `[("block-private-1024", 40), ("atomic", 24)]`). Empty for
+    /// one-shot runs.
+    pub strategy_regions: Vec<(String, u64)>,
     /// Per-thread event counters the strategy recorded.
     pub counters: Telemetry,
     /// Per-phase wall times of the region.
@@ -371,14 +384,24 @@ impl RunReport {
             .iter()
             .map(|c| format!("    {}", c.to_json()))
             .collect();
+        let strategy_regions: Vec<String> = self
+            .strategy_regions
+            .iter()
+            .map(|(label, n)| format!("\"{label}\": {n}"))
+            .collect();
         format!(
             "{{\n  \"strategy\": \"{}\",\n  \"memory_overhead\": {},\n  \
-             \"plan_build_secs\": {:?},\n  \"planned_regions\": {},\n  \"phases\": {},\n  \
+             \"plan_build_secs\": {:?},\n  \"planned_regions\": {},\n  \
+             \"migrations\": {},\n  \"migration_secs\": {:?},\n  \
+             \"strategy_regions\": {{{}}},\n  \"phases\": {},\n  \
              \"counters\": {{\n   \"totals\": {},\n   \"per_thread\": [\n{}\n   ]\n  }}\n}}",
             self.strategy,
             self.memory_overhead,
             self.plan_build_secs,
             self.planned_regions,
+            self.migrations,
+            self.migration_secs,
+            strategy_regions.join(", "),
             self.phases.to_json(),
             self.counters.totals().to_json(),
             per_thread.join(",\n")
@@ -692,6 +715,9 @@ mod tests {
             memory_overhead: 4096,
             plan_build_secs: 0.03125,
             planned_regions: 9,
+            migrations: 2,
+            migration_secs: 0.0625,
+            strategy_regions: vec![("block-CAS-1024".into(), 7), ("atomic".into(), 2)],
             counters: Telemetry {
                 per_thread: vec![
                     Counters {
@@ -719,6 +745,9 @@ mod tests {
             "\"memory_overhead\": 4096",
             "\"plan_build_secs\": 0.03125",
             "\"planned_regions\": 9",
+            "\"migrations\": 2",
+            "\"migration_secs\": 0.0625",
+            "\"strategy_regions\": {\"block-CAS-1024\": 7, \"atomic\": 2}",
             "\"loop_secs\": 0.5",
             "\"applies\": 7",
             "\"per_thread\": [",

@@ -65,6 +65,10 @@ pub enum Mode {
     Recording,
     /// `run_planned`, replay number `n` (1-based).
     Replay(usize),
+    /// Region `n` (0-based) of the multi-region adaptive sweep
+    /// ([`check_adaptive_seed`]), which may migrate strategies between
+    /// regions.
+    AdaptiveRegion(usize),
 }
 
 impl fmt::Display for Mode {
@@ -73,6 +77,7 @@ impl fmt::Display for Mode {
             Mode::Unplanned => write!(f, "unplanned"),
             Mode::Recording => write!(f, "recording"),
             Mode::Replay(n) => write!(f, "replay{n}"),
+            Mode::AdaptiveRegion(n) => write!(f, "adaptive-region{n}"),
         }
     }
 }
@@ -250,6 +255,148 @@ pub fn check_seed(
     Ok(stats)
 }
 
+/// Per-seed summary of one adaptive differential sweep
+/// ([`check_adaptive_seed`]).
+#[derive(Debug, Clone, Default)]
+pub struct AdaptiveStats {
+    /// Regions executed across all executors and element sweeps.
+    pub regions: usize,
+    /// Strategy migrations the adaptive executors performed (cost-model
+    /// decisions plus, under an active `verify` session, planted ones).
+    pub migrations: u64,
+    /// The i64 adaptive executor's final per-strategy region counts.
+    pub strategy_regions: Vec<(String, u64)>,
+}
+
+/// Regions per phase of the adaptive sweep's shifted workload.
+const ADAPTIVE_PHASE_REGIONS: usize = 4;
+
+fn check_adaptive_elem<T, CMP>(
+    pool: &ThreadPool,
+    cfg: &OracleCfg,
+    seed: u64,
+    elem: &'static str,
+    same: CMP,
+    stats: &mut AdaptiveStats,
+) -> Result<(), Box<Mismatch>>
+where
+    T: crate::AtomicElement + fmt::Debug + Default + Copy,
+    ScatterKernel: Kernel<T>,
+    crate::Sum: crate::ReduceOp<T>,
+    CMP: Fn(T, T) -> bool,
+{
+    let schedule = if cfg.dynamic {
+        Schedule::Dynamic { chunk: 3 }
+    } else {
+        Schedule::default()
+    };
+    let candidates = crate::default_candidates(cfg.block_size);
+    let acfg = crate::AdaptiveConfig {
+        candidates: candidates.clone(),
+        patience: 2,
+        // Zero disables the timing-fed components (barrier fraction,
+        // claim contention): the oracle's cost model is then a pure
+        // function of the deterministic density signal, so the whole
+        // migration sequence — cost-model and planted alike — replays
+        // bit-for-bit from the seed.
+        contention_limit: 0.0,
+        barrier_limit: 0.0,
+        ..crate::AdaptiveConfig::default()
+    };
+    let mut adaptive = RegionExecutor::<T, Sum>::with_policy(
+        Strategy::BlockPrivate {
+            block_size: cfg.block_size,
+        },
+        crate::ExecutorPolicy::Adaptive(acfg),
+    );
+    let mut fixed: Vec<RegionExecutor<T, Sum>> =
+        candidates.iter().map(|&s| RegionExecutor::new(s)).collect();
+
+    for r in 0..2 * ADAPTIVE_PHASE_REGIONS {
+        // Phase 0: dense front-loaded stream (8 applies/element); phase
+        // 1: sparse tail (1/8). The kernel pattern is fixed per phase so
+        // cached plans replay within a phase and are invalidated by
+        // migrations between them.
+        let phase = (r / ADAPTIVE_PHASE_REGIONS) as u64;
+        let updates = if phase == 0 {
+            cfg.n * 8
+        } else {
+            (cfg.n / 8).max(1)
+        };
+        let kernel = ScatterKernel {
+            n: cfg.n,
+            seed: mix64(seed ^ phase),
+        };
+        let mut want = vec![T::default(); cfg.n];
+        reduce_seq::<T, Sum, _>(&mut want, 0..updates, |v, i| kernel.item(v, i));
+
+        let check = |out: &[T], strategy: String| -> Result<(), Box<Mismatch>> {
+            for (i, (&got, &w)) in out.iter().zip(want.iter()).enumerate() {
+                if !same(got, w) {
+                    return Err(Box::new(Mismatch {
+                        seed,
+                        strategy,
+                        mode: Mode::AdaptiveRegion(r),
+                        elem,
+                        index: i,
+                        got: format!("{got:?}"),
+                        want: format!("{w:?}"),
+                    }));
+                }
+            }
+            Ok(())
+        };
+
+        let mut out = vec![T::default(); cfg.n];
+        let report = adaptive.run_planned(phase, pool, &mut out, 0..updates, schedule, &kernel);
+        stats.regions += 1;
+        check(&out, format!("adaptive({})", report.strategy))?;
+
+        for ex in &mut fixed {
+            let mut out = vec![T::default(); cfg.n];
+            ex.run_planned(phase, pool, &mut out, 0..updates, schedule, &kernel);
+            stats.regions += 1;
+            check(&out, ex.strategy().label())?;
+        }
+    }
+    stats.migrations += adaptive.migrations();
+    if elem == "i64" {
+        stats.strategy_regions = adaptive.strategy_regions().to_vec();
+    }
+    Ok(())
+}
+
+/// Differential oracle over the adaptive executor: a multi-region sweep
+/// whose workload shifts from a dense front-loaded stream to a sparse
+/// tail mid-run, executed by an [`crate::ExecutorPolicy::Adaptive`]
+/// executor **and** every fixed candidate over the same regions, each
+/// region compared against the sequential reduction — bit-for-bit for
+/// i64, within reassociation tolerance for f64 (when configured).
+///
+/// Always compiled: without the `verify` feature (or with no session
+/// installed) migrations come from the cost model alone, and the
+/// dense→sparse shift is steep enough that at least one always fires.
+/// Under an active `verify` session, `migrate_per_mille` plants *forced*
+/// migrations at seed-chosen region boundaries on top — the planted
+/// schedule is a pure function of the session seed, so any failure
+/// replays from one line (see [`fuzz::migration_case`]).
+pub fn check_adaptive_seed(
+    pool: &ThreadPool,
+    cfg: &OracleCfg,
+    seed: u64,
+) -> Result<AdaptiveStats, Box<Mismatch>> {
+    let mut stats = AdaptiveStats::default();
+    check_adaptive_elem::<i64, _>(pool, cfg, seed, "i64", |a, b| a == b, &mut stats)?;
+    if cfg.check_floats {
+        // Same reassociation-only tolerance as `check_seed`; migration
+        // changes the merge order, never the contribution set, so it
+        // must stay within this band.
+        let same = |a: f64, b: f64| (a - b).abs() <= 1e-9 * (1.0 + a.abs().max(b.abs()));
+        check_adaptive_elem::<f64, _>(pool, cfg, seed, "f64", same, &mut stats)?;
+    }
+    Ok(stats)
+}
+
 /// Seed budget for fuzz loops in tests/CI: `SPRAY_FUZZ_SEEDS` when set
 /// and parseable, `default` otherwise. The TSan job runs the same tests
 /// with a smaller budget through this knob.
@@ -287,6 +434,7 @@ pub mod fuzz {
             } else {
                 0
             },
+            migrate_per_mille: 0,
             fault: None,
         }
     }
@@ -322,6 +470,111 @@ pub mod fuzz {
         }
     }
 
+    /// Forced-migration fuzz parameters, derived deterministically from
+    /// the seed: moderate preemption plus a high
+    /// `migrate_per_mille`, so most seeds plant at least one forced
+    /// migration somewhere in the adaptive sweep's decision stream.
+    pub fn migration_params_for_seed(seed: u64) -> VerifyConfig {
+        let h = mix64(seed ^ 0x4D16_7A7E);
+        VerifyConfig {
+            seed,
+            preempt_per_mille: (50 + h % 250) as u16,
+            budget: (16 + ((h >> 16) % 64)) as u32,
+            delay_nanos: 0,
+            migrate_per_mille: (250 + ((h >> 24) % 500)) as u16,
+            fault: None,
+        }
+    }
+
+    /// Everything one forced-migration fuzz iteration observed.
+    pub struct MigrationOutcome {
+        /// The adaptive differential-oracle verdict for this seed.
+        pub result: Result<AdaptiveStats, Box<Mismatch>>,
+        /// Migrations the adaptive executors performed (planted +
+        /// cost-model).
+        pub migrations: u64,
+        /// [`HookPoint::MigrationDecision`] crossings the controller saw
+        /// (region boundaries + mid-drain crossings).
+        pub decision_crossings: u64,
+    }
+
+    /// One forced-migration fuzz iteration: install the seed's
+    /// controller (preemption + planted migrations), run
+    /// [`check_adaptive_seed`] under it, return verdict + counts. The
+    /// planted migration schedule is a pure function of the seed and
+    /// the (serialized) region order, so a failing seed replays exactly
+    /// from `schedule_fuzz --migrations --seed-start <seed> --seeds 1`.
+    pub fn migration_case(cfg: &OracleCfg, seed: u64) -> MigrationOutcome {
+        let session = verify::install(migration_params_for_seed(seed));
+        let pool = ThreadPool::new(cfg.threads);
+        let result = check_adaptive_seed(&pool, cfg, seed);
+        drop(pool);
+        let decision_crossings = session.total(HookPoint::MigrationDecision);
+        MigrationOutcome {
+            migrations: result.as_ref().map(|s| s.migrations).unwrap_or(0),
+            result,
+            decision_crossings,
+        }
+    }
+
+    /// One migration fault-injection iteration: plant a panic at a
+    /// seed-chosen [`HookPoint::MigrationDecision`] crossing — which,
+    /// under the seed's high forced-migration rate, frequently lands on
+    /// the crossing *inside* a migration drain — and demand that (a)
+    /// the sweep panics instead of deadlocking or corrupting state, and
+    /// (b) the same pool then reruns the sweep unperturbed to the exact
+    /// sequential result (no updates lost to the aborted migration).
+    pub fn migration_fault_case(threads: usize, seed: u64) -> Result<(), String> {
+        let h = mix64(seed ^ 0x4D16_FA17);
+        // The sweep crosses the decision hook once per adaptive region
+        // (16+ per sweep) plus once per migration drain; the first few
+        // crossings are always reachable.
+        let nth = 1 + h % 6;
+        let mut cfg = OracleCfg::quick(threads);
+        cfg.check_floats = false;
+
+        let session = verify::install(VerifyConfig {
+            seed,
+            preempt_per_mille: 100,
+            budget: 64,
+            delay_nanos: 0,
+            migrate_per_mille: 700,
+            fault: Some(FaultSpec {
+                tid: 0, // ignored: migration faults match on `nth` alone
+                point: HookPoint::MigrationDecision,
+                nth,
+            }),
+        });
+        let pool = ThreadPool::new(threads);
+        // The injected panic would spam stderr through the default hook;
+        // the session lock already serializes fault cases, so a
+        // temporary silent hook is safe.
+        let default_hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let poisoned = catch_unwind(AssertUnwindSafe(|| {
+            let _ = check_adaptive_seed(&pool, &cfg, seed);
+        }))
+        .is_err();
+        std::panic::set_hook(default_hook);
+        if !poisoned {
+            return Err(format!(
+                "seed {seed}: injected fault at migration_decision #{nth} never fired"
+            ));
+        }
+        drop(session);
+
+        // The pool must survive the aborted migration (the fault fires
+        // on the orchestrating thread, between regions), and an
+        // unperturbed rerun must be exact — nothing drained into the
+        // void.
+        match check_adaptive_seed(&pool, &cfg, seed) {
+            Ok(_) => Ok(()),
+            Err(m) => Err(format!(
+                "seed {seed}: post-fault rerun diverged after migration_decision #{nth}: {m}"
+            )),
+        }
+    }
+
     /// The planted-bug canary: runs the deliberately broken block-CAS
     /// reduction (ownership CAS dropped — see
     /// [`crate::block::BlockBrokenCasReduction`]) under the seed's
@@ -336,6 +589,7 @@ pub mod fuzz {
             preempt_per_mille: 120,
             budget: 4096,
             delay_nanos: 0,
+            migrate_per_mille: 0,
             fault: None,
         });
         let pool = ThreadPool::new(threads);
@@ -408,6 +662,7 @@ pub mod fuzz {
             preempt_per_mille: 100,
             budget: 64,
             delay_nanos: 0,
+            migrate_per_mille: 0,
             fault: Some(FaultSpec { tid, point, nth }),
         });
         let pool = ThreadPool::new(threads);
@@ -474,6 +729,27 @@ mod tests {
         cfg.check_floats = false;
         cfg.replays = 1;
         check_seed(&pool, &cfg, 11).expect("dynamic schedule stays exact");
+    }
+
+    #[test]
+    fn adaptive_oracle_accepts_and_cost_model_migrates() {
+        // With no verify session installed (or without the feature at
+        // all), migrations come from the cost model alone: the sweep's
+        // dense→sparse shift must trigger at least one, and every
+        // region — adaptive and fixed alike — must match sequential.
+        let pool = ThreadPool::new(3);
+        let cfg = OracleCfg::quick(3);
+        let stats = check_adaptive_seed(&pool, &cfg, 7).expect("adaptive sweep matches sequential");
+        assert!(
+            stats.migrations >= 1,
+            "dense→sparse shift must migrate: {stats:?}"
+        );
+        // 8 regions x (1 adaptive + 7 fixed candidates) x 2 elem types.
+        assert_eq!(stats.regions, 8 * (1 + 7) * 2);
+        // The i64 adaptive executor ran more than one strategy.
+        assert!(stats.strategy_regions.len() >= 2, "{stats:?}");
+        let total: u64 = stats.strategy_regions.iter().map(|(_, n)| n).sum();
+        assert_eq!(total, 8);
     }
 
     #[test]

@@ -142,3 +142,56 @@ proptest! {
         }
     }
 }
+
+/// Regression: `clear_plans` used to drop the cached plans but leave
+/// `planned_regions` and `plan_build_secs` at their pre-clear values, so
+/// any report issued after an invalidation blended statistics from two
+/// plan epochs. Clearing must zero both counters, and the executor must
+/// re-record and replay cleanly in the fresh epoch.
+#[test]
+fn clear_plans_resets_statistics_and_rerecords() {
+    let pool = ompsim::ThreadPool::new(3);
+    let schedule = ompsim::Schedule::default();
+    let (n, updates) = (64usize, 200usize);
+    let want = expected(n, updates, 3);
+    let kernel = Scatter { n, seed: 3 };
+
+    for strategy in plannable(16) {
+        let label = strategy.label();
+        let mut ex = RegionExecutor::<i64, Sum>::new(strategy);
+        for _ in 0..3 {
+            let mut out = vec![0i64; n];
+            ex.run_planned(1, &pool, &mut out, 0..updates, schedule, &kernel);
+            assert_eq!(out, want, "{label}: pre-clear region diverges");
+        }
+        assert!(ex.planned_regions() > 0, "{label}: replays must be counted");
+        assert!(
+            ex.plan_build_secs() > 0.0,
+            "{label}: recording must accrue build time"
+        );
+
+        ex.clear_plans();
+        assert_eq!(
+            ex.planned_regions(),
+            0,
+            "{label}: planned_regions survived clear_plans"
+        );
+        assert_eq!(
+            ex.plan_build_secs(),
+            0.0,
+            "{label}: plan_build_secs survived clear_plans"
+        );
+
+        // Fresh epoch: one recording region, one clean replay.
+        for _ in 0..2 {
+            let mut out = vec![0i64; n];
+            ex.run_planned(1, &pool, &mut out, 0..updates, schedule, &kernel);
+            assert_eq!(out, want, "{label}: post-clear region diverges");
+        }
+        assert_eq!(
+            ex.planned_regions(),
+            1,
+            "{label}: fresh epoch must count only post-clear replays"
+        );
+    }
+}

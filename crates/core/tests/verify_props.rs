@@ -7,7 +7,9 @@
 //! this file with a smaller budget through that knob).
 #![cfg(feature = "verify")]
 
-use spray::verify::fuzz::{broken_case, fault_case, fuzz_case, params_for_seed};
+use spray::verify::fuzz::{
+    broken_case, fault_case, fuzz_case, migration_case, migration_fault_case, params_for_seed,
+};
 use spray::verify::{seed_budget, OracleCfg};
 use spray::Strategy;
 
@@ -98,5 +100,52 @@ fn broken_cas_reducer_is_caught_within_200_seeds() {
 fn fault_injection_poisons_but_never_corrupts() {
     for seed in 0..seed_budget(10) {
         fault_case(THREADS, seed).unwrap_or_else(|e| panic!("fault case failed: {e}"));
+    }
+}
+
+#[test]
+fn migration_schedule_replays_from_the_seed() {
+    // The same seed must plant the same forced-migration schedule and
+    // the oracle's density-driven cost model is deterministic, so two
+    // runs agree on every count — the bit-for-bit replay the adaptive
+    // harness promises.
+    let mut cfg = OracleCfg::quick(THREADS);
+    cfg.check_floats = false;
+    let a = migration_case(&cfg, 5);
+    let b = migration_case(&cfg, 5);
+    let sa = a.result.expect("adaptive sweep matches sequential");
+    let sb = b.result.expect("adaptive sweep matches sequential");
+    assert_eq!(a.migrations, b.migrations);
+    assert_eq!(a.decision_crossings, b.decision_crossings);
+    assert_eq!(sa.strategy_regions, sb.strategy_regions);
+    assert!(
+        a.decision_crossings >= 8,
+        "every adaptive region must cross the decision hook"
+    );
+}
+
+#[test]
+fn migration_sweep_finds_no_bugs_and_plants_migrations() {
+    let mut cfg = OracleCfg::quick(THREADS);
+    cfg.check_floats = false;
+    let mut migrations = 0;
+    for seed in 0..seed_budget(8) {
+        let outcome = migration_case(&cfg, seed);
+        if let Err(m) = outcome.result {
+            panic!("migration fuzz found a mismatch: {m}");
+        }
+        migrations += outcome.migrations;
+    }
+    assert!(
+        migrations >= 1,
+        "the sweep must actually exercise migrations"
+    );
+}
+
+#[test]
+fn migration_faults_poison_but_never_corrupt() {
+    for seed in 0..seed_budget(6) {
+        migration_fault_case(THREADS, seed)
+            .unwrap_or_else(|e| panic!("migration fault case failed: {e}"));
     }
 }

@@ -2,7 +2,10 @@
 
 use crate::Graph;
 use ompsim::{Schedule, ThreadPool};
-use spray::{reduce_strategy, Kernel, Min, ReducerView, ReusableReducer, RunReport, Strategy, Sum};
+use spray::{
+    reduce_strategy, ExecutorPolicy, Kernel, Min, ReducerView, ReusableReducer, RunReport,
+    Strategy, Sum,
+};
 
 /// Outcome of [`pagerank`].
 #[derive(Debug, Clone)]
@@ -50,6 +53,30 @@ pub fn pagerank(
     tol: f64,
     max_iters: usize,
 ) -> PageRankResult {
+    pagerank_with_policy(
+        pool,
+        g,
+        strategy,
+        ExecutorPolicy::Fixed,
+        damping,
+        tol,
+        max_iters,
+    )
+}
+
+/// [`pagerank`] with an explicit [`ExecutorPolicy`]: under
+/// [`ExecutorPolicy::Adaptive`] the scatter executor may migrate
+/// strategies between power iterations as the cost model sees fit; the
+/// final report's `migrations`/`strategy_regions` record what it did.
+pub fn pagerank_with_policy(
+    pool: &ThreadPool,
+    g: &Graph,
+    strategy: Strategy,
+    policy: ExecutorPolicy,
+    damping: f64,
+    tol: f64,
+    max_iters: usize,
+) -> PageRankResult {
     let n = g.num_vertices();
     assert!(n > 0, "empty graph");
     let mut ranks = vec![1.0 / n as f64; n];
@@ -58,7 +85,7 @@ pub fn pagerank(
     // Reducer scratch survives the rank-vector swap: block strategies
     // allocate their status tables and private copies once, on the first
     // power iteration.
-    let mut reducer = ReusableReducer::<f64, Sum>::new(strategy);
+    let mut reducer = ReusableReducer::<f64, Sum>::with_policy(strategy, policy);
     let mut last_report = None;
     let mut total_applies = 0u64;
 
@@ -127,9 +154,20 @@ impl Kernel<u64> for LabelKernel<'_> {
 /// Returns the per-vertex component label (the minimum vertex id of the
 /// component).
 pub fn connected_components(pool: &ThreadPool, g: &Graph, strategy: Strategy) -> Vec<u64> {
+    connected_components_with_policy(pool, g, strategy, ExecutorPolicy::Fixed)
+}
+
+/// [`connected_components`] with an explicit [`ExecutorPolicy`] for the
+/// label-propagation scatter executor.
+pub fn connected_components_with_policy(
+    pool: &ThreadPool,
+    g: &Graph,
+    strategy: Strategy,
+    policy: ExecutorPolicy,
+) -> Vec<u64> {
     let n = g.num_vertices();
     let mut labels: Vec<u64> = (0..n as u64).collect();
-    let mut reducer = ReusableReducer::<u64, Min>::new(strategy);
+    let mut reducer = ReusableReducer::<u64, Min>::with_policy(strategy, policy);
     loop {
         let prev = labels.clone();
         let kernel = LabelKernel { g, prev: &prev };
@@ -467,6 +505,30 @@ mod tests {
         // 4-core is empty (K4 vertices have degree 3).
         let core4 = k_core(&pool(), &g, 4, Strategy::BlockCas { block_size: 4 });
         assert!(core4.iter().all(|&x| !x));
+    }
+
+    #[test]
+    fn adaptive_policy_matches_fixed_results() {
+        // An adaptive executor may migrate strategies between iterations;
+        // every strategy is exact (up to float reassociation), so the
+        // results must match the fixed-policy run regardless of what the
+        // cost model decides.
+        let g = Graph::de_bruijn(8);
+        let strategy = Strategy::BlockPrivate { block_size: 64 };
+        let policy = ExecutorPolicy::Adaptive(spray::AdaptiveConfig::default());
+
+        let fixed = pagerank(&pool(), &g, strategy, 0.85, 1e-12, 100);
+        let adaptive =
+            pagerank_with_policy(&pool(), &g, strategy, policy.clone(), 0.85, 1e-12, 100);
+        assert_eq!(fixed.iterations, adaptive.iterations);
+        for (x, y) in fixed.ranks.iter().zip(&adaptive.ranks) {
+            assert!((x - y).abs() < 1e-9);
+        }
+
+        let sym = g.symmetrized();
+        let want = connected_components(&pool(), &sym, strategy);
+        let got = connected_components_with_policy(&pool(), &sym, strategy, policy);
+        assert_eq!(want, got);
     }
 
     #[test]

@@ -19,7 +19,7 @@
 use crate::domain::Domain;
 use crate::hex::{node_normals, GAMMA};
 use ompsim::{Schedule, ThreadPool};
-use spray::{Kernel, ReducerView, ReusableReducer, Strategy, Sum};
+use spray::{ExecutorPolicy, Kernel, ReducerView, ReusableReducer, Strategy, Sum};
 
 /// How nodal force contributions are accumulated.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -208,10 +208,21 @@ pub struct ForceAccum {
 impl ForceAccum {
     /// Fresh accumulation state for `scheme` (no scratch retained yet).
     pub fn new(scheme: ForceScheme) -> Self {
+        Self::with_policy(scheme, ExecutorPolicy::Fixed)
+    }
+
+    /// Like [`ForceAccum::new`] with an explicit [`ExecutorPolicy`] for
+    /// the spray reducers: under [`ExecutorPolicy::Adaptive`] each pass's
+    /// executor may migrate strategies between timestep sweeps. Ignored
+    /// by the non-spray schemes.
+    pub fn with_policy(scheme: ForceScheme, policy: ExecutorPolicy) -> Self {
         ForceAccum {
             scheme,
             reducers: match scheme {
-                ForceScheme::Spray(s) => Some([ReusableReducer::new(s), ReusableReducer::new(s)]),
+                ForceScheme::Spray(s) => Some([
+                    ReusableReducer::with_policy(s, policy.clone()),
+                    ReusableReducer::with_policy(s, policy),
+                ]),
                 _ => None,
             },
             copies: Vec::new(),
@@ -362,6 +373,36 @@ mod tests {
                     (got - want).abs() < 1e-9 * scale,
                     "{} differs at {i}: {got} vs {want}",
                     scheme.label()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn adaptive_policy_matches_sequential_forces() {
+        let reference = forces_with(ForceScheme::Seq, 1);
+        let scale: f64 = reference.iter().fold(0.0, |a, &b| a.max(b.abs()));
+        assert!(scale > 0.0, "reference forces are all zero");
+
+        let mut d = Domain::new(4, Params::default());
+        for n in 0..d.nnode() {
+            d.xd[n] = ((n * 13 % 7) as f64 - 3.0) * 1e3;
+            d.yd[n] = ((n * 5 % 11) as f64 - 5.0) * 1e3;
+            d.zd[n] = ((n * 17 % 5) as f64 - 2.0) * 1e3;
+        }
+        let pool = ThreadPool::new(4);
+        let mut accum = ForceAccum::with_policy(
+            ForceScheme::Spray(Strategy::BlockPrivate { block_size: 64 }),
+            ExecutorPolicy::Adaptive(spray::AdaptiveConfig::default()),
+        );
+        // Several timesteps' worth of sweeps so the cost model gets a
+        // chance to migrate; every sweep must stay exact either way.
+        for step in 0..4 {
+            calc_force_for_nodes_with(&mut d, &pool, &mut accum);
+            for (i, (&got, &want)) in d.f.iter().zip(&reference).enumerate() {
+                assert!(
+                    (got - want).abs() < 1e-9 * scale,
+                    "adaptive step {step} differs at {i}: {got} vs {want}"
                 );
             }
         }

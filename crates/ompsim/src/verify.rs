@@ -56,10 +56,17 @@ pub enum HookPoint {
     /// A merge epilogue is about to fold one privatized block into the
     /// output (`idx` = block index).
     MergeStep,
+    /// An adaptive executor is evaluating (or mid-way through) a strategy
+    /// migration between regions (`idx` = adaptive region sequence
+    /// number). Crossed on the orchestrating thread — which never enters
+    /// a parallel region — so the controller tracks it with a dedicated
+    /// process-wide stream instead of a per-thread one; see
+    /// [`migration_choice`].
+    MigrationDecision,
 }
 
 /// Number of distinct hook points (array dimension for counters).
-pub const NPOINTS: usize = 7;
+pub const NPOINTS: usize = 8;
 
 impl HookPoint {
     /// Every hook point, in counter-index order.
@@ -71,6 +78,7 @@ impl HookPoint {
         HookPoint::QueuePush,
         HookPoint::QueueDrain,
         HookPoint::MergeStep,
+        HookPoint::MigrationDecision,
     ];
 
     /// Stable index into per-point counter arrays.
@@ -89,6 +97,7 @@ impl HookPoint {
             HookPoint::QueuePush => "queue_push",
             HookPoint::QueueDrain => "queue_drain",
             HookPoint::MergeStep => "merge_step",
+            HookPoint::MigrationDecision => "migration_decision",
         }
     }
 }
@@ -128,6 +137,16 @@ pub fn perturb_idx(_point: HookPoint, _idx: u64) {}
 #[inline(always)]
 pub fn enter_region(_tid: usize) {}
 
+/// [`HookPoint::MigrationDecision`] crossing: an adaptive executor asks
+/// the controller whether to *force* a strategy migration at this region
+/// boundary (and to which of `n_choices` candidates). Always `None`
+/// without `verify` — migrations then come from the cost model alone.
+#[cfg(not(feature = "verify"))]
+#[inline(always)]
+pub fn migration_choice(_idx: u64, _n_choices: u64) -> Option<u64> {
+    None
+}
+
 #[cfg(feature = "verify")]
 mod active {
     use super::{mix64, HookPoint, NPOINTS};
@@ -163,6 +182,11 @@ mod active {
         /// of yielding — models a descheduled thread, not just a polite
         /// one.
         pub delay_nanos: u64,
+        /// Probability (in 1/1000ths) that a [`HookPoint::MigrationDecision`]
+        /// crossing *forces* a strategy migration ([`migration_choice`]
+        /// returns `Some`). 0 leaves migrations to the executor's cost
+        /// model.
+        pub migrate_per_mille: u16,
         /// Optional injected panic.
         pub fault: Option<FaultSpec>,
     }
@@ -174,6 +198,7 @@ mod active {
                 preempt_per_mille: 200,
                 budget: 64,
                 delay_nanos: 0,
+                migrate_per_mille: 0,
                 fault: None,
             }
         }
@@ -213,6 +238,10 @@ mod active {
         counts: Vec<Padded<[AtomicU64; NPOINTS]>>,
         preempts: Vec<Padded<AtomicU64>>,
         traces: Vec<Mutex<Vec<TraceEvent>>>,
+        /// Process-wide [`HookPoint::MigrationDecision`] crossing count
+        /// (migration decisions happen on the orchestrating thread,
+        /// outside any parallel region, so they get one shared stream).
+        mig_count: AtomicU64,
     }
 
     /// Cap on retained trace events per thread; hot points are only
@@ -263,6 +292,7 @@ mod active {
                 .map(|_| Padded(AtomicU64::new(0)))
                 .collect(),
             traces: (0..MAX_THREADS).map(|_| Mutex::new(Vec::new())).collect(),
+            mig_count: AtomicU64::new(0),
         });
         *ACTIVE.lock().unwrap_or_else(|e| e.into_inner()) = Some(Arc::clone(&state));
         GEN.store(gen, Ordering::Release);
@@ -383,6 +413,71 @@ mod active {
         perturb_idx(point, 0)
     }
 
+    /// [`HookPoint::MigrationDecision`] crossing. Unlike the per-thread
+    /// hooks this runs on the orchestrating thread (which never binds a
+    /// tid), so the controller keeps a single process-wide crossing
+    /// counter and a *stateless* decision stream: crossing `nth` draws
+    /// `mix64(seed ^ salt ^ nth)`, making the whole forced-migration
+    /// schedule a pure function of the seed and the executor's region
+    /// order — exactly replayable. With probability
+    /// `migrate_per_mille/1000` the crossing returns `Some(k)`, forcing
+    /// a migration to candidate `k < n_choices` (`n_choices == 0` never
+    /// forces — used for the mid-drain crossing). A
+    /// [`FaultSpec`] targeting this point matches on `nth` alone
+    /// (`tid` is ignored); crossings are counted and traced under
+    /// thread slot 0.
+    pub fn migration_choice(idx: u64, n_choices: u64) -> Option<u64> {
+        if GEN.load(Ordering::Acquire) == 0 {
+            return None;
+        }
+        let ctl = {
+            let guard = ACTIVE.lock().unwrap_or_else(|e| e.into_inner());
+            match guard.as_ref() {
+                Some(c) => Arc::clone(c),
+                None => return None,
+            }
+        };
+        let point = HookPoint::MigrationDecision;
+        let nth = ctl.mig_count.fetch_add(1, Ordering::Relaxed) + 1;
+        ctl.counts[0].0[point.index()].fetch_add(1, Ordering::Relaxed);
+        if let Some(f) = ctl.cfg.fault {
+            if f.point == point && f.nth == nth {
+                record(
+                    &ctl,
+                    0,
+                    TraceEvent {
+                        point,
+                        idx,
+                        nth,
+                        action: Action::Fault,
+                    },
+                );
+                panic!("ompsim-verify: injected fault at migration_decision crossing #{nth}");
+            }
+        }
+        record(
+            &ctl,
+            0,
+            TraceEvent {
+                point,
+                idx,
+                nth,
+                action: Action::Pass,
+            },
+        );
+        let p = u64::from(ctl.cfg.migrate_per_mille);
+        if p == 0 || n_choices == 0 {
+            return None;
+        }
+        let r =
+            mix64(ctl.cfg.seed ^ 0x4D49_4752_4154_4531 ^ nth.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        if r % 1000 < p {
+            Some((r >> 32) % n_choices)
+        } else {
+            None
+        }
+    }
+
     /// Hook crossing with an index. The controller counts it, may charge
     /// a preemption (yield or sleep), may panic (injected fault), and
     /// records cold points — and any crossing that acted — in the trace.
@@ -488,6 +583,6 @@ mod active {
 
 #[cfg(feature = "verify")]
 pub use active::{
-    enter_region, install, perturb, perturb_idx, Action, FaultSpec, TraceEvent, VerifyConfig,
-    VerifySession, MAX_THREADS,
+    enter_region, install, migration_choice, perturb, perturb_idx, Action, FaultSpec, TraceEvent,
+    VerifyConfig, VerifySession, MAX_THREADS,
 };

@@ -25,6 +25,7 @@ fn controller_replays_a_seed_exactly() {
             preempt_per_mille: 300,
             budget: 32,
             delay_nanos: 0,
+            migrate_per_mille: 0,
             fault: None,
         });
         let pool = ThreadPool::new(3);
@@ -54,6 +55,7 @@ fn distinct_seeds_draw_distinct_decision_streams() {
             preempt_per_mille: 500,
             budget: 1000,
             delay_nanos: 0,
+            migrate_per_mille: 0,
             fault: None,
         });
         let pool = ThreadPool::new(4);
@@ -93,6 +95,7 @@ fn injected_barrier_fault_poisons_region_and_pool_survives() {
             preempt_per_mille: 0,
             budget: 0,
             delay_nanos: 0,
+            migrate_per_mille: 0,
             fault: Some(FaultSpec {
                 tid: 1,
                 point: HookPoint::BarrierEnter,
@@ -123,6 +126,7 @@ fn budget_caps_preemptions() {
         preempt_per_mille: 1000,
         budget: 5,
         delay_nanos: 0,
+        migrate_per_mille: 0,
         fault: None,
     });
     let pool = ThreadPool::new(2);
@@ -134,4 +138,71 @@ fn budget_caps_preemptions() {
     drop(pool);
     // Every crossing wants to preempt, but each thread is capped at 5.
     assert_eq!(session.preemptions(), 10);
+}
+
+#[test]
+fn migration_stream_is_seed_deterministic_and_counted() {
+    let _l = lock();
+    let run = |seed: u64| {
+        let session = install(VerifyConfig {
+            seed,
+            preempt_per_mille: 0,
+            budget: 0,
+            delay_nanos: 0,
+            migrate_per_mille: 500,
+            fault: None,
+        });
+        let choices: Vec<Option<u64>> = (0..32)
+            .map(|i| ompsim::verify::migration_choice(i, 4))
+            .collect();
+        let crossings = session.total(HookPoint::MigrationDecision);
+        (choices, crossings)
+    };
+    let (a, na) = run(42);
+    let (b, nb) = run(42);
+    assert_eq!(a, b, "same seed must replay the same migration schedule");
+    assert_eq!((na, nb), (32, 32));
+    // ~50% force rate over 32 draws: some Some, some None, and every
+    // forced choice in range.
+    assert!(a.iter().any(|c| c.is_some()));
+    assert!(a.iter().any(|c| c.is_none()));
+    assert!(a.iter().flatten().all(|&k| k < 4));
+    // A different seed draws a different schedule (32 draws at 50%).
+    let (c, _) = run(43);
+    assert_ne!(a, c, "distinct seeds should plant distinct migrations");
+    // n_choices == 0 (the mid-drain crossing) never forces.
+    let session = install(VerifyConfig {
+        seed: 7,
+        preempt_per_mille: 0,
+        budget: 0,
+        delay_nanos: 0,
+        migrate_per_mille: 1000,
+        fault: None,
+    });
+    assert_eq!(ompsim::verify::migration_choice(0, 0), None);
+    drop(session);
+}
+
+#[test]
+fn migration_fault_fires_on_nth_crossing() {
+    let _l = lock();
+    let session = install(VerifyConfig {
+        seed: 5,
+        preempt_per_mille: 0,
+        budget: 0,
+        delay_nanos: 0,
+        migrate_per_mille: 0,
+        fault: Some(FaultSpec {
+            tid: 0, // ignored for MigrationDecision
+            point: HookPoint::MigrationDecision,
+            nth: 3,
+        }),
+    });
+    assert_eq!(ompsim::verify::migration_choice(0, 2), None);
+    assert_eq!(ompsim::verify::migration_choice(1, 2), None);
+    let hit = catch_unwind(AssertUnwindSafe(|| {
+        let _ = ompsim::verify::migration_choice(2, 2);
+    }));
+    assert!(hit.is_err(), "third crossing must panic");
+    drop(session);
 }

@@ -2,7 +2,9 @@
 
 use crate::{Csr, Num};
 use ompsim::{Schedule, ThreadPool};
-use spray::{reduce_strategy, Kernel, ReducerView, RegionExecutor, RunReport, Strategy};
+use spray::{
+    reduce_strategy, ExecutorPolicy, Kernel, ReducerView, RegionExecutor, RunReport, Strategy,
+};
 
 /// The Fig. 10 loop body as a [`spray::Kernel`] over rows:
 /// `for k in row(i): y[cols[k]] += vals[k] * x[i]`.
@@ -67,8 +69,15 @@ pub struct PlannedTmv<T: Num> {
 impl<T: Num> PlannedTmv<T> {
     /// A planned-TMV context for `strategy`, with nothing recorded yet.
     pub fn new(strategy: Strategy) -> Self {
+        Self::with_policy(strategy, ExecutorPolicy::Fixed)
+    }
+
+    /// A planned-TMV context with an explicit [`ExecutorPolicy`]: under
+    /// [`ExecutorPolicy::Adaptive`] repeated products may migrate
+    /// strategies (re-recording the plan lazily after each migration).
+    pub fn with_policy(strategy: Strategy, policy: ExecutorPolicy) -> Self {
         PlannedTmv {
-            executor: RegionExecutor::new(strategy),
+            executor: RegionExecutor::with_policy(strategy, policy),
         }
     }
 
@@ -92,6 +101,11 @@ impl<T: Num> PlannedTmv<T> {
     /// Products so far that replayed a plan without deviating.
     pub fn planned_regions(&self) -> u64 {
         self.executor.planned_regions()
+    }
+
+    /// Strategy migrations performed so far (0 under a fixed policy).
+    pub fn migrations(&self) -> u64 {
+        self.executor.migrations()
     }
 }
 
@@ -182,6 +196,30 @@ mod tests {
         }
         assert_eq!(tmv.planned_regions(), 2);
         assert!(tmv.plan_build_secs() >= 0.0);
+    }
+
+    #[test]
+    fn adaptive_planned_tmv_matches_seq() {
+        let a = gen::random(400, 256, 4000, 9);
+        let x: Vec<f64> = (0..400).map(|i| (i as f64 * 0.02).cos()).collect();
+        let mut expected = vec![0.0f64; 256];
+        a.tmatvec_seq(&x, &mut expected);
+
+        let pool = ThreadPool::new(4);
+        let mut tmv = PlannedTmv::with_policy(
+            Strategy::BlockCas { block_size: 32 },
+            ExecutorPolicy::Adaptive(spray::AdaptiveConfig::default()),
+        );
+        for rep in 0..4 {
+            let mut y = vec![0.0f64; 256];
+            tmv.run(&pool, &a, &x, &mut y);
+            for (i, (&got, &want)) in y.iter().zip(&expected).enumerate() {
+                assert!(
+                    (got - want).abs() < 1e-9,
+                    "rep {rep} differs at {i}: {got} vs {want}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -6,7 +6,8 @@
 use ompsim::{Schedule, ThreadPool};
 use proptest::prelude::*;
 use spray::{
-    reduce_strategy, Kernel, Max, Min, Prod, ReduceOp, ReducerView, ReusableReducer, Strategy, Sum,
+    reduce_strategy, Kernel, Max, Min, Prod, ReduceOp, ReducerView, RegionExecutor,
+    ReusableReducer, Strategy, Sum,
 };
 
 /// An explicit update stream: iteration i performs updates[i].
@@ -274,6 +275,112 @@ proptest! {
                     "strategy {} region {}", strategy.label(), region
                 );
             }
+        }
+    }
+
+    /// Planned execution must be bit-identical to unplanned execution for
+    /// EVERY strategy — including [`Strategy::Hybrid`] and
+    /// [`Strategy::Log`], which have no plannable path: `run_planned` must
+    /// degrade to plain execution for them, never to a wrong answer.
+    #[test]
+    fn planned_matrix_is_bit_exact_for_every_strategy(
+        len in 1usize..80,
+        threads in 1usize..5,
+        block in prop::sample::select(vec![4usize, 16, 64]),
+        seed in any::<u64>(),
+    ) {
+        let n_iters = 150;
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let updates: Vec<Vec<(usize, i64)>> = (0..n_iters)
+            .map(|_| {
+                let k = (next() % 4) as usize;
+                (0..k)
+                    .map(|_| ((next() as usize) % len, (next() % 100) as i64 - 50))
+                    .collect()
+            })
+            .collect();
+
+        let mut expected = vec![0i64; len];
+        sequential_apply::<i64, Sum>(&mut expected, &updates);
+
+        let pool = ThreadPool::new(threads);
+        let kernel = StreamKernel { updates: &updates };
+        for strategy in strategies(block) {
+            let label = strategy.label();
+
+            let mut unplanned = vec![0i64; len];
+            reduce_strategy::<i64, Sum, _>(
+                strategy, &pool, &mut unplanned, 0..n_iters, Schedule::default(), &kernel,
+            );
+            prop_assert_eq!(&unplanned, &expected, "{}: unplanned diverges", label);
+
+            // Recording region + two replays against the same region id.
+            let mut ex = RegionExecutor::<i64, Sum>::new(strategy);
+            for region in 0..3 {
+                let mut out = vec![0i64; len];
+                ex.run_planned(0, &pool, &mut out, 0..n_iters, Schedule::default(), &kernel);
+                prop_assert_eq!(
+                    &out, &expected,
+                    "{}: planned region {} diverges from unplanned", label, region
+                );
+            }
+        }
+    }
+
+    /// An arbitrary forced-migration schedule — any strategy pair, any
+    /// region boundary — must preserve results: migration drains retained
+    /// scratch and invalidates plans, so every region still matches the
+    /// sequential loop bit-for-bit no matter when the executor switches.
+    #[test]
+    fn forced_migration_schedule_preserves_results(
+        len in 1usize..80,
+        threads in 1usize..5,
+        seed in any::<u64>(),
+        start in 0usize..10,
+        switches in prop::collection::vec((0usize..6, 0usize..10), 0..4),
+    ) {
+        let n_iters = 120;
+        let n_regions = 6;
+        let all = strategies(16);
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let pool = ThreadPool::new(threads);
+        let mut ex = RegionExecutor::<i64, Sum>::new(all[start % all.len()]);
+        for region in 0..n_regions {
+            if let Some(&(_, target)) = switches.iter().find(|&&(r, _)| r == region) {
+                ex.migrate_to(all[target % all.len()]);
+            }
+            let updates: Vec<Vec<(usize, i64)>> = (0..n_iters)
+                .map(|_| {
+                    let k = (next() % 3) as usize;
+                    (0..k)
+                        .map(|_| ((next() as usize) % len, (next() % 40) as i64 - 20))
+                        .collect()
+                })
+                .collect();
+            let mut expected = vec![0i64; len];
+            sequential_apply::<i64, Sum>(&mut expected, &updates);
+
+            let kernel = StreamKernel { updates: &updates };
+            let mut out = vec![0i64; len];
+            let report =
+                ex.run_planned(0, &pool, &mut out, 0..n_iters, Schedule::default(), &kernel);
+            prop_assert_eq!(
+                &out, &expected,
+                "strategy {} region {} after {} migrations",
+                report.strategy, region, report.migrations
+            );
         }
     }
 
