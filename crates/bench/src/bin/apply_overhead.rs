@@ -15,13 +15,24 @@
 //!   register (its address never escapes the loop), so the expected cost
 //!   is one add per apply.
 //!
-//! Prints CSV and writes `BENCH_apply_overhead.json` with all three
-//! numbers per configuration.
+//! A second section measures the **merge phase** (what the block
+//! epilogues stream after the barrier): the fused `merge_refill_into`
+//! kernel against the seed's two-pass equivalent (element-at-a-time
+//! scalar merge, then a separate identity refill — exactly what the
+//! pre-arena epilogue + `finish` pair did), and a same-buffer `memcpy`
+//! as the machine's bandwidth ceiling. A real 4-thread block-private
+//! region over the stream shape contributes its
+//! `RunReport::merge_bandwidth` for cross-checking. The `--check` gate
+//! asserts the fused kernel ≥ 1.5× the seed scalar merge.
+//!
+//! Prints CSV and writes `BENCH_apply_overhead.json` with all numbers
+//! per configuration.
 
 use bench::args::Opts;
+use spray::arena::AlignedBuf;
 use spray::{
-    BlockCasReduction, BlockLockReduction, BlockPrivateReduction, CountedView, ReducerView,
-    Reduction, Sum,
+    kernels, reduce_dyn, BlockCasReduction, BlockLockReduction, BlockPrivateReduction, CountedView,
+    ReducerView, Reduction, Strategy, Sum,
 };
 use std::hint::black_box;
 use std::io::Write;
@@ -39,6 +50,130 @@ struct Row {
     uncached_ns: f64,
     /// Fast path without the counting wrapper (telemetry off).
     uncounted_ns: f64,
+}
+
+/// Merge-phase measurement: fused kernel vs seed-shaped scalar two-pass,
+/// with a memcpy ceiling and a live region's reported bandwidth.
+struct MergeRow {
+    threads: usize,
+    /// ns per merged element, fused `merge_refill_into` kernel.
+    kernel_ns: f64,
+    /// ns per merged element, seed shape: scalar merge pass + refill pass.
+    scalar_ns: f64,
+    /// Bytes/sec of the fused kernel over the merged footprint.
+    kernel_bw: f64,
+    /// Bytes/sec of the seed-shaped scalar merge.
+    scalar_bw: f64,
+    /// Same-buffer `memcpy` bandwidth (the streaming ceiling).
+    memcpy_bw: f64,
+    /// `RunReport::merge_bandwidth` of a real block-private region over
+    /// the stream shape at `threads` threads.
+    region_bw: f64,
+}
+
+/// Times the merge phase the way the block epilogues run it: `threads`
+/// private full-array copies merged block-by-block into one output.
+/// Copies are re-dirtied outside the timed sections; best-of-reps.
+fn bench_merge(n: usize, block_size: usize, threads: usize, reps: usize) -> MergeRow {
+    let mut out = AlignedBuf::<f64>::new_identity::<Sum>(n);
+    let mut copies: Vec<AlignedBuf<f64>> = (0..threads)
+        .map(|_| AlignedBuf::<f64>::new_identity::<Sum>(n))
+        .collect();
+    let dirty = |copies: &mut Vec<AlignedBuf<f64>>| {
+        for c in copies.iter_mut() {
+            c.as_mut_slice().fill(1.0);
+        }
+    };
+    let merged_bytes = (threads * n * std::mem::size_of::<f64>()) as f64;
+
+    let mut kernel = f64::INFINITY;
+    let mut scalar = f64::INFINITY;
+    let mut memcpy = f64::INFINITY;
+    for _ in 0..reps + 1 {
+        // Fused kernel: one pass merges and refills (what the arena-backed
+        // epilogue streams).
+        dirty(&mut copies);
+        let t0 = Instant::now();
+        for c in copies.iter_mut() {
+            for lo in (0..n).step_by(block_size) {
+                let len = block_size.min(n - lo);
+                // SAFETY: disjoint buffers, in-bounds block ranges.
+                unsafe {
+                    kernels::merge_refill_into::<f64, Sum>(
+                        out.as_mut_ptr().add(lo),
+                        c.as_mut_ptr().add(lo),
+                        len,
+                    );
+                }
+            }
+        }
+        kernel = kernel.min(t0.elapsed().as_secs_f64());
+        black_box(out.as_slice());
+
+        // Seed shape: element-at-a-time merge pass (the old epilogue
+        // loop), then a separate refill pass (the old `finish`).
+        dirty(&mut copies);
+        let t0 = Instant::now();
+        for c in copies.iter_mut() {
+            for lo in (0..n).step_by(block_size) {
+                let len = block_size.min(n - lo);
+                // SAFETY: as above.
+                unsafe {
+                    kernels::merge_into_scalar::<f64, Sum>(
+                        out.as_mut_ptr().add(lo),
+                        c.as_ptr().add(lo),
+                        len,
+                    );
+                }
+            }
+            c.as_mut_slice().fill(0.0);
+        }
+        scalar = scalar.min(t0.elapsed().as_secs_f64());
+        black_box(out.as_slice());
+
+        // memcpy ceiling over the same footprint.
+        dirty(&mut copies);
+        let t0 = Instant::now();
+        for c in copies.iter() {
+            // SAFETY: disjoint same-length buffers.
+            unsafe {
+                std::ptr::copy_nonoverlapping(c.as_ptr(), out.as_mut_ptr(), n);
+            }
+        }
+        memcpy = memcpy.min(t0.elapsed().as_secs_f64());
+        black_box(out.as_slice());
+    }
+
+    // A real region on the stream shape: every thread privatizes its
+    // chunk's blocks (block-private never claims), so the epilogue merges
+    // ~the whole array once and the report carries the realized
+    // bandwidth.
+    let pool = ompsim::ThreadPool::new(threads);
+    let mut out2 = vec![0.0f64; n];
+    let report = reduce_dyn::<f64, Sum>(
+        Strategy::BlockPrivate { block_size },
+        &pool,
+        &mut out2,
+        1..n - 1,
+        ompsim::Schedule::default(),
+        &|v, i| {
+            v.apply(i - 1, 0.25);
+            v.apply(i, 0.5);
+            v.apply(i + 1, 0.25);
+        },
+    );
+    black_box(out2.as_slice());
+
+    let per = 1e9 / (threads * n) as f64;
+    MergeRow {
+        threads,
+        kernel_ns: kernel * per,
+        scalar_ns: scalar * per,
+        kernel_bw: merged_bytes / kernel,
+        scalar_bw: merged_bytes / scalar,
+        memcpy_bw: merged_bytes / memcpy,
+        region_bw: report.merge_bandwidth,
+    }
 }
 
 /// splitmix64, for a deterministic index permutation.
@@ -163,28 +298,69 @@ fn main() {
         }
     }
 
+    // Merge phase: the stream shape at 4 threads (the acceptance
+    // configuration), fused kernel vs seed scalar two-pass vs memcpy.
+    let merge_threads = 4;
+    let m = bench_merge(n, block_size, merge_threads, reps);
+    let speedup = m.scalar_ns / m.kernel_ns;
+    println!("# merge phase: stream shape, {merge_threads} threads, bytes/sec");
+    println!(
+        "merge,kernel_ns_per_elem,scalar_ns_per_elem,kernel_vs_scalar,\
+         kernel_bw,scalar_bw,memcpy_bw,region_merge_bandwidth"
+    );
+    println!(
+        "merge,{:.3},{:.3},{:.3},{:.3e},{:.3e},{:.3e},{:.3e}",
+        m.kernel_ns, m.scalar_ns, speedup, m.kernel_bw, m.scalar_bw, m.memcpy_bw, m.region_bw
+    );
+
     let mut json = String::from("{\n");
     json.push_str(&format!(
         "  \"n\": {n},\n  \"block_size\": {block_size},\n  \"reps\": {reps},\n  \"results\": [\n"
     ));
-    for (k, r) in rows.iter().enumerate() {
+    for r in rows.iter() {
         json.push_str(&format!(
             "    {{\"strategy\": \"{}\", \"pattern\": \"{}\", \
              \"cached_ns_per_apply\": {:.3}, \"uncached_ns_per_apply\": {:.3}, \
-             \"telemetry_off_ns_per_apply\": {:.3}, \"telemetry_overhead_pct\": {:.2}}}{}\n",
+             \"telemetry_off_ns_per_apply\": {:.3}, \"telemetry_overhead_pct\": {:.2}}},\n",
             r.strategy,
             r.pattern,
             r.cached_ns,
             r.uncached_ns,
             r.uncounted_ns,
             100.0 * (r.cached_ns / r.uncounted_ns - 1.0),
-            if k + 1 == rows.len() { "" } else { "," }
         ));
     }
+    json.push_str(&format!(
+        "    {{\"strategy\": \"merge-phase\", \"pattern\": \"stream\", \"threads\": {}, \
+         \"kernel_merge_ns_per_apply\": {:.3}, \"scalar_merge_ns_per_apply\": {:.3}, \
+         \"kernel_vs_scalar_speedup\": {:.3}, \"merge_bandwidth\": {:.6e}, \
+         \"scalar_merge_bandwidth\": {:.6e}, \"memcpy_bandwidth\": {:.6e}, \
+         \"region_merge_bandwidth\": {:.6e}}}\n",
+        m.threads,
+        m.kernel_ns,
+        m.scalar_ns,
+        speedup,
+        m.kernel_bw,
+        m.scalar_bw,
+        m.memcpy_bw,
+        m.region_bw
+    ));
     json.push_str("  ]\n}\n");
     let path = "BENCH_apply_overhead.json";
     std::fs::File::create(path)
         .and_then(|mut f| f.write_all(json.as_bytes()))
         .expect("write BENCH_apply_overhead.json");
     eprintln!("wrote {path}");
+
+    if opts.check {
+        assert!(
+            speedup >= 1.5,
+            "merge kernel acceptance: fused kernel must be ≥ 1.5× the seed \
+             scalar merge on the stream shape (got {speedup:.3}×; kernel \
+             {:.3} ns/elem vs scalar {:.3} ns/elem)",
+            m.kernel_ns,
+            m.scalar_ns
+        );
+        eprintln!("check ok: fused merge kernel {speedup:.3}× the seed scalar merge");
+    }
 }

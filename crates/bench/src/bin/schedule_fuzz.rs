@@ -28,7 +28,13 @@
 //!   requires poison-not-deadlock with no lost updates afterwards. The
 //!   sweep fails if NO seed planted a migration (the mode lost its
 //!   teeth). Without `--features verify` it degrades to the unperturbed
-//!   adaptive oracle (cost-model migrations only, no fault injection).
+//!   adaptive oracle (cost-model migrations only, no fault injection);
+//! * `--arena N` — N seeds through the arena-retention fingerprint
+//!   check: the seeded controller must observe identical hook totals
+//!   and per-thread merge orders whether regions run on fresh arena
+//!   slabs or on scratch recycled from a previous region, and the
+//!   planted-migration drain fingerprint must replay identically.
+//!   Requires `--features verify`.
 
 use spray::verify::OracleCfg;
 use spray::Strategy;
@@ -46,6 +52,7 @@ struct FuzzOpts {
     broken: bool,
     faults: u64,
     migrations: u64,
+    arena: u64,
     quiet: bool,
 }
 
@@ -64,6 +71,7 @@ impl Default for FuzzOpts {
             broken: false,
             faults: 0,
             migrations: 0,
+            arena: 0,
             quiet: false,
         }
     }
@@ -71,7 +79,7 @@ impl Default for FuzzOpts {
 
 const USAGE: &str = "usage: schedule_fuzz [--seed S | --seeds N --start S] [--threads T] \
 [--n N] [--updates U] [--block-size B] [--replays R] [--dynamic] [--no-floats] \
-[--broken] [--faults N] [--migrations N] [--quiet]";
+[--broken] [--faults N] [--migrations N] [--arena N] [--quiet]";
 
 fn parse_opts() -> FuzzOpts {
     let mut o = FuzzOpts::default();
@@ -120,6 +128,7 @@ fn parse_opts() -> FuzzOpts {
                     .parse()
                     .expect("--migrations: u64")
             }
+            "--arena" => o.arena = value(&mut args, "--arena").parse().expect("--arena: u64"),
             "--quiet" => o.quiet = true,
             "--help" | "-h" => {
                 println!("{USAGE}");
@@ -385,6 +394,48 @@ fn migrations_main(o: &FuzzOpts) -> i32 {
     0
 }
 
+#[cfg(feature = "verify")]
+fn arena_main(o: &FuzzOpts) -> i32 {
+    use spray::verify::fuzz::arena_case;
+    let mut bad = 0u64;
+    for seed in o.start..o.start + o.arena {
+        match arena_case(o.threads, seed) {
+            Ok(()) => {
+                if !o.quiet {
+                    println!(
+                        "arena seed {seed}: fresh and retained-scratch fingerprints \
+                         identical, migration drain replays"
+                    );
+                }
+            }
+            Err(e) => {
+                bad += 1;
+                eprintln!("FAIL arena seed {seed}: {e}");
+                eprintln!(
+                    "repro: cargo run --release -p bench --features verify --bin \
+                     schedule_fuzz -- --arena 1 --start {seed} --threads {}",
+                    o.threads
+                );
+            }
+        }
+    }
+    if bad > 0 {
+        eprintln!("arena fuzz: {bad} failure(s) over {} seed(s)", o.arena);
+        return 1;
+    }
+    println!(
+        "arena fuzz: {} seed(s) from {} clean ({} threads)",
+        o.arena, o.start, o.threads
+    );
+    0
+}
+
+#[cfg(not(feature = "verify"))]
+fn arena_main(_o: &FuzzOpts) -> i32 {
+    eprintln!("--arena requires --features verify");
+    2
+}
+
 #[cfg(not(feature = "verify"))]
 fn broken_main(_o: &FuzzOpts) -> i32 {
     eprintln!("--broken requires --features verify");
@@ -407,6 +458,9 @@ fn main() {
     }
     if o.migrations > 0 {
         std::process::exit(migrations_main(&o));
+    }
+    if o.arena > 0 {
+        std::process::exit(arena_main(&o));
     }
     let failures = sweep(&o);
     if failures > 0 {

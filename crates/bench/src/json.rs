@@ -336,6 +336,10 @@ mod tests {
             .as_arr()
             .unwrap();
         assert_eq!(per_thread.len(), 2);
+        // The merge-bandwidth column is always emitted; a block strategy
+        // over a contended pattern merged something, so the figure is a
+        // number ≥ 0 (0 only if the epilogue was too fast to time).
+        assert!(j.get("merge_bandwidth").unwrap().as_num().unwrap() >= 0.0);
         // Plan amortization fields are always present (zero when the
         // region ran without a caller-supplied region id).
         assert_eq!(j.get("plan_build_secs").unwrap().as_num(), Some(0.0));

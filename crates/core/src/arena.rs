@@ -1,0 +1,479 @@
+//! Aligned block arena: slab-backed storage for privatized blocks.
+//!
+//! The seed code allocated every private block copy as its own
+//! `vec![O::identity(); n].into_boxed_slice()` — one heap allocation per
+//! (thread, block), at whatever alignment the allocator felt like. The
+//! C++ SPRAY exemplars instead carve block copies out of
+//! `aligned_alloc(256)` slabs so the merge loops run over full aligned
+//! cache lines. This module is that storage plane:
+//!
+//! * A [`BlockArena`] is **per thread, per region**: each view owns one,
+//!   carves fixed-stride block slots out of contiguous slabs, and retains
+//!   it across regions through the existing scratch-retention path
+//!   ([`crate::BlockReduction::into_scratch`] and friends), so a warm
+//!   region allocates nothing.
+//! * Slabs start at [`MIN_SLAB_BYTES`] and double, so a thread that
+//!   privatizes `k` blocks pays `O(log k)` allocations instead of `k`.
+//! * Freed slabs (a dropped arena — strategy migration, mismatched
+//!   scratch, region teardown) are **recycled through a process-wide slab
+//!   pool** instead of returned to the allocator, so the next region's
+//!   arenas start warm even across strategies.
+//!
+//! # Alignment contract
+//!
+//! Slab bases are aligned to [`SLAB_ALIGN`] (256 bytes, matching the C++
+//! exemplars' `aligned_alloc(256)`). Block strides are padded to a
+//! multiple of 64 bytes when the element size divides 64, so every block
+//! base is at least cache-line aligned (and 256-byte aligned whenever the
+//! stride is a multiple of 256 — true for all power-of-two blocks of
+//! ≥ 256 bytes). Exotic element sizes fall back to element alignment,
+//! which is all the kernels require; [`BlockArena::alignment`] reports
+//! the actual guarantee.
+//!
+//! # Aliasing discipline
+//!
+//! The arena exposes raw [`BlockRef`] pointers, never references, and the
+//! slab memory is only ever accessed through them — the same discipline
+//! as `shared.rs`'s `SharedSlice`. Each block slot is written by
+//! exactly one thread during the loop phase and read/refilled by exactly
+//! one (possibly different) thread after the team barrier; block strides
+//! are cache-line separated so two threads merging different blocks of
+//! one arena never false-share.
+
+use crate::elem::{Element, ReduceOp};
+use crate::kernels;
+use std::alloc::Layout;
+use std::ptr::NonNull;
+
+/// Alignment of every slab base, matching the C++ exemplars'
+/// `aligned_alloc(256)`.
+pub const SLAB_ALIGN: usize = 256;
+
+/// Smallest slab: one page's worth of blocks, so tiny-block arenas do not
+/// allocate per block and the slab pool never fills with confetti.
+pub const MIN_SLAB_BYTES: usize = 4096;
+
+/// Hard cap on a single slab's block count (doubling stops here).
+const MAX_SLAB_BLOCKS: usize = 1024;
+
+/// One raw slab allocation. Never moves once allocated; blocks carved
+/// from it stay valid until the arena drops.
+struct Slab {
+    ptr: NonNull<u8>,
+    layout: Layout,
+}
+
+// SAFETY: a Slab is just an owned allocation; the arena's access
+// discipline (documented on the module) governs the memory itself.
+unsafe impl Send for Slab {}
+unsafe impl Sync for Slab {}
+
+impl Drop for Slab {
+    fn drop(&mut self) {
+        pool::release(self.ptr, self.layout);
+    }
+}
+
+/// A raw pointer to one block slot inside a [`BlockArena`] slab.
+///
+/// Deliberately a pointer, not a reference: the loop phase writes blocks
+/// through per-thread views while the merge phase reads (and refills)
+/// them through shared scratch, and the region protocol — not the borrow
+/// checker — serializes those accesses. Copyable so the hot path can keep
+/// it in a register.
+#[derive(Clone, Copy, Debug)]
+pub struct BlockRef<T>(NonNull<T>);
+
+// SAFETY: access discipline is the region protocol documented on the
+// module; the pointee is plain `T: Element` data.
+unsafe impl<T: Send> Send for BlockRef<T> {}
+unsafe impl<T: Send> Sync for BlockRef<T> {}
+
+impl<T: Element> BlockRef<T> {
+    /// The block's base pointer.
+    #[inline(always)]
+    pub fn as_ptr(self) -> *mut T {
+        self.0.as_ptr()
+    }
+
+    /// The first `n` elements as a shared slice.
+    ///
+    /// # Safety
+    /// `n` must not exceed the arena's block length, and no thread may
+    /// write the block while the slice lives.
+    #[inline(always)]
+    pub unsafe fn as_slice<'a>(self, n: usize) -> &'a [T] {
+        std::slice::from_raw_parts(self.0.as_ptr(), n)
+    }
+}
+
+/// Slab-backed allocator of fixed-size block copies; see the module docs.
+pub struct BlockArena<T> {
+    slabs: Vec<Slab>,
+    /// Logical elements per block (what callers asked for).
+    block_elems: usize,
+    /// Physical elements per block slot (padded for alignment).
+    stride: usize,
+    /// Block slots handed out of the newest slab.
+    next: usize,
+    /// Block slots in the newest slab.
+    cap: usize,
+    /// Total slab bytes currently owned (diagnostic).
+    slab_bytes: usize,
+    _elem: std::marker::PhantomData<T>,
+}
+
+// SAFETY: the arena owns its slabs; see the module's aliasing discipline.
+unsafe impl<T: Send> Send for BlockArena<T> {}
+unsafe impl<T: Send> Sync for BlockArena<T> {}
+
+impl<T: Element> BlockArena<T> {
+    /// Creates an empty arena handing out blocks of `block_elems`
+    /// elements. Nothing is allocated until the first
+    /// [`BlockArena::alloc_identity`].
+    pub fn new(block_elems: usize) -> Self {
+        assert!(block_elems > 0, "arena block length must be > 0");
+        let size = std::mem::size_of::<T>();
+        // Pad the stride so consecutive blocks start on cache-line
+        // boundaries whenever the element size allows it.
+        let stride = if size > 0 && 64 % size == 0 {
+            block_elems.next_multiple_of(64 / size)
+        } else {
+            block_elems
+        };
+        BlockArena {
+            slabs: Vec::new(),
+            block_elems,
+            stride,
+            next: 0,
+            cap: 0,
+            slab_bytes: 0,
+            _elem: std::marker::PhantomData,
+        }
+    }
+
+    /// Logical elements per block.
+    #[inline]
+    pub fn block_elems(&self) -> usize {
+        self.block_elems
+    }
+
+    /// The alignment guarantee (in bytes) of every block this arena hands
+    /// out: 256 for strides that are multiples of 256, otherwise the
+    /// largest power of two dividing both the stride and [`SLAB_ALIGN`].
+    pub fn alignment(&self) -> usize {
+        let stride_bytes = self.stride * std::mem::size_of::<T>();
+        if stride_bytes == 0 {
+            return SLAB_ALIGN;
+        }
+        let align_from_stride = 1usize << stride_bytes.trailing_zeros().min(63);
+        align_from_stride
+            .min(SLAB_ALIGN)
+            .max(std::mem::align_of::<T>())
+    }
+
+    /// Total slab bytes currently owned by this arena.
+    pub fn slab_bytes(&self) -> usize {
+        self.slab_bytes
+    }
+
+    /// Hands out one identity-filled block. The refill happens in place
+    /// in the slab (no construct-then-copy); warm slabs make this an
+    /// allocation-free bump plus a fill.
+    pub fn alloc_identity<O: ReduceOp<T>>(&mut self) -> BlockRef<T> {
+        if self.next == self.cap {
+            self.grow();
+        }
+        let slab = self.slabs.last().expect("grow() pushed a slab");
+        // SAFETY: slot `next` is inside the newest slab (next < cap) and
+        // the offset stays within the slab's layout by construction.
+        let ptr = unsafe { (slab.ptr.as_ptr() as *mut T).add(self.next * self.stride) };
+        self.next += 1;
+        debug_assert!(
+            (ptr as usize).is_multiple_of(self.alignment()),
+            "arena block {ptr:p} violates the {}-byte alignment contract",
+            self.alignment()
+        );
+        // SAFETY: freshly carved slot, exclusively ours, `block_elems`
+        // elements fit in the stride.
+        unsafe { kernels::refill_into::<T, O>(ptr, self.block_elems) };
+        // SAFETY: slab pointers are non-null.
+        BlockRef(unsafe { NonNull::new_unchecked(ptr) })
+    }
+
+    /// Allocates the next slab: doubling sizes, drawn from the slab pool
+    /// when a matching recycled slab exists.
+    fn grow(&mut self) {
+        let size = std::mem::size_of::<T>().max(1);
+        let stride_bytes = self.stride * size;
+        let min_blocks = MIN_SLAB_BYTES.div_ceil(stride_bytes).max(1);
+        let blocks = if self.cap == 0 {
+            min_blocks
+        } else {
+            (self.cap * 2).clamp(min_blocks, MAX_SLAB_BLOCKS.max(min_blocks))
+        };
+        let bytes = blocks * stride_bytes;
+        let align = SLAB_ALIGN.max(std::mem::align_of::<T>());
+        let layout = Layout::from_size_align(bytes, align).expect("slab layout must be valid");
+        let ptr = pool::acquire(layout).unwrap_or_else(|| {
+            // SAFETY: layout has non-zero size (block_elems > 0).
+            let raw = unsafe { std::alloc::alloc(layout) };
+            NonNull::new(raw).unwrap_or_else(|| std::alloc::handle_alloc_error(layout))
+        });
+        self.slabs.push(Slab { ptr, layout });
+        self.slab_bytes += bytes;
+        self.next = 0;
+        self.cap = blocks;
+    }
+}
+
+/// Process-wide recycling pool for dropped slabs, so region teardown,
+/// strategy migration and mismatched-scratch paths hand their slabs to
+/// the next arena instead of the allocator. Exact-layout matching keeps
+/// reuse trivially sound; the pool is bounded so pathological layout
+/// churn degrades to plain allocation, never unbounded growth.
+///
+/// Disabled under Miri: a static cache would be reported as a leak, and
+/// the allocation path itself is exactly what Miri should see.
+mod pool {
+    use std::alloc::Layout;
+    use std::ptr::NonNull;
+    #[cfg(not(miri))]
+    use std::sync::Mutex;
+
+    /// Upper bound on pooled bytes; beyond it, released slabs are freed.
+    #[cfg(not(miri))]
+    const MAX_POOLED_BYTES: usize = 64 << 20;
+
+    #[cfg(not(miri))]
+    struct Entry {
+        ptr: NonNull<u8>,
+        layout: Layout,
+    }
+
+    // SAFETY: entries are owned allocations in transit between arenas.
+    #[cfg(not(miri))]
+    unsafe impl Send for Entry {}
+
+    #[cfg(not(miri))]
+    static POOL: Mutex<Vec<Entry>> = Mutex::new(Vec::new());
+
+    /// Takes a recycled slab with exactly `layout`, if one is pooled.
+    #[cfg(not(miri))]
+    pub(super) fn acquire(layout: Layout) -> Option<NonNull<u8>> {
+        let mut pool = POOL.lock().unwrap_or_else(|e| e.into_inner());
+        let idx = pool.iter().position(|e| e.layout == layout)?;
+        Some(pool.swap_remove(idx).ptr)
+    }
+
+    #[cfg(miri)]
+    pub(super) fn acquire(_layout: Layout) -> Option<NonNull<u8>> {
+        None
+    }
+
+    /// Returns a slab to the pool, or frees it when the pool is full.
+    #[cfg(not(miri))]
+    pub(super) fn release(ptr: NonNull<u8>, layout: Layout) {
+        let mut pool = POOL.lock().unwrap_or_else(|e| e.into_inner());
+        let pooled: usize = pool.iter().map(|e| e.layout.size()).sum();
+        if pooled + layout.size() <= MAX_POOLED_BYTES {
+            pool.push(Entry { ptr, layout });
+        } else {
+            drop(pool);
+            // SAFETY: `ptr` was allocated with exactly `layout`.
+            unsafe { std::alloc::dealloc(ptr.as_ptr(), layout) };
+        }
+    }
+
+    #[cfg(miri)]
+    pub(super) fn release(ptr: NonNull<u8>, layout: Layout) {
+        // SAFETY: `ptr` was allocated with exactly `layout`.
+        unsafe { std::alloc::dealloc(ptr.as_ptr(), layout) };
+    }
+}
+
+/// One contiguous aligned buffer (the dense strategy's full-length
+/// private copy), drawn from and recycled through the same slab pool as
+/// the block arenas.
+pub struct AlignedBuf<T> {
+    ptr: NonNull<T>,
+    len: usize,
+    layout: Layout,
+}
+
+// SAFETY: an AlignedBuf is an owned allocation of plain `T` data.
+unsafe impl<T: Send> Send for AlignedBuf<T> {}
+unsafe impl<T: Sync> Sync for AlignedBuf<T> {}
+
+impl<T: Element> AlignedBuf<T> {
+    /// Allocates a 256-byte-aligned buffer of `len` elements and fills it
+    /// with the operator identity, in place.
+    pub fn new_identity<O: ReduceOp<T>>(len: usize) -> Self {
+        let size = std::mem::size_of::<T>();
+        let bytes = (len * size).next_multiple_of(64).max(64);
+        let align = SLAB_ALIGN.max(std::mem::align_of::<T>());
+        let layout = Layout::from_size_align(bytes, align).expect("buffer layout must be valid");
+        let ptr = pool::acquire(layout).unwrap_or_else(|| {
+            // SAFETY: layout size is >= 64, never zero.
+            let raw = unsafe { std::alloc::alloc(layout) };
+            NonNull::new(raw).unwrap_or_else(|| std::alloc::handle_alloc_error(layout))
+        });
+        let ptr = ptr.cast::<T>();
+        // SAFETY: freshly acquired allocation of at least `len` elements.
+        unsafe { kernels::refill_into::<T, O>(ptr.as_ptr(), len) };
+        AlignedBuf { ptr, len, layout }
+    }
+
+    /// Logical length in elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the buffer holds zero elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Base pointer.
+    #[inline(always)]
+    pub fn as_ptr(&self) -> *const T {
+        self.ptr.as_ptr()
+    }
+
+    /// Mutable base pointer.
+    #[inline(always)]
+    pub fn as_mut_ptr(&mut self) -> *mut T {
+        self.ptr.as_ptr()
+    }
+
+    /// Contents as a shared slice.
+    #[inline(always)]
+    pub fn as_slice(&self) -> &[T] {
+        // SAFETY: owned allocation of `len` initialized elements.
+        unsafe { std::slice::from_raw_parts(self.ptr.as_ptr(), self.len) }
+    }
+
+    /// Contents as a mutable slice.
+    #[inline(always)]
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        // SAFETY: owned allocation of `len` initialized elements, `&mut`.
+        unsafe { std::slice::from_raw_parts_mut(self.ptr.as_ptr(), self.len) }
+    }
+}
+
+impl<T> Drop for AlignedBuf<T> {
+    fn drop(&mut self) {
+        pool::release(self.ptr.cast::<u8>(), self.layout);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::elem::{Min, Sum};
+
+    #[test]
+    fn blocks_are_identity_filled_and_aligned() {
+        let mut arena = BlockArena::<f64>::new(128);
+        assert_eq!(arena.alignment(), 256, "1 KiB stride ⇒ full slab alignment");
+        for _ in 0..20 {
+            let blk = arena.alloc_identity::<Sum>();
+            assert_eq!((blk.as_ptr() as usize) % 256, 0);
+            // SAFETY: freshly allocated, no other accessor.
+            assert!(unsafe { blk.as_slice(128) }.iter().all(|&x| x == 0.0));
+        }
+    }
+
+    #[test]
+    fn small_blocks_are_cache_line_aligned() {
+        // 16 i32 = 64 bytes: stride pads to one cache line exactly.
+        let mut arena = BlockArena::<i32>::new(16);
+        assert!(arena.alignment() >= 64);
+        let a = arena.alloc_identity::<Min>();
+        let b = arena.alloc_identity::<Min>();
+        assert_eq!((a.as_ptr() as usize) % 64, 0);
+        assert_eq!((b.as_ptr() as usize) % 64, 0);
+        // SAFETY: fresh blocks.
+        assert!(unsafe { a.as_slice(16) }.iter().all(|&x| x == i32::MAX));
+    }
+
+    #[test]
+    fn odd_block_lengths_pad_but_report_logical_len() {
+        let mut arena = BlockArena::<f64>::new(100); // not a power of two
+        assert_eq!(arena.block_elems(), 100);
+        let blk = arena.alloc_identity::<Sum>();
+        assert_eq!((blk.as_ptr() as usize) % arena.alignment(), 0);
+        // SAFETY: fresh block.
+        assert!(unsafe { blk.as_slice(100) }.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn slabs_double_not_per_block() {
+        let mut arena = BlockArena::<f64>::new(512); // 4 KiB blocks
+        let mut refs = Vec::new();
+        for _ in 0..100 {
+            refs.push(arena.alloc_identity::<Sum>());
+        }
+        // 100 blocks must take far fewer than 100 slabs.
+        assert!(
+            arena.slabs.len() <= 8,
+            "expected O(log n) slabs, got {}",
+            arena.slabs.len()
+        );
+        // All blocks distinct.
+        let mut addrs: Vec<usize> = refs.iter().map(|r| r.as_ptr() as usize).collect();
+        addrs.sort_unstable();
+        addrs.dedup();
+        assert_eq!(addrs.len(), 100);
+    }
+
+    #[test]
+    fn writes_survive_and_blocks_are_disjoint() {
+        let mut arena = BlockArena::<u64>::new(33);
+        let blocks: Vec<_> = (0..10).map(|_| arena.alloc_identity::<Sum>()).collect();
+        for (k, blk) in blocks.iter().enumerate() {
+            for off in 0..33 {
+                // SAFETY: each block written by this thread only.
+                unsafe { *blk.as_ptr().add(off) = (k * 100 + off) as u64 };
+            }
+        }
+        for (k, blk) in blocks.iter().enumerate() {
+            // SAFETY: reads after all writes.
+            let s = unsafe { blk.as_slice(33) };
+            for (off, &v) in s.iter().enumerate() {
+                assert_eq!(v, (k * 100 + off) as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn aligned_buf_roundtrip() {
+        let mut buf = AlignedBuf::<f32>::new_identity::<Sum>(1000);
+        assert_eq!(buf.len(), 1000);
+        assert_eq!((buf.as_ptr() as usize) % SLAB_ALIGN, 0);
+        assert!(buf.as_slice().iter().all(|&x| x == 0.0));
+        buf.as_mut_slice()[999] = 7.0;
+        assert_eq!(buf.as_slice()[999], 7.0);
+    }
+
+    #[cfg(not(miri))]
+    #[test]
+    fn dropped_arena_slabs_are_recycled() {
+        // Two same-shape arenas in sequence: the second must draw its
+        // slab from the pool, not the allocator. Verified indirectly via
+        // pointer reuse (the pool is process-global, so other tests may
+        // interleave; acquire-after-release of an exact layout is the
+        // contract).
+        let layout = Layout::from_size_align(8192, SLAB_ALIGN).unwrap();
+        // SAFETY: valid non-zero layout.
+        let raw = unsafe { std::alloc::alloc(layout) };
+        let ptr = NonNull::new(raw).unwrap();
+        super::pool::release(ptr, layout);
+        let got = super::pool::acquire(layout);
+        assert!(got.is_some(), "pool must return a matching slab");
+        // SAFETY: we own it again; free for real.
+        unsafe { std::alloc::dealloc(got.unwrap().as_ptr(), layout) };
+    }
+}

@@ -53,9 +53,10 @@
 //! # Region reuse
 //!
 //! [`Reduction::finish`] does not free a view's status/blocks scratch; it
-//! resets it (statuses to unknown, private copies refilled with the
-//! identity, ownership cleared) and retains it, so a reduction driven
-//! through many regions allocates only on its first. For iterative solvers
+//! resets it (statuses to unknown, ownership cleared; the fused merge
+//! epilogue already refilled dirty private copies with the identity) and
+//! retains it — arena slabs included — so a reduction driven through many
+//! regions allocates only on its first. For iterative solvers
 //! that rebind the output array every iteration (PageRank's swap of rank
 //! vectors), [`BlockReduction::into_scratch`] /
 //! [`BlockReduction::from_scratch`] detach the scratch from the borrow and
@@ -70,7 +71,9 @@
 //! thread order; owners no longer write. Hence no location is ever written
 //! by two threads without intervening synchronization.
 
+use crate::arena::{BlockArena, BlockRef};
 use crate::elem::{Element, ReduceOp};
+use crate::kernels;
 use crate::plan::RegionPlan;
 use crate::reducer::{ReducerView, Reduction};
 use crate::shared::{CachePadded, MemCounter, SharedSlice, Slots};
@@ -225,7 +228,11 @@ impl Ownership for CasOwnership {
 /// cleared when the next region's view starts.
 struct ViewScratch<T> {
     status: Vec<u8>,
-    blocks: Vec<Option<Box<[T]>>>,
+    /// Per-block handle into `arena`'s slabs (`None` = never privatized).
+    blocks: Vec<Option<BlockRef<T>>>,
+    /// The aligned slab storage behind `blocks`; owns the allocations, so
+    /// it must outlive every handle in `blocks` (they travel together).
+    arena: BlockArena<T>,
     touched: Vec<u32>,
     dirty: Vec<u32>,
 }
@@ -453,13 +460,11 @@ impl<'a, T: Element, O: ReduceOp<T>, W: Ownership> BlockReduction<'a, T, O, W> {
                     // footprint — `memory_overhead` stays comparable to a
                     // fresh region's.
                     red.mem
-                        .add(s.status.len() * (1 + std::mem::size_of::<Option<Box<[T]>>>()));
+                        .add(s.status.len() * (1 + std::mem::size_of::<Option<BlockRef<T>>>()));
                     red.mem.add(
-                        s.blocks
-                            .iter()
-                            .flatten()
-                            .map(|b| std::mem::size_of_val::<[T]>(b))
-                            .sum(),
+                        s.blocks.iter().flatten().count()
+                            * red.block_size()
+                            * std::mem::size_of::<T>(),
                     );
                     // SAFETY: `red` is freshly built; no region is active.
                     unsafe { red.slots.put(t, s) };
@@ -579,7 +584,9 @@ struct ViewCore<T, O, W> {
     /// region because the driver keeps the reduction alive and pinned.
     owners: *const W,
     status: Vec<u8>,
-    blocks: Vec<Option<Box<[T]>>>,
+    blocks: Vec<Option<BlockRef<T>>>,
+    /// Aligned slab storage behind `blocks` (see [`ViewScratch`]).
+    arena: BlockArena<T>,
     shift: u32,
     mask: usize,
     len: usize,
@@ -637,10 +644,15 @@ impl<T: Element, O: ReduceOp<T>, W: Ownership> ViewCore<T, O, W> {
             }
         } else {
             // ST_PRIVATE implies `resolve` allocated the (full-size) copy.
-            let blk = self.blocks[b].as_mut().unwrap();
-            let slot = &mut blk[i & self.mask];
-            *slot = O::combine(*slot, v);
-            (b, blk.as_mut_ptr())
+            let blk = self.blocks[b].unwrap();
+            // SAFETY: the arena block covers offsets `0..=mask` (full
+            // power-of-two stride) and is written only by this thread
+            // during the loop phase.
+            unsafe {
+                let slot = blk.as_ptr().add(i & self.mask);
+                *slot = O::combine(*slot, v);
+            }
+            (b, blk.as_ptr())
         }
     }
 
@@ -666,9 +678,12 @@ impl<T: Element, O: ReduceOp<T>, W: Ownership> ViewCore<T, O, W> {
             // protocol) and `i < len`.
             unsafe { self.out.combine::<O>(i, v) };
         } else {
-            let blk = self.blocks[b].as_mut().unwrap();
-            let slot = &mut blk[i % bs];
-            *slot = O::combine(*slot, v);
+            let blk = self.blocks[b].unwrap();
+            // SAFETY: full-stride private copy, this thread's exclusively.
+            unsafe {
+                let slot = blk.as_ptr().add(i % bs);
+                *slot = O::combine(*slot, v);
+            }
         }
     }
 
@@ -702,13 +717,17 @@ impl<T: Element, O: ReduceOp<T>, W: Ownership> ViewCore<T, O, W> {
                 }
                 self.counters.fallback_privatizations += 1;
                 // A copy retained from an earlier region is already
-                // identity-filled by `finish`; otherwise allocate one at the
-                // full (power-of-two) length even for the trailing partial
+                // identity-filled by the fused merge epilogue; otherwise
+                // carve one out of the thread's aligned arena at the full
+                // (power-of-two) length even for the trailing partial
                 // block — that keeps the last-block cache's offset invariant
-                // and costs at most one block of slack.
+                // and costs at most one block of slack. The arena refills
+                // the slot in place (no construct-then-copy) and only
+                // allocates when a slab fills, so privatizing `k` blocks
+                // costs `O(log k)` heap allocations, not `k`.
                 if self.blocks[b].is_none() {
                     let n = self.mask + 1;
-                    self.blocks[b] = Some(vec![O::identity(); n].into_boxed_slice());
+                    self.blocks[b] = Some(self.arena.alloc_identity::<O>());
                     self.allocated_bytes += n * std::mem::size_of::<T>();
                 }
                 self.dirty.push(b as u32);
@@ -760,6 +779,65 @@ impl<T: Element, O: ReduceOp<T>, W: Ownership> ReducerView<T> for BlockView<T, O
             (self.last_block, self.last_base) = self.core.apply_slow(i, v);
         }
     }
+
+    /// Batched form: split the run at block boundaries, resolve each
+    /// block's base pointer once (via the regular slow path, which also
+    /// installs the last-block cache), and stream the in-block stretch
+    /// through the merge kernel instead of re-deciding ownership per
+    /// element.
+    ///
+    /// Compiled out under `verify`: the per-element default preserves the
+    /// exact `SharedWrite` perturbation-hook sequence of the seed.
+    #[cfg(not(feature = "verify"))]
+    fn apply_run(&mut self, start: usize, vals: &[T]) {
+        // One up-front range check covers the whole run (the per-element
+        // path re-checks per apply).
+        assert!(
+            start + vals.len() <= self.core.len,
+            "reduction run {start}..{} out of bounds (len {})",
+            start + vals.len(),
+            self.core.len
+        );
+        let mut k = 0;
+        while k < vals.len() {
+            let i = start + k;
+            let b = i >> self.core.shift;
+            // Elements of this run landing in block `b`.
+            let run_len = (((b + 1) << self.core.shift).min(start + vals.len())) - i;
+            if b == self.last_block {
+                // SAFETY: cache invariant — `last_base` covers offsets
+                // `0..=mask`, exclusively writable by this thread; the
+                // stretch stays inside block `b` by construction.
+                unsafe {
+                    kernels::merge_into::<T, O>(
+                        self.last_base.add(i & self.core.mask),
+                        vals.as_ptr().add(k),
+                        run_len,
+                    );
+                }
+            } else {
+                (self.last_block, self.last_base) = self.core.apply_slow(i, vals[k]);
+                if self.last_block == b {
+                    // SAFETY: as above; the remaining `run_len - 1`
+                    // elements stay inside the freshly cached block.
+                    unsafe {
+                        kernels::merge_into::<T, O>(
+                            self.last_base.add((i + 1) & self.core.mask),
+                            vals.as_ptr().add(k + 1),
+                            run_len - 1,
+                        );
+                    }
+                } else {
+                    // Uncacheable (partial trailing direct block): fall
+                    // back to element applies for this stretch.
+                    for (off, &v) in vals.iter().enumerate().take(k + run_len).skip(k + 1) {
+                        self.apply(start + off, v);
+                    }
+                }
+            }
+            k += run_len;
+        }
+    }
 }
 
 impl<T: Element, O: ReduceOp<T>, W: Ownership> Reduction<T> for BlockReduction<'_, T, O, W> {
@@ -768,20 +846,24 @@ impl<T: Element, O: ReduceOp<T>, W: Ownership> Reduction<T> for BlockReduction<'
     fn view(&self, tid: usize) -> Self::View {
         // SAFETY: slot `tid` is touched only by thread `tid` pre-barrier.
         let retained = unsafe { self.slots.take(tid) };
-        let (status, blocks, mut touched, mut dirty) = match retained {
+        let (status, blocks, arena, mut touched, mut dirty) = match retained {
             // Scratch retained by `finish` from an earlier region: already
-            // reset (statuses unknown, private copies identity-filled).
-            // The footprint lists still hold the *previous* region's record
-            // (kept for plan extraction); they restart empty here.
-            Some(s) => (s.status, s.blocks, s.touched, s.dirty),
+            // reset (statuses unknown, private copies identity-filled by the
+            // merge epilogue). The footprint lists still hold the *previous*
+            // region's record (kept for plan extraction); they restart
+            // empty here.
+            Some(s) => (s.status, s.blocks, s.arena, s.touched, s.dirty),
             None => {
                 // Only bookkeeping is allocated here (the paper's cheap
                 // `init`): one status byte and one empty option per block.
+                // The arena itself starts slab-less; its first slab is
+                // carved on the first fallback privatization.
                 self.mem
-                    .add(self.nblocks * (1 + std::mem::size_of::<Option<Box<[T]>>>()));
+                    .add(self.nblocks * (1 + std::mem::size_of::<Option<BlockRef<T>>>()));
                 (
                     vec![ST_UNKNOWN; self.nblocks],
                     (0..self.nblocks).map(|_| None).collect(),
+                    BlockArena::new(self.mask + 1),
                     Vec::new(),
                     Vec::new(),
                 )
@@ -794,6 +876,7 @@ impl<T: Element, O: ReduceOp<T>, W: Ownership> Reduction<T> for BlockReduction<'
             owners: &self.owners,
             status,
             blocks,
+            arena,
             shift: self.shift,
             mask: self.mask,
             len: self.out.len(),
@@ -822,7 +905,7 @@ impl<T: Element, O: ReduceOp<T>, W: Ownership> Reduction<T> for BlockReduction<'
                     core.status[bi] = ST_PRIVATE;
                     if core.blocks[bi].is_none() {
                         let n = core.mask + 1;
-                        core.blocks[bi] = Some(vec![O::identity(); n].into_boxed_slice());
+                        core.blocks[bi] = Some(core.arena.alloc_identity::<O>());
                         core.allocated_bytes += n * std::mem::size_of::<T>();
                     }
                     core.touched.push(b);
@@ -852,6 +935,7 @@ impl<T: Element, O: ReduceOp<T>, W: Ownership> Reduction<T> for BlockReduction<'
                 ViewScratch {
                     status: view.core.status,
                     blocks: view.core.blocks,
+                    arena: view.core.arena,
                     touched: view.core.touched,
                     dirty: view.core.dirty,
                 },
@@ -888,12 +972,32 @@ impl<T: Element, O: ReduceOp<T>, W: Ownership> Reduction<T> for BlockReduction<'
                     // would also sweep identity copies retained from
                     // earlier regions.
                     if scratch.status[b] == ST_PRIVATE {
-                        let blk = scratch.blocks[b].as_ref().unwrap();
-                        for (off, i) in range.clone().enumerate() {
-                            // SAFETY: block `b` is merged only by this
-                            // thread (plan schedule), and nothing writes
-                            // `out` post-barrier.
-                            unsafe { self.out.combine::<O>(i, blk[off]) };
+                        let blk = scratch.blocks[b].unwrap();
+                        // SAFETY: block `b` is merged only by this thread
+                        // (plan schedule), nothing writes `out`
+                        // post-barrier, and the private copy belongs to a
+                        // thread that stopped writing at the barrier. The
+                        // fused kernel also refills the copy with the
+                        // identity, which `finish` used to do in a second
+                        // pass over the same bytes.
+                        #[cfg(not(feature = "verify"))]
+                        unsafe {
+                            kernels::merge_refill_into::<T, O>(
+                                self.out.as_mut_ptr().add(range.start),
+                                blk.as_ptr(),
+                                range.len(),
+                            );
+                        }
+                        // Verify builds keep the seed's per-element combine
+                        // (each element is a perturbation hook site) and
+                        // refill separately — refilling has no hooks.
+                        #[cfg(feature = "verify")]
+                        unsafe {
+                            let s = blk.as_slice(range.len());
+                            for (off, i) in range.clone().enumerate() {
+                                self.out.combine::<O>(i, s[off]);
+                            }
+                            kernels::refill_into::<T, O>(blk.as_ptr(), range.len());
                         }
                         merged_elems += range.len() as u64;
                     }
@@ -912,11 +1016,26 @@ impl<T: Element, O: ReduceOp<T>, W: Ownership> Reduction<T> for BlockReduction<'
                     }
                     ompsim::verify::perturb_idx(ompsim::verify::HookPoint::MergeStep, b as u64);
                     let range = self.block_range(b);
-                    let blk = scratch.blocks[b].as_ref().unwrap();
-                    for (off, i) in range.clone().enumerate() {
-                        // SAFETY: block `b` is merged only by this thread,
-                        // and owners stopped writing at the barrier.
-                        unsafe { self.out.combine::<O>(i, blk[off]) };
+                    let blk = scratch.blocks[b].unwrap();
+                    // SAFETY: block `b` is merged (and refilled) only by
+                    // this thread — `b % nthreads == tid` partitions the
+                    // dirty lists — and owners stopped writing at the
+                    // barrier.
+                    #[cfg(not(feature = "verify"))]
+                    unsafe {
+                        kernels::merge_refill_into::<T, O>(
+                            self.out.as_mut_ptr().add(range.start),
+                            blk.as_ptr(),
+                            range.len(),
+                        );
+                    }
+                    #[cfg(feature = "verify")]
+                    unsafe {
+                        let s = blk.as_slice(range.len());
+                        for (off, i) in range.clone().enumerate() {
+                            self.out.combine::<O>(i, s[off]);
+                        }
+                        kernels::refill_into::<T, O>(blk.as_ptr(), range.len());
                     }
                     merged_elems += range.len() as u64;
                 }
@@ -929,23 +1048,18 @@ impl<T: Element, O: ReduceOp<T>, W: Ownership> Reduction<T> for BlockReduction<'
     }
 
     /// Resets for the next region **without freeing**: statuses of touched
-    /// blocks go back to unknown, *dirty* private copies are refilled with
-    /// the identity (untouched retained copies are already identity — the
-    /// old full sweep rewrote every retained block on every region), and
-    /// ownership is cleared unless a plan made it moot. The footprint
-    /// lists are retained so [`BlockReduction::extract_plan`] can read the
-    /// region's record; the next region's views clear them.
-    /// `memory_overhead` keeps reporting the peak, which further regions
-    /// no longer grow.
+    /// blocks go back to unknown and ownership is cleared unless a plan
+    /// made it moot. Dirty private copies were already refilled with the
+    /// identity by the fused merge epilogue — one streaming pass instead
+    /// of a merge pass here plus a refill pass there — and untouched
+    /// retained copies are already identity. The footprint lists are
+    /// retained so [`BlockReduction::extract_plan`] can read the region's
+    /// record; the next region's views clear them. `memory_overhead` keeps
+    /// reporting the peak, which further regions no longer grow.
     fn finish(&self) {
         for t in 0..self.nthreads {
             // SAFETY: single-threaded after the region.
             if let Some(mut s) = unsafe { self.slots.take(t) } {
-                for &b in &s.dirty {
-                    if let Some(blk) = s.blocks[b as usize].as_mut() {
-                        blk.fill(O::identity());
-                    }
-                }
                 for &b in &s.touched {
                     s.status[b as usize] = ST_UNKNOWN;
                 }

@@ -17,7 +17,9 @@
 //! Memory overhead is `nthreads × N × size_of::<T>()`, the paper's linear
 //! growth that makes this scheme collapse at scale.
 
+use crate::arena::AlignedBuf;
 use crate::elem::{Element, ReduceOp};
+use crate::kernels;
 use crate::reducer::{ReducerView, Reduction};
 use crate::shared::{chunk_of, MemCounter, SharedSlice, Slots};
 use crate::telemetry::{Counters, Telemetry, TelemetryBoard};
@@ -26,7 +28,7 @@ use std::marker::PhantomData;
 /// Fully privatizing reducer; see the module docs.
 pub struct DenseReduction<'a, T: Element, O: ReduceOp<T>> {
     out: SharedSlice<T>,
-    slots: Slots<Vec<T>>,
+    slots: Slots<AlignedBuf<T>>,
     nthreads: usize,
     mem: MemCounter,
     telem: TelemetryBoard,
@@ -65,17 +67,28 @@ impl<'a, T: Element, O: ReduceOp<T>> DenseReduction<'a, T, O> {
     }
 }
 
-/// Per-thread view: one private full-length buffer.
+/// Per-thread view: one private full-length buffer (256-byte aligned so
+/// the parallel merge streams through the vector kernels).
 pub struct DenseView<T, O> {
-    buf: Vec<T>,
+    buf: AlignedBuf<T>,
     _op: PhantomData<O>,
 }
 
 impl<T: Element, O: ReduceOp<T>> ReducerView<T> for DenseView<T, O> {
     #[inline(always)]
     fn apply(&mut self, i: usize, v: T) {
-        let slot = &mut self.buf[i];
+        let slot = &mut self.buf.as_mut_slice()[i];
         *slot = O::combine(*slot, v);
+    }
+
+    #[inline]
+    fn apply_run(&mut self, start: usize, vals: &[T]) {
+        // A run lands in one contiguous stretch of the private buffer, so
+        // it merges as a single kernel call. No perturbation hooks are
+        // skipped: dense loop-phase writes are thread-private (hook-free
+        // in the seed too).
+        let dst = &mut self.buf.as_mut_slice()[start..start + vals.len()];
+        kernels::merge_slices::<T, O>(dst, vals);
     }
 }
 
@@ -84,9 +97,11 @@ impl<T: Element, O: ReduceOp<T>> Reduction<T> for DenseReduction<'_, T, O> {
 
     fn view(&self, _tid: usize) -> DenseView<T, O> {
         // The eager full-size allocation is the point of this strategy.
+        // `memory_overhead` reports the logical footprint (threads × N ×
+        // sizeof), not the alignment padding.
         self.mem.add(self.out.len() * std::mem::size_of::<T>());
         DenseView {
-            buf: vec![O::identity(); self.out.len()],
+            buf: AlignedBuf::new_identity::<O>(self.out.len()),
             _op: PhantomData,
         }
     }
@@ -105,8 +120,23 @@ impl<T: Element, O: ReduceOp<T>> Reduction<T> for DenseReduction<'_, T, O> {
         for t in 0..self.nthreads {
             // SAFETY: post-barrier, slots are read-only.
             if let Some(buf) = unsafe { self.slots.get(t) } {
-                for (i, &v) in buf[lo..hi].iter().enumerate().map(|(o, v)| (lo + o, v)) {
-                    // SAFETY: out[lo..hi) is written by this thread only.
+                // SAFETY: out[lo..hi) is written by this thread only.
+                #[cfg(not(feature = "verify"))]
+                unsafe {
+                    kernels::merge_into::<T, O>(
+                        self.out.as_mut_ptr().add(lo),
+                        buf.as_ptr().add(lo),
+                        hi - lo,
+                    );
+                }
+                // Verify builds keep the per-element combine — each
+                // element is a schedule-perturbation hook site.
+                #[cfg(feature = "verify")]
+                for (i, &v) in buf.as_slice()[lo..hi]
+                    .iter()
+                    .enumerate()
+                    .map(|(o, v)| (lo + o, v))
+                {
                     unsafe { self.out.combine::<O>(i, v) };
                 }
                 merged += (hi - lo) as u64;
@@ -122,7 +152,9 @@ impl<T: Element, O: ReduceOp<T>> Reduction<T> for DenseReduction<'_, T, O> {
         for t in 0..self.nthreads {
             // SAFETY: single-threaded after the region.
             if let Some(buf) = unsafe { self.slots.take(t) } {
-                self.mem.sub(buf.capacity() * std::mem::size_of::<T>());
+                // Mirrors `view`'s logical accounting; the buffer itself
+                // returns its slab to the process-wide pool on drop.
+                self.mem.sub(buf.len() * std::mem::size_of::<T>());
             }
         }
     }

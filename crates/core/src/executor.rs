@@ -484,6 +484,9 @@ where
         },
         Some(&board),
     );
+    let counters = red.telemetry();
+    let phases = board.summarize();
+    let merge_bandwidth = RunReport::derive_merge_bandwidth(&counters, &phases);
     RunReport {
         strategy: red.name(),
         memory_overhead: red.memory_overhead(),
@@ -494,8 +497,9 @@ where
         migrations: 0,
         migration_secs: 0.0,
         strategy_regions: Vec::new(),
-        counters: red.telemetry(),
-        phases: board.summarize(),
+        counters,
+        phases,
+        merge_bandwidth,
     }
 }
 

@@ -25,11 +25,25 @@
 //! updates happen anymore. Hence every location is only ever written
 //! atomically, or exclusively after synchronization.
 
+use crate::arena::{BlockArena, BlockRef};
 use crate::elem::{AtomicElement, ReduceOp};
+#[cfg(not(feature = "verify"))]
+use crate::kernels;
 use crate::reducer::{ReducerView, Reduction};
 use crate::shared::{MemCounter, SharedSlice, Slots};
 use crate::telemetry::{Counters, Telemetry, TelemetryBoard};
 use std::marker::PhantomData;
+
+/// A thread's privatized hot blocks: handles plus the aligned arena that
+/// owns their storage (they travel together; the arena must outlive every
+/// handle). Dropped by `finish` — hybrid re-privatizes from scratch each
+/// region — but the arena's slabs go back to the process-wide slab pool,
+/// so the next region's privatizations reuse the memory.
+struct HybridScratch<T> {
+    blocks: Vec<Option<BlockRef<T>>>,
+    #[allow(dead_code)] // held for ownership; accessed only through `blocks`
+    arena: BlockArena<T>,
+}
 
 /// Adaptive atomic/privatized reducer; see the module docs.
 pub struct HybridReduction<'a, T: AtomicElement, O: ReduceOp<T>> {
@@ -37,7 +51,7 @@ pub struct HybridReduction<'a, T: AtomicElement, O: ReduceOp<T>> {
     block_size: usize,
     threshold: u32,
     nblocks: usize,
-    slots: Slots<Vec<Option<Box<[T]>>>>,
+    slots: Slots<HybridScratch<T>>,
     nthreads: usize,
     mem: MemCounter,
     telem: TelemetryBoard,
@@ -88,7 +102,9 @@ pub struct HybridView<T, O> {
     out: SharedSlice<T>,
     /// Touches of each block by this thread (saturating).
     touches: Vec<u32>,
-    blocks: Vec<Option<Box<[T]>>>,
+    blocks: Vec<Option<BlockRef<T>>>,
+    /// Aligned slab storage behind `blocks`.
+    arena: BlockArena<T>,
     block_size: usize,
     threshold: u32,
     len: usize,
@@ -99,13 +115,19 @@ pub struct HybridView<T, O> {
 
 impl<T: AtomicElement, O: ReduceOp<T>> HybridView<T, O> {
     /// Privatizes block `b` (slow path, once per hot block per thread).
+    ///
+    /// The arena slot spans the full (padded) block stride, but only the
+    /// block's *logical* length — short for the trailing block — counts
+    /// toward `allocated_bytes`, keeping `memory_overhead` comparable to
+    /// the pre-arena `Box<[T]>` storage.
     #[cold]
-    fn privatize(&mut self, b: usize) -> &mut Box<[T]> {
+    fn privatize(&mut self, b: usize) -> BlockRef<T> {
         let lo = b * self.block_size;
         let n = self.block_size.min(self.len - lo);
         self.allocated_bytes += n * std::mem::size_of::<T>();
-        self.blocks[b] = Some(vec![O::identity(); n].into_boxed_slice());
-        self.blocks[b].as_mut().unwrap()
+        let blk = self.arena.alloc_identity::<O>();
+        self.blocks[b] = Some(blk);
+        blk
     }
 }
 
@@ -114,9 +136,14 @@ impl<T: AtomicElement, O: ReduceOp<T>> ReducerView<T> for HybridView<T, O> {
     fn apply(&mut self, i: usize, v: T) {
         assert!(i < self.len, "reduction index {i} out of bounds");
         let b = i / self.block_size;
-        if let Some(blk) = &mut self.blocks[b] {
-            let slot = &mut blk[i - b * self.block_size];
-            *slot = O::combine(*slot, v);
+        if let Some(blk) = self.blocks[b] {
+            // SAFETY: `i < len` puts the offset inside block `b`'s logical
+            // length, which the arena slot covers; the copy is this
+            // thread's exclusively during the loop phase.
+            unsafe {
+                let slot = blk.as_ptr().add(i - b * self.block_size);
+                *slot = O::combine(*slot, v);
+            }
             return;
         }
         let t = self.touches[b];
@@ -129,8 +156,11 @@ impl<T: AtomicElement, O: ReduceOp<T>> ReducerView<T> for HybridView<T, O> {
             self.counters.fallback_privatizations += 1;
             let block_size = self.block_size;
             let blk = self.privatize(b);
-            let slot = &mut blk[i - b * block_size];
-            *slot = O::combine(*slot, v);
+            // SAFETY: as above — freshly privatized, identity-filled copy.
+            unsafe {
+                let slot = blk.as_ptr().add(i - b * block_size);
+                *slot = O::combine(*slot, v);
+            }
         } else {
             self.touches[b] = t + 1;
             // SAFETY: in-bounds; all loop-phase writes to `out` in this
@@ -145,12 +175,14 @@ impl<T: AtomicElement, O: ReduceOp<T>> Reduction<T> for HybridReduction<'_, T, O
 
     fn view(&self, _tid: usize) -> Self::View {
         self.mem.add(
-            self.nblocks * (std::mem::size_of::<u32>() + std::mem::size_of::<Option<Box<[T]>>>()),
+            self.nblocks
+                * (std::mem::size_of::<u32>() + std::mem::size_of::<Option<BlockRef<T>>>()),
         );
         HybridView {
             out: self.out,
             touches: vec![0; self.nblocks],
             blocks: (0..self.nblocks).map(|_| None).collect(),
+            arena: BlockArena::new(self.block_size),
             block_size: self.block_size,
             threshold: self.threshold,
             len: self.out.len(),
@@ -164,7 +196,15 @@ impl<T: AtomicElement, O: ReduceOp<T>> Reduction<T> for HybridReduction<'_, T, O
         self.mem.add(view.allocated_bytes);
         self.telem.record(tid, &view.counters);
         // SAFETY: slot `tid` is written only by thread `tid`, pre-barrier.
-        unsafe { self.slots.put(tid, view.blocks) };
+        unsafe {
+            self.slots.put(
+                tid,
+                HybridScratch {
+                    blocks: view.blocks,
+                    arena: view.arena,
+                },
+            )
+        };
     }
 
     fn epilogue(&self, tid: usize) {
@@ -175,14 +215,25 @@ impl<T: AtomicElement, O: ReduceOp<T>> Reduction<T> for HybridReduction<'_, T, O
             let n = self.block_size.min(self.out.len() - lo);
             for t in 0..self.nthreads {
                 // SAFETY: post-barrier, slots are read-only.
-                let Some(blocks) = (unsafe { self.slots.get(t) }) else {
+                let Some(scratch) = (unsafe { self.slots.get(t) }) else {
                     continue;
                 };
-                if let Some(blk) = &blocks[b] {
-                    for off in 0..n {
-                        // SAFETY: block b is merged only by this thread and
-                        // atomic writers stopped at the barrier.
-                        unsafe { self.out.combine::<O>(lo + off, blk[off]) };
+                if let Some(blk) = scratch.blocks[b] {
+                    // SAFETY: block b is merged only by this thread and
+                    // atomic writers stopped at the barrier. No refill:
+                    // hybrid drops its copies in `finish` (the next region
+                    // re-decides which blocks are hot).
+                    #[cfg(not(feature = "verify"))]
+                    unsafe {
+                        kernels::merge_into::<T, O>(self.out.as_mut_ptr().add(lo), blk.as_ptr(), n);
+                    }
+                    // Verify builds keep the per-element combine — each
+                    // element is a schedule-perturbation hook site.
+                    #[cfg(feature = "verify")]
+                    unsafe {
+                        for (off, &v) in blk.as_slice(n).iter().enumerate() {
+                            self.out.combine::<O>(lo + off, v);
+                        }
                     }
                     merged += n as u64;
                 }
@@ -197,18 +248,29 @@ impl<T: AtomicElement, O: ReduceOp<T>> Reduction<T> for HybridReduction<'_, T, O
     fn finish(&self) {
         for t in 0..self.nthreads {
             // SAFETY: single-threaded after the region.
-            if let Some(blocks) = unsafe { self.slots.take(t) } {
-                let freed: usize = blocks
+            if let Some(s) = unsafe { self.slots.take(t) } {
+                // Logical bytes, mirroring what `privatize` accounted: the
+                // trailing block counts short even though its arena slot
+                // spans the full stride.
+                let freed: usize = s
+                    .blocks
                     .iter()
-                    .flatten()
-                    .map(|b| b.len() * std::mem::size_of::<T>())
+                    .enumerate()
+                    .filter(|(_, blk)| blk.is_some())
+                    .map(|(b, _)| {
+                        let lo = b * self.block_size;
+                        self.block_size.min(self.out.len() - lo) * std::mem::size_of::<T>()
+                    })
                     .sum();
                 self.mem.sub(
                     freed
                         + self.nblocks
                             * (std::mem::size_of::<u32>()
-                                + std::mem::size_of::<Option<Box<[T]>>>()),
+                                + std::mem::size_of::<Option<BlockRef<T>>>()),
                 );
+                // Dropping `s` sends the arena's slabs to the slab pool,
+                // so the next region re-privatizes without new heap
+                // allocations.
             }
         }
     }

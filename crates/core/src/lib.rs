@@ -63,8 +63,10 @@
 //! by [`reduce`] over an [`ompsim::ThreadPool`].
 
 #![warn(missing_docs)]
+#![cfg_attr(feature = "simd", feature(portable_simd))]
 
 mod adaptive;
+pub mod arena;
 mod argmax;
 mod atomic;
 mod autotune;
@@ -75,6 +77,7 @@ mod executor;
 mod hybrid;
 mod kahan;
 mod keeper;
+pub mod kernels;
 mod log;
 mod map;
 pub mod nd;

@@ -30,6 +30,24 @@ pub trait ReducerView<T: Element> {
     /// `debug_assert!`. A wild index can therefore produce garbage in a
     /// private block copy but never touches memory outside the reduction.
     fn apply(&mut self, i: usize, v: T);
+
+    /// Accumulate a contiguous *run* of contributions:
+    /// `out[start + k] ⊕= vals[k]` for every `k`.
+    ///
+    /// Semantically identical to `vals.len()` calls of
+    /// [`apply`](ReducerView::apply) on consecutive indices — the default
+    /// is exactly that loop — but strategies with contiguous private
+    /// storage override it to resolve the destination block *once* and
+    /// stream the run through the vector kernels in
+    /// [`crate::kernels`], instead of re-deciding ownership per element.
+    /// Loop bodies with stencil-shaped access (`i-1, i, i+1`, …) or any
+    /// batch of consecutive indices should prefer this entry point.
+    #[inline]
+    fn apply_run(&mut self, start: usize, vals: &[T]) {
+        for (k, &v) in vals.iter().enumerate() {
+            self.apply(start + k, v);
+        }
+    }
 }
 
 /// One reduction strategy bound to one output array.
@@ -139,6 +157,15 @@ impl<T: Element, V: ReducerView<T>> ReducerView<T> for CountedView<'_, V> {
     fn apply(&mut self, i: usize, v: T) {
         self.applies += 1;
         self.inner.apply(i, v);
+    }
+
+    #[inline(always)]
+    fn apply_run(&mut self, start: usize, vals: &[T]) {
+        // A run counts as one apply per element, so telemetry (and the
+        // paper's updates/sec plots) stay comparable whether a body uses
+        // element applies or batched runs.
+        self.applies += vals.len() as u64;
+        self.inner.apply_run(start, vals);
     }
 }
 

@@ -371,9 +371,30 @@ pub struct RunReport {
     pub counters: Telemetry,
     /// Per-phase wall times of the region.
     pub phases: PhaseTimes,
+    /// Bytes/sec the merge phase streamed into the output: total
+    /// `merged_bytes` over the critical-path `epilogue_secs`
+    /// (see [`RunReport::derive_merge_bandwidth`]); `0.0` when the region
+    /// merged nothing or ran untimed. The `apply_overhead` bench prints a
+    /// same-buffer `memcpy` baseline next to this — a fused kernel merge
+    /// should approach it.
+    pub merge_bandwidth: f64,
 }
 
 impl RunReport {
+    /// Merge-phase bandwidth implied by `counters` and `phases`: the
+    /// team's total merged bytes over the slowest thread's epilogue time,
+    /// or `0.0` when nothing was merged or the epilogue was untimed. The
+    /// executor calls this when assembling a report; it is public so
+    /// harnesses can recompute the figure from parsed artifacts.
+    pub fn derive_merge_bandwidth(counters: &Telemetry, phases: &PhaseTimes) -> f64 {
+        let bytes = counters.totals().merged_bytes as f64;
+        if bytes > 0.0 && phases.epilogue_secs > 0.0 {
+            bytes / phases.epilogue_secs
+        } else {
+            0.0
+        }
+    }
+
     /// Serializes the report as a JSON object (schema documented in
     /// DESIGN.md §"Telemetry layer"). Strategy labels contain only
     /// `[A-Za-z0-9-]`, so no string escaping is needed beyond quoting.
@@ -393,7 +414,8 @@ impl RunReport {
             "{{\n  \"strategy\": \"{}\",\n  \"memory_overhead\": {},\n  \
              \"plan_build_secs\": {:?},\n  \"planned_regions\": {},\n  \
              \"migrations\": {},\n  \"migration_secs\": {:?},\n  \
-             \"strategy_regions\": {{{}}},\n  \"phases\": {},\n  \
+             \"strategy_regions\": {{{}}},\n  \"merge_bandwidth\": {:?},\n  \
+             \"phases\": {},\n  \
              \"counters\": {{\n   \"totals\": {},\n   \"per_thread\": [\n{}\n   ]\n  }}\n}}",
             self.strategy,
             self.memory_overhead,
@@ -402,6 +424,7 @@ impl RunReport {
             self.migrations,
             self.migration_secs,
             strategy_regions.join(", "),
+            self.merge_bandwidth,
             self.phases.to_json(),
             self.counters.totals().to_json(),
             per_thread.join(",\n")
@@ -738,6 +761,7 @@ mod tests {
                 finish_secs: 0.0625,
                 region_secs: 1.0,
             },
+            merge_bandwidth: 256.0,
         };
         let json = report.to_json();
         for needle in [
@@ -748,6 +772,7 @@ mod tests {
             "\"migrations\": 2",
             "\"migration_secs\": 0.0625",
             "\"strategy_regions\": {\"block-CAS-1024\": 7, \"atomic\": 2}",
+            "\"merge_bandwidth\": 256.0",
             "\"loop_secs\": 0.5",
             "\"applies\": 7",
             "\"per_thread\": [",

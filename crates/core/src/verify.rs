@@ -379,7 +379,7 @@ where
 /// Under an active `verify` session, `migrate_per_mille` plants *forced*
 /// migrations at seed-chosen region boundaries on top — the planted
 /// schedule is a pure function of the session seed, so any failure
-/// replays from one line (see [`fuzz::migration_case`]).
+/// replays from one line (see `fuzz::migration_case`).
 pub fn check_adaptive_seed(
     pool: &ThreadPool,
     cfg: &OracleCfg,
@@ -573,6 +573,115 @@ pub mod fuzz {
                 "seed {seed}: post-fault rerun diverged after migration_decision #{nth}: {m}"
             )),
         }
+    }
+
+    /// Arena-retention fingerprint check: the seeded controller must see
+    /// the **same** hook sequence whether a region runs on freshly
+    /// allocated arena slabs or on scratch retained (and
+    /// identity-refilled) from a previous region. Storage is an
+    /// implementation detail — if recycled arena blocks changed any hook
+    /// crossing (an extra privatization, a skipped merge step, a
+    /// reordered drain) the replay fingerprint would no longer be a pure
+    /// function of the seed and one-line repros would lie. Two legs:
+    ///
+    /// 1. fixed-strategy regions (block-private + hybrid, the two arena
+    ///    planes) run `fresh` (new executor, new arena, per region) and
+    ///    `retained` (one executor, recycled scratch) under the same
+    ///    seeded controller — hook totals and per-thread merge orders
+    ///    must match exactly;
+    /// 2. two identical planted-migration adaptive sweeps — whose drain
+    ///    path merges out of arena-backed retained scratch — must agree
+    ///    on migration and decision-crossing counts.
+    ///
+    /// Returns `Err` describing the first divergence.
+    pub fn arena_case(threads: usize, seed: u64) -> Result<(), String> {
+        let n = 256usize;
+        let block_size = 32usize;
+        let updates = 8 * n;
+        let regions = 3usize;
+        let strategies = [
+            Strategy::BlockPrivate { block_size },
+            Strategy::Hybrid {
+                block_size,
+                threshold: 1,
+            },
+        ];
+
+        let kernel = ScatterKernel { n, seed };
+        let mut want = vec![0i64; n];
+        reduce_seq::<i64, Sum, _>(&mut want, 0..updates, |v, i| kernel.item(v, i));
+
+        // Runs `regions` identical regions per strategy under the seed's
+        // controller and returns the fingerprint. `retain` reuses one
+        // executor, so regions after the first run on recycled,
+        // identity-refilled arena scratch; otherwise every region gets a
+        // fresh executor and therefore a fresh arena.
+        let fingerprint = |retain: bool| -> Result<([u64; NPOINTS], Vec<Vec<u64>>), String> {
+            let session = verify::install(params_for_seed(seed));
+            let pool = ThreadPool::new(threads);
+            for &strategy in &strategies {
+                let mut ex = RegionExecutor::<i64, Sum>::new(strategy);
+                for r in 0..regions {
+                    if !retain && r > 0 {
+                        ex = RegionExecutor::new(strategy);
+                    }
+                    let mut out = vec![0i64; n];
+                    ex.run(&pool, &mut out, 0..updates, Schedule::default(), &kernel);
+                    if out != want {
+                        return Err(format!(
+                            "seed {seed}: {} region {r} ({} scratch) diverged from sequential",
+                            strategy.label(),
+                            if retain { "retained" } else { "fresh" },
+                        ));
+                    }
+                }
+            }
+            drop(pool);
+            let orders = (0..threads.min(verify::MAX_THREADS))
+                .map(|t| session.merge_order(t))
+                .collect();
+            Ok((session.totals(), orders))
+        };
+
+        let (fresh_totals, fresh_orders) = fingerprint(false)?;
+        let (retained_totals, retained_orders) = fingerprint(true)?;
+        for (p, (&f, &r)) in fresh_totals.iter().zip(retained_totals.iter()).enumerate() {
+            if f != r {
+                return Err(format!(
+                    "seed {seed}: hook {} crossed {f} times on fresh scratch but {r} on \
+                     retained arena scratch",
+                    HookPoint::ALL[p].name()
+                ));
+            }
+        }
+        if fresh_orders != retained_orders {
+            return Err(format!(
+                "seed {seed}: per-thread merge orders diverged between fresh and retained \
+                 arena scratch: fresh {fresh_orders:?}, retained {retained_orders:?}"
+            ));
+        }
+
+        // Migration-drain leg: the drain merges out of arena-backed
+        // retained scratch, and its serialized decision stream must stay
+        // a pure function of the seed.
+        let mut cfg = OracleCfg::quick(threads);
+        cfg.check_floats = false;
+        let drain = || -> Result<(u64, u64), String> {
+            let outcome = migration_case(&cfg, seed);
+            outcome
+                .result
+                .map_err(|m| format!("seed {seed}: migration leg: {m}"))?;
+            Ok((outcome.migrations, outcome.decision_crossings))
+        };
+        let first = drain()?;
+        let second = drain()?;
+        if first != second {
+            return Err(format!(
+                "seed {seed}: migration drain fingerprint (migrations, decision crossings) \
+                 diverged across identical seeded runs: {first:?} vs {second:?}"
+            ));
+        }
+        Ok(())
     }
 
     /// The planted-bug canary: runs the deliberately broken block-CAS
