@@ -30,8 +30,8 @@
 use bench::args::Opts;
 use ompsim::{Schedule, ThreadPool};
 use spray::{
-    default_candidates, AdaptiveConfig, ExecutorPolicy, Kernel, ReducerView, RegionExecutor,
-    Strategy, Sum,
+    default_candidates, AdaptiveConfig, ExecutorPolicy, JsonWriter, Kernel, ReducerView,
+    RegionExecutor, Strategy, Sum,
 };
 use std::hint::black_box;
 use std::io::Write;
@@ -220,37 +220,33 @@ fn main() {
         );
     }
 
-    let mut json = String::from("{\n");
-    json.push_str(&format!(
-        "  \"n\": {n},\n  \"block_size\": {block_size},\n  \
-         \"regions_per_phase\": {phase_regions},\n  \"dense_updates\": {dense_updates},\n  \
-         \"sparse_updates\": {sparse_updates},\n  \"reps\": {},\n  \"results\": [\n",
-        opts.reps
-    ));
-    for (k, r) in rows.iter().enumerate() {
-        let regions: Vec<String> = r
-            .strategy_regions
-            .iter()
-            .map(|(l, c)| format!("\"{l}\": {c}"))
-            .collect();
-        json.push_str(&format!(
-            "    {{\"executor\": \"{}\", \"phase\": \"{}\", \"threads\": {}, \
-             \"steady_secs\": {:.6e}, \"migrations\": {}, \"migration_secs\": {:.6e}, \
-             \"strategy_regions\": {{{}}}}}{}\n",
-            r.executor,
-            r.phase,
-            r.threads,
-            r.steady_secs,
-            r.migrations,
-            r.migration_secs,
-            regions.join(", "),
-            if k + 1 == rows.len() { "" } else { "," }
-        ));
+    let mut w = JsonWriter::new();
+    w.begin_obj()
+        .field_u64("n", n as u64)
+        .field_u64("block_size", block_size as u64)
+        .field_u64("regions_per_phase", phase_regions as u64)
+        .field_u64("dense_updates", dense_updates as u64)
+        .field_u64("sparse_updates", sparse_updates as u64)
+        .field_u64("reps", opts.reps as u64);
+    w.key("results").begin_arr();
+    for r in &rows {
+        w.begin_obj()
+            .field_str("executor", &r.executor)
+            .field_str("phase", r.phase)
+            .field_u64("threads", r.threads as u64)
+            .field_f64("steady_secs", r.steady_secs)
+            .field_u64("migrations", r.migrations)
+            .field_f64("migration_secs", r.migration_secs);
+        w.key("strategy_regions").begin_obj();
+        for (label, count) in &r.strategy_regions {
+            w.field_u64(label, *count);
+        }
+        w.end_obj().end_obj();
     }
-    json.push_str("  ]\n}\n");
+    w.end_arr().end_obj();
     let path = "BENCH_adaptive_shift.json";
     std::fs::File::create(path)
-        .and_then(|mut f| f.write_all(json.as_bytes()))
+        .and_then(|mut f| f.write_all(w.finish().as_bytes()))
         .expect("write BENCH_adaptive_shift.json");
     eprintln!("wrote {path}");
 

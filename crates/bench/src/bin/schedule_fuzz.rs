@@ -34,7 +34,15 @@
 //!   and per-thread merge orders whether regions run on fresh arena
 //!   slabs or on scratch recycled from a previous region, and the
 //!   planted-migration drain fingerprint must replay identically.
-//!   Requires `--features verify`.
+//!   Requires `--features verify`;
+//! * `--service N` — N seeds through the reduction-service concurrent
+//!   jobs oracle: each seed runs a deterministic job set through a
+//!   [`ReductionService`](spray_service::ReductionService) twice —
+//!   serial submission with batching off, then two submitter threads
+//!   with batching and the pipelined epilogue on — under a seeded
+//!   controller with planted strategy migrations, and requires both
+//!   runs bit-identical (i64) to the sequential loop and to each
+//!   other. Requires `--features verify`.
 
 use spray::verify::OracleCfg;
 use spray::Strategy;
@@ -53,6 +61,7 @@ struct FuzzOpts {
     faults: u64,
     migrations: u64,
     arena: u64,
+    service: u64,
     quiet: bool,
 }
 
@@ -72,6 +81,7 @@ impl Default for FuzzOpts {
             faults: 0,
             migrations: 0,
             arena: 0,
+            service: 0,
             quiet: false,
         }
     }
@@ -79,7 +89,7 @@ impl Default for FuzzOpts {
 
 const USAGE: &str = "usage: schedule_fuzz [--seed S | --seeds N --start S] [--threads T] \
 [--n N] [--updates U] [--block-size B] [--replays R] [--dynamic] [--no-floats] \
-[--broken] [--faults N] [--migrations N] [--arena N] [--quiet]";
+[--broken] [--faults N] [--migrations N] [--arena N] [--service N] [--quiet]";
 
 fn parse_opts() -> FuzzOpts {
     let mut o = FuzzOpts::default();
@@ -129,6 +139,11 @@ fn parse_opts() -> FuzzOpts {
                     .expect("--migrations: u64")
             }
             "--arena" => o.arena = value(&mut args, "--arena").parse().expect("--arena: u64"),
+            "--service" => {
+                o.service = value(&mut args, "--service")
+                    .parse()
+                    .expect("--service: u64")
+            }
             "--quiet" => o.quiet = true,
             "--help" | "-h" => {
                 println!("{USAGE}");
@@ -436,6 +451,58 @@ fn arena_main(_o: &FuzzOpts) -> i32 {
     2
 }
 
+#[cfg(feature = "verify")]
+fn service_main(o: &FuzzOpts) -> i32 {
+    use spray_service::fuzz::service_case;
+    let mut bad = 0u64;
+    let mut migrations = 0u64;
+    for seed in o.start..o.start + o.service {
+        let outcome = service_case(seed);
+        migrations += outcome.migrations;
+        match outcome.result {
+            Ok(()) => {
+                if !o.quiet {
+                    println!(
+                        "service seed {seed}: serial and concurrent submission \
+                         bit-identical ({} migrations)",
+                        outcome.migrations
+                    );
+                }
+            }
+            Err(e) => {
+                bad += 1;
+                eprintln!("FAIL {e}");
+                eprintln!(
+                    "repro: cargo run --release -p bench --features verify --bin \
+                     schedule_fuzz -- --service 1 --start {seed}"
+                );
+            }
+        }
+    }
+    if bad > 0 {
+        eprintln!("service fuzz: {bad} failure(s) over {} seed(s)", o.service);
+        return 1;
+    }
+    if migrations == 0 {
+        eprintln!(
+            "service fuzz: {} seed(s) planted NO migrations — the mode lost its teeth",
+            o.service
+        );
+        return 1;
+    }
+    println!(
+        "service fuzz: {} seed(s) from {} clean ({migrations} migrations exercised)",
+        o.service, o.start
+    );
+    0
+}
+
+#[cfg(not(feature = "verify"))]
+fn service_main(_o: &FuzzOpts) -> i32 {
+    eprintln!("--service requires --features verify");
+    2
+}
+
 #[cfg(not(feature = "verify"))]
 fn broken_main(_o: &FuzzOpts) -> i32 {
     eprintln!("--broken requires --features verify");
@@ -461,6 +528,9 @@ fn main() {
     }
     if o.arena > 0 {
         std::process::exit(arena_main(&o));
+    }
+    if o.service > 0 {
+        std::process::exit(service_main(&o));
     }
     let failures = sweep(&o);
     if failures > 0 {

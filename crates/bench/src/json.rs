@@ -350,6 +350,43 @@ mod tests {
         assert_eq!(j.get("migration_secs").unwrap().as_num(), Some(0.0));
         let regions = j.get("strategy_regions").unwrap();
         assert_eq!(regions.get("block-CAS-16").unwrap().as_num(), Some(1.0));
+        // Service admission fields are always emitted, zero outside a
+        // ReductionService.
+        assert_eq!(j.get("jobs").unwrap().as_num(), Some(0.0));
+        assert_eq!(j.get("batched_regions").unwrap().as_num(), Some(0.0));
+        assert_eq!(j.get("queue_wait_secs").unwrap().as_num(), Some(0.0));
+    }
+
+    #[test]
+    fn service_run_report_round_trips() {
+        // A batched service region: the report's admission telemetry
+        // (jobs, batched_regions, cumulative queue wait) must survive
+        // RunReport::to_json and this parser with the sampled values.
+        use spray::Sum;
+        use spray_service::{Job, ReductionService, ServiceConfig};
+        let svc = ReductionService::<i64, Sum>::new(ServiceConfig {
+            threads: 2,
+            batch_window: 4,
+            ..ServiceConfig::default()
+        });
+        let jobs: Vec<Job<'static, i64>> = (0..4)
+            .map(|t| Job {
+                tenant: t,
+                class: 3,
+                out: vec![0i64; 64],
+                iters: 256,
+                body: Box::new(|view, i| view.apply(i % 64, 1)),
+            })
+            .collect();
+        let results = svc.run_scoped(jobs);
+        // run_scoped admits the whole group atomically, so all four jobs
+        // were counted before the first region ran and the same-shape
+        // window coalesced them into one batched region.
+        let last = results.last().unwrap();
+        let j = parse(&last.report.to_json()).expect("service RunReport JSON must parse");
+        assert_eq!(j.get("jobs").unwrap().as_num(), Some(4.0));
+        assert!(j.get("batched_regions").unwrap().as_num().unwrap() >= 1.0);
+        assert!(j.get("queue_wait_secs").unwrap().as_num().unwrap() >= 0.0);
     }
 
     #[test]

@@ -94,6 +94,28 @@ impl Default for AdaptiveConfig {
     }
 }
 
+impl AdaptiveConfig {
+    /// A config whose organic migration decisions depend **only** on the
+    /// density signal (applies per element): the contention and barrier
+    /// components are disabled by setting their limits to zero, which the
+    /// cost model treats as "never out of band on this axis".
+    ///
+    /// Density is a pure function of the workload, so under this config
+    /// the whole migration sequence is deterministic for a fixed job
+    /// stream — the envelope the differential verify oracles
+    /// (`check_adaptive_seed`, the service fuzz case) need: timing-borne
+    /// signals would let wall-clock noise change *which* strategies run,
+    /// and no seeded controller can replay that.
+    pub fn density_only(candidates: Vec<Strategy>) -> Self {
+        AdaptiveConfig {
+            candidates,
+            contention_limit: 0.0,
+            barrier_limit: 0.0,
+            ..AdaptiveConfig::default()
+        }
+    }
+}
+
 /// The default migration candidate set: the paper's competitive subset
 /// at `block_size`, plus a second `BlockPrivate` granularity (4×), so
 /// the adaptive layer can migrate block *size* — not just strategy
@@ -254,6 +276,23 @@ mod tests {
             })
             .collect();
         assert_eq!(sizes, vec![1024, 4096]);
+    }
+
+    #[test]
+    fn density_only_disables_timing_borne_signals() {
+        let cfg = AdaptiveConfig::density_only(default_candidates(64));
+        let bc = Strategy::BlockCas { block_size: 64 };
+        // Pathological contention and barrier waits: still in band.
+        let noisy = RegionSignals {
+            applies_per_element: 2.0,
+            contention_ratio: 1.0,
+            barrier_fraction: 1.0,
+            deviated: false,
+        };
+        assert!(score(bc, &noisy, &cfg) <= 1.0);
+        // The density axis still works both ways.
+        assert!(score(bc, &sig(1.0 / 16.0), &cfg) > 1.0);
+        assert!(score(Strategy::Atomic, &sig(16.0), &cfg) > 1.0);
     }
 
     #[test]

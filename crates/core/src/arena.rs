@@ -233,6 +233,29 @@ impl<T: Element> BlockArena<T> {
 /// reuse trivially sound; the pool is bounded so pathological layout
 /// churn degrades to plain allocation, never unbounded growth.
 ///
+/// # Concurrent executor sessions
+///
+/// The pool has always been process-wide, and with the reentrant
+/// executor split ([`crate::ExecutorShared`]) it is now *expected* to be
+/// hit by many sessions at once (each session's views own their arenas;
+/// only detached slabs pass through here). That is sound by
+/// construction: a slab enters the pool exclusively via `Slab::drop`,
+/// i.e. only after its owning arena — and every `BlockRef` carved from
+/// it — is gone, so `acquire`/`release` transfer whole-slab ownership
+/// between sessions and two live arenas can never share a slab.
+///
+/// # Lock order
+///
+/// `POOL`'s mutex is a **leaf lock**, held only for the few instructions
+/// of `acquire`/`release`. Arena growth happens inside parallel regions
+/// (under the pool's region lock) and scratch teardown happens outside
+/// them, but neither path takes any other lock while holding this one —
+/// in particular never the plan-cache mutex
+/// ([`crate::PlanCache`]) and never [`ompsim::ThreadPool::parallel`].
+/// The `slab_pool_is_safe_under_concurrent_sessions` test races
+/// allocate/write/verify/drop cycles from several OS threads to pin the
+/// exclusivity claim down.
+///
 /// Disabled under Miri: a static cache would be reported as a leak, and
 /// the allocation path itself is exactly what Miri should see.
 mod pool {
@@ -456,6 +479,54 @@ mod tests {
         assert!(buf.as_slice().iter().all(|&x| x == 0.0));
         buf.as_mut_slice()[999] = 7.0;
         assert_eq!(buf.as_slice()[999], 7.0);
+    }
+
+    #[cfg(not(miri))]
+    #[test]
+    fn slab_pool_is_safe_under_concurrent_sessions() {
+        // Several OS threads race allocate/write/verify/drop cycles through
+        // their own arenas. Slabs migrate between threads via the process
+        // pool, but ownership of a whole slab transfers only on Slab::drop,
+        // so no two live arenas may ever alias memory. Each thread writes a
+        // thread-unique pattern and re-reads it after allocating more blocks
+        // (which may draw recycled slabs): any cross-thread aliasing shows
+        // up as a corrupted pattern.
+        let handles: Vec<_> = (0..4u64)
+            .map(|t| {
+                std::thread::spawn(move || {
+                    for round in 0..20u64 {
+                        let mut arena = BlockArena::<u64>::new(37);
+                        let blocks: Vec<_> =
+                            (0..12).map(|_| arena.alloc_identity::<Sum>()).collect();
+                        for (k, blk) in blocks.iter().enumerate() {
+                            for off in 0..37 {
+                                let v =
+                                    t * 1_000_000 + round * 1_000 + (k as u64) * 37 + off as u64;
+                                // SAFETY: block owned by this thread's arena.
+                                unsafe { *blk.as_ptr().add(off) = v };
+                            }
+                        }
+                        // Force extra slab traffic while the pattern is live.
+                        let extra: Vec<_> = (0..8).map(|_| arena.alloc_identity::<Sum>()).collect();
+                        for (k, blk) in blocks.iter().enumerate() {
+                            // SAFETY: reads after this thread's writes.
+                            let s = unsafe { blk.as_slice(37) };
+                            for (off, &v) in s.iter().enumerate() {
+                                let want =
+                                    t * 1_000_000 + round * 1_000 + (k as u64) * 37 + off as u64;
+                                assert_eq!(v, want, "slab aliased across sessions");
+                            }
+                        }
+                        drop(extra);
+                        drop(blocks);
+                        // Arena drop returns slabs to the pool for other threads.
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
     }
 
     #[cfg(not(miri))]

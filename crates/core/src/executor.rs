@@ -35,16 +35,98 @@ use crate::hybrid::HybridReduction;
 use crate::keeper::KeeperReduction;
 use crate::log::LogReduction;
 use crate::map::{BTreeMapReduction, HashMapReduction};
-use crate::plan::RegionPlan;
+use crate::plan::PlanCache;
 use crate::reducer::{reduce_chunked_phased, Reduction};
 use crate::strategy::{Kernel, Strategy};
 use crate::telemetry::{PhaseBoard, RunReport};
 use ompsim::{Schedule, ThreadPool};
-use std::collections::BTreeMap;
 use std::marker::PhantomData;
 use std::ops::Range;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+/// State an executor may share with concurrent sessions: the region-plan
+/// cache and the service-level telemetry sinks.
+///
+/// [`RegionExecutor`] splits into two layers:
+///
+/// * **session state** — the executor value itself: retained scratch,
+///   adaptive policy/streak, migration counters, per-strategy region
+///   tallies. Each job/session owns one; it is `&mut self` and never
+///   shared.
+/// * **shared state** — this type, behind an [`Arc`]: the [`PlanCache`]
+///   (one recording serves every session replaying the same region id)
+///   and the job/batch/queue-wait sinks the reduction service folds its
+///   admission telemetry into.
+///
+/// [`RegionExecutor::new`]/[`with_policy`](RegionExecutor::with_policy)
+/// wrap a private `ExecutorShared`, preserving the old single-owner
+/// behavior exactly; [`RegionExecutor::with_shared`] attaches a session
+/// to an existing one. Scratch is *never* shared — each session retains
+/// its own, so concurrent sessions on one [`ompsim::ThreadPool`] (whose
+/// region lock serializes the parallel phases) cannot alias block
+/// copies. The process-wide [`crate::arena`] slab pool recycles slabs
+/// *between* sessions' regions, which is safe for the same reason: a
+/// slab is only pooled after `into_scratch`/drop detaches it.
+///
+/// # Lock order
+///
+/// All interior mutability here is leaf-level: the [`PlanCache`] mutex
+/// (see its docs) and relaxed atomics for the sinks. Nothing in this
+/// type calls into the pool or the arena while holding a lock.
+#[derive(Debug, Default)]
+pub struct ExecutorShared {
+    plans: PlanCache,
+    /// Jobs admitted through a reduction service using this shared state.
+    jobs: AtomicU64,
+    /// Service regions that coalesced two or more same-shape jobs.
+    batched_regions: AtomicU64,
+    /// Cumulative queue wait (nanoseconds) of admitted jobs.
+    queue_wait_nanos: AtomicU64,
+}
+
+impl ExecutorShared {
+    /// Fresh shared state: empty plan cache, zeroed sinks.
+    pub fn new() -> Self {
+        ExecutorShared::default()
+    }
+
+    /// The shared region-plan cache.
+    pub fn plans(&self) -> &PlanCache {
+        &self.plans
+    }
+
+    /// Records one admitted job and its queue wait (service sink).
+    pub fn note_job(&self, queue_wait: Duration) {
+        self.jobs.fetch_add(1, Ordering::Relaxed);
+        self.queue_wait_nanos
+            .fetch_add(queue_wait.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Records one region that batched `jobs` same-shape jobs (counted
+    /// as batched only when two or more coalesced).
+    pub fn note_region(&self, jobs: u64) {
+        if jobs >= 2 {
+            self.batched_regions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Jobs admitted so far.
+    pub fn jobs(&self) -> u64 {
+        self.jobs.load(Ordering::Relaxed)
+    }
+
+    /// Regions that coalesced two or more jobs.
+    pub fn batched_regions(&self) -> u64 {
+        self.batched_regions.load(Ordering::Relaxed)
+    }
+
+    /// Cumulative queue wait of admitted jobs, in seconds.
+    pub fn queue_wait_secs(&self) -> f64 {
+        self.queue_wait_nanos.load(Ordering::Relaxed) as f64 / 1e9
+    }
+}
 
 /// Block-reducer scratch carried between regions, keyed by flavor.
 enum RetainedScratch<T> {
@@ -78,14 +160,10 @@ enum RetainedScratch<T> {
 pub struct RegionExecutor<T: crate::Element, O: ReduceOp<T>> {
     strategy: Strategy,
     scratch: RetainedScratch<T>,
-    /// Region plans keyed by caller-supplied region id; see
+    /// Plan cache + service sinks, possibly shared with concurrent
+    /// sessions; see [`ExecutorShared`] and
     /// [`RegionExecutor::run_planned`].
-    plans: BTreeMap<u64, Arc<RegionPlan>>,
-    /// Cumulative seconds spent extracting plans (the inspection cost MKL
-    /// leaves untimed; we report it in every [`RunReport`]).
-    plan_build_secs: f64,
-    /// Regions that replayed a cached plan to completion without deviating.
-    planned_regions: u64,
+    shared: Arc<ExecutorShared>,
     /// Adaptive bookkeeping when the policy is
     /// [`ExecutorPolicy::Adaptive`]; `None` for fixed executors.
     adaptive: Option<AdaptiveState>,
@@ -128,12 +206,30 @@ impl<T: AtomicElement, O: ReduceOp<T>> RegionExecutor<T, O> {
     /// out-of-band regions, migrates via
     /// [`migrate_to`](RegionExecutor::migrate_to).
     pub fn with_policy(strategy: Strategy, policy: ExecutorPolicy) -> Self {
+        Self::with_shared(strategy, policy, Arc::new(ExecutorShared::new()))
+    }
+
+    /// A session attached to existing shared state: the plan cache (and
+    /// service sinks) in `shared` are used instead of a private one, so
+    /// concurrent sessions replay each other's recordings. Session state
+    /// (scratch, adaptive policy, migration counters) stays private.
+    ///
+    /// Sessions sharing one cache should either use disjoint region ids
+    /// or run the same strategy over the same shape per id — a plan
+    /// recorded at a mismatched shape is rejected on install (the session
+    /// re-records), which is always correct but forfeits the sharing.
+    /// Note that [`clear_plans`](RegionExecutor::clear_plans) and the
+    /// migration protocol clear the *shared* cache, starting a new epoch
+    /// for every attached session.
+    pub fn with_shared(
+        strategy: Strategy,
+        policy: ExecutorPolicy,
+        shared: Arc<ExecutorShared>,
+    ) -> Self {
         RegionExecutor {
             strategy,
             scratch: RetainedScratch::None,
-            plans: BTreeMap::new(),
-            plan_build_secs: 0.0,
-            planned_regions: 0,
+            shared,
             adaptive: match policy {
                 ExecutorPolicy::Fixed => None,
                 ExecutorPolicy::Adaptive(cfg) => Some(AdaptiveState::new(cfg)),
@@ -143,6 +239,11 @@ impl<T: AtomicElement, O: ReduceOp<T>> RegionExecutor<T, O> {
             strategy_regions: Vec::new(),
             _op: PhantomData,
         }
+    }
+
+    /// The shared state this session is attached to.
+    pub fn shared(&self) -> &Arc<ExecutorShared> {
+        &self.shared
     }
 
     /// The strategy this executor dispatches to.
@@ -195,10 +296,14 @@ impl<T: AtomicElement, O: ReduceOp<T>> RegionExecutor<T, O> {
     /// carrying them across the clear would blend two planning epochs in
     /// every later [`RunReport`] (a post-migration report would claim
     /// replays and build time the new strategy never performed).
+    ///
+    /// With [`with_shared`](RegionExecutor::with_shared) sessions this
+    /// clears the **shared** [`PlanCache`] and bumps its epoch: sessions
+    /// mid-region at the clear finish on the `Arc` they already hold
+    /// (exact either way) and their post-region recording/replay credit
+    /// is epoch-rejected — see [`PlanCache`] for the full contract.
     pub fn clear_plans(&mut self) {
-        self.plans = BTreeMap::new();
-        self.planned_regions = 0;
-        self.plan_build_secs = 0.0;
+        self.shared.plans.clear();
     }
 
     /// Switches to `strategy` using the migration protocol, updating the
@@ -239,14 +344,15 @@ impl<T: AtomicElement, O: ReduceOp<T>> RegionExecutor<T, O> {
         self.migrations += 1;
     }
 
-    /// Regions (cumulative) that replayed a cached plan without deviating.
+    /// Regions (cumulative, cache-wide) that replayed a cached plan
+    /// without deviating — shared-cache sessions see each other's replays.
     pub fn planned_regions(&self) -> u64 {
-        self.planned_regions
+        self.shared.plans.planned_regions()
     }
 
-    /// Cumulative seconds spent building region plans.
+    /// Cumulative seconds spent building region plans (cache-wide).
     pub fn plan_build_secs(&self) -> f64 {
-        self.plan_build_secs
+        self.shared.plans.plan_build_secs()
     }
 
     /// Runs one region: executes `kernel` over `range` on `pool`, reducing
@@ -334,20 +440,29 @@ impl<T: AtomicElement, O: ReduceOp<T>> RegionExecutor<T, O> {
                     $Scratch(s) => $Red::<T, O>::from_scratch(out, n, $bs, s),
                     _ => $Red::<T, O>::new(out, n, $bs),
                 };
-                let installed = match region.and_then(|id| self.plans.get(&id)) {
-                    Some(plan) => red.install_plan(Arc::clone(plan)),
+                let (cached, epoch) = match region {
+                    Some(id) => self.shared.plans.lookup(id),
+                    None => (None, 0),
+                };
+                let installed = match cached {
+                    Some(plan) => red.install_plan(plan),
                     None => false,
                 };
                 let report = execute(pool, &red, range, schedule, kernel);
                 if let Some(id) = region {
                     if installed && !red.plan_deviated() {
-                        self.planned_regions += 1;
+                        self.shared.plans.note_replay(epoch);
                     } else {
                         replay_deviated = installed;
                         let t0 = Instant::now();
                         let plan = red.extract_plan();
-                        self.plan_build_secs += t0.elapsed().as_secs_f64();
-                        self.plans.insert(id, Arc::new(plan));
+                        let build_secs = t0.elapsed().as_secs_f64();
+                        // Epoch-checked: a concurrent clear_plans since
+                        // the lookup drops this recording instead of
+                        // resurrecting a pre-clear footprint.
+                        self.shared
+                            .plans
+                            .record(id, Arc::new(plan), build_secs, epoch);
                     }
                 }
                 self.scratch = $Scratch(red.into_scratch());
@@ -370,8 +485,12 @@ impl<T: AtomicElement, O: ReduceOp<T>> RegionExecutor<T, O> {
             }
             Strategy::Keeper => {
                 let mut red = KeeperReduction::<T, O>::new(out, n);
-                let installed = match region.and_then(|id| self.plans.get(&id)) {
-                    Some(plan) => red.install_plan(plan),
+                let (cached, epoch) = match region {
+                    Some(id) => self.shared.plans.lookup(id),
+                    None => (None, 0),
+                };
+                let installed = match cached {
+                    Some(plan) => red.install_plan(&plan),
                     None => false,
                 };
                 let report = execute(pool, &red, range, schedule, kernel);
@@ -379,12 +498,14 @@ impl<T: AtomicElement, O: ReduceOp<T>> RegionExecutor<T, O> {
                     // A keeper plan is advisory (queue pre-sizing), so a
                     // replayed region is planned even when traffic shifts.
                     if installed {
-                        self.planned_regions += 1;
+                        self.shared.plans.note_replay(epoch);
                     } else {
                         let t0 = Instant::now();
                         let plan = red.extract_plan();
-                        self.plan_build_secs += t0.elapsed().as_secs_f64();
-                        self.plans.insert(id, Arc::new(plan));
+                        let build_secs = t0.elapsed().as_secs_f64();
+                        self.shared
+                            .plans
+                            .record(id, Arc::new(plan), build_secs, epoch);
                     }
                 }
                 report
@@ -401,11 +522,14 @@ impl<T: AtomicElement, O: ReduceOp<T>> RegionExecutor<T, O> {
             None => self.strategy_regions.push((label, 1)),
         }
         self.adaptive_step(&report, out.len(), replay_deviated);
-        report.plan_build_secs = self.plan_build_secs;
-        report.planned_regions = self.planned_regions;
+        report.plan_build_secs = self.shared.plans.plan_build_secs();
+        report.planned_regions = self.shared.plans.planned_regions();
         report.migrations = self.migrations;
         report.migration_secs = self.migration_secs;
         report.strategy_regions = self.strategy_regions.clone();
+        report.jobs = self.shared.jobs();
+        report.batched_regions = self.shared.batched_regions();
+        report.queue_wait_secs = self.shared.queue_wait_secs();
         report
     }
 
@@ -497,6 +621,9 @@ where
         migrations: 0,
         migration_secs: 0.0,
         strategy_regions: Vec::new(),
+        jobs: 0,
+        batched_regions: 0,
+        queue_wait_secs: 0.0,
         counters,
         phases,
         merge_bandwidth,
@@ -832,6 +959,100 @@ mod tests {
         // Migrating to the current strategy is a no-op.
         ex.migrate_to(Strategy::BlockCas { block_size: 64 });
         assert_eq!(ex.migrations(), 1);
+    }
+
+    #[test]
+    fn concurrent_sessions_share_plans_and_survive_clears() {
+        // Four OS threads, each with its own session, all attached to one
+        // ExecutorShared and one pool. They hammer the same two region
+        // ids (same strategy, same shape) while one thread periodically
+        // clears the shared cache — every region must stay exact, and the
+        // shared cache must have served replays across sessions.
+        //
+        // Lock-order coverage: each region takes, in order, the plan-cache
+        // mutex (lookup, released), the pool's region lock (parallel),
+        // the arena slab-pool mutex (scratch acquire/release, inside the
+        // region), then the plan-cache mutex again (record/note_replay,
+        // released) — never nested, so no interleaving can deadlock.
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let pool = std::sync::Arc::new(ompsim::ThreadPool::new(2));
+        let shared = std::sync::Arc::new(ExecutorShared::new());
+        let data: std::sync::Arc<Vec<usize>> =
+            std::sync::Arc::new((0..2_000).map(|i| (i * 131) % 100).collect());
+        let want = expected(&data, 100);
+        let errors = std::sync::Arc::new(AtomicU64::new(0));
+        let handles: Vec<_> = (0..4)
+            .map(|s| {
+                let pool = std::sync::Arc::clone(&pool);
+                let shared = std::sync::Arc::clone(&shared);
+                let data = std::sync::Arc::clone(&data);
+                let want = want.clone();
+                let errors = std::sync::Arc::clone(&errors);
+                std::thread::spawn(move || {
+                    let mut ex = RegionExecutor::<i64, Sum>::with_shared(
+                        Strategy::BlockCas { block_size: 16 },
+                        ExecutorPolicy::Fixed,
+                        shared,
+                    );
+                    for round in 0..20u64 {
+                        if s == 0 && round % 7 == 3 {
+                            ex.clear_plans();
+                        }
+                        let mut out = vec![0i64; 100];
+                        ex.run_planned(
+                            round % 2,
+                            &pool,
+                            &mut out,
+                            0..data.len(),
+                            Schedule::default(),
+                            &Histogram { data: &data },
+                        );
+                        if out != want {
+                            errors.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(errors.load(Ordering::Relaxed), 0);
+        assert!(shared.plans().len() <= 2);
+        // The service sinks are untouched by plain sessions.
+        assert_eq!(shared.jobs(), 0);
+        assert_eq!(shared.batched_regions(), 0);
+
+        // Cross-session sharing, deterministically: a brand-new session
+        // attached to the same shared state replays a plan it never
+        // recorded (the cache retains whatever epoch survived the races;
+        // one warm-up run re-records if a clear landed last).
+        let mut fresh = RegionExecutor::<i64, Sum>::with_shared(
+            Strategy::BlockCas { block_size: 16 },
+            ExecutorPolicy::Fixed,
+            std::sync::Arc::clone(&shared),
+        );
+        let mut out = vec![0i64; 100];
+        fresh.run_planned(
+            0,
+            &pool,
+            &mut out,
+            0..data.len(),
+            Schedule::default(),
+            &Histogram { data: &data },
+        );
+        let before = shared.plans().planned_regions();
+        let mut out = vec![0i64; 100];
+        fresh.run_planned(
+            0,
+            &pool,
+            &mut out,
+            0..data.len(),
+            Schedule::default(),
+            &Histogram { data: &data },
+        );
+        assert_eq!(out, want);
+        assert_eq!(shared.plans().planned_regions(), before + 1);
     }
 
     #[test]

@@ -103,18 +103,18 @@ pub use dense::{DenseReduction, DenseView};
 pub use elem::{
     AtomicElement, Element, Max, Min, OpKind, OrdOps, Prod, ProdOps, ReduceOp, Sum, SumOps,
 };
-pub use executor::{RegionExecutor, ReusableReducer};
+pub use executor::{ExecutorShared, RegionExecutor, ReusableReducer};
 pub use hybrid::{HybridReduction, HybridView};
 pub use kahan::Kahan64;
 pub use keeper::{KeeperReduction, KeeperView};
 pub use log::{LogReduction, LogView};
 pub use map::{BTreeMapReduction, HashMapReduction, MapLike, MapOpView, MapReduction};
-pub use plan::{RegionPlan, ThreadBlocks};
+pub use plan::{PlanCache, RegionPlan, ThreadBlocks};
 pub use reducer::{
     reduce, reduce_chunked, reduce_seq, CountedView, ReducerView, Reduction, SeqView,
 };
 pub use strategy::{reduce_dyn, reduce_strategy, Kernel, ParseStrategyError, Strategy};
 pub use telemetry::{
-    Counters, PhaseTimes, ProfilingReduction, ProfilingView, ReductionProfile, RunReport,
-    Telemetry, ThreadProfile, PAGE,
+    Counters, JsonWriter, PhaseTimes, ProfilingReduction, ProfilingView, ReductionProfile,
+    RunReport, Telemetry, ThreadProfile, PAGE,
 };

@@ -40,6 +40,171 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::Duration;
 
+/// The workspace's one JSON emitter (the workspace is offline-first, so
+/// no serde): a push-style writer producing compact, strictly valid JSON
+/// that `bench::json`'s strict parser round-trips.
+///
+/// Before this type, every emitter — [`RunReport::to_json`], its nested
+/// [`Counters`]/[`PhaseTimes`] blocks, and each bench bin's artifact
+/// block — hand-rolled its own `format!` JSON, and the copies drifted one
+/// escaping bug at a time. They all route through here now.
+///
+/// Separator bookkeeping is automatic: containers track whether a comma
+/// is due, and a [`key`](JsonWriter::key) binds to the next value without
+/// one. Floats are formatted with `{:?}` (shortest round-trippable form),
+/// matching what the bench regression tooling has always parsed.
+///
+/// ```
+/// use spray::JsonWriter;
+/// let mut w = JsonWriter::new();
+/// w.begin_obj();
+/// w.field_str("name", "tmv");
+/// w.key("threads").begin_arr();
+/// w.u64_val(2).u64_val(4);
+/// w.end_arr();
+/// w.end_obj();
+/// assert_eq!(w.finish(), r#"{"name": "tmv", "threads": [2, 4]}"#);
+/// ```
+#[derive(Debug, Default)]
+pub struct JsonWriter {
+    buf: String,
+    /// Needs-comma flag per open container; index 0 is the top level.
+    comma: Vec<bool>,
+    /// A key was just written: the next value binds without a separator.
+    pending: bool,
+}
+
+impl JsonWriter {
+    /// An empty writer.
+    pub fn new() -> Self {
+        JsonWriter {
+            buf: String::new(),
+            comma: vec![false],
+            pending: false,
+        }
+    }
+
+    fn sep(&mut self) {
+        if self.pending {
+            self.pending = false;
+            return;
+        }
+        if let Some(c) = self.comma.last_mut() {
+            if *c {
+                self.buf.push_str(", ");
+            } else {
+                *c = true;
+            }
+        }
+    }
+
+    fn push_escaped(&mut self, s: &str) {
+        for ch in s.chars() {
+            match ch {
+                '"' => self.buf.push_str("\\\""),
+                '\\' => self.buf.push_str("\\\\"),
+                '\n' => self.buf.push_str("\\n"),
+                '\t' => self.buf.push_str("\\t"),
+                '\r' => self.buf.push_str("\\r"),
+                c if (c as u32) < 0x20 => {
+                    self.buf.push_str(&format!("\\u{:04x}", c as u32));
+                }
+                c => self.buf.push(c),
+            }
+        }
+    }
+
+    /// Writes an object key; the next value call binds to it.
+    pub fn key(&mut self, k: &str) -> &mut Self {
+        self.sep();
+        self.buf.push('"');
+        self.push_escaped(k);
+        self.buf.push_str("\": ");
+        self.pending = true;
+        self
+    }
+
+    /// Opens an object (as a value or array element).
+    pub fn begin_obj(&mut self) -> &mut Self {
+        self.sep();
+        self.buf.push('{');
+        self.comma.push(false);
+        self
+    }
+
+    /// Closes the innermost object.
+    pub fn end_obj(&mut self) -> &mut Self {
+        self.buf.push('}');
+        self.comma.pop();
+        self
+    }
+
+    /// Opens an array (as a value or array element).
+    pub fn begin_arr(&mut self) -> &mut Self {
+        self.sep();
+        self.buf.push('[');
+        self.comma.push(false);
+        self
+    }
+
+    /// Closes the innermost array.
+    pub fn end_arr(&mut self) -> &mut Self {
+        self.buf.push(']');
+        self.comma.pop();
+        self
+    }
+
+    /// Writes a string value (escaped).
+    pub fn str_val(&mut self, s: &str) -> &mut Self {
+        self.sep();
+        self.buf.push('"');
+        self.push_escaped(s);
+        self.buf.push('"');
+        self
+    }
+
+    /// Writes an unsigned integer value.
+    pub fn u64_val(&mut self, v: u64) -> &mut Self {
+        self.sep();
+        self.buf.push_str(&v.to_string());
+        self
+    }
+
+    /// Writes a float value in `{:?}` (round-trippable) form.
+    pub fn f64_val(&mut self, v: f64) -> &mut Self {
+        self.sep();
+        self.buf.push_str(&format!("{v:?}"));
+        self
+    }
+
+    /// Writes a boolean value.
+    pub fn bool_val(&mut self, v: bool) -> &mut Self {
+        self.sep();
+        self.buf.push_str(if v { "true" } else { "false" });
+        self
+    }
+
+    /// `key` + [`str_val`](JsonWriter::str_val) in one call.
+    pub fn field_str(&mut self, k: &str, v: &str) -> &mut Self {
+        self.key(k).str_val(v)
+    }
+
+    /// `key` + [`u64_val`](JsonWriter::u64_val) in one call.
+    pub fn field_u64(&mut self, k: &str, v: u64) -> &mut Self {
+        self.key(k).u64_val(v)
+    }
+
+    /// `key` + [`f64_val`](JsonWriter::f64_val) in one call.
+    pub fn field_f64(&mut self, k: &str, v: f64) -> &mut Self {
+        self.key(k).f64_val(v)
+    }
+
+    /// The serialized document.
+    pub fn finish(self) -> String {
+        self.buf
+    }
+}
+
 /// Event counts recorded by one thread of one reduction.
 ///
 /// Which fields a strategy drives (all others stay zero):
@@ -98,19 +263,16 @@ impl Counters {
         }
     }
 
-    fn to_json(self) -> String {
-        format!(
-            "{{\"applies\": {}, \"block_first_touches\": {}, \"ownership_conflicts\": {}, \
-             \"fallback_privatizations\": {}, \"remote_enqueues\": {}, \"remote_flushed\": {}, \
-             \"merged_bytes\": {}}}",
-            self.applies,
-            self.block_first_touches,
-            self.ownership_conflicts,
-            self.fallback_privatizations,
-            self.remote_enqueues,
-            self.remote_flushed,
-            self.merged_bytes
-        )
+    fn write_json(self, w: &mut JsonWriter) {
+        w.begin_obj()
+            .field_u64("applies", self.applies)
+            .field_u64("block_first_touches", self.block_first_touches)
+            .field_u64("ownership_conflicts", self.ownership_conflicts)
+            .field_u64("fallback_privatizations", self.fallback_privatizations)
+            .field_u64("remote_enqueues", self.remote_enqueues)
+            .field_u64("remote_flushed", self.remote_flushed)
+            .field_u64("merged_bytes", self.merged_bytes)
+            .end_obj();
     }
 }
 
@@ -255,16 +417,14 @@ impl PhaseTimes {
         }
     }
 
-    fn to_json(self) -> String {
-        format!(
-            "{{\"loop_secs\": {}, \"barrier_secs\": {}, \"epilogue_secs\": {}, \
-             \"finish_secs\": {}, \"region_secs\": {}}}",
-            self.loop_secs,
-            self.barrier_secs,
-            self.epilogue_secs,
-            self.finish_secs,
-            self.region_secs
-        )
+    fn write_json(self, w: &mut JsonWriter) {
+        w.begin_obj()
+            .field_f64("loop_secs", self.loop_secs)
+            .field_f64("barrier_secs", self.barrier_secs)
+            .field_f64("epilogue_secs", self.epilogue_secs)
+            .field_f64("finish_secs", self.finish_secs)
+            .field_f64("region_secs", self.region_secs)
+            .end_obj();
     }
 }
 
@@ -367,6 +527,17 @@ pub struct RunReport {
     /// (e.g. `[("block-private-1024", 40), ("atomic", 24)]`). Empty for
     /// one-shot runs.
     pub strategy_regions: Vec<(String, u64)>,
+    /// Jobs admitted (cumulative) through the reduction service whose
+    /// shared state produced this report; zero outside the service.
+    pub jobs: u64,
+    /// Service regions (cumulative) that coalesced two or more same-shape
+    /// jobs into one region; zero outside the service.
+    pub batched_regions: u64,
+    /// Cumulative seconds service jobs spent queued before their region
+    /// started (admission wait, not execution); zero outside the service.
+    /// Per-job results returned by the service carry that job's own wait
+    /// here instead of the cumulative sink.
+    pub queue_wait_secs: f64,
     /// Per-thread event counters the strategy recorded.
     pub counters: Telemetry,
     /// Per-phase wall times of the region.
@@ -396,39 +567,37 @@ impl RunReport {
     }
 
     /// Serializes the report as a JSON object (schema documented in
-    /// DESIGN.md §"Telemetry layer"). Strategy labels contain only
-    /// `[A-Za-z0-9-]`, so no string escaping is needed beyond quoting.
+    /// DESIGN.md §"Telemetry layer") through the workspace's shared
+    /// [`JsonWriter`], which handles quoting/escaping and separators.
     pub fn to_json(&self) -> String {
-        let per_thread: Vec<String> = self
-            .counters
-            .per_thread
-            .iter()
-            .map(|c| format!("    {}", c.to_json()))
-            .collect();
-        let strategy_regions: Vec<String> = self
-            .strategy_regions
-            .iter()
-            .map(|(label, n)| format!("\"{label}\": {n}"))
-            .collect();
-        format!(
-            "{{\n  \"strategy\": \"{}\",\n  \"memory_overhead\": {},\n  \
-             \"plan_build_secs\": {:?},\n  \"planned_regions\": {},\n  \
-             \"migrations\": {},\n  \"migration_secs\": {:?},\n  \
-             \"strategy_regions\": {{{}}},\n  \"merge_bandwidth\": {:?},\n  \
-             \"phases\": {},\n  \
-             \"counters\": {{\n   \"totals\": {},\n   \"per_thread\": [\n{}\n   ]\n  }}\n}}",
-            self.strategy,
-            self.memory_overhead,
-            self.plan_build_secs,
-            self.planned_regions,
-            self.migrations,
-            self.migration_secs,
-            strategy_regions.join(", "),
-            self.merge_bandwidth,
-            self.phases.to_json(),
-            self.counters.totals().to_json(),
-            per_thread.join(",\n")
-        )
+        let mut w = JsonWriter::new();
+        w.begin_obj()
+            .field_str("strategy", &self.strategy)
+            .field_u64("memory_overhead", self.memory_overhead as u64)
+            .field_f64("plan_build_secs", self.plan_build_secs)
+            .field_u64("planned_regions", self.planned_regions)
+            .field_u64("migrations", self.migrations)
+            .field_f64("migration_secs", self.migration_secs);
+        w.key("strategy_regions").begin_obj();
+        for (label, n) in &self.strategy_regions {
+            w.field_u64(label, *n);
+        }
+        w.end_obj()
+            .field_u64("jobs", self.jobs)
+            .field_u64("batched_regions", self.batched_regions)
+            .field_f64("queue_wait_secs", self.queue_wait_secs)
+            .field_f64("merge_bandwidth", self.merge_bandwidth);
+        w.key("phases");
+        self.phases.write_json(&mut w);
+        w.key("counters").begin_obj();
+        w.key("totals");
+        self.counters.totals().write_json(&mut w);
+        w.key("per_thread").begin_arr();
+        for c in &self.counters.per_thread {
+            c.write_json(&mut w);
+        }
+        w.end_arr().end_obj().end_obj();
+        w.finish()
     }
 }
 
@@ -660,6 +829,25 @@ mod tests {
     use ompsim::{Schedule, ThreadPool};
 
     #[test]
+    fn json_writer_nests_separates_and_escapes() {
+        let mut w = JsonWriter::new();
+        w.begin_obj().field_str("label", "a\"b\\c\nd");
+        w.key("empty_obj").begin_obj();
+        w.end_obj();
+        w.key("arr").begin_arr();
+        w.u64_val(1).f64_val(2.5).bool_val(true).str_val("x");
+        w.begin_obj().field_f64("neg", -0.25).end_obj();
+        w.end_arr();
+        w.key("tail").u64_val(9);
+        w.end_obj();
+        assert_eq!(
+            w.finish(),
+            "{\"label\": \"a\\\"b\\\\c\\nd\", \"empty_obj\": {}, \
+             \"arr\": [1, 2.5, true, \"x\", {\"neg\": -0.25}], \"tail\": 9}"
+        );
+    }
+
+    #[test]
     fn counters_merge_and_ratio() {
         let a = Counters {
             applies: 10,
@@ -741,6 +929,9 @@ mod tests {
             migrations: 2,
             migration_secs: 0.0625,
             strategy_regions: vec![("block-CAS-1024".into(), 7), ("atomic".into(), 2)],
+            jobs: 11,
+            batched_regions: 3,
+            queue_wait_secs: 0.015625,
             counters: Telemetry {
                 per_thread: vec![
                     Counters {
@@ -772,6 +963,9 @@ mod tests {
             "\"migrations\": 2",
             "\"migration_secs\": 0.0625",
             "\"strategy_regions\": {\"block-CAS-1024\": 7, \"atomic\": 2}",
+            "\"jobs\": 11",
+            "\"batched_regions\": 3",
+            "\"queue_wait_secs\": 0.015625",
             "\"merge_bandwidth\": 256.0",
             "\"loop_secs\": 0.5",
             "\"applies\": 7",

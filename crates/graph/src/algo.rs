@@ -132,6 +132,89 @@ pub fn pagerank_with_policy(
     }
 }
 
+/// [`pagerank`] submitting each power iteration's scatter through a
+/// shared [`spray_service::ReductionService`] instead of a private
+/// executor: the service's pool and plan cache are multiplexed with
+/// whatever else the process is reducing, and same-shape jobs from
+/// other tenants may batch into the same regions.
+///
+/// `class` is the service shape class for this graph's scatter — use a
+/// distinct value per graph so cached plans replay instead of healing
+/// (colliding classes stay correct, just unamortized). The strategy,
+/// schedule and policy come from the service's own configuration.
+pub fn pagerank_via_service(
+    svc: &spray_service::ReductionService<f64, Sum>,
+    g: &Graph,
+    class: u64,
+    damping: f64,
+    tol: f64,
+    max_iters: usize,
+) -> PageRankResult {
+    let n = g.num_vertices();
+    assert!(n > 0, "empty graph");
+    let mut ranks = vec![1.0 / n as f64; n];
+    let mut contrib = vec![0.0f64; n];
+    let mut next = vec![0.0f64; n];
+    let mut last_report = None;
+    let mut total_applies = 0u64;
+
+    for it in 1..=max_iters {
+        let mut dangling = 0.0;
+        for u in 0..n {
+            let d = g.out_degree(u);
+            if d == 0 {
+                dangling += ranks[u];
+                contrib[u] = 0.0;
+            } else {
+                contrib[u] = damping * ranks[u] / d as f64;
+            }
+        }
+        let base = (1.0 - damping) / n as f64 + damping * dangling / n as f64;
+        next.fill(base);
+        // One scoped job per power iteration: the body borrows the graph
+        // and this iteration's contributions; the rank vector travels
+        // with the job and comes back merged.
+        let contrib_ref: &[f64] = &contrib;
+        let job = spray_service::Job {
+            tenant: class,
+            class,
+            out: std::mem::take(&mut next),
+            iters: n,
+            body: Box::new(move |view, u| {
+                let c = contrib_ref[u];
+                for &v in g.out_neighbors(u) {
+                    view.apply(v as usize, c);
+                }
+            }),
+        };
+        let result = svc
+            .run_scoped(vec![job])
+            .pop()
+            .expect("one job in, one out");
+        next = result.out;
+        total_applies += result.report.counters.totals().applies;
+        last_report = Some(result.report);
+        let delta: f64 = ranks.iter().zip(&next).map(|(a, b)| (a - b).abs()).sum();
+        std::mem::swap(&mut ranks, &mut next);
+        if delta < tol {
+            return PageRankResult {
+                ranks,
+                iterations: it,
+                converged: true,
+                report: last_report,
+                total_applies,
+            };
+        }
+    }
+    PageRankResult {
+        ranks,
+        iterations: max_iters,
+        converged: false,
+        report: last_report,
+        total_applies,
+    }
+}
+
 struct LabelKernel<'a> {
     g: &'a Graph,
     prev: &'a [u64],
@@ -450,6 +533,33 @@ mod tests {
         assert!((total - 1.0).abs() < 1e-9, "sum = {total}");
         // The sink-fed vertex outranks its feeder.
         assert!(r.ranks[2] > r.ranks[3]);
+    }
+
+    #[test]
+    fn pagerank_via_service_matches_direct() {
+        // Irregular degrees (extra fan-in on low vertices, one dangling
+        // vertex) so the power iteration needs several regions to settle.
+        let mut edges: Vec<(usize, usize)> = (0..59)
+            .flat_map(|u| vec![(u, (u * 7 + 1) % 60), (u, u % 13)])
+            .collect();
+        edges.extend((0..20).map(|u| (u, 59)));
+        let g = Graph::from_edges(60, &edges);
+        let strategy = Strategy::BlockCas { block_size: 16 };
+        let direct = pagerank(&pool(), &g, strategy, 0.85, 1e-12, 100);
+        let svc = spray_service::ReductionService::<f64, Sum>::new(spray_service::ServiceConfig {
+            threads: 4,
+            strategy,
+            ..spray_service::ServiceConfig::default()
+        });
+        let via = pagerank_via_service(&svc, &g, 1, 0.85, 1e-12, 100);
+        assert_eq!(via.converged, direct.converged);
+        assert_eq!(via.iterations, direct.iterations);
+        for (a, b) in via.ranks.iter().zip(&direct.ranks) {
+            assert!((a - b).abs() < 1e-12, "{a} vs {b}");
+        }
+        assert!(svc.shared().jobs() >= via.iterations as u64);
+        // Iterations replay one cached plan: all but the first are planned.
+        assert!(via.report.unwrap().planned_regions > 0);
     }
 
     #[test]

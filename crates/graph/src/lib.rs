@@ -24,7 +24,8 @@ mod graph;
 mod sssp;
 
 pub use algo::{
-    bfs, connected_components, in_degrees, k_core, pagerank, triangle_counts, PageRankResult,
+    bfs, connected_components, in_degrees, k_core, pagerank, pagerank_via_service, triangle_counts,
+    PageRankResult,
 };
 pub use graph::Graph;
 pub use sssp::{sssp, WeightedGraph};

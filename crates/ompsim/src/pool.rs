@@ -206,6 +206,23 @@ unsafe impl Sync for Shared {}
 /// A persistent pool of `n - 1` worker threads forming, together with the
 /// calling thread, teams of `n` threads for [`ThreadPool::parallel`]
 /// regions.
+/// # Sharing one pool between jobs
+///
+/// A pool may be shared (e.g. behind an `Arc`) by any number of OS
+/// threads: `parallel` takes an internal **region lock**, so concurrent
+/// callers serialize — only one team is ever active (nested parallelism
+/// is not supported, as in `OMP_NESTED=false`). This is what lets a
+/// multi-tenant serving layer run many jobs' regions on one team of
+/// workers without aliasing their per-region state.
+///
+/// The region lock sits at the **top** of the workspace's lock order:
+/// callers must not hold any other lock a region body (or another
+/// region-submitting thread) could need while calling `parallel` —
+/// spray's plan-cache and arena slab-pool mutexes are leaf locks taken
+/// strictly outside or strictly inside a region, never across one.
+/// [`ThreadPool::regions_run`] counts completed regions, so a serving
+/// layer can report how many regions its job stream actually coalesced
+/// into.
 pub struct ThreadPool {
     shared: Arc<Shared>,
     workers: Vec<JoinHandle<()>>,
@@ -213,6 +230,8 @@ pub struct ThreadPool {
     /// Serializes parallel regions: only one team may be active at a time
     /// (nested parallelism is not supported, as in `OMP_NESTED=false`).
     region_lock: Mutex<()>,
+    /// Parallel regions completed on this pool (all callers combined).
+    regions_run: AtomicU64,
 }
 
 impl ThreadPool {
@@ -249,6 +268,7 @@ impl ThreadPool {
             workers,
             nthreads,
             region_lock: Mutex::new(()),
+            regions_run: AtomicU64::new(0),
         }
     }
 
@@ -256,6 +276,14 @@ impl ThreadPool {
     #[inline]
     pub fn num_threads(&self) -> usize {
         self.nthreads
+    }
+
+    /// Parallel regions completed on this pool, across all callers —
+    /// a batching serving layer's ground truth for "how many regions did
+    /// this job stream actually cost".
+    #[inline]
+    pub fn regions_run(&self) -> u64 {
+        self.regions_run.load(Ordering::Relaxed)
     }
 
     /// Runs `f` once on every team thread (including the caller, as thread
@@ -318,6 +346,7 @@ impl ThreadPool {
             shared.remaining.load(Ordering::Acquire) == 0
         });
 
+        self.regions_run.fetch_add(1, Ordering::Relaxed);
         let worker_panicked = self.shared.panicked.swap(false, Ordering::Relaxed);
         if worker_panicked || leader_result.is_err() {
             // A panic may have left threads mid-barrier; restore the
@@ -669,6 +698,7 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(total.load(Ordering::Relaxed), 4 * 25 * 2);
+        assert_eq!(pool.regions_run(), 100);
     }
 
     #[test]

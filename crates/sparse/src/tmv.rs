@@ -109,6 +109,51 @@ impl<T: Num> PlannedTmv<T> {
     }
 }
 
+/// Computes `y += Aᵀ·x` by submitting the product as a job to a shared
+/// [`spray_service::ReductionService`] — the service analog of
+/// [`PlannedTmv`]: the first product with a given `class` records a
+/// region plan in the service's shared cache and every later product of
+/// the same class (from this caller *or any other thread* using the
+/// same service) replays it; same-shape products queued concurrently
+/// may batch into a single region.
+///
+/// `class` identifies the matrix's sparsity pattern — use one value per
+/// matrix, exactly like "one [`PlannedTmv`] per matrix" (a collision is
+/// correct but re-records the plan). The job is also queued under
+/// `class` as its fair-share tenant.
+///
+/// # Panics
+/// Panics on dimension mismatch.
+pub fn tmv_via_service<T: Num>(
+    svc: &spray_service::ReductionService<T, spray::Sum>,
+    class: u64,
+    a: &Csr<T>,
+    x: &[T],
+    y: &mut Vec<T>,
+) -> RunReport {
+    assert_eq!(x.len(), a.nrows(), "x must have nrows elements");
+    assert_eq!(y.len(), a.ncols(), "y must have ncols elements");
+    let job = spray_service::Job {
+        tenant: class,
+        class,
+        out: std::mem::take(y),
+        iters: a.nrows(),
+        body: Box::new(move |view, row| {
+            let xi = x[row];
+            let (cols, vals) = a.row(row);
+            for (&c, &v) in cols.iter().zip(vals) {
+                view.apply(c as usize, v * xi);
+            }
+        }),
+    };
+    let result = svc
+        .run_scoped(vec![job])
+        .pop()
+        .expect("one job in, one out");
+    *y = result.out;
+    result.report
+}
+
 /// Disjoint-write shared output used by the row-parallel gather.
 struct RowOut<T>(*mut T);
 // SAFETY: each row index is written by exactly one schedule chunk.
@@ -220,6 +265,44 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn tmv_via_service_matches_seq_and_replays() {
+        let a = gen::random(400, 256, 4000, 9);
+        let b = gen::random(300, 256, 2500, 11);
+        let x_a: Vec<f64> = (0..400).map(|i| (i as f64 * 0.02).cos()).collect();
+        let x_b: Vec<f64> = (0..300).map(|i| (i as f64 * 0.05).sin()).collect();
+        let mut want_a = vec![0.0f64; 256];
+        let mut want_b = vec![0.0f64; 256];
+        a.tmatvec_seq(&x_a, &mut want_a);
+        b.tmatvec_seq(&x_b, &mut want_b);
+
+        // Two matrices multiplex one service under distinct classes.
+        let svc =
+            spray_service::ReductionService::<f64, spray::Sum>::new(spray_service::ServiceConfig {
+                threads: 4,
+                strategy: Strategy::BlockCas { block_size: 32 },
+                ..spray_service::ServiceConfig::default()
+            });
+        let mut last = None;
+        for rep in 0..3 {
+            for (class, m, x, want) in [(1u64, &a, &x_a, &want_a), (2, &b, &x_b, &want_b)] {
+                let mut y = vec![0.0f64; 256];
+                let report = tmv_via_service(&svc, class, m, x, &mut y);
+                for (i, (&got, &want)) in y.iter().zip(want).enumerate() {
+                    assert!(
+                        (got - want).abs() < 1e-9,
+                        "class {class} rep {rep} differs at {i}: {got} vs {want}"
+                    );
+                }
+                last = Some(report);
+            }
+        }
+        // Both classes replay their own plan after the first product:
+        // 4 of the 6 products are clean replays.
+        assert_eq!(last.unwrap().planned_regions, 4);
+        assert_eq!(svc.shared().jobs(), 6);
     }
 
     #[test]
