@@ -18,11 +18,14 @@
 //!
 //! Prints CSV and writes `BENCH_plan_amortize.json`. With `--check`,
 //! exits nonzero if any planned steady-state is slower than unplanned
-//! beyond a fixed slack (CI smoke gate).
+//! beyond a fixed slack (CI smoke gate). `--budget-bytes B` caps the
+//! plan's shared scratch: blocks that no longer fit are demoted to
+//! lock-striped in-place combining, and each row reports the
+//! `scratch_bytes` the (possibly demoted) plan actually charges.
 
 use bench::args::Opts;
 use ompsim::{Schedule, ThreadPool};
-use spray::{Kernel, ReducerView, RegionExecutor, Strategy, Sum};
+use spray::{Kernel, PlanBudget, ReducerView, RegionExecutor, Strategy, Sum};
 use std::hint::black_box;
 use std::io::Write;
 use std::ops::Range;
@@ -55,6 +58,9 @@ struct Row {
     /// path never wins at this size.
     break_even_regions: i64,
     planned_regions: u64,
+    /// Scratch bytes the steady-state plan charges (after any
+    /// budget-driven demotions).
+    scratch_bytes: usize,
 }
 
 fn plannable(block_size: usize) -> Vec<Strategy> {
@@ -70,6 +76,7 @@ fn plannable(block_size: usize) -> Vec<Strategy> {
 /// returning the best steady-state per-region times (skipping the
 /// allocation-paying first region and, for the planned run, the
 /// recording region too).
+#[allow(clippy::too_many_arguments)]
 fn run_config<K: Kernel<f64>>(
     strategy: Strategy,
     pool: &ThreadPool,
@@ -78,6 +85,7 @@ fn run_config<K: Kernel<f64>>(
     kernel: &K,
     regions: usize,
     reps: usize,
+    budget: PlanBudget,
 ) -> Row {
     assert!(regions >= 3, "need a warm-up, a recording and a replay");
     let mut out = vec![0.0f64; out_len];
@@ -85,8 +93,10 @@ fn run_config<K: Kernel<f64>>(
     let mut planned_steady = f64::INFINITY;
     let mut plan_build = f64::INFINITY;
     let mut planned_count = 0u64;
+    let mut scratch_bytes = 0usize;
     for _ in 0..reps {
         let mut ex = RegionExecutor::<f64, Sum>::new(strategy);
+        ex.set_budget(budget);
         for r in 0..regions {
             out.fill(0.0);
             let t0 = Instant::now();
@@ -99,10 +109,11 @@ fn run_config<K: Kernel<f64>>(
         black_box(&out);
 
         let mut ex = RegionExecutor::<f64, Sum>::new(strategy);
+        ex.set_budget(budget);
         for r in 0..regions {
             out.fill(0.0);
             let t0 = Instant::now();
-            ex.run_planned(
+            let report = ex.run_planned(
                 0,
                 pool,
                 &mut out,
@@ -113,6 +124,7 @@ fn run_config<K: Kernel<f64>>(
             let dt = t0.elapsed().as_secs_f64();
             if r >= 2 {
                 planned_steady = planned_steady.min(dt);
+                scratch_bytes = report.scratch_bytes;
             }
         }
         black_box(&out);
@@ -134,6 +146,7 @@ fn run_config<K: Kernel<f64>>(
         plan_build_secs: plan_build,
         break_even_regions,
         planned_regions: planned_count,
+        scratch_bytes,
     }
 }
 
@@ -142,6 +155,10 @@ fn main() {
     let n = opts.n.unwrap_or(if opts.quick { 1 << 14 } else { 1 << 18 });
     let regions = if opts.quick { 6 } else { 12 };
     let block_size = 1024usize;
+    let budget = opts
+        .budget_bytes
+        .map(PlanBudget::new)
+        .unwrap_or(PlanBudget::UNLIMITED);
     let a = spray_sparse::gen::random(n, n, 4 * n, 42);
     let x: Vec<f64> = (0..n)
         .map(|i| ((i % 1013) as f64).mul_add(1e-3, 1.0))
@@ -149,12 +166,18 @@ fn main() {
 
     println!("# plan_amortize: planned vs unplanned steady-state region seconds");
     println!(
-        "# N = {n}, block_size = {block_size}, regions/run = {regions}, reps = {}",
-        opts.reps
+        "# N = {n}, block_size = {block_size}, regions/run = {regions}, reps = {}, \
+         budget_bytes = {}",
+        opts.reps,
+        if budget.is_unlimited() {
+            "unlimited".to_string()
+        } else {
+            budget.max_scratch_bytes.to_string()
+        }
     );
     println!(
         "shape,strategy,threads,unplanned_steady_secs,planned_steady_secs,\
-         plan_build_secs,break_even_regions,planned_regions"
+         plan_build_secs,break_even_regions,planned_regions,scratch_bytes"
     );
 
     let mut rows: Vec<Row> = Vec::new();
@@ -169,6 +192,7 @@ fn main() {
                 &StencilKernel,
                 regions,
                 opts.reps,
+                budget,
             );
             row.shape = "stream";
             rows.push(row);
@@ -180,6 +204,7 @@ fn main() {
                 &spray_sparse::TmvKernel { a: &a, x: &x },
                 regions,
                 opts.reps,
+                budget,
             );
             row.shape = "tmv";
             rows.push(row);
@@ -188,30 +213,7 @@ fn main() {
 
     for r in &rows {
         println!(
-            "{},{},{},{:.6e},{:.6e},{:.6e},{},{}",
-            r.shape,
-            r.strategy,
-            r.threads,
-            r.unplanned_steady_secs,
-            r.planned_steady_secs,
-            r.plan_build_secs,
-            r.break_even_regions,
-            r.planned_regions
-        );
-    }
-
-    let mut json = String::from("{\n");
-    json.push_str(&format!(
-        "  \"n\": {n},\n  \"block_size\": {block_size},\n  \"regions_per_run\": {regions},\n  \
-         \"reps\": {},\n  \"results\": [\n",
-        opts.reps
-    ));
-    for (k, r) in rows.iter().enumerate() {
-        json.push_str(&format!(
-            "    {{\"shape\": \"{}\", \"strategy\": \"{}\", \"threads\": {}, \
-             \"unplanned_steady_secs\": {:.6e}, \"planned_steady_secs\": {:.6e}, \
-             \"plan_build_secs\": {:.6e}, \"break_even_regions\": {}, \
-             \"planned_regions\": {}}}{}\n",
+            "{},{},{},{:.6e},{:.6e},{:.6e},{},{},{}",
             r.shape,
             r.strategy,
             r.threads,
@@ -220,6 +222,36 @@ fn main() {
             r.plan_build_secs,
             r.break_even_regions,
             r.planned_regions,
+            r.scratch_bytes
+        );
+    }
+
+    let mut json = String::from("{\n");
+    json.push_str(&format!(
+        "  \"n\": {n},\n  \"block_size\": {block_size},\n  \"regions_per_run\": {regions},\n  \
+         \"reps\": {},\n  \"budget_bytes\": {},\n  \"results\": [\n",
+        opts.reps,
+        if budget.is_unlimited() {
+            0
+        } else {
+            budget.max_scratch_bytes
+        }
+    ));
+    for (k, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"shape\": \"{}\", \"strategy\": \"{}\", \"threads\": {}, \
+             \"unplanned_steady_secs\": {:.6e}, \"planned_steady_secs\": {:.6e}, \
+             \"plan_build_secs\": {:.6e}, \"break_even_regions\": {}, \
+             \"planned_regions\": {}, \"scratch_bytes\": {}}}{}\n",
+            r.shape,
+            r.strategy,
+            r.threads,
+            r.unplanned_steady_secs,
+            r.planned_steady_secs,
+            r.plan_build_secs,
+            r.break_even_regions,
+            r.planned_regions,
+            r.scratch_bytes,
             if k + 1 == rows.len() { "" } else { "," }
         ));
     }

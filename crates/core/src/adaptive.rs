@@ -119,11 +119,16 @@ impl AdaptiveConfig {
 /// The default migration candidate set: the paper's competitive subset
 /// at `block_size`, plus a second `BlockPrivate` granularity (4×), so
 /// the adaptive layer can migrate block *size* — not just strategy
-/// family — when density says blocks should be coarser.
+/// family — when density says blocks should be coarser, plus the
+/// segmented reducer (matching segment size) as the bounded-scratch
+/// escape hatch when a [`crate::PlanBudget`] is in force.
 pub fn default_candidates(block_size: usize) -> Vec<Strategy> {
     let mut v = Strategy::competitive(block_size);
     v.push(Strategy::BlockPrivate {
         block_size: block_size.saturating_mul(4),
+    });
+    v.push(Strategy::Segmented {
+        bucket_bits: Strategy::bucket_bits_for(block_size),
     });
     v
 }
@@ -140,12 +145,23 @@ pub struct RegionSignals {
     pub barrier_fraction: f64,
     /// A cached plan was replayed and deviated this region.
     pub deviated: bool,
+    /// Region scratch bytes ([`crate::RunReport::scratch_bytes`]) over
+    /// the scratch budget in force; `0.0` when the budget is unlimited.
+    /// Above `1.0` the strategy spent more privatization memory than the
+    /// caller allows, which is a mismatch regardless of density.
+    pub scratch_pressure: f64,
 }
 
 /// Whether `s` pays per-touched-footprint privatization + merge costs
-/// (wants density), as opposed to updating in place (wants sparsity).
+/// (wants density), as opposed to updating in place or buffering
+/// cheaply (wants sparsity). Segmented sits with the sparse group: its
+/// buckets cost per *update*, not per touched footprint, and its dense
+/// promotions are budget-bounded.
 fn privatizes(s: Strategy) -> bool {
-    !matches!(s, Strategy::Atomic | Strategy::Keeper)
+    !matches!(
+        s,
+        Strategy::Atomic | Strategy::Keeper | Strategy::Segmented { .. }
+    )
 }
 
 /// Scores how mismatched `current` is to the observed `sig`.
@@ -174,6 +190,9 @@ pub fn score(current: Strategy, sig: &RegionSignals, cfg: &AdaptiveConfig) -> f6
     if cfg.barrier_limit > 0.0 {
         worst = worst.max(sig.barrier_fraction / cfg.barrier_limit);
     }
+    // Scratch over budget is a mismatch on any strategy (already
+    // normalized: 1.0 = exactly at the budget, 0.0 = unlimited).
+    worst = worst.max(sig.scratch_pressure);
     if sig.deviated {
         worst += 0.5;
     }
@@ -186,9 +205,28 @@ pub fn score(current: Strategy, sig: &RegionSignals, cfg: &AdaptiveConfig) -> f6
 pub fn recommend(current: Strategy, sig: &RegionSignals, cfg: &AdaptiveConfig) -> Strategy {
     let d = sig.applies_per_element;
     let pick = |want: fn(&Strategy) -> bool| cfg.candidates.iter().copied().find(want);
-    // Sparse tail on a privatizing strategy: update in place.
+    // Over the scratch budget: move to a bounded-scratch strategy —
+    // segmented first (its promotions respect the budget and its buckets
+    // keep locality), atomic as the zero-scratch fallback.
+    if sig.scratch_pressure > 1.0 {
+        if let Some(s) = pick(|s| matches!(s, Strategy::Segmented { .. })) {
+            if s != current {
+                return s;
+            }
+        }
+        if let Some(s) = pick(|s| matches!(s, Strategy::Atomic)) {
+            if s != current {
+                return s;
+            }
+        }
+    }
+    // Sparse tail on a privatizing strategy: update in place, or buffer
+    // through cache-resident buckets when atomics are not on offer.
     if privatizes(current) && d > 0.0 && d < cfg.sparse_applies_per_elem {
         if let Some(s) = pick(|s| matches!(s, Strategy::Atomic)) {
+            return s;
+        }
+        if let Some(s) = pick(|s| matches!(s, Strategy::Segmented { .. })) {
             return s;
         }
         if let Some(s) = pick(|s| matches!(s, Strategy::Keeper)) {
@@ -263,6 +301,7 @@ mod tests {
             contention_ratio: 0.0,
             barrier_fraction: 0.0,
             deviated: false,
+            scratch_pressure: 0.0,
         }
     }
 
@@ -279,6 +318,43 @@ mod tests {
     }
 
     #[test]
+    fn default_candidates_include_segmented_at_matching_granularity() {
+        assert!(default_candidates(1024)
+            .into_iter()
+            .any(|s| s == Strategy::Segmented { bucket_bits: 10 }));
+    }
+
+    #[test]
+    fn scratch_pressure_breaks_band_and_routes_to_segmented() {
+        let cfg = AdaptiveConfig::default();
+        let bp = Strategy::BlockPrivate { block_size: 1024 };
+        // Comfortably dense, but 2x over the scratch budget: out of band.
+        let mut s = sig(8.0);
+        assert!(score(bp, &s, &cfg) <= 1.0);
+        s.scratch_pressure = 2.0;
+        assert!(score(bp, &s, &cfg) > 1.0);
+        // The recommendation is the bounded-scratch candidate.
+        assert_eq!(
+            recommend(bp, &s, &cfg),
+            Strategy::Segmented { bucket_bits: 10 }
+        );
+        // Without a segmented candidate, fall back to atomic.
+        let no_seg = AdaptiveConfig {
+            candidates: cfg
+                .candidates
+                .iter()
+                .copied()
+                .filter(|c| !matches!(c, Strategy::Segmented { .. }))
+                .collect(),
+            ..cfg.clone()
+        };
+        assert_eq!(recommend(bp, &s, &no_seg), Strategy::Atomic);
+        // Exactly at the budget is still in band.
+        s.scratch_pressure = 1.0;
+        assert!(score(bp, &s, &cfg) <= 1.0);
+    }
+
+    #[test]
     fn density_only_disables_timing_borne_signals() {
         let cfg = AdaptiveConfig::density_only(default_candidates(64));
         let bc = Strategy::BlockCas { block_size: 64 };
@@ -288,6 +364,7 @@ mod tests {
             contention_ratio: 1.0,
             barrier_fraction: 1.0,
             deviated: false,
+            scratch_pressure: 0.0,
         };
         assert!(score(bc, &noisy, &cfg) <= 1.0);
         // The density axis still works both ways.
@@ -345,6 +422,7 @@ mod tests {
             contention_ratio: 0.2,
             barrier_fraction: 0.0,
             deviated: false,
+            scratch_pressure: 0.0,
         };
         assert_eq!(
             recommend(Strategy::BlockCas { block_size: 1024 }, &contended, &cfg),

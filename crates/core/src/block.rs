@@ -88,6 +88,24 @@ const UNOWNED: usize = usize::MAX;
 const ST_UNKNOWN: u8 = 0;
 const ST_DIRECT: u8 = 1;
 const ST_PRIVATE: u8 = 2;
+/// Demoted by a [`crate::PlanBudget`]: updates combine into the output in
+/// place under a striped lock — zero scratch, paid in serialization. (The
+/// block reducers' `Element` bound cannot assume hardware atomics; the
+/// pure-atomic path is the `Atomic` strategy.)
+const ST_ATOMIC: u8 = 3;
+
+/// Stripe count for demoted-block in-place updates. A power of two so the
+/// `block % STRIPES` in the apply path is a mask.
+const STRIPES: usize = 64;
+
+/// Per-stripe combining-buffer capacity for demoted updates: appends are
+/// thread-local and a full buffer drains under ONE stripe-lock
+/// acquisition, so the lock cost is amortized over this many updates.
+/// Keeps the budget knob a slope instead of a cliff: without batching,
+/// the first demotion multiplies every affected apply by a lock
+/// round-trip. The buffers are O(stripes) per thread — constant, not
+/// per-block, so they don't count against the plan's scratch budget.
+const DEMOTED_BATCH: usize = 32;
 
 /// Outcome of an ownership claim attempt, distinguished so the telemetry
 /// layer can tell a *lost race* (another thread owns the block — a
@@ -266,6 +284,10 @@ pub struct BlockReduction<'a, T: Element, O: ReduceOp<T>, W: Ownership> {
     flavor: &'static str,
     /// Installed region plan; replayed regions skip ownership claims.
     plan: Option<Arc<RegionPlan>>,
+    /// Striped locks guarding in-place updates to budget-demoted blocks
+    /// (allocated on demand by `install_plan`; empty when the plan has no
+    /// demotions, which is every unbudgeted region).
+    stripes: Vec<CachePadded<Mutex<()>>>,
     /// Sticky flag: some view touched a block outside the installed plan.
     /// The executor reads it after the region to decide on a rebuild; it
     /// is never reset because the executor builds a fresh reduction (over
@@ -400,6 +422,7 @@ impl<'a, T: Element, O: ReduceOp<T>, W: Ownership> BlockReduction<'a, T, O, W> {
             telem: TelemetryBoard::new(nthreads),
             flavor,
             plan: None,
+            stripes: Vec::new(),
             deviated: AtomicBool::new(false),
             _borrow: PhantomData,
             _op: PhantomData,
@@ -485,6 +508,9 @@ impl<'a, T: Element, O: ReduceOp<T>, W: Ownership> BlockReduction<'a, T, O, W> {
     /// dirty-list epilogue instead of racing a planned direct owner.
     pub fn install_plan(&mut self, plan: Arc<RegionPlan>) -> bool {
         if plan.matches_block(self.out.len(), self.nthreads, self.block_size()) {
+            if plan.has_atomic() && self.stripes.is_empty() {
+                self.stripes = (0..STRIPES).map(|_| CachePadded(Mutex::new(()))).collect();
+            }
             self.plan = Some(plan);
             true
         } else {
@@ -583,6 +609,11 @@ struct ViewCore<T, O, W> {
     /// Borrow of the parent reduction's ownership table; valid for the
     /// region because the driver keeps the reduction alive and pinned.
     owners: *const W,
+    /// Borrow of the parent reduction's demoted-update stripe locks (may
+    /// be empty — `nstripes == 0` — when the plan has no demotions);
+    /// valid for the region like `owners`.
+    stripes: *const CachePadded<Mutex<()>>,
+    nstripes: usize,
     status: Vec<u8>,
     blocks: Vec<Option<BlockRef<T>>>,
     /// Aligned slab storage behind `blocks` (see [`ViewScratch`]).
@@ -596,6 +627,9 @@ struct ViewCore<T, O, W> {
     touched: Vec<u32>,
     /// Blocks privatized this region (drives the sparse epilogue/finish).
     dirty: Vec<u32>,
+    /// Per-stripe combining buffers for demoted updates (empty until the
+    /// first demoted apply; see [`DEMOTED_BATCH`]).
+    demoted_buf: Vec<Vec<(usize, T)>>,
     /// Replaying an installed plan: `resolve` must not claim ownership.
     planned: bool,
     /// This view touched a block outside its plan.
@@ -629,6 +663,10 @@ impl<T: Element, O: ReduceOp<T>, W: Ownership> ViewCore<T, O, W> {
         let mut st = self.status[b];
         if st == ST_UNKNOWN {
             st = self.resolve(b);
+        }
+        if st == ST_ATOMIC {
+            self.combine_demoted(b, i, v);
+            return (usize::MAX, std::ptr::null_mut());
         }
         if st == ST_DIRECT {
             // SAFETY: this thread exclusively owns block `b` of `out`
@@ -673,6 +711,10 @@ impl<T: Element, O: ReduceOp<T>, W: Ownership> ViewCore<T, O, W> {
         if st == ST_UNKNOWN {
             st = self.resolve(b);
         }
+        if st == ST_ATOMIC {
+            self.combine_demoted(b, i, v);
+            return;
+        }
         if st == ST_DIRECT {
             // SAFETY: this thread owns block `b` directly (ownership
             // protocol) and `i < len`.
@@ -683,6 +725,56 @@ impl<T: Element, O: ReduceOp<T>, W: Ownership> ViewCore<T, O, W> {
             unsafe {
                 let slot = blk.as_ptr().add(i % bs);
                 *slot = O::combine(*slot, v);
+            }
+        }
+    }
+
+    /// Buffered combine into a budget-demoted block: the update is
+    /// appended to the block's stripe buffer; a full buffer drains into
+    /// the output under one stripe-lock acquisition. Never cached (the
+    /// last-block fast path writes unserialized).
+    fn combine_demoted(&mut self, b: usize, i: usize, v: T) {
+        debug_assert!(self.nstripes > 0, "ST_ATOMIC without stripe locks");
+        if self.demoted_buf.is_empty() {
+            self.demoted_buf = (0..self.nstripes)
+                .map(|_| Vec::with_capacity(DEMOTED_BATCH))
+                .collect();
+        }
+        let s = b & (self.nstripes - 1);
+        let buf = &mut self.demoted_buf[s];
+        buf.push((i, v));
+        if buf.len() >= DEMOTED_BATCH {
+            self.flush_demoted(s);
+        }
+    }
+
+    /// Drain one stripe's combining buffer under a single stripe-lock
+    /// acquisition (retains the buffer's capacity).
+    fn flush_demoted(&mut self, s: usize) {
+        let mut buf = std::mem::take(&mut self.demoted_buf[s]);
+        {
+            // SAFETY: the parent reduction (which owns the stripe array)
+            // outlives the view — same contract as `owners`.
+            let stripe = unsafe { &*self.stripes.add(s) };
+            let _g = stripe.0.lock().unwrap_or_else(|e| e.into_inner());
+            for &(i, v) in &buf {
+                // SAFETY: `i < len` (checked at append); concurrent
+                // writers of this block all hold its stripe lock, and
+                // planned direct owners / privatizers never touch a
+                // demoted block.
+                unsafe { self.out.combine::<O>(i, v) };
+            }
+        }
+        buf.clear();
+        self.demoted_buf[s] = buf;
+    }
+
+    /// Drain every non-empty demoted-update buffer; must run before the
+    /// team barrier so the epilogue sees all demoted contributions.
+    fn flush_all_demoted(&mut self) {
+        for s in 0..self.demoted_buf.len() {
+            if !self.demoted_buf[s].is_empty() {
+                self.flush_demoted(s);
             }
         }
     }
@@ -874,6 +966,8 @@ impl<T: Element, O: ReduceOp<T>, W: Ownership> Reduction<T> for BlockReduction<'
         let mut core = ViewCore {
             out: self.out,
             owners: &self.owners,
+            stripes: self.stripes.as_ptr(),
+            nstripes: self.stripes.len(),
             status,
             blocks,
             arena,
@@ -886,6 +980,7 @@ impl<T: Element, O: ReduceOp<T>, W: Ownership> Reduction<T> for BlockReduction<'
             dirty,
             planned: self.plan.is_some(),
             deviated: false,
+            demoted_buf: Vec::new(),
             counters: Counters::default(),
             _op: PhantomData,
         };
@@ -911,6 +1006,10 @@ impl<T: Element, O: ReduceOp<T>, W: Ownership> Reduction<T> for BlockReduction<'
                     core.touched.push(b);
                     core.dirty.push(b);
                 }
+                for &b in &tb.atomic {
+                    core.status[b as usize] = ST_ATOMIC;
+                    core.touched.push(b);
+                }
             }
         }
         BlockView {
@@ -920,7 +1019,10 @@ impl<T: Element, O: ReduceOp<T>, W: Ownership> Reduction<T> for BlockReduction<'
         }
     }
 
-    fn stash(&self, tid: usize, view: Self::View) {
+    fn stash(&self, tid: usize, mut view: Self::View) {
+        // Demoted-update buffers must drain before the barrier so the
+        // epilogue (and the final array) see every contribution.
+        view.core.flush_all_demoted();
         // `allocated_bytes` counts only blocks newly privatized this
         // region; retained ones are still accounted from their region.
         self.mem.add(view.core.allocated_bytes);
@@ -1355,6 +1457,34 @@ mod tests {
         let t = red.telemetry().totals();
         assert_eq!(t.fallback_privatizations, 0, "uncontended: {t:?}");
         assert_eq!(t.merged_bytes, 0);
+    }
+
+    #[test]
+    fn budget_demoted_blocks_update_in_place() {
+        use crate::plan::PlanBudget;
+        let pool = ThreadPool::new(4);
+        let n = 1024;
+        let mut out = vec![0i64; n];
+        let red = BlockPrivateReduction::<i64, Sum>::new(&mut out, 4, 64);
+        // Every thread touches blocks 0..=3; a zero budget demotes all of
+        // them to in-place (stripe-locked) updates.
+        let plan = RegionPlan::for_blocks(n, 4, 64, &vec![vec![0, 1, 2, 3]; 4]);
+        let plan = plan.with_budget(std::mem::size_of::<i64>(), PlanBudget::new(0));
+        assert_eq!(plan.atomic_blocks(), 4);
+        assert_eq!(plan.scratch_bytes(8), 0);
+        let mut red = red;
+        assert!(red.install_plan(std::sync::Arc::new(plan)));
+        reduce(&pool, &red, 0..n, Schedule::dynamic(3), |v, i| {
+            v.apply(i % 256, 1);
+        });
+        assert!(!red.plan_deviated(), "demoted blocks are still planned");
+        let t = red.telemetry().totals();
+        assert_eq!(t.fallback_privatizations, 0, "no copies under zero budget");
+        assert_eq!(t.merged_bytes, 0);
+        drop(red);
+        for (i, &x) in out.iter().enumerate() {
+            assert_eq!(x, if i < 256 { 4 } else { 0 }, "out[{i}]");
+        }
     }
 
     #[test]

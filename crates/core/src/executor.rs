@@ -35,8 +35,9 @@ use crate::hybrid::HybridReduction;
 use crate::keeper::KeeperReduction;
 use crate::log::LogReduction;
 use crate::map::{BTreeMapReduction, HashMapReduction};
-use crate::plan::PlanCache;
+use crate::plan::{PlanBudget, PlanCache};
 use crate::reducer::{reduce_chunked_phased, Reduction};
+use crate::segmented::{SegmentedReduction, SegmentedScratch};
 use crate::strategy::{Kernel, Strategy};
 use crate::telemetry::{PhaseBoard, RunReport};
 use ompsim::{Schedule, ThreadPool};
@@ -134,6 +135,7 @@ enum RetainedScratch<T> {
     Private(BlockPrivateScratch<T>),
     Lock(BlockLockScratch<T>),
     Cas(BlockCasScratch<T>),
+    Segmented(SegmentedScratch<T>),
 }
 
 /// Runs reduction regions for a [`Strategy`], retaining block-reducer
@@ -174,6 +176,11 @@ pub struct RegionExecutor<T: crate::Element, O: ReduceOp<T>> {
     migration_secs: f64,
     /// Regions run per strategy label, in first-use order.
     strategy_regions: Vec<(String, u64)>,
+    /// Scratch-memory budget applied to every region: block-flavor plans
+    /// are reshaped with [`crate::RegionPlan::with_budget`] (costly shared
+    /// blocks demoted to in-place updates) and the segmented reducer caps
+    /// its dense promotions. Unlimited by default.
+    budget: PlanBudget,
     _op: PhantomData<fn() -> O>,
 }
 
@@ -237,8 +244,26 @@ impl<T: AtomicElement, O: ReduceOp<T>> RegionExecutor<T, O> {
             migrations: 0,
             migration_secs: 0.0,
             strategy_regions: Vec::new(),
+            budget: PlanBudget::UNLIMITED,
             _op: PhantomData,
         }
+    }
+
+    /// Caps the scratch memory subsequent regions may spend on
+    /// privatization. Block-flavor plans are reshaped on their next
+    /// (re)build — costliest shared blocks demote to budget-free in-place
+    /// updates until the plan's copies fit — and the segmented reducer
+    /// spills to its overflow runs instead of promoting past the cap.
+    /// Retained scratch and already-cached plans are untouched until they
+    /// rebuild; pair with [`clear_plans`](RegionExecutor::clear_plans) to
+    /// apply a tighter budget immediately.
+    pub fn set_budget(&mut self, budget: PlanBudget) {
+        self.budget = budget;
+    }
+
+    /// The scratch budget applied to regions (unlimited by default).
+    pub fn budget(&self) -> PlanBudget {
+        self.budget
     }
 
     /// The shared state this session is attached to.
@@ -421,6 +446,10 @@ impl<T: AtomicElement, O: ReduceOp<T>> RegionExecutor<T, O> {
         // A cached plan was replayed and deviated this region (one of the
         // adaptive cost model's inputs); set inside the block arms.
         let mut replay_deviated = false;
+        // Planned privatization footprint (the quantity the budget
+        // constrains), when a plan was replayed or recorded this region;
+        // regions without a plan report their measured overhead instead.
+        let mut plan_scratch: Option<usize> = None;
         // One-shot arm: construct, execute, drop.
         macro_rules! fresh {
             ($red:expr) => {
@@ -444,6 +473,9 @@ impl<T: AtomicElement, O: ReduceOp<T>> RegionExecutor<T, O> {
                     Some(id) => self.shared.plans.lookup(id),
                     None => (None, 0),
                 };
+                if let Some(plan) = &cached {
+                    plan_scratch = Some(plan.scratch_bytes(std::mem::size_of::<T>()));
+                }
                 let installed = match cached {
                     Some(plan) => red.install_plan(plan),
                     None => false,
@@ -455,8 +487,14 @@ impl<T: AtomicElement, O: ReduceOp<T>> RegionExecutor<T, O> {
                     } else {
                         replay_deviated = installed;
                         let t0 = Instant::now();
-                        let plan = red.extract_plan();
+                        // Reshape the recorded footprint to the session's
+                        // scratch budget before caching: replays then
+                        // privatize only the copies the budget affords.
+                        let plan = red
+                            .extract_plan()
+                            .with_budget(std::mem::size_of::<T>(), self.budget);
                         let build_secs = t0.elapsed().as_secs_f64();
+                        plan_scratch = Some(plan.scratch_bytes(std::mem::size_of::<T>()));
                         // Epoch-checked: a concurrent clear_plans since
                         // the lookup drops this recording instead of
                         // resurrecting a pre-clear footprint.
@@ -515,12 +553,34 @@ impl<T: AtomicElement, O: ReduceOp<T>> RegionExecutor<T, O> {
                 block_size,
                 threshold,
             } => fresh!(HybridReduction::<T, O>::new(out, n, block_size, threshold)),
+            Strategy::Segmented { bucket_bits } => {
+                // The segmented reducer needs no recorded plan — its
+                // epilogue derives a fresh LPT owner schedule from the
+                // region's own footprint — so only scratch is retained.
+                // The budget caps its dense promotions directly.
+                let mut red = match retained {
+                    RetainedScratch::Segmented(s) => {
+                        SegmentedReduction::<T, O>::from_scratch(out, n, bucket_bits, s)
+                    }
+                    _ => SegmentedReduction::<T, O>::new(out, n, bucket_bits),
+                };
+                red.set_budget(self.budget);
+                let report = execute(pool, &red, range, schedule, kernel);
+                self.scratch = RetainedScratch::Segmented(red.into_scratch());
+                report
+            }
         };
         let label = report.strategy.clone();
         match self.strategy_regions.iter_mut().find(|(l, _)| *l == label) {
             Some((_, count)) => *count += 1,
             None => self.strategy_regions.push((label, 1)),
         }
+        report.scratch_bytes = plan_scratch.unwrap_or(report.memory_overhead);
+        report.budget_bytes = if self.budget.is_unlimited() {
+            0
+        } else {
+            self.budget.max_scratch_bytes
+        };
         self.adaptive_step(&report, out.len(), replay_deviated);
         report.plan_build_secs = self.shared.plans.plan_build_secs();
         report.planned_regions = self.shared.plans.planned_regions();
@@ -561,6 +621,11 @@ impl<T: AtomicElement, O: ReduceOp<T>> RegionExecutor<T, O> {
                 contention_ratio: totals.contention_ratio(),
                 barrier_fraction: report.phases.barrier_fraction(),
                 deviated,
+                scratch_pressure: if report.budget_bytes == 0 {
+                    0.0
+                } else {
+                    report.scratch_bytes as f64 / report.budget_bytes as f64
+                },
             };
             if score(self.strategy, &signals, &st.cfg) > 1.0 {
                 st.streak += 1;
@@ -616,6 +681,8 @@ where
         memory_overhead: red.memory_overhead(),
         // Patched by `run_inner` after plan and migration bookkeeping
         // settles.
+        scratch_bytes: 0,
+        budget_bytes: 0,
         plan_build_secs: 0.0,
         planned_regions: 0,
         migrations: 0,

@@ -47,6 +47,7 @@
 //! | [`BlockLockReduction`] | block-lock | fallback blocks | high locality, mostly-exclusive blocks |
 //! | [`BlockCasReduction`] | block-CAS | fallback blocks | like block-lock, lock-free claim |
 //! | [`KeeperReduction`] | keeper | forwarded updates | updates aligned with static ownership |
+//! | [`SegmentedReduction`] | — (extension) | cache-resident buckets + promoted blocks | very sparse scatter, tight scratch budgets |
 //!
 //! Every strategy guarantees the same result as a sequential loop up to
 //! floating-point reassociation (the same assumption OpenMP reductions
@@ -83,6 +84,7 @@ mod map;
 pub mod nd;
 mod plan;
 mod reducer;
+mod segmented;
 mod shared;
 mod strategy;
 mod telemetry;
@@ -109,10 +111,11 @@ pub use kahan::Kahan64;
 pub use keeper::{KeeperReduction, KeeperView};
 pub use log::{LogReduction, LogView};
 pub use map::{BTreeMapReduction, HashMapReduction, MapLike, MapOpView, MapReduction};
-pub use plan::{PlanCache, RegionPlan, ThreadBlocks};
+pub use plan::{PlanBudget, PlanCache, RegionPlan, ThreadBlocks};
 pub use reducer::{
     reduce, reduce_chunked, reduce_seq, CountedView, ReducerView, Reduction, SeqView,
 };
+pub use segmented::{SegmentedReduction, SegmentedScratch, SegmentedView};
 pub use strategy::{reduce_dyn, reduce_strategy, Kernel, ParseStrategyError, Strategy};
 pub use telemetry::{
     Counters, JsonWriter, PhaseTimes, ProfilingReduction, ProfilingView, ReductionProfile,

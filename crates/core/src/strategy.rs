@@ -53,6 +53,14 @@ pub enum Strategy {
         /// Per-thread touches before a block privatizes.
         threshold: u32,
     },
+    /// Two-level segmented reduction: per-thread cache-resident buckets
+    /// keyed by block, spilling to sorted overflow runs, drained by a
+    /// deterministic bucket-owner epilogue with no ownership protocol
+    /// (see [`crate::SegmentedReduction`]).
+    Segmented {
+        /// `log2` of the segment (block) size in elements.
+        bucket_bits: u32,
+    },
 }
 
 impl Strategy {
@@ -72,6 +80,7 @@ impl Strategy {
                 block_size,
                 threshold,
             } => format!("hybrid-{block_size}-t{threshold}"),
+            Strategy::Segmented { bucket_bits } => format!("segmented-{bucket_bits}"),
         }
     }
 
@@ -91,7 +100,17 @@ impl Strategy {
                 block_size,
                 threshold: 4,
             },
+            Strategy::Segmented {
+                bucket_bits: Self::bucket_bits_for(block_size),
+            },
         ]
+    }
+
+    /// The segment size (in bits) matching a map/block sweep's block
+    /// size: `log2(next_power_of_two(block_size))`, floored at 1 so a
+    /// degenerate 1-element sweep still exercises multi-element segments.
+    pub fn bucket_bits_for(block_size: usize) -> u32 {
+        block_size.next_power_of_two().trailing_zeros().max(1)
     }
 
     /// The competitive subset the paper keeps after §VII's first-cut
@@ -118,7 +137,8 @@ impl std::fmt::Display for ParseStrategyError {
         write!(
             f,
             "invalid strategy '{}': expected dense | map-btree | map-hash | atomic | \
-             keeper | log | hybrid[-N-tM] | block-private[-N] | block-lock[-N] | block-cas[-N]",
+             keeper | log | hybrid[-N-tM] | segmented[-B] | block-private[-N] | \
+             block-lock[-N] | block-cas[-N]",
             self.0
         )
     }
@@ -149,6 +169,18 @@ impl std::str::FromStr for Strategy {
                 })
             }
             _ => {}
+        }
+        // segmented[-<bucket_bits>]
+        if let Some(rest) = lower.strip_prefix("segmented") {
+            let bucket_bits = match rest {
+                "" => 10,
+                _ => rest
+                    .strip_prefix('-')
+                    .and_then(|n| n.parse::<u32>().ok())
+                    .filter(|b| (1..=31).contains(b))
+                    .ok_or_else(err)?,
+            };
+            return Ok(Strategy::Segmented { bucket_bits });
         }
         // hybrid-<block>-t<threshold>
         if let Some(rest) = lower.strip_prefix("hybrid-") {
@@ -301,9 +333,25 @@ mod tests {
 
     #[test]
     fn all_contains_every_strategy() {
-        assert_eq!(Strategy::all(256).len(), 10);
+        assert_eq!(Strategy::all(256).len(), 11);
         assert_eq!(Strategy::competitive(256).len(), 6);
         assert!(Strategy::all(256).contains(&Strategy::Log));
+        assert!(Strategy::all(256).contains(&Strategy::Segmented { bucket_bits: 8 }));
+    }
+
+    #[test]
+    fn segmented_parse_and_defaults() {
+        assert_eq!(
+            "segmented".parse::<Strategy>().unwrap(),
+            Strategy::Segmented { bucket_bits: 10 }
+        );
+        assert_eq!(
+            "segmented-5".parse::<Strategy>().unwrap(),
+            Strategy::Segmented { bucket_bits: 5 }
+        );
+        for bad in ["segmented-0", "segmented-64", "segmented-x", "segmented5"] {
+            assert!(bad.parse::<Strategy>().is_err(), "accepted '{bad}'");
+        }
     }
 
     struct Histogram<'a> {

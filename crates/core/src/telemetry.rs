@@ -506,6 +506,15 @@ pub struct RunReport {
     pub strategy: String,
     /// Peak extra bytes the reducer allocated.
     pub memory_overhead: usize,
+    /// Privatization scratch this region was planned (or measured) to
+    /// spend — the quantity a [`crate::PlanBudget`] constrains. For
+    /// planned block regions this is the plan's
+    /// [`crate::RegionPlan::scratch_bytes`] (shared-copy bytes after any
+    /// budget demotions); elsewhere it equals `memory_overhead`.
+    pub scratch_bytes: usize,
+    /// The scratch budget in force when the region ran
+    /// ([`crate::PlanBudget::max_scratch_bytes`]); `0` means unlimited.
+    pub budget_bytes: usize,
     /// Cumulative seconds the owning executor spent building region plans
     /// (inspection). Reported so plan amortization is measured *fairly*,
     /// unlike MKL's untimed `mkl_sparse_optimize` inspection; zero for
@@ -574,6 +583,8 @@ impl RunReport {
         w.begin_obj()
             .field_str("strategy", &self.strategy)
             .field_u64("memory_overhead", self.memory_overhead as u64)
+            .field_u64("scratch_bytes", self.scratch_bytes as u64)
+            .field_u64("budget_bytes", self.budget_bytes as u64)
             .field_f64("plan_build_secs", self.plan_build_secs)
             .field_u64("planned_regions", self.planned_regions)
             .field_u64("migrations", self.migrations)
@@ -924,6 +935,8 @@ mod tests {
         let report = RunReport {
             strategy: "block-CAS-1024".into(),
             memory_overhead: 4096,
+            scratch_bytes: 2048,
+            budget_bytes: 3072,
             plan_build_secs: 0.03125,
             planned_regions: 9,
             migrations: 2,
@@ -958,6 +971,8 @@ mod tests {
         for needle in [
             "\"strategy\": \"block-CAS-1024\"",
             "\"memory_overhead\": 4096",
+            "\"scratch_bytes\": 2048",
+            "\"budget_bytes\": 3072",
             "\"plan_build_secs\": 0.03125",
             "\"planned_regions\": 9",
             "\"migrations\": 2",

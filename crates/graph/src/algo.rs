@@ -3,8 +3,8 @@
 use crate::Graph;
 use ompsim::{Schedule, ThreadPool};
 use spray::{
-    reduce_strategy, ExecutorPolicy, Kernel, Min, ReducerView, ReusableReducer, RunReport,
-    Strategy, Sum,
+    reduce_strategy, ExecutorPolicy, Kernel, Min, PlanBudget, ReducerView, ReusableReducer,
+    RunReport, Strategy, Sum,
 };
 
 /// Outcome of [`pagerank`].
@@ -77,6 +77,38 @@ pub fn pagerank_with_policy(
     tol: f64,
     max_iters: usize,
 ) -> PageRankResult {
+    pagerank_with_budget(
+        pool,
+        g,
+        strategy,
+        policy,
+        PlanBudget::UNLIMITED,
+        damping,
+        tol,
+        max_iters,
+    )
+}
+
+/// [`pagerank_with_policy`] with a [`PlanBudget`] cap on the scatter's
+/// privatized scratch. Power-law graphs concentrate in-edges on a few
+/// hub blocks; under a tight budget the plan keeps those hot blocks
+/// privatized and demotes the long cold tail to batched striped-lock
+/// updates, so memory stays bounded while the hubs stay fast. Pairs
+/// naturally with `Strategy::Segmented` (buckets for the tail, promoted
+/// dense copies for the hubs, the same budget governing promotion) —
+/// the final report's `scratch_bytes`/`budget_bytes` record the
+/// footprint actually used.
+#[allow(clippy::too_many_arguments)]
+pub fn pagerank_with_budget(
+    pool: &ThreadPool,
+    g: &Graph,
+    strategy: Strategy,
+    policy: ExecutorPolicy,
+    budget: PlanBudget,
+    damping: f64,
+    tol: f64,
+    max_iters: usize,
+) -> PageRankResult {
     let n = g.num_vertices();
     assert!(n > 0, "empty graph");
     let mut ranks = vec![1.0 / n as f64; n];
@@ -86,6 +118,7 @@ pub fn pagerank_with_policy(
     // allocate their status tables and private copies once, on the first
     // power iteration.
     let mut reducer = ReusableReducer::<f64, Sum>::with_policy(strategy, policy);
+    reducer.set_budget(budget);
     let mut last_report = None;
     let mut total_applies = 0u64;
 
@@ -650,6 +683,71 @@ mod tests {
             assert_eq!(a.iterations, b.iterations);
             for (x, y) in a.ranks.iter().zip(&b.ranks) {
                 assert!((x - y).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn pagerank_budgeted_and_segmented_agree() {
+        let g = Graph::de_bruijn(9);
+        let want = pagerank(&pool(), &g, Strategy::Dense, 0.85, 1e-12, 60);
+        // A segmented scatter and a budget-demoted block scatter must both
+        // reproduce the unbudgeted ranks; zero budget (everything demoted
+        // or spilling) is the stress case.
+        let configs = [
+            (
+                Strategy::Segmented {
+                    bucket_bits: Strategy::bucket_bits_for(256),
+                },
+                PlanBudget::UNLIMITED,
+            ),
+            (
+                Strategy::Segmented {
+                    bucket_bits: Strategy::bucket_bits_for(256),
+                },
+                PlanBudget::new(0),
+            ),
+            (
+                Strategy::BlockPrivate { block_size: 64 },
+                PlanBudget::new(0),
+            ),
+            (
+                Strategy::BlockPrivate { block_size: 64 },
+                PlanBudget::new(4096),
+            ),
+        ];
+        for (strategy, budget) in configs {
+            let got = pagerank_with_budget(
+                &pool(),
+                &g,
+                strategy,
+                ExecutorPolicy::Fixed,
+                budget,
+                0.85,
+                1e-12,
+                60,
+            );
+            assert_eq!(want.iterations, got.iterations, "{}", strategy.label());
+            for (x, y) in want.ranks.iter().zip(&got.ranks) {
+                assert!((x - y).abs() < 1e-9, "{}", strategy.label());
+            }
+            let report = got.report.expect("ran at least one iteration");
+            if budget.is_unlimited() {
+                assert_eq!(report.budget_bytes, 0, "unlimited encodes as 0");
+            } else {
+                assert_eq!(report.budget_bytes, budget.max_scratch_bytes);
+                // Planned block scratch is exactly what the budget caps;
+                // segmented scratch also counts its (budget-exempt,
+                // O(buckets)) tables, so the cap applies to block plans.
+                if matches!(strategy, Strategy::BlockPrivate { .. }) {
+                    assert!(
+                        report.scratch_bytes <= budget.max_scratch_bytes,
+                        "{}: scratch {} over budget {}",
+                        strategy.label(),
+                        report.scratch_bytes,
+                        budget.max_scratch_bytes
+                    );
+                }
             }
         }
     }

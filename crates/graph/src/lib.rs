@@ -24,8 +24,8 @@ mod graph;
 mod sssp;
 
 pub use algo::{
-    bfs, connected_components, in_degrees, k_core, pagerank, pagerank_via_service, triangle_counts,
-    PageRankResult,
+    bfs, connected_components, in_degrees, k_core, pagerank, pagerank_via_service,
+    pagerank_with_budget, pagerank_with_policy, triangle_counts, PageRankResult,
 };
 pub use graph::Graph;
 pub use sssp::{sssp, WeightedGraph};

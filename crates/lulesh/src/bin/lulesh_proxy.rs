@@ -22,13 +22,16 @@ fn parse_scheme(name: &str) -> ForceScheme {
         "block-cas" => ForceScheme::Spray(Strategy::BlockCas { block_size: 1024 }),
         "keeper" => ForceScheme::Spray(Strategy::Keeper),
         "log" => ForceScheme::Spray(Strategy::Log),
-        other => {
-            eprintln!("unknown scheme '{other}'");
+        // Anything else goes through the full scheme grammar, so every
+        // spray strategy label works (segmented-10, hybrid-64-t2, ...).
+        other => other.parse().unwrap_or_else(|e| {
+            eprintln!("{e}");
             eprintln!(
-                "choices: seq 8copy dense atomic block-private block-lock block-cas keeper log"
+                "choices: seq 8copy dense atomic block-private block-lock block-cas keeper log \
+                 or any spray strategy label (e.g. segmented-10, hybrid-1024-t2)"
             );
             std::process::exit(2);
-        }
+        }),
     }
 }
 

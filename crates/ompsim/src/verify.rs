@@ -63,10 +63,15 @@ pub enum HookPoint {
     /// process-wide stream instead of a per-thread one; see
     /// [`migration_choice`].
     MigrationDecision,
+    /// A segmented view's bucket for one block just filled and is about
+    /// to spill — either promoting the block to a dense private copy or
+    /// flushing the bucket's entries to the thread's sorted overflow run
+    /// (`idx` = block index).
+    BucketSpill,
 }
 
 /// Number of distinct hook points (array dimension for counters).
-pub const NPOINTS: usize = 8;
+pub const NPOINTS: usize = 9;
 
 impl HookPoint {
     /// Every hook point, in counter-index order.
@@ -79,6 +84,7 @@ impl HookPoint {
         HookPoint::QueueDrain,
         HookPoint::MergeStep,
         HookPoint::MigrationDecision,
+        HookPoint::BucketSpill,
     ];
 
     /// Stable index into per-point counter arrays.
@@ -98,6 +104,7 @@ impl HookPoint {
             HookPoint::QueueDrain => "queue_drain",
             HookPoint::MergeStep => "merge_step",
             HookPoint::MigrationDecision => "migration_decision",
+            HookPoint::BucketSpill => "bucket_spill",
         }
     }
 }

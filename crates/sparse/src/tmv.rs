@@ -3,7 +3,8 @@
 use crate::{Csr, Num};
 use ompsim::{Schedule, ThreadPool};
 use spray::{
-    reduce_strategy, ExecutorPolicy, Kernel, ReducerView, RegionExecutor, RunReport, Strategy,
+    reduce_strategy, ExecutorPolicy, Kernel, PlanBudget, ReducerView, RegionExecutor, RunReport,
+    Strategy,
 };
 
 /// The Fig. 10 loop body as a [`spray::Kernel`] over rows:
@@ -79,6 +80,20 @@ impl<T: Num> PlannedTmv<T> {
         PlannedTmv {
             executor: RegionExecutor::with_policy(strategy, policy),
         }
+    }
+
+    /// Caps the privatized scratch of every later product at `budget`
+    /// (see [`PlanBudget`]): the recorded column-scatter plan demotes its
+    /// costliest shared blocks to batched striped-lock updates until the
+    /// projection fits, and a segmented strategy limits its dense
+    /// promotions to its per-thread share. MKL's inspector has no such
+    /// knob — its optimize step buys speed with unbounded workspace; here
+    /// the time-memory trade is explicit, and each product's
+    /// [`RunReport::scratch_bytes`] shows what the cap bought. Takes
+    /// effect on the next recording; pair with a fresh `PlannedTmv` (or a
+    /// deviating matrix) to re-record under a tighter cap.
+    pub fn set_budget(&mut self, budget: PlanBudget) {
+        self.executor.set_budget(budget);
     }
 
     /// Computes `y += Aᵀ·x`, replaying (or first recording) the plan.
@@ -263,6 +278,53 @@ mod tests {
                     (got - want).abs() < 1e-9,
                     "rep {rep} differs at {i}: {got} vs {want}"
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn budgeted_and_segmented_planned_tmv_match_seq() {
+        let a = gen::random(400, 256, 4000, 9);
+        let x: Vec<f64> = (0..400).map(|i| (i as f64 * 0.02).cos()).collect();
+        let mut expected = vec![0.0f64; 256];
+        a.tmatvec_seq(&x, &mut expected);
+
+        let pool = ThreadPool::new(4);
+        // Budget ladder on the block plan (zero demotes every shared
+        // block) plus the segmented strategy with and without promotion
+        // headroom: all must match the sequential product on replays too.
+        let configs = [
+            (Strategy::BlockCas { block_size: 32 }, PlanBudget::new(0)),
+            (Strategy::BlockCas { block_size: 32 }, PlanBudget::new(2048)),
+            (
+                Strategy::Segmented {
+                    bucket_bits: Strategy::bucket_bits_for(32),
+                },
+                PlanBudget::UNLIMITED,
+            ),
+            (
+                Strategy::Segmented {
+                    bucket_bits: Strategy::bucket_bits_for(32),
+                },
+                PlanBudget::new(0),
+            ),
+        ];
+        for (strategy, budget) in configs {
+            let mut tmv = PlannedTmv::new(strategy);
+            tmv.set_budget(budget);
+            for rep in 0..3 {
+                let mut y = vec![0.0f64; 256];
+                let report = tmv.run(&pool, &a, &x, &mut y);
+                for (i, (&got, &want)) in y.iter().zip(&expected).enumerate() {
+                    assert!(
+                        (got - want).abs() < 1e-9,
+                        "{} budget {budget:?} rep {rep} differs at {i}: {got} vs {want}",
+                        strategy.label()
+                    );
+                }
+                if !budget.is_unlimited() {
+                    assert_eq!(report.budget_bytes, budget.max_scratch_bytes);
+                }
             }
         }
     }

@@ -38,7 +38,10 @@ impl<T: AtomicElement> Kernel<T> for StreamKernel<'_, T> {
 
 /// The strategies whose private storage moved onto the arena/aligned-buf
 /// plane: the three block flavors, hybrid (privatize-on-second-touch so
-/// both its atomic and private paths run) and dense.
+/// both its atomic and private paths run), dense, and segmented (whose
+/// buckets and promoted dense copies live in two arenas; deriving its
+/// bucket granularity from the odd block sizes below exercises short
+/// trailing blocks and constantly spilling capacity-4 buckets).
 fn arena_strategies(block: usize) -> Vec<Strategy> {
     vec![
         Strategy::Dense,
@@ -48,6 +51,9 @@ fn arena_strategies(block: usize) -> Vec<Strategy> {
         Strategy::Hybrid {
             block_size: block,
             threshold: 1,
+        },
+        Strategy::Segmented {
+            bucket_bits: Strategy::bucket_bits_for(block),
         },
     ]
 }

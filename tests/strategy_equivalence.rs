@@ -6,7 +6,7 @@
 use ompsim::{Schedule, ThreadPool};
 use proptest::prelude::*;
 use spray::{
-    reduce_strategy, Kernel, Max, Min, Prod, ReduceOp, ReducerView, RegionExecutor,
+    reduce_strategy, Kernel, Max, Min, PlanBudget, Prod, ReduceOp, ReducerView, RegionExecutor,
     ReusableReducer, Strategy, Sum,
 };
 
@@ -380,6 +380,61 @@ proptest! {
                 &out, &expected,
                 "strategy {} region {} after {} migrations",
                 report.strategy, region, report.migrations
+            );
+        }
+    }
+
+    /// The two-level segmented reducer across bucket granularities —
+    /// including `bucket_bits: 1`, whose capacity-4 buckets spill on
+    /// nearly every fill — and scratch budgets — including zero, which
+    /// forbids dense promotion and pins every spill to the sorted
+    /// overflow run — must stay bit-exact with the sequential loop,
+    /// fresh and on scratch retained across regions.
+    #[test]
+    fn segmented_bucket_sizes_and_forced_spills_are_bit_exact(
+        len in 1usize..200,
+        threads in 1usize..6,
+        bucket_bits in prop::sample::select(vec![1u32, 2, 3, 5, 7]),
+        budget in prop::sample::select(vec![usize::MAX, 4096usize, 0]),
+        seed in any::<u64>(),
+    ) {
+        let n_iters = 300;
+        let n_regions = 2;
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let pool = ThreadPool::new(threads);
+        let mut ex = RegionExecutor::<i64, Sum>::new(Strategy::Segmented { bucket_bits });
+        ex.set_budget(if budget == usize::MAX {
+            PlanBudget::UNLIMITED
+        } else {
+            PlanBudget::new(budget)
+        });
+        for region in 0..n_regions {
+            // Concentrated indices: every block's bucket fills many
+            // times over, so the spill paths are exercised every region.
+            let hot = (len / 4).max(1);
+            let updates: Vec<Vec<(usize, i64)>> = (0..n_iters)
+                .map(|_| {
+                    let k = 1 + (next() % 3) as usize;
+                    (0..k)
+                        .map(|_| ((next() as usize) % hot, (next() % 100) as i64 - 50))
+                        .collect()
+                })
+                .collect();
+            let mut expected = vec![0i64; len];
+            sequential_apply::<i64, Sum>(&mut expected, &updates);
+
+            let kernel = StreamKernel { updates: &updates };
+            let mut out = vec![0i64; len];
+            ex.run(&pool, &mut out, 0..n_iters, Schedule::default(), &kernel);
+            prop_assert_eq!(
+                &out, &expected,
+                "segmented-{} budget {} region {}", bucket_bits, budget, region
             );
         }
     }
