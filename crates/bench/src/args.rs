@@ -1,4 +1,9 @@
 //! Tiny shared command-line parser for the figure binaries.
+//!
+//! Flag grammar lives here once — in particular `--strategy` defers to
+//! [`spray::Strategy`]'s central `FromStr` grammar and `--churn` to
+//! [`parse_churn_list`], so the delta/dirty flags are never re-parsed
+//! (or re-invented) per binary.
 
 /// Options common to every figure binary.
 #[derive(Debug, Clone)]
@@ -20,6 +25,14 @@ pub struct Opts {
     /// the executor as a [`spray::PlanBudget`]. `None` = unlimited; `0`
     /// is meaningful (no shared scratch beyond the bare minimum).
     pub budget_bytes: Option<usize>,
+    /// Scatter strategy override (`--strategy block-cas-64`), parsed by
+    /// [`spray::Strategy`]'s `FromStr` — the one grammar every binary
+    /// shares. `None` = the binary's own default.
+    pub strategy: Option<spray::Strategy>,
+    /// Churn fractions to sweep (`--churn 0.0005,0.001,0.01`): the share
+    /// of elements mutated per delta batch. Empty = the binary's default
+    /// sweep.
+    pub churn: Vec<f64>,
 }
 
 impl Default for Opts {
@@ -38,8 +51,30 @@ impl Default for Opts {
             n: None,
             check: false,
             budget_bytes: None,
+            strategy: None,
+            churn: Vec::new(),
         }
     }
+}
+
+/// Parses a comma-separated list of churn fractions, each in `(0, 1]`.
+/// The one parser for every `--churn`-taking binary.
+pub fn parse_churn_list(v: &str) -> Result<Vec<f64>, String> {
+    let mut out = Vec::new();
+    for s in v.split(',') {
+        let f = s
+            .trim()
+            .parse::<f64>()
+            .map_err(|e| format!("bad churn fraction '{}': {e}", s.trim()))?;
+        if !(f > 0.0 && f <= 1.0) {
+            return Err(format!("churn fraction {f} outside (0, 1]"));
+        }
+        out.push(f);
+    }
+    if out.is_empty() {
+        return Err("churn list is empty".into());
+    }
+    Ok(out)
 }
 
 impl Opts {
@@ -99,6 +134,19 @@ impl Opts {
                             .unwrap_or_else(|| usage("bad budget")),
                     );
                 }
+                "--strategy" => {
+                    let v = it
+                        .next()
+                        .unwrap_or_else(|| usage("--strategy needs a value"));
+                    opts.strategy = Some(
+                        v.parse::<spray::Strategy>()
+                            .unwrap_or_else(|e| usage(&e.to_string())),
+                    );
+                }
+                "--churn" => {
+                    let v = it.next().unwrap_or_else(|| usage("--churn needs a value"));
+                    opts.churn = parse_churn_list(&v).unwrap_or_else(|e| usage(&e));
+                }
                 "--quick" => opts.quick = true,
                 "--check" => opts.check = true,
                 "--help" | "-h" => usage(""),
@@ -114,8 +162,8 @@ fn usage(err: &str) -> ! {
         eprintln!("error: {err}");
     }
     eprintln!(
-        "usage: <bin> [--threads 1,2,4] [--reps N] [--n SIZE] [--budget-bytes B] [--quick] \
-         [--check]\n\
+        "usage: <bin> [--threads 1,2,4] [--reps N] [--n SIZE] [--budget-bytes B] \
+         [--strategy LABEL] [--churn F1,F2] [--quick] [--check]\n\
          prints CSV to stdout; lines starting with # are context"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
@@ -155,5 +203,31 @@ mod tests {
         // 0 means "no shared scratch", not "unset".
         let o = parse("--budget-bytes 0");
         assert_eq!(o.budget_bytes, Some(0));
+    }
+
+    #[test]
+    fn strategy_uses_central_grammar() {
+        let o = parse("--strategy block-cas-64");
+        assert_eq!(
+            o.strategy,
+            Some(spray::Strategy::BlockCas { block_size: 64 })
+        );
+        let o = parse("--strategy segmented-5");
+        assert_eq!(
+            o.strategy,
+            Some(spray::Strategy::Segmented { bucket_bits: 5 })
+        );
+        assert!(parse("").strategy.is_none());
+    }
+
+    #[test]
+    fn churn_list_parses_and_validates() {
+        let o = parse("--churn 0.0005,0.01,1.0");
+        assert_eq!(o.churn, vec![0.0005, 0.01, 1.0]);
+        assert!(parse("").churn.is_empty());
+        assert!(parse_churn_list("0.5, 0.25").is_ok());
+        assert!(parse_churn_list("0").is_err());
+        assert!(parse_churn_list("1.5").is_err());
+        assert!(parse_churn_list("nope").is_err());
     }
 }

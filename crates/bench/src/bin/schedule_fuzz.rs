@@ -53,7 +53,20 @@
 //!   with batching and the pipelined epilogue on — under a seeded
 //!   controller with planted strategy migrations, and requires both
 //!   runs bit-identical (i64) to the sequential loop and to each
-//!   other. Requires `--features verify`.
+//!   other. Requires `--features verify`;
+//! * `--delta N` — N seeds through the incremental-reduction oracle:
+//!   each seed drives two streams of delta batches (invertible i64 Sum
+//!   hitting both the dirty-block and full-refold paths, and i64 Min on
+//!   the refold-only path) through
+//!   [`run_delta`](spray::RegionExecutor::run_delta) under a seeded
+//!   controller with planted strategy migrations, checking every round
+//!   bit-identical against a canonical replay of the live contribution
+//!   set; then plants panics at seed-chosen `DeltaApply` crossings on
+//!   both the parallel and serial staging paths and requires
+//!   poison-not-corrupt (pre-batch result intact) plus an exact
+//!   post-fault replay. The sweep fails if NO seed applied deltas or
+//!   retractions (the mode lost its teeth). Requires
+//!   `--features verify`.
 
 use spray::verify::OracleCfg;
 use spray::Strategy;
@@ -74,6 +87,7 @@ struct FuzzOpts {
     arena: u64,
     segmented: u64,
     service: u64,
+    delta: u64,
     quiet: bool,
 }
 
@@ -95,6 +109,7 @@ impl Default for FuzzOpts {
             arena: 0,
             segmented: 0,
             service: 0,
+            delta: 0,
             quiet: false,
         }
     }
@@ -102,7 +117,8 @@ impl Default for FuzzOpts {
 
 const USAGE: &str = "usage: schedule_fuzz [--seed S | --seeds N --start S] [--threads T] \
 [--n N] [--updates U] [--block-size B] [--replays R] [--dynamic] [--no-floats] \
-[--broken] [--faults N] [--migrations N] [--arena N] [--segmented N] [--service N] [--quiet]";
+[--broken] [--faults N] [--migrations N] [--arena N] [--segmented N] [--service N] \
+[--delta N] [--quiet]";
 
 fn parse_opts() -> FuzzOpts {
     let mut o = FuzzOpts::default();
@@ -162,6 +178,7 @@ fn parse_opts() -> FuzzOpts {
                     .parse()
                     .expect("--service: u64")
             }
+            "--delta" => o.delta = value(&mut args, "--delta").parse().expect("--delta: u64"),
             "--quiet" => o.quiet = true,
             "--help" | "-h" => {
                 println!("{USAGE}");
@@ -588,6 +605,78 @@ fn service_main(_o: &FuzzOpts) -> i32 {
     2
 }
 
+#[cfg(feature = "verify")]
+fn delta_main(o: &FuzzOpts) -> i32 {
+    use spray::verify::fuzz::{delta_case, delta_fault_case};
+    let mut bad = 0u64;
+    let mut applies = 0u64;
+    let mut retractions = 0u64;
+    for seed in o.start..o.start + o.delta {
+        let outcome = delta_case(o.threads, seed);
+        applies += outcome.delta_applies;
+        retractions += outcome.retractions;
+        match outcome.result {
+            Ok(()) => {
+                if !o.quiet {
+                    println!(
+                        "delta seed {seed}: incremental bit-identical to replay \
+                         ({} delta applies, {} retractions, {} migrations, {} preemptions)",
+                        outcome.delta_applies,
+                        outcome.retractions,
+                        outcome.migrations,
+                        outcome.preemptions
+                    );
+                }
+            }
+            Err(e) => {
+                bad += 1;
+                eprintln!("FAIL {e}");
+                eprintln!(
+                    "repro: cargo run --release -p bench --features verify --bin \
+                     schedule_fuzz -- --delta 1 --start {seed} --threads {}",
+                    o.threads
+                );
+            }
+        }
+        // A fault injected mid-staging must poison the batch — never
+        // corrupt the retained result — and an unperturbed replay of
+        // the same batch must land exactly.
+        if let Err(e) = delta_fault_case(o.threads, seed) {
+            bad += 1;
+            eprintln!("FAIL delta fault seed {seed}: {e}");
+            eprintln!(
+                "repro: cargo run --release -p bench --features verify --bin \
+                 schedule_fuzz -- --delta 1 --start {seed} --threads {}",
+                o.threads
+            );
+        }
+    }
+    if bad > 0 {
+        eprintln!("delta fuzz: {bad} failure(s) over {} seed(s)", o.delta);
+        return 1;
+    }
+    if applies == 0 || retractions == 0 {
+        eprintln!(
+            "delta fuzz: {} seed(s) drove NO delta applies/retractions \
+             ({applies} applies, {retractions} retractions) — the mode lost its teeth",
+            o.delta
+        );
+        return 1;
+    }
+    println!(
+        "delta fuzz: {} seed(s) from {} clean ({applies} delta applies, \
+         {retractions} retractions exercised, {} threads)",
+        o.delta, o.start, o.threads
+    );
+    0
+}
+
+#[cfg(not(feature = "verify"))]
+fn delta_main(_o: &FuzzOpts) -> i32 {
+    eprintln!("--delta requires --features verify");
+    2
+}
+
 #[cfg(not(feature = "verify"))]
 fn broken_main(_o: &FuzzOpts) -> i32 {
     eprintln!("--broken requires --features verify");
@@ -619,6 +708,9 @@ fn main() {
     }
     if o.service > 0 {
         std::process::exit(service_main(&o));
+    }
+    if o.delta > 0 {
+        std::process::exit(delta_main(&o));
     }
     let failures = sweep(&o);
     if failures > 0 {

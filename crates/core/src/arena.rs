@@ -190,7 +190,7 @@ impl<T: Element> BlockArena<T> {
         let ptr = unsafe { (slab.ptr.as_ptr() as *mut T).add(self.next * self.stride) };
         self.next += 1;
         debug_assert!(
-            (ptr as usize).is_multiple_of(self.alignment()),
+            (ptr as usize) % self.alignment() == 0,
             "arena block {ptr:p} violates the {}-byte alignment contract",
             self.alignment()
         );

@@ -44,6 +44,20 @@ pub trait ReduceOp<T>: Send + Sync + 'static {
     fn identity() -> T;
     /// `a ∘ b`.
     fn combine(a: T, b: T) -> T;
+    /// Exact inverse of [`combine`](Self::combine): returns `acc ∘ v⁻¹`
+    /// such that `try_retract(combine(acc, v), v) == Some(acc)`
+    /// *bit-identically*, or `None` when no exact inverse exists.
+    ///
+    /// Only true abelian groups qualify: wrapping integer sums (always)
+    /// and wrapping integer products by *odd* values (units of Z/2^k).
+    /// Floats never qualify — `(a + x) - x` reassociates — and `Min`/
+    /// `Max` are idempotent, not invertible. Callers that get `None`
+    /// must fall back to re-reducing from a kept input log.
+    #[inline(always)]
+    fn try_retract(acc: T, v: T) -> Option<T> {
+        let _ = (acc, v);
+        None
+    }
 }
 
 /// Summation (`+=`), the reduction in all of the paper's test cases.
@@ -65,6 +79,15 @@ pub trait SumOps: Element {
     /// reductions use `fetch_add` (which wraps) and the non-atomic path
     /// must agree for the strategy-equivalence guarantee to hold.
     fn add(a: Self, b: Self) -> Self;
+    /// Exact additive retraction (`acc - v` such that retracting a
+    /// just-added value restores `acc` bit-identically), or `None` where
+    /// addition is not exactly invertible (floats reassociate). Defaults
+    /// to `None` so compensated / user number types stay sound.
+    #[inline(always)]
+    fn retract(acc: Self, v: Self) -> Option<Self> {
+        let _ = (acc, v);
+        None
+    }
 }
 
 /// Per-type arithmetic backing [`Prod`]; see [`SumOps`].
@@ -73,6 +96,15 @@ pub trait ProdOps: Element {
     fn one() -> Self;
     /// Multiplication (wrapping for integers).
     fn mul(a: Self, b: Self) -> Self;
+    /// Exact multiplicative retraction (`acc · v⁻¹` in the type's
+    /// wrapping ring), or `None` when `v` has no inverse — even
+    /// integers (zero divisors of Z/2^k) and all floats. Defaults to
+    /// `None`.
+    #[inline(always)]
+    fn retract(acc: Self, v: Self) -> Option<Self> {
+        let _ = (acc, v);
+        None
+    }
 }
 
 /// Per-type order operations backing [`Min`] and [`Max`]; see [`SumOps`].
@@ -98,6 +130,10 @@ impl<T: SumOps> ReduceOp<T> for Sum {
     fn combine(a: T, b: T) -> T {
         T::add(a, b)
     }
+    #[inline(always)]
+    fn try_retract(acc: T, v: T) -> Option<T> {
+        T::retract(acc, v)
+    }
 }
 
 impl<T: ProdOps> ReduceOp<T> for Prod {
@@ -109,6 +145,10 @@ impl<T: ProdOps> ReduceOp<T> for Prod {
     #[inline(always)]
     fn combine(a: T, b: T) -> T {
         T::mul(a, b)
+    }
+    #[inline(always)]
+    fn try_retract(acc: T, v: T) -> Option<T> {
+        T::retract(acc, v)
     }
 }
 
@@ -161,10 +201,30 @@ macro_rules! impl_int_arith {
         impl SumOps for $t {
             #[inline(always)] fn zero() -> $t { 0 }
             #[inline(always)] fn add(a: $t, b: $t) -> $t { a.wrapping_add(b) }
+            // Wrapping addition is an abelian group: always invertible.
+            #[inline(always)] fn retract(acc: $t, v: $t) -> Option<$t> {
+                Some(acc.wrapping_sub(v))
+            }
         }
         impl ProdOps for $t {
             #[inline(always)] fn one() -> $t { 1 }
             #[inline(always)] fn mul(a: $t, b: $t) -> $t { a.wrapping_mul(b) }
+            #[inline(always)] fn retract(acc: $t, v: $t) -> Option<$t> {
+                // Odd values are the units of Z/2^k; their inverse comes
+                // from Newton–Hensel iteration (x ← x·(2 − v·x) doubles
+                // the number of correct low bits; x₀ = v is already
+                // correct mod 8 since v² ≡ 1 (mod 8) for odd v). Even
+                // values are zero divisors — no exact inverse exists.
+                if v & 1 == 0 {
+                    return None;
+                }
+                let mut x: $t = v;
+                for _ in 0..5 {
+                    x = x.wrapping_mul((2 as $t).wrapping_sub(v.wrapping_mul(x)));
+                }
+                debug_assert_eq!(v.wrapping_mul(x), 1);
+                Some(acc.wrapping_mul(x))
+            }
         }
         impl OrdOps for $t {
             #[inline(always)] fn greatest() -> $t { <$t>::MAX }
@@ -301,6 +361,42 @@ mod tests {
                 x
             );
         }
+    }
+
+    #[test]
+    fn retract_int_sum_round_trips() {
+        for (acc, v) in [(0i64, 7), (i64::MAX, 1), (i64::MIN, -3), (42, i64::MIN)] {
+            let applied = <Sum as ReduceOp<i64>>::combine(acc, v);
+            assert_eq!(<Sum as ReduceOp<i64>>::try_retract(applied, v), Some(acc));
+        }
+        let applied = <Sum as ReduceOp<u32>>::combine(3, u32::MAX);
+        assert_eq!(
+            <Sum as ReduceOp<u32>>::try_retract(applied, u32::MAX),
+            Some(3)
+        );
+    }
+
+    #[test]
+    fn retract_int_prod_odd_round_trips_even_declines() {
+        for (acc, v) in [(5u64, 3), (u64::MAX, 0xdead_beef_dead_beef), (1, 1)] {
+            assert!(v & 1 == 1);
+            let applied = <Prod as ReduceOp<u64>>::combine(acc, v);
+            assert_eq!(<Prod as ReduceOp<u64>>::try_retract(applied, v), Some(acc));
+        }
+        // Negative odd values are still units of Z/2^64.
+        let applied = <Prod as ReduceOp<i64>>::combine(-7, -13);
+        assert_eq!(<Prod as ReduceOp<i64>>::try_retract(applied, -13), Some(-7));
+        // Even multiplicands are zero divisors: no inverse.
+        assert_eq!(<Prod as ReduceOp<u64>>::try_retract(12, 2), None);
+        assert_eq!(<Prod as ReduceOp<i32>>::try_retract(0, 0), None);
+    }
+
+    #[test]
+    fn retract_floats_and_order_ops_decline() {
+        assert_eq!(<Sum as ReduceOp<f64>>::try_retract(3.0, 1.0), None);
+        assert_eq!(<Prod as ReduceOp<f32>>::try_retract(6.0, 2.0), None);
+        assert_eq!(<Min as ReduceOp<i64>>::try_retract(1, 1), None);
+        assert_eq!(<Max as ReduceOp<f64>>::try_retract(1.0, 1.0), None);
     }
 
     #[test]

@@ -29,6 +29,7 @@ use crate::block::{
     BlockCasReduction, BlockCasScratch, BlockLockReduction, BlockLockScratch,
     BlockPrivateReduction, BlockPrivateScratch,
 };
+use crate::delta::{run_delta_engine, DeltaBatch, DeltaState, DELTA_BLOCK_BITS};
 use crate::dense::DenseReduction;
 use crate::elem::{AtomicElement, ReduceOp};
 use crate::hybrid::HybridReduction;
@@ -39,7 +40,7 @@ use crate::plan::{PlanBudget, PlanCache};
 use crate::reducer::{reduce_chunked_phased, Reduction};
 use crate::segmented::{SegmentedReduction, SegmentedScratch};
 use crate::strategy::{Kernel, Strategy};
-use crate::telemetry::{PhaseBoard, RunReport};
+use crate::telemetry::{PhaseBoard, PhaseTimes, RunReport, Telemetry};
 use ompsim::{Schedule, ThreadPool};
 use std::marker::PhantomData;
 use std::ops::Range;
@@ -181,6 +182,19 @@ pub struct RegionExecutor<T: crate::Element, O: ReduceOp<T>> {
     /// blocks demoted to in-place updates) and the segmented reducer caps
     /// its dense promotions. Unlimited by default.
     budget: PlanBudget,
+    /// Retained delta-region state ([`RegionExecutor::run_delta`]):
+    /// baseline array, per-block tag-sorted contribution logs, result
+    /// mirror. Lazily created on the first delta region and independent
+    /// of the strategy — migrations leave it intact.
+    delta: Option<DeltaState<T>>,
+    /// Block granularity (log2) the next fresh delta state will use.
+    delta_block_bits: u32,
+    /// Delta regions run so far (cumulative).
+    delta_regions: u64,
+    /// Dirty blocks staged across delta regions (cumulative).
+    dirty_blocks: u64,
+    /// Retractions applied across delta regions (cumulative).
+    retractions: u64,
     _op: PhantomData<fn() -> O>,
 }
 
@@ -245,6 +259,11 @@ impl<T: AtomicElement, O: ReduceOp<T>> RegionExecutor<T, O> {
             migration_secs: 0.0,
             strategy_regions: Vec::new(),
             budget: PlanBudget::UNLIMITED,
+            delta: None,
+            delta_block_bits: DELTA_BLOCK_BITS,
+            delta_regions: 0,
+            dirty_blocks: 0,
+            retractions: 0,
             _op: PhantomData,
         }
     }
@@ -590,7 +609,139 @@ impl<T: AtomicElement, O: ReduceOp<T>> RegionExecutor<T, O> {
         report.jobs = self.shared.jobs();
         report.batched_regions = self.shared.batched_regions();
         report.queue_wait_secs = self.shared.queue_wait_secs();
+        report.delta_regions = self.delta_regions;
+        report.dirty_blocks = self.dirty_blocks;
+        report.retractions = self.retractions;
         report
+    }
+
+    /// Runs one **delta region**: applies `batch`'s changed contributions
+    /// and retractions against the previous result in `out`, touching
+    /// only the dirty blocks. See [`crate::DeltaBatch`] and the
+    /// `crate::delta` module docs for the canonical (tag-ordered)
+    /// semantics, the exact-inverse fast path, and the
+    /// [`crate::DELTA_DIRTY_FALLBACK`] full-refold threshold.
+    ///
+    /// The first call captures `out`'s current content as the fold
+    /// baseline and allocates the retained delta state (per-block
+    /// contribution logs + result mirror); subsequent calls require
+    /// `out` to be the unmodified result of the previous delta region.
+    /// Interleaved *full* regions into the same array invalidate the
+    /// mirror — call [`reset_delta`](RegionExecutor::reset_delta)
+    /// afterwards to re-baseline.
+    ///
+    /// Transactional: validation failures (out-of-bounds index,
+    /// retraction of an unknown tag, duplicate live tag) and planted
+    /// `verify` faults at the [`ompsim::verify::HookPoint::DeltaApply`]
+    /// crossing panic *during staging*, before anything commits — the
+    /// previous result and delta state stay intact (poison, not
+    /// corrupt). Strategy migrations leave the delta state intact: it
+    /// is strategy-independent, though retained **segmented** scratch
+    /// has its dirty blocks invalidated so a later full segmented
+    /// region re-promotes from current data.
+    pub fn run_delta(
+        &mut self,
+        pool: &ThreadPool,
+        out: &mut [T],
+        batch: &DeltaBatch<T>,
+    ) -> RunReport {
+        let t0 = Instant::now();
+        let bits = self.delta_block_bits;
+        let state = self.delta.get_or_insert_with(|| DeltaState::new(out, bits));
+        let stats = run_delta_engine::<T, O>(state, pool, out, batch);
+        if let RetainedScratch::Segmented(s) = &mut self.scratch {
+            s.invalidate_ranges(&stats.dirty_ranges);
+        }
+        self.delta_regions += 1;
+        self.dirty_blocks += stats.dirty_blocks;
+        self.retractions += stats.retractions;
+        match self
+            .strategy_regions
+            .iter_mut()
+            .find(|(l, _)| l.as_str() == "delta")
+        {
+            Some((_, count)) => *count += 1,
+            None => self.strategy_regions.push(("delta".into(), 1)),
+        }
+        let scratch = self.delta.as_ref().map_or(0, |d| d.scratch_bytes());
+        let region_secs = t0.elapsed().as_secs_f64();
+        // Delta telemetry rides the standard counters: `applies` counts
+        // the batch's edits, `block_first_touches` the staged blocks
+        // (every staged block is resolved fresh from the retained log),
+        // and `merged_bytes` the committed element bytes (so
+        // `merge_bandwidth` reports commit throughput).
+        let mut counters = Telemetry::empty(pool.num_threads());
+        counters.per_thread[0].applies = batch.len() as u64;
+        counters.per_thread[0].block_first_touches = stats.staged_blocks;
+        counters.per_thread[0].merged_bytes =
+            stats.changed_elements * std::mem::size_of::<T>() as u64;
+        let phases = PhaseTimes {
+            loop_secs: stats.stage_secs,
+            barrier_secs: 0.0,
+            epilogue_secs: stats.commit_secs,
+            finish_secs: 0.0,
+            region_secs,
+        };
+        let merge_bandwidth = RunReport::derive_merge_bandwidth(&counters, &phases);
+        RunReport {
+            strategy: if stats.full_refold {
+                "delta-full-refold".into()
+            } else {
+                "delta".into()
+            },
+            memory_overhead: scratch,
+            scratch_bytes: scratch,
+            budget_bytes: if self.budget.is_unlimited() {
+                0
+            } else {
+                self.budget.max_scratch_bytes
+            },
+            plan_build_secs: self.shared.plans.plan_build_secs(),
+            planned_regions: self.shared.plans.planned_regions(),
+            migrations: self.migrations,
+            migration_secs: self.migration_secs,
+            strategy_regions: self.strategy_regions.clone(),
+            jobs: self.shared.jobs(),
+            batched_regions: self.shared.batched_regions(),
+            queue_wait_secs: self.shared.queue_wait_secs(),
+            delta_regions: self.delta_regions,
+            dirty_blocks: self.dirty_blocks,
+            retractions: self.retractions,
+            counters,
+            phases,
+            merge_bandwidth,
+        }
+    }
+
+    /// Delta regions run so far (cumulative).
+    pub fn delta_regions(&self) -> u64 {
+        self.delta_regions
+    }
+
+    /// Dirty blocks staged across delta regions (cumulative).
+    pub fn dirty_blocks(&self) -> u64 {
+        self.dirty_blocks
+    }
+
+    /// Retractions applied across delta regions (cumulative).
+    pub fn retractions(&self) -> u64 {
+        self.retractions
+    }
+
+    /// Drops the retained delta state. The next
+    /// [`run_delta`](RegionExecutor::run_delta) re-baselines from the
+    /// output array it is handed (prior tags are forgotten — retracting
+    /// them afterwards panics). Counters are kept: they describe work
+    /// already done.
+    pub fn reset_delta(&mut self) {
+        self.delta = None;
+    }
+
+    /// Sets the delta block granularity (log2 elements per dirty-tracking
+    /// block) used when the delta state is (re)created; existing state is
+    /// unaffected. Defaults to [`crate::DELTA_BLOCK_BITS`].
+    pub fn set_delta_block_bits(&mut self, bits: u32) {
+        self.delta_block_bits = bits;
     }
 
     /// The adaptive policy's post-region decision: score this region's
@@ -691,6 +842,9 @@ where
         jobs: 0,
         batched_regions: 0,
         queue_wait_secs: 0.0,
+        delta_regions: 0,
+        dirty_blocks: 0,
+        retractions: 0,
         counters,
         phases,
         merge_bandwidth,
@@ -1155,5 +1309,136 @@ mod tests {
                 strategy.label()
             );
         }
+    }
+
+    #[test]
+    fn run_delta_maintains_result_and_counters() {
+        let pool = ompsim::ThreadPool::new(4);
+        let n = 2048;
+        let mut ex = RegionExecutor::<i64, Sum>::new(Strategy::BlockPrivate { block_size: 64 });
+        let mut out = vec![0i64; n];
+        // Baseline batch, then churn with retractions; every region's
+        // report must carry the cumulative delta telemetry.
+        let mut batch = crate::DeltaBatch::new();
+        // Clustered in the first 128 elements: 2 of 32 delta blocks
+        // dirty, well under the full-refold threshold.
+        for k in 0..200u64 {
+            batch.push((k as usize * 37) % 128, k, k as i64 + 1);
+        }
+        let r1 = ex.run_delta(&pool, &mut out, &batch);
+        assert_eq!(r1.strategy, "delta");
+        assert_eq!(r1.delta_regions, 1);
+        assert!(r1.dirty_blocks > 0);
+        assert_eq!(r1.retractions, 0);
+
+        let mut b2 = crate::DeltaBatch::new();
+        b2.retract((5 * 37) % 128, 5);
+        b2.retract((9 * 37) % 128, 9);
+        b2.push(3, 1000, -7);
+        let r2 = ex.run_delta(&pool, &mut out, &b2);
+        assert_eq!(r2.delta_regions, 2);
+        assert_eq!(r2.retractions, 2);
+        assert_eq!(ex.delta_regions(), 2);
+        assert_eq!(ex.retractions(), 2);
+
+        // Reference: replay all surviving contributions sequentially.
+        let mut want = vec![0i64; n];
+        for k in 0..200u64 {
+            if k == 5 || k == 9 {
+                continue;
+            }
+            want[(k as usize * 37) % 128] += k as i64 + 1;
+        }
+        want[3] += -7;
+        assert_eq!(out, want);
+        assert!(r2
+            .strategy_regions
+            .iter()
+            .any(|(l, c)| l == "delta" && *c == 2));
+
+        // A later full region's report carries the delta counters too.
+        let data: Vec<usize> = (0..500).map(|i| i % 50).collect();
+        let mut full = vec![0i64; 50];
+        let rf = ex.run(
+            &pool,
+            &mut full,
+            0..data.len(),
+            Schedule::default(),
+            &Histogram { data: &data },
+        );
+        assert_eq!(rf.delta_regions, 2);
+        assert_eq!(rf.retractions, 2);
+    }
+
+    #[test]
+    fn run_delta_survives_migration() {
+        // The delta state is strategy-independent: an explicit migration
+        // between batches must not lose logs or tags.
+        let pool = ompsim::ThreadPool::new(2);
+        let n = 512;
+        let mut ex = RegionExecutor::<i64, Sum>::new(Strategy::BlockCas { block_size: 32 });
+        let mut out = vec![0i64; n];
+        let mut batch = crate::DeltaBatch::new();
+        batch.push(10, 1, 100);
+        batch.push(300, 2, 7);
+        ex.run_delta(&pool, &mut out, &batch);
+        ex.migrate_to(Strategy::Atomic);
+        let mut b2 = crate::DeltaBatch::new();
+        b2.retract(10, 1);
+        ex.run_delta(&pool, &mut out, &b2);
+        assert_eq!(out[10], 0);
+        assert_eq!(out[300], 7);
+        assert_eq!(ex.migrations(), 1);
+    }
+
+    #[test]
+    fn run_delta_invalidates_dirty_segmented_blocks() {
+        let pool = ompsim::ThreadPool::new(2);
+        let n = 1024;
+        let mut ex = RegionExecutor::<i64, Sum>::new(Strategy::Segmented { bucket_bits: 6 });
+        let mut out = vec![0i64; n];
+        // A full segmented region touching two far-apart blocks retains
+        // per-block scratch for both.
+        struct TwoSpots;
+        impl Kernel<i64> for TwoSpots {
+            fn item<V: ReducerView<i64>>(&self, view: &mut V, i: usize) {
+                view.apply(if i % 2 == 0 { 8 } else { 900 }, 1);
+            }
+        }
+        ex.run(&pool, &mut out, 0..100, Schedule::default(), &TwoSpots);
+        let RetainedScratch::Segmented(s) = &ex.scratch else {
+            panic!("segmented scratch not retained");
+        };
+        assert!(s.has_cached_block(8));
+        assert!(s.has_cached_block(900));
+
+        // A delta region dirtying only the first block must invalidate
+        // its cached segmented resources and leave the other alone.
+        let mut batch = crate::DeltaBatch::new();
+        batch.push(8, 1, 5);
+        ex.run_delta(&pool, &mut out, &batch);
+        let RetainedScratch::Segmented(s) = &ex.scratch else {
+            panic!("segmented scratch dropped");
+        };
+        assert!(!s.has_cached_block(8));
+        assert!(s.has_cached_block(900));
+    }
+
+    #[test]
+    fn reset_delta_rebaselines_from_out() {
+        let pool = ompsim::ThreadPool::new(2);
+        let mut ex = RegionExecutor::<i64, Sum>::new(Strategy::Atomic);
+        let mut out = vec![1i64; 128];
+        let mut b = crate::DeltaBatch::new();
+        b.push(0, 1, 10);
+        ex.run_delta(&pool, &mut out, &b);
+        assert_eq!(out[0], 11);
+        ex.reset_delta();
+        // After reset the old tag is forgotten; the same tag is fresh
+        // and folds over the *current* content as the new baseline.
+        let mut b = crate::DeltaBatch::new();
+        b.push(0, 1, 10);
+        ex.run_delta(&pool, &mut out, &b);
+        assert_eq!(out[0], 21);
     }
 }

@@ -50,7 +50,7 @@ pub const UNROLL: usize = 8;
 #[inline(always)]
 fn debug_assert_elem_aligned<T>(ptr: *const T) {
     debug_assert!(
-        (ptr as usize).is_multiple_of(std::mem::align_of::<T>()),
+        (ptr as usize) % std::mem::align_of::<T>() == 0,
         "kernel pointer {ptr:p} is not aligned to {}",
         std::mem::align_of::<T>()
     );

@@ -72,6 +72,7 @@ mod argmax;
 mod atomic;
 mod autotune;
 mod block;
+mod delta;
 mod dense;
 mod elem;
 mod executor;
@@ -101,6 +102,7 @@ pub use block::{
     BlockCasReduction, BlockCasScratch, BlockLockReduction, BlockLockScratch,
     BlockPrivateReduction, BlockPrivateScratch, BlockReduction, BlockScratch, BlockView,
 };
+pub use delta::{DeltaBatch, DELTA_BLOCK_BITS, DELTA_DIRTY_FALLBACK};
 pub use dense::{DenseReduction, DenseView};
 pub use elem::{
     AtomicElement, Element, Max, Min, OpKind, OrdOps, Prod, ProdOps, ReduceOp, Sum, SumOps,

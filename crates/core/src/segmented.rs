@@ -111,6 +111,51 @@ pub struct SegmentedScratch<T> {
     len: usize,
 }
 
+impl<T> SegmentedScratch<T> {
+    /// Invalidates every segmented block overlapping `ranges`: cached
+    /// per-block resources (open buckets, promoted dense copies) are
+    /// dropped and the block's state/count reset, across all threads'
+    /// retained scratch.
+    ///
+    /// Retained segmented scratch never holds stale *values* between
+    /// regions (`finish` resets states and the epilogue identity-refills
+    /// dense copies), so this is about decisions, not data: a delta
+    /// region ([`crate::RegionExecutor::run_delta`]) that rewrote part
+    /// of the output invalidates the promotion/capacity choices cached
+    /// for those blocks, and the next full region re-derives them from
+    /// the post-delta footprint. Dropped blocks simply re-allocate from
+    /// the arena on their next first touch.
+    pub(crate) fn invalidate_ranges(&mut self, ranges: &[std::ops::Range<usize>]) {
+        let bsize = 1usize << self.bucket_bits;
+        for r in ranges {
+            if r.start >= self.len {
+                continue;
+            }
+            let b0 = r.start >> self.bucket_bits;
+            let b1 = (r.end.min(self.len) + bsize - 1) >> self.bucket_bits;
+            for s in self.per_thread.iter_mut().flatten() {
+                for b in b0..b1.min(s.state.len()) {
+                    s.state[b] = BK_NONE;
+                    s.counts[b] = 0;
+                    s.buckets[b] = None;
+                    s.dense[b] = None;
+                }
+            }
+        }
+    }
+
+    /// Whether any thread's scratch holds a cached resource (bucket or
+    /// dense copy) for the segmented block covering element `i`.
+    #[cfg(test)]
+    pub(crate) fn has_cached_block(&self, i: usize) -> bool {
+        let b = i >> self.bucket_bits;
+        self.per_thread
+            .iter()
+            .flatten()
+            .any(|s| s.buckets[b].is_some() || s.dense[b].is_some())
+    }
+}
+
 /// Two-level segmented reducer; see the module docs.
 pub struct SegmentedReduction<'a, T: Element, O: ReduceOp<T>> {
     out: SharedSlice<T>,

@@ -547,6 +547,18 @@ pub struct RunReport {
     /// Per-job results returned by the service carry that job's own wait
     /// here instead of the cumulative sink.
     pub queue_wait_secs: f64,
+    /// Delta regions (cumulative, per executor) run through
+    /// [`crate::RegionExecutor::run_delta`]; zero for executors that only
+    /// ran full regions.
+    pub delta_regions: u64,
+    /// Delta blocks staged dirty (cumulative) across the executor's delta
+    /// regions — the blocks whose logs or values a batch actually edited,
+    /// whether the region took the incremental path or the full-refold
+    /// fallback.
+    pub dirty_blocks: u64,
+    /// Retractions applied (cumulative) across the executor's delta
+    /// regions.
+    pub retractions: u64,
     /// Per-thread event counters the strategy recorded.
     pub counters: Telemetry,
     /// Per-phase wall times of the region.
@@ -597,6 +609,9 @@ impl RunReport {
             .field_u64("jobs", self.jobs)
             .field_u64("batched_regions", self.batched_regions)
             .field_f64("queue_wait_secs", self.queue_wait_secs)
+            .field_u64("delta_regions", self.delta_regions)
+            .field_u64("dirty_blocks", self.dirty_blocks)
+            .field_u64("retractions", self.retractions)
             .field_f64("merge_bandwidth", self.merge_bandwidth);
         w.key("phases");
         self.phases.write_json(&mut w);
@@ -945,6 +960,9 @@ mod tests {
             jobs: 11,
             batched_regions: 3,
             queue_wait_secs: 0.015625,
+            delta_regions: 5,
+            dirty_blocks: 17,
+            retractions: 6,
             counters: Telemetry {
                 per_thread: vec![
                     Counters {
@@ -981,6 +999,9 @@ mod tests {
             "\"jobs\": 11",
             "\"batched_regions\": 3",
             "\"queue_wait_secs\": 0.015625",
+            "\"delta_regions\": 5",
+            "\"dirty_blocks\": 17",
+            "\"retractions\": 6",
             "\"merge_bandwidth\": 256.0",
             "\"loop_secs\": 0.5",
             "\"applies\": 7",

@@ -429,11 +429,7 @@ pub mod fuzz {
             seed,
             preempt_per_mille: (50 + h % 450) as u16,
             budget: (16 + ((h >> 16) % 120)) as u32,
-            delay_nanos: if (h >> 32).is_multiple_of(4) {
-                20_000
-            } else {
-                0
-            },
+            delay_nanos: if (h >> 32) % 4 == 0 { 20_000 } else { 0 },
             migrate_per_mille: 0,
             fault: None,
         }
@@ -944,6 +940,298 @@ pub mod fuzz {
         }
         Ok(())
     }
+
+    /// Everything one delta fuzz iteration observed.
+    pub struct DeltaOutcome {
+        /// `Ok` when every incremental batch — across both the
+        /// exact-inverse leg and the refold leg, with migrations in
+        /// between — matched the never-incremental reference bit-for-bit.
+        pub result: Result<(), String>,
+        /// Preemptions the controller charged (all threads).
+        pub preemptions: u64,
+        /// [`HookPoint::DeltaApply`] crossings — proof the sweep staged
+        /// dirty blocks rather than silently recomputing.
+        pub delta_applies: u64,
+        /// Retractions the executors processed across both legs.
+        pub retractions: u64,
+        /// Strategy migrations performed between batches.
+        pub migrations: u64,
+    }
+
+    /// One delta fuzz iteration: stream seeded churn batches (pushes of
+    /// fresh tags plus retractions of earlier rounds' live tags) through
+    /// [`RegionExecutor::run_delta`] under the seed's schedule
+    /// controller, and demand the incremental result stays bit-identical
+    /// to replaying the surviving contributions from scratch. Two legs
+    /// share the seed's stream: an `i64` Sum leg (wrapping inverse, so
+    /// retractions take the exact-inverse fast path when the dirty
+    /// fraction allows) and an `i64` Min leg (no inverse — every batch
+    /// refolds its dirty blocks from the contribution log). Both legs
+    /// migrate strategies mid-stream — including onto the segmented
+    /// reducer, whose retained scratch must be invalidated for dirty
+    /// blocks — and every third round scatters updates array-wide to
+    /// force the full-refold fallback.
+    pub fn delta_case(threads: usize, seed: u64) -> DeltaOutcome {
+        use crate::{DeltaBatch, Min};
+
+        let n = 768usize;
+        let session = verify::install(params_for_seed(seed));
+        let pool = ThreadPool::new(threads);
+        let mut h = mix64(seed ^ 0xDE17_A5EE);
+        let mut step = move || {
+            h = mix64(h.wrapping_add(0x9E37_79B9_7F4A_7C15));
+            h
+        };
+        let mut result = Ok(());
+        let mut retractions = 0u64;
+        let mut migrations = 0u64;
+
+        // Leg 1: wrapping Sum — retractions may use the exact inverse.
+        let init: Vec<i64> = (0..n).map(|i| (i as i64 % 17) - 8).collect();
+        let mut out = init.clone();
+        let mut ex = RegionExecutor::<i64, Sum>::new(Strategy::BlockPrivate { block_size: 64 });
+        let mut live: Vec<(usize, u64, i64)> = Vec::new();
+        let mut next_tag = 0u64;
+        for round in 0..6u64 {
+            let mut batch = DeltaBatch::new();
+            for _ in 0..6 {
+                if live.len() > 3 {
+                    let at = step() as usize % live.len();
+                    let (idx, tag, _) = live.remove(at);
+                    batch.retract(idx, tag);
+                    retractions += 1;
+                }
+            }
+            // Clustered rounds stay incremental; every third round
+            // scatters array-wide and trips the full-refold fallback.
+            let spread = round % 3 == 2;
+            let base = (round as usize * 131) % n;
+            for _ in 0..40 {
+                let idx = if spread {
+                    step() as usize % n
+                } else {
+                    (base + step() as usize % 128) % n
+                };
+                let val = (step() % 41) as i64 - 20;
+                batch.push(idx, next_tag, val);
+                live.push((idx, next_tag, val));
+                next_tag += 1;
+            }
+            ex.run_delta(&pool, &mut out, &batch);
+            let mut want = init.clone();
+            for &(idx, _, v) in &live {
+                want[idx] = want[idx].wrapping_add(v);
+            }
+            if out != want {
+                result = Err(format!(
+                    "seed {seed}: sum leg round {round} diverged from full replay"
+                ));
+                break;
+            }
+            if round == 1 {
+                ex.migrate_to(Strategy::Segmented { bucket_bits: 4 });
+            }
+            if round == 3 {
+                ex.migrate_to(Strategy::Atomic);
+            }
+        }
+        migrations += ex.migrations();
+
+        // Leg 2: Min has no inverse — every retraction refolds the
+        // block's log, and the retracted minimum must resurface the
+        // runner-up exactly.
+        if result.is_ok() {
+            let minit = vec![i64::MAX; n];
+            let mut mout = minit.clone();
+            let mut mex = RegionExecutor::<i64, Min>::new(Strategy::BlockCas { block_size: 64 });
+            let mut mlive: Vec<(usize, u64, i64)> = Vec::new();
+            let mut mtag = 0u64;
+            for round in 0..5u64 {
+                let mut batch = DeltaBatch::new();
+                for _ in 0..5 {
+                    if mlive.len() > 2 {
+                        let at = step() as usize % mlive.len();
+                        let (idx, tag, _) = mlive.remove(at);
+                        batch.retract(idx, tag);
+                        retractions += 1;
+                    }
+                }
+                let base = (round as usize * 197) % n;
+                for _ in 0..32 {
+                    let idx = (base + step() as usize % 160) % n;
+                    let val = (step() % 1000) as i64 - 500;
+                    batch.push(idx, mtag, val);
+                    mlive.push((idx, mtag, val));
+                    mtag += 1;
+                }
+                mex.run_delta(&pool, &mut mout, &batch);
+                let mut want = minit.clone();
+                for &(idx, _, v) in &mlive {
+                    want[idx] = want[idx].min(v);
+                }
+                if mout != want {
+                    result = Err(format!(
+                        "seed {seed}: min leg round {round} diverged from full replay"
+                    ));
+                    break;
+                }
+                if round == 2 {
+                    mex.migrate_to(Strategy::Segmented { bucket_bits: 5 });
+                }
+            }
+            migrations += mex.migrations();
+        }
+
+        drop(pool);
+        DeltaOutcome {
+            result,
+            preemptions: session.preemptions(),
+            delta_applies: session.total(HookPoint::DeltaApply),
+            retractions,
+            migrations,
+        }
+    }
+
+    /// One delta fault-injection iteration: plant a panic at a
+    /// seed-chosen [`HookPoint::DeltaApply`] crossing — mid-stage on a
+    /// worker thread, before any staged block commits — and demand that
+    /// (a) the batch panics instead of deadlocking, (b) the previously
+    /// committed result is left bit-for-bit untouched (poison, not
+    /// corrupt), and (c) the same executor then replays the identical
+    /// batch unperturbed to the exact full-replay result, proving the
+    /// aborted transaction left the retained delta state fully
+    /// retryable.
+    pub fn delta_fault_case(threads: usize, seed: u64) -> Result<(), String> {
+        use crate::DeltaBatch;
+
+        // 16 delta blocks (64 elements each), ten live contributions per
+        // element: the churn batch below dirties every block, and the
+        // logs are heavy enough that staging takes the *parallel* path —
+        // spread across the whole team, each tid crossing DeltaApply at
+        // least twice.
+        let n = 1024usize;
+        let per_elem = 10usize;
+        let h = mix64(seed ^ 0xDE17_FA17);
+        let tid = (h % threads as u64) as usize;
+        let nth = 1 + (h >> 8) % 2;
+
+        let pool = ThreadPool::new(threads);
+        let mut ex = RegionExecutor::<i64, Sum>::new(Strategy::BlockCas { block_size: 64 });
+        let mut out = vec![0i64; n];
+        // Baseline batch, committed before the controller is installed.
+        let mut batch = DeltaBatch::new();
+        for r in 0..per_elem {
+            for i in 0..n {
+                batch.push(i, (r * n + i) as u64, 1);
+            }
+        }
+        ex.run_delta(&pool, &mut out, &batch);
+        let before = out.clone();
+
+        // Churn touching every block: retract one baseline tag per block
+        // and replace it.
+        let mut churn = DeltaBatch::new();
+        let mut touched = Vec::new();
+        for b in 0..(n >> 6) {
+            let idx = (b << 6) + mix64(h ^ b as u64) as usize % 64;
+            churn.retract(idx, idx as u64);
+            churn.push(idx, (per_elem * n + b) as u64, -5);
+            touched.push(idx);
+        }
+
+        let session = verify::install(VerifyConfig {
+            seed,
+            preempt_per_mille: 100,
+            budget: 64,
+            delay_nanos: 0,
+            migrate_per_mille: 0,
+            fault: Some(FaultSpec {
+                tid,
+                point: HookPoint::DeltaApply,
+                nth,
+            }),
+        });
+        // Silent hook for the same reason as `fault_case`.
+        let default_hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let poisoned = catch_unwind(AssertUnwindSafe(|| {
+            ex.run_delta(&pool, &mut out, &churn);
+        }))
+        .is_err();
+        std::panic::set_hook(default_hook);
+        if !poisoned {
+            return Err(format!(
+                "seed {seed}: injected fault at delta_apply #{nth} on tid {tid} never fired"
+            ));
+        }
+        if out != before {
+            return Err(format!(
+                "seed {seed}: fault at delta_apply #{nth} on tid {tid} corrupted the \
+                 committed result"
+            ));
+        }
+        drop(session);
+
+        // The executor must survive the mid-stage death: replay the same
+        // batch on the same objects, unperturbed, and demand the exact
+        // full-replay result.
+        ex.run_delta(&pool, &mut out, &churn);
+        let mut want = vec![per_elem as i64; n];
+        for &idx in &touched {
+            want[idx] = per_elem as i64 - 1 - 5;
+        }
+        if out != want {
+            return Err(format!(
+                "seed {seed}: post-fault replay diverged after delta_apply #{nth} on tid {tid}"
+            ));
+        }
+        let committed = out.clone();
+
+        // Second plant, on the *serial* staging path this time: a tiny
+        // batch stages on the caller thread (bound as tid 0), and the
+        // same poison-not-corrupt contract must hold there.
+        let mut small = DeltaBatch::new();
+        small.retract(touched[0], (per_elem * n) as u64);
+        small.push(touched[0], (per_elem * n + 100) as u64, 3);
+        let session = verify::install(VerifyConfig {
+            seed,
+            preempt_per_mille: 0,
+            budget: 0,
+            delay_nanos: 0,
+            migrate_per_mille: 0,
+            fault: Some(FaultSpec {
+                tid: 0,
+                point: HookPoint::DeltaApply,
+                nth: 1,
+            }),
+        });
+        let default_hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let poisoned = catch_unwind(AssertUnwindSafe(|| {
+            ex.run_delta(&pool, &mut out, &small);
+        }))
+        .is_err();
+        std::panic::set_hook(default_hook);
+        if !poisoned {
+            return Err(format!(
+                "seed {seed}: serial-path fault at delta_apply #1 on tid 0 never fired"
+            ));
+        }
+        if out != committed {
+            return Err(format!(
+                "seed {seed}: serial-path fault corrupted the committed result"
+            ));
+        }
+        drop(session);
+        ex.run_delta(&pool, &mut out, &small);
+        want[touched[0]] = per_elem as i64 - 1 + 3;
+        if out != want {
+            return Err(format!(
+                "seed {seed}: post-fault serial replay diverged on tid 0"
+            ));
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -1006,6 +1294,24 @@ mod tests {
         assert_eq!(first.bucket_spills, second.bucket_spills);
         assert_eq!(first.preemptions, second.preemptions);
         fuzz::segmented_fault_case(3, 42).expect("planted bucket-spill fault replays");
+    }
+
+    #[cfg(feature = "verify")]
+    #[test]
+    fn delta_fuzz_case_is_deterministic_and_replays_faults() {
+        let first = fuzz::delta_case(3, 42);
+        first.result.expect("delta stream matches full replay");
+        assert!(
+            first.delta_applies > 0,
+            "incremental legs must stage dirty blocks"
+        );
+        assert!(first.retractions > 0, "churn must retract live tags");
+        assert!(first.migrations >= 3, "legs migrate mid-stream");
+        let second = fuzz::delta_case(3, 42);
+        second.result.expect("delta stream matches full replay");
+        assert_eq!(first.delta_applies, second.delta_applies);
+        assert_eq!(first.preemptions, second.preemptions);
+        fuzz::delta_fault_case(3, 42).expect("planted delta-apply fault replays");
     }
 
     #[test]

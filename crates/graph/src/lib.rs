@@ -15,13 +15,17 @@
 //! * [`in_degrees`] / [`triangle_counts`] — degree histogram and the GAP
 //!   triangle-counting kernel, both scatter-sum reductions;
 //! * [`sssp`] — weighted shortest paths by Bellman–Ford rounds, a **min**
-//!   reduction over `f64` distances (the float-CAS path of §III).
+//!   reduction over `f64` distances (the float-CAS path of §III);
+//! * [`StreamingGraph`] + [`StreamingPageRank`] / [`StreamingComponents`]
+//!   — edge insertions/deletions tracked by incremental (delta)
+//!   reductions: each round retracts and re-pushes only changed sources.
 
 #![warn(missing_docs)]
 
 mod algo;
 mod graph;
 mod sssp;
+mod stream;
 
 pub use algo::{
     bfs, connected_components, in_degrees, k_core, pagerank, pagerank_via_service,
@@ -29,3 +33,4 @@ pub use algo::{
 };
 pub use graph::Graph;
 pub use sssp::{sssp, WeightedGraph};
+pub use stream::{StreamStats, StreamingComponents, StreamingGraph, StreamingPageRank};

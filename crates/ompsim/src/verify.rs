@@ -68,10 +68,16 @@ pub enum HookPoint {
     /// flushing the bucket's entries to the thread's sorted overflow run
     /// (`idx` = block index).
     BucketSpill,
+    /// A delta executor is about to stage one dirty block — applying
+    /// retractions/updates against the previous result or refolding the
+    /// block's contribution log (`idx` = dirty block index). Crossed
+    /// *before* the staged value is committed, so an injected fault here
+    /// must leave the previous result untouched (poison, not corrupt).
+    DeltaApply,
 }
 
 /// Number of distinct hook points (array dimension for counters).
-pub const NPOINTS: usize = 9;
+pub const NPOINTS: usize = 10;
 
 impl HookPoint {
     /// Every hook point, in counter-index order.
@@ -85,6 +91,7 @@ impl HookPoint {
         HookPoint::MergeStep,
         HookPoint::MigrationDecision,
         HookPoint::BucketSpill,
+        HookPoint::DeltaApply,
     ];
 
     /// Stable index into per-point counter arrays.
@@ -105,6 +112,7 @@ impl HookPoint {
             HookPoint::MergeStep => "merge_step",
             HookPoint::MigrationDecision => "migration_decision",
             HookPoint::BucketSpill => "bucket_spill",
+            HookPoint::DeltaApply => "delta_apply",
         }
     }
 }

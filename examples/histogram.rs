@@ -45,7 +45,7 @@ fn main() {
     let samples: Vec<u32> = (0..n_samples)
         .map(|i| {
             let h = (i as u64).wrapping_mul(0x9E3779B97F4A7C15);
-            if h.is_multiple_of(4) {
+            if h % 4 == 0 {
                 (h >> 32) as u32 % 64 // hot bins
             } else {
                 (h >> 32) as u32 % n_bins as u32

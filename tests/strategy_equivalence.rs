@@ -6,8 +6,8 @@
 use ompsim::{Schedule, ThreadPool};
 use proptest::prelude::*;
 use spray::{
-    reduce_strategy, Kernel, Max, Min, PlanBudget, Prod, ReduceOp, ReducerView, RegionExecutor,
-    ReusableReducer, Strategy, Sum,
+    reduce_strategy, DeltaBatch, Kernel, Max, Min, PlanBudget, Prod, ReduceOp, ReducerView,
+    RegionExecutor, ReusableReducer, Strategy, Sum,
 };
 
 /// An explicit update stream: iteration i performs updates[i].
@@ -437,6 +437,132 @@ proptest! {
                 "segmented-{} budget {} region {}", bucket_bits, budget, region
             );
         }
+    }
+
+    /// Delta retraction round-trip: pushing transient contributions and
+    /// then retracting them must be bit-identical to never having
+    /// applied them. Covers both engine paths — the exact-inverse fast
+    /// path (wrapping i64 Sum; odd i64 Prod, units of Z/2^64) and the
+    /// refold fallback (f64 Sum, where `(a + x) - x` reassociates so
+    /// the engine must re-fold the kept log instead of subtracting; and
+    /// even i64 Prod factors, zero divisors with no inverse).
+    #[test]
+    fn delta_retraction_round_trips(
+        len in 16usize..128,
+        threads in 1usize..5,
+        transient in 1usize..32,
+        seed in any::<u64>(),
+    ) {
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let pool = ThreadPool::new(threads);
+
+        // i64 Sum — wrapping integers round-trip via the exact inverse.
+        let mut ex = RegionExecutor::<i64, Sum>::new(Strategy::BlockCas { block_size: 64 });
+        let mut out = vec![0i64; len];
+        let mut baseline = DeltaBatch::new();
+        for t in 0..len as u64 {
+            baseline.push((next() as usize) % len, t, (next() % 1000) as i64 - 500);
+        }
+        ex.run_delta(&pool, &mut out, &baseline);
+        let before = out.clone();
+
+        let mut push = DeltaBatch::new();
+        let mut tags: Vec<(usize, u64)> = Vec::new();
+        for t in 0..transient as u64 {
+            let idx = (next() as usize) % len;
+            // Extremes included: overflow must wrap identically on
+            // apply and retract.
+            let v = match next() % 4 {
+                0 => i64::MAX,
+                1 => i64::MIN,
+                _ => (next() % 1000) as i64 - 500,
+            };
+            push.push(idx, 1_000_000 + t, v);
+            tags.push((idx, 1_000_000 + t));
+        }
+        ex.run_delta(&pool, &mut out, &push);
+        let mut retract = DeltaBatch::new();
+        for &(idx, tag) in &tags {
+            retract.retract(idx, tag);
+        }
+        ex.run_delta(&pool, &mut out, &retract);
+        prop_assert_eq!(&out, &before, "i64 Sum retraction round trip");
+
+        // f64 Sum — no exact inverse exists (reassociation), so the
+        // engine must refold from the log. Transients of wildly mixed
+        // magnitude make naive `acc - x` visibly lossy: 1e16 swallows
+        // the baseline's low bits.
+        let mut ex = RegionExecutor::<f64, Sum>::new(Strategy::BlockPrivate { block_size: 64 });
+        let mut out = vec![0.0f64; len];
+        let mut baseline = DeltaBatch::new();
+        for t in 0..len as u64 {
+            baseline.push(
+                (next() as usize) % len,
+                t,
+                ((next() % 1000) as f64 - 500.0) * 0.001 + 0.1,
+            );
+        }
+        ex.run_delta(&pool, &mut out, &baseline);
+        let before = out.clone();
+
+        let mut push = DeltaBatch::new();
+        let mut tags: Vec<(usize, u64)> = Vec::new();
+        for t in 0..transient as u64 {
+            let idx = (next() as usize) % len;
+            let v = match next() % 3 {
+                0 => 1e16,
+                1 => -1e16,
+                _ => 1e-9,
+            };
+            push.push(idx, 1_000_000 + t, v);
+            tags.push((idx, 1_000_000 + t));
+        }
+        ex.run_delta(&pool, &mut out, &push);
+        let mut retract = DeltaBatch::new();
+        for &(idx, tag) in &tags {
+            retract.retract(idx, tag);
+        }
+        ex.run_delta(&pool, &mut out, &retract);
+        for (i, (&got, &want)) in out.iter().zip(&before).enumerate() {
+            prop_assert_eq!(
+                got.to_bits(), want.to_bits(),
+                "f64 Sum retraction round trip at {}: {} vs {}", i, got, want
+            );
+        }
+
+        // i64 Prod — odd factors take the exact inverse, even factors
+        // are zero divisors and force the per-element refold fallback.
+        let mut ex = RegionExecutor::<i64, Prod>::new(Strategy::BlockLock { block_size: 64 });
+        let mut out = vec![1i64; len];
+        let mut baseline = DeltaBatch::new();
+        for t in 0..len as u64 {
+            baseline.push((next() as usize) % len, t, ((next() % 7) as i64 * 2 + 1) - 6);
+        }
+        ex.run_delta(&pool, &mut out, &baseline);
+        let before = out.clone();
+
+        let mut push = DeltaBatch::new();
+        let mut tags: Vec<(usize, u64)> = Vec::new();
+        for t in 0..transient as u64 {
+            let idx = (next() as usize) % len;
+            // Mix units (odd) with zero divisors (even, including 0).
+            let v = (next() % 9) as i64 - 4;
+            push.push(idx, 1_000_000 + t, v);
+            tags.push((idx, 1_000_000 + t));
+        }
+        ex.run_delta(&pool, &mut out, &push);
+        let mut retract = DeltaBatch::new();
+        for &(idx, tag) in &tags {
+            retract.retract(idx, tag);
+        }
+        ex.run_delta(&pool, &mut out, &retract);
+        prop_assert_eq!(&out, &before, "i64 Prod retraction round trip");
     }
 
     #[test]
