@@ -1,0 +1,189 @@
+//! Interleaved-vs-local placement A/B on an emulated NUMA topology.
+//!
+//! The pool runs 4 threads on an emulated 2x2 topology (two nodes of
+//! two cores — `SPRAY_TOPOLOGY=2x2` semantics, pinned in code so the
+//! bench is host-independent). Two legs run the same update volume
+//! through the keeper strategy:
+//!
+//! * `local` — every thread scatters into its own node's output shard,
+//!   so every apply lands in node-local private state and
+//!   `remote_applies` stays zero;
+//! * `interleaved` — the index stream is rotated by half the array, so
+//!   (almost) every apply targets the *other* node's shard and rides a
+//!   keeper queue across the node boundary.
+//!
+//! The gap between the legs is the cost of cross-node routing — the
+//! traffic the topology-aware sharding exists to avoid, and the signal
+//! (`remote_applies / applies`) the adaptive cost model's remote term
+//! steers on. Both legs report `remote_applies` and `node_shards`
+//! straight from the region's [`RunReport`](spray::RunReport).
+//!
+//! Prints CSV and writes `BENCH_numa_shift.json`. With `--check`, exits
+//! nonzero unless the local leg is at least 1.3x the interleaved leg's
+//! throughput, the interleaved leg reports `remote_applies > 0`
+//! (otherwise the A/B lost its teeth), and the local leg reports
+//! exactly zero.
+
+use bench::args::Opts;
+use ompsim::{Schedule, ThreadPool, Topology};
+use spray::{JsonWriter, Kernel, ReducerView, RegionExecutor, Strategy, Sum};
+use std::hint::black_box;
+use std::io::Write;
+use std::time::Instant;
+
+#[global_allocator]
+static ALLOC: memtrack::CountingAlloc = memtrack::CountingAlloc;
+
+/// Scatter whose placement is dialed by `rotate`: iteration `i` targets
+/// `(i / per_elem + rotate) % n`. With `rotate = 0` the static schedule
+/// maps each thread's iteration chunk onto its own output chunk
+/// (node-local by construction); with `rotate = n/2` every index lands
+/// in the opposite node's shard.
+struct PlacedKernel {
+    n: usize,
+    per_elem: usize,
+    rotate: usize,
+}
+
+impl Kernel<i64> for PlacedKernel {
+    #[inline(always)]
+    fn item<V: ReducerView<i64>>(&self, view: &mut V, i: usize) {
+        view.apply((i / self.per_elem + self.rotate) % self.n, black_box(1));
+    }
+}
+
+/// One measured leg.
+struct Row {
+    leg: &'static str,
+    threads: usize,
+    secs: f64,
+    updates_per_sec: f64,
+    remote_applies: u64,
+    node_shards: u64,
+}
+
+fn main() {
+    let opts = Opts::parse();
+    let n = opts.n.unwrap_or(if opts.quick { 1 << 14 } else { 1 << 17 });
+    let per_elem = 16usize;
+    let updates = n * per_elem;
+    let threads = 4usize;
+    let topo = Topology::new(2, 2);
+    let pool = ThreadPool::with_topology(threads, topo);
+
+    println!("# numa_shift: node-local vs interleaved placement, keeper strategy");
+    println!(
+        "# N = {n}, updates = {updates}, threads = {threads}, topology = 2x2 (emulated), \
+         reps = {}",
+        opts.reps
+    );
+    println!("leg,threads,secs,updates_per_sec,remote_applies,node_shards");
+
+    let legs: [(&'static str, usize); 2] = [("local", 0), ("interleaved", n / 2)];
+    let mut best = [f64::INFINITY; 2];
+    let mut telemetry = [(0u64, 0u64); 2];
+    let mut out = vec![0i64; n];
+    // Rep-outer so runner noise decorrelates from the leg; report min.
+    for _ in 0..opts.reps {
+        for (li, &(_, rotate)) in legs.iter().enumerate() {
+            let kernel = PlacedKernel {
+                n,
+                per_elem,
+                rotate,
+            };
+            let mut ex = RegionExecutor::<i64, Sum>::new(Strategy::Keeper);
+            out.fill(0);
+            let t0 = Instant::now();
+            let report = ex.run(&pool, &mut out, 0..updates, Schedule::default(), &kernel);
+            best[li] = best[li].min(t0.elapsed().as_secs_f64());
+            telemetry[li] = (report.remote_applies, report.node_shards);
+            // Placement must never change results: every apply adds 1.
+            assert_eq!(out.iter().sum::<i64>(), updates as i64);
+            black_box(&out);
+        }
+    }
+
+    let rows: Vec<Row> = legs
+        .iter()
+        .enumerate()
+        .map(|(li, &(leg, _))| Row {
+            leg,
+            threads,
+            secs: best[li],
+            updates_per_sec: updates as f64 / best[li],
+            remote_applies: telemetry[li].0,
+            node_shards: telemetry[li].1,
+        })
+        .collect();
+    for r in &rows {
+        println!(
+            "{},{},{:.6e},{:.6e},{},{}",
+            r.leg, r.threads, r.secs, r.updates_per_sec, r.remote_applies, r.node_shards
+        );
+    }
+
+    let mut w = JsonWriter::new();
+    w.begin_obj()
+        .field_u64("n", n as u64)
+        .field_u64("updates", updates as u64)
+        .field_u64("threads", threads as u64)
+        .field_str("topology", "2x2")
+        .field_u64("reps", opts.reps as u64);
+    w.key("results").begin_arr();
+    for r in &rows {
+        w.begin_obj()
+            .field_str("leg", r.leg)
+            .field_u64("threads", r.threads as u64)
+            .field_f64("secs", r.secs)
+            .field_f64("updates_per_sec", r.updates_per_sec)
+            .field_u64("remote_applies", r.remote_applies)
+            .field_u64("node_shards", r.node_shards)
+            .end_obj();
+    }
+    w.end_arr().end_obj();
+    let path = "BENCH_numa_shift.json";
+    std::fs::File::create(path)
+        .and_then(|mut f| f.write_all(w.finish().as_bytes()))
+        .expect("write BENCH_numa_shift.json");
+    eprintln!("wrote {path}");
+
+    if opts.check {
+        // Gate: local placement must beat interleaved by >= 1.3x — the
+        // whole point of node-local sharding — and the interleaved leg
+        // must actually have driven cross-node traffic (teeth), while
+        // the local leg drove none (the placement really was local).
+        let mut bad = 0;
+        let (local, inter) = (&rows[0], &rows[1]);
+        let ratio = local.updates_per_sec / inter.updates_per_sec;
+        if ratio < 1.3 {
+            eprintln!(
+                "CHECK FAIL: local only {ratio:.2}x interleaved \
+                 ({:.3e} vs {:.3e} updates/s, need >= 1.3x)",
+                local.updates_per_sec, inter.updates_per_sec
+            );
+            bad += 1;
+        }
+        if inter.remote_applies == 0 {
+            eprintln!(
+                "CHECK FAIL: interleaved leg drove NO cross-node applies — A/B lost its teeth"
+            );
+            bad += 1;
+        }
+        if local.remote_applies != 0 {
+            eprintln!(
+                "CHECK FAIL: local leg crossed nodes {} time(s) — placement is not local",
+                local.remote_applies
+            );
+            bad += 1;
+        }
+        if bad > 0 {
+            eprintln!("numa_shift check: {bad} failure(s)");
+            std::process::exit(1);
+        }
+        eprintln!(
+            "numa_shift check: local {ratio:.2}x interleaved, \
+             {} cross-node applies in the interleaved leg",
+            inter.remote_applies
+        );
+    }
+}

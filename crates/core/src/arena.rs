@@ -15,9 +15,11 @@
 //! * Slabs start at [`MIN_SLAB_BYTES`] and double, so a thread that
 //!   privatizes `k` blocks pays `O(log k)` allocations instead of `k`.
 //! * Freed slabs (a dropped arena — strategy migration, mismatched
-//!   scratch, region teardown) are **recycled through a process-wide slab
-//!   pool** instead of returned to the allocator, so the next region's
-//!   arenas start warm even across strategies.
+//!   scratch, region teardown) are **recycled through an [`ArenaPool`]**
+//!   instead of returned to the allocator, so the next region's arenas
+//!   start warm even across strategies. By default every arena shares
+//!   one process-wide pool; the topology-aware executor keeps one pool
+//!   per NUMA node and pins each thread's arena to its node's pool.
 //!
 //! # Alignment contract
 //!
@@ -44,6 +46,7 @@ use crate::elem::{Element, ReduceOp};
 use crate::kernels;
 use std::alloc::Layout;
 use std::ptr::NonNull;
+use std::sync::{Arc, OnceLock};
 
 /// Alignment of every slab base, matching the C++ exemplars'
 /// `aligned_alloc(256)`.
@@ -57,10 +60,13 @@ pub const MIN_SLAB_BYTES: usize = 4096;
 const MAX_SLAB_BLOCKS: usize = 1024;
 
 /// One raw slab allocation. Never moves once allocated; blocks carved
-/// from it stay valid until the arena drops.
+/// from it stay valid until the arena drops. Remembers the [`ArenaPool`]
+/// it was drawn from and returns there on drop, so slabs recycled on a
+/// per-NUMA-node pool never migrate to another node's pool.
 struct Slab {
     ptr: NonNull<u8>,
     layout: Layout,
+    pool: Arc<ArenaPool>,
 }
 
 // SAFETY: a Slab is just an owned allocation; the arena's access
@@ -70,7 +76,7 @@ unsafe impl Sync for Slab {}
 
 impl Drop for Slab {
     fn drop(&mut self) {
-        pool::release(self.ptr, self.layout);
+        self.pool.release(self.ptr, self.layout);
     }
 }
 
@@ -120,6 +126,8 @@ pub struct BlockArena<T> {
     cap: usize,
     /// Total slab bytes currently owned (diagnostic).
     slab_bytes: usize,
+    /// Where slabs are drawn from and recycled to.
+    pool: Arc<ArenaPool>,
     _elem: std::marker::PhantomData<T>,
 }
 
@@ -129,9 +137,17 @@ unsafe impl<T: Send> Sync for BlockArena<T> {}
 
 impl<T: Element> BlockArena<T> {
     /// Creates an empty arena handing out blocks of `block_elems`
-    /// elements. Nothing is allocated until the first
-    /// [`BlockArena::alloc_identity`].
+    /// elements, recycled through the process-wide slab pool. Nothing is
+    /// allocated until the first [`BlockArena::alloc_identity`].
     pub fn new(block_elems: usize) -> Self {
+        Self::with_pool(block_elems, global_pool().clone())
+    }
+
+    /// Like [`BlockArena::new`], but drawing slabs from (and releasing
+    /// them back to) an explicit [`ArenaPool`] — the topology-aware
+    /// executor hands each NUMA node its own pool so first-touch private
+    /// blocks stay on the owning node's slabs.
+    pub fn with_pool(block_elems: usize, pool: Arc<ArenaPool>) -> Self {
         assert!(block_elems > 0, "arena block length must be > 0");
         let size = std::mem::size_of::<T>();
         // Pad the stride so consecutive blocks start on cache-line
@@ -148,6 +164,7 @@ impl<T: Element> BlockArena<T> {
             next: 0,
             cap: 0,
             slab_bytes: 0,
+            pool,
             _elem: std::marker::PhantomData,
         }
     }
@@ -215,89 +232,134 @@ impl<T: Element> BlockArena<T> {
         let bytes = blocks * stride_bytes;
         let align = SLAB_ALIGN.max(std::mem::align_of::<T>());
         let layout = Layout::from_size_align(bytes, align).expect("slab layout must be valid");
-        let ptr = pool::acquire(layout).unwrap_or_else(|| {
+        let ptr = self.pool.acquire(layout).unwrap_or_else(|| {
             // SAFETY: layout has non-zero size (block_elems > 0).
             let raw = unsafe { std::alloc::alloc(layout) };
             NonNull::new(raw).unwrap_or_else(|| std::alloc::handle_alloc_error(layout))
         });
-        self.slabs.push(Slab { ptr, layout });
+        self.slabs.push(Slab {
+            ptr,
+            layout,
+            pool: self.pool.clone(),
+        });
         self.slab_bytes += bytes;
         self.next = 0;
         self.cap = blocks;
     }
 }
 
-/// Process-wide recycling pool for dropped slabs, so region teardown,
-/// strategy migration and mismatched-scratch paths hand their slabs to
-/// the next arena instead of the allocator. Exact-layout matching keeps
-/// reuse trivially sound; the pool is bounded so pathological layout
-/// churn degrades to plain allocation, never unbounded growth.
+/// A recycled-slab entry in transit between arenas.
+#[cfg(not(miri))]
+struct Entry {
+    ptr: NonNull<u8>,
+    layout: Layout,
+}
+
+// SAFETY: entries are owned allocations in transit between arenas.
+#[cfg(not(miri))]
+unsafe impl Send for Entry {}
+
+/// Upper bound on pooled bytes per pool; beyond it, released slabs are
+/// freed.
+#[cfg(not(miri))]
+const MAX_POOLED_BYTES: usize = 64 << 20;
+
+/// A recycling pool for dropped slabs, so region teardown, strategy
+/// migration and mismatched-scratch paths hand their slabs to the next
+/// arena instead of the allocator. Exact-layout matching keeps reuse
+/// trivially sound; each pool is bounded so pathological layout churn
+/// degrades to plain allocation, never unbounded growth.
+///
+/// There is one process-wide pool used by default ([`BlockArena::new`],
+/// [`AlignedBuf`]), and the topology-aware executor additionally keeps
+/// **one pool per emulated NUMA node** so a node's arenas only ever
+/// recycle slabs first-touched by that node's threads — slabs carry
+/// their owning pool ([`Slab`]) and return there on drop, never to
+/// another node's pool.
 ///
 /// # Concurrent executor sessions
 ///
-/// The pool has always been process-wide, and with the reentrant
-/// executor split ([`crate::ExecutorShared`]) it is now *expected* to be
-/// hit by many sessions at once (each session's views own their arenas;
-/// only detached slabs pass through here). That is sound by
-/// construction: a slab enters the pool exclusively via `Slab::drop`,
-/// i.e. only after its owning arena — and every `BlockRef` carved from
-/// it — is gone, so `acquire`/`release` transfer whole-slab ownership
-/// between sessions and two live arenas can never share a slab.
+/// A pool is *expected* to be hit by many sessions at once (each
+/// session's views own their arenas; only detached slabs pass through
+/// here). That is sound by construction: a slab enters the pool
+/// exclusively via `Slab::drop`, i.e. only after its owning arena — and
+/// every `BlockRef` carved from it — is gone, so `acquire`/`release`
+/// transfer whole-slab ownership between sessions and two live arenas
+/// can never share a slab.
 ///
 /// # Lock order
 ///
-/// `POOL`'s mutex is a **leaf lock**, held only for the few instructions
-/// of `acquire`/`release`. Arena growth happens inside parallel regions
-/// (under the pool's region lock) and scratch teardown happens outside
-/// them, but neither path takes any other lock while holding this one —
-/// in particular never the plan-cache mutex
+/// The entries mutex is a **leaf lock**, held only for the few
+/// instructions of `acquire`/`release`. Arena growth happens inside
+/// parallel regions (under the pool's region lock) and scratch teardown
+/// happens outside them, but neither path takes any other lock while
+/// holding this one — in particular never the plan-cache mutex
 /// ([`crate::PlanCache`]) and never [`ompsim::ThreadPool::parallel`].
 /// The `slab_pool_is_safe_under_concurrent_sessions` test races
 /// allocate/write/verify/drop cycles from several OS threads to pin the
 /// exclusivity claim down.
 ///
-/// Disabled under Miri: a static cache would be reported as a leak, and
-/// the allocation path itself is exactly what Miri should see.
-mod pool {
-    use std::alloc::Layout;
-    use std::ptr::NonNull;
+/// Recycling is disabled under Miri: a static cache would be reported as
+/// a leak, and the allocation path itself is exactly what Miri should
+/// see.
+pub struct ArenaPool {
     #[cfg(not(miri))]
-    use std::sync::Mutex;
+    entries: std::sync::Mutex<Vec<Entry>>,
+}
 
-    /// Upper bound on pooled bytes; beyond it, released slabs are freed.
-    #[cfg(not(miri))]
-    const MAX_POOLED_BYTES: usize = 64 << 20;
+impl Default for ArenaPool {
+    fn default() -> Self {
+        Self::new()
+    }
+}
 
-    #[cfg(not(miri))]
-    struct Entry {
-        ptr: NonNull<u8>,
-        layout: Layout,
+impl std::fmt::Debug for ArenaPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ArenaPool")
+            .field("pooled_bytes", &self.pooled_bytes())
+            .finish()
+    }
+}
+
+impl ArenaPool {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        ArenaPool {
+            #[cfg(not(miri))]
+            entries: std::sync::Mutex::new(Vec::new()),
+        }
     }
 
-    // SAFETY: entries are owned allocations in transit between arenas.
-    #[cfg(not(miri))]
-    unsafe impl Send for Entry {}
-
-    #[cfg(not(miri))]
-    static POOL: Mutex<Vec<Entry>> = Mutex::new(Vec::new());
+    /// Bytes currently held in the pool awaiting reuse.
+    pub fn pooled_bytes(&self) -> usize {
+        #[cfg(not(miri))]
+        {
+            let pool = self.entries.lock().unwrap_or_else(|e| e.into_inner());
+            pool.iter().map(|e| e.layout.size()).sum()
+        }
+        #[cfg(miri)]
+        {
+            0
+        }
+    }
 
     /// Takes a recycled slab with exactly `layout`, if one is pooled.
     #[cfg(not(miri))]
-    pub(super) fn acquire(layout: Layout) -> Option<NonNull<u8>> {
-        let mut pool = POOL.lock().unwrap_or_else(|e| e.into_inner());
+    pub(crate) fn acquire(&self, layout: Layout) -> Option<NonNull<u8>> {
+        let mut pool = self.entries.lock().unwrap_or_else(|e| e.into_inner());
         let idx = pool.iter().position(|e| e.layout == layout)?;
         Some(pool.swap_remove(idx).ptr)
     }
 
     #[cfg(miri)]
-    pub(super) fn acquire(_layout: Layout) -> Option<NonNull<u8>> {
+    pub(crate) fn acquire(&self, _layout: Layout) -> Option<NonNull<u8>> {
         None
     }
 
     /// Returns a slab to the pool, or frees it when the pool is full.
     #[cfg(not(miri))]
-    pub(super) fn release(ptr: NonNull<u8>, layout: Layout) {
-        let mut pool = POOL.lock().unwrap_or_else(|e| e.into_inner());
+    pub(crate) fn release(&self, ptr: NonNull<u8>, layout: Layout) {
+        let mut pool = self.entries.lock().unwrap_or_else(|e| e.into_inner());
         let pooled: usize = pool.iter().map(|e| e.layout.size()).sum();
         if pooled + layout.size() <= MAX_POOLED_BYTES {
             pool.push(Entry { ptr, layout });
@@ -309,9 +371,30 @@ mod pool {
     }
 
     #[cfg(miri)]
-    pub(super) fn release(ptr: NonNull<u8>, layout: Layout) {
+    pub(crate) fn release(&self, ptr: NonNull<u8>, layout: Layout) {
         // SAFETY: `ptr` was allocated with exactly `layout`.
         unsafe { std::alloc::dealloc(ptr.as_ptr(), layout) };
+    }
+}
+
+/// The default process-wide pool (see [`ArenaPool`]).
+pub(crate) fn global_pool() -> &'static Arc<ArenaPool> {
+    static GLOBAL: OnceLock<Arc<ArenaPool>> = OnceLock::new();
+    GLOBAL.get_or_init(|| Arc::new(ArenaPool::new()))
+}
+
+/// Thin wrappers over the global pool, kept for the non-arena users
+/// ([`AlignedBuf`]) and the pool-direct tests.
+mod pool {
+    use std::alloc::Layout;
+    use std::ptr::NonNull;
+
+    pub(super) fn acquire(layout: Layout) -> Option<NonNull<u8>> {
+        super::global_pool().acquire(layout)
+    }
+
+    pub(super) fn release(ptr: NonNull<u8>, layout: Layout) {
+        super::global_pool().release(ptr, layout)
     }
 }
 
@@ -527,6 +610,32 @@ mod tests {
         for h in handles {
             h.join().unwrap();
         }
+    }
+
+    #[cfg(not(miri))]
+    #[test]
+    fn per_node_pools_never_exchange_slabs() {
+        // Slabs drawn from pool A must be recycled into pool A and never
+        // become visible to pool B — the first-touch placement invariant
+        // the sharded executor relies on.
+        let pool_a = Arc::new(ArenaPool::new());
+        let pool_b = Arc::new(ArenaPool::new());
+
+        let mut arena = BlockArena::<u64>::with_pool(512, pool_a.clone());
+        let blk = arena.alloc_identity::<Sum>();
+        let _ = blk;
+        let slab_layout = arena.slabs[0].layout;
+        drop(arena); // slab returns to pool_a
+
+        assert!(pool_a.pooled_bytes() > 0, "slab must recycle into its pool");
+        assert_eq!(pool_b.pooled_bytes(), 0, "foreign pool must stay empty");
+        assert!(
+            pool_b.acquire(slab_layout).is_none(),
+            "pool B must never see pool A's slab"
+        );
+        let got = pool_a.acquire(slab_layout).expect("pool A recycles it");
+        // SAFETY: we own it again; free for real.
+        unsafe { std::alloc::dealloc(got.as_ptr(), slab_layout) };
     }
 
     #[cfg(not(miri))]

@@ -67,17 +67,22 @@
 //! During the loop phase a block of the original array is written only by
 //! its unique owner (lock/CAS flavors) and all other contributions go to
 //! private copies. After the team barrier, private copies of block `b` are
-//! merged by the single thread with `b % nthreads == tid`, in ascending
-//! thread order; owners no longer write. Hence no location is ever written
-//! by two threads without intervening synchronization.
+//! merged by a single thread — `b % nthreads == tid` on a flat topology,
+//! or on a sharded [`ompsim::Topology`] a thread of the node whose shard
+//! holds the block (round-robin within the node; see
+//! `BlockReduction::merge_owner`) — in ascending thread order; owners no
+//! longer write. Either way the merger is a pure function of `b`, so no
+//! location is ever written by two threads without intervening
+//! synchronization.
 
-use crate::arena::{BlockArena, BlockRef};
+use crate::arena::{ArenaPool, BlockArena, BlockRef};
 use crate::elem::{Element, ReduceOp};
 use crate::kernels;
 use crate::plan::RegionPlan;
 use crate::reducer::{ReducerView, Reduction};
-use crate::shared::{CachePadded, MemCounter, SharedSlice, Slots};
+use crate::shared::{owner_of, CachePadded, MemCounter, SharedSlice, Slots};
 use crate::telemetry::{Counters, Telemetry, TelemetryBoard};
+use ompsim::Topology;
 use std::marker::PhantomData;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
@@ -293,6 +298,14 @@ pub struct BlockReduction<'a, T: Element, O: ReduceOp<T>, W: Ownership> {
     /// is never reset because the executor builds a fresh reduction (over
     /// retained scratch) per region.
     deviated: AtomicBool,
+    /// Machine topology: steers the unplanned epilogue's merge-owner
+    /// assignment (node-local) and, with `node_pools`, first-touch arena
+    /// placement. Flat by default; results never depend on it.
+    topo: Topology,
+    /// Per-node arena slab pools (index = node id), set by the executor
+    /// on sharded topologies via [`BlockReduction::set_node_pools`].
+    /// Empty means every fresh arena uses the process-wide pool.
+    node_pools: Vec<Arc<ArenaPool>>,
     _borrow: PhantomData<&'a mut [T]>,
     _op: PhantomData<O>,
 }
@@ -424,9 +437,48 @@ impl<'a, T: Element, O: ReduceOp<T>, W: Ownership> BlockReduction<'a, T, O, W> {
             plan: None,
             stripes: Vec::new(),
             deviated: AtomicBool::new(false),
+            topo: Topology::flat(nthreads),
+            node_pools: Vec::new(),
             _borrow: PhantomData,
             _op: PhantomData,
         }
+    }
+
+    /// Makes the reduction topology-aware: fresh per-thread arenas draw
+    /// slabs from `pools[node_of(tid)]` (first-touch placement on the
+    /// owning node's pool) and the unplanned epilogue assigns each
+    /// block's merge to a thread of the node whose shard holds it.
+    /// `pools` must have one entry per node of `topo`. Purely a placement
+    /// and scheduling hint — results are bit-identical with or without
+    /// it. Retained scratch arenas keep their original pool (slabs
+    /// always recycle to the pool they came from).
+    pub fn set_node_pools(&mut self, topo: Topology, pools: Vec<Arc<ArenaPool>>) {
+        assert_eq!(
+            pools.len(),
+            topo.nodes(),
+            "one arena pool per topology node"
+        );
+        self.topo = topo;
+        self.node_pools = pools;
+    }
+
+    /// The thread that merges block `b` in the unplanned epilogue: a
+    /// thread of the node whose shard holds the block's elements,
+    /// round-robin within that node. On a flat topology this is exactly
+    /// the historical `b % nthreads`. A pure function of `b`, so each
+    /// block has one unique merger (the safety protocol's requirement).
+    #[inline]
+    fn merge_owner(&self, b: usize) -> usize {
+        if self.topo.is_flat() {
+            return b % self.nthreads;
+        }
+        // The block's first element is in bounds for every existing block.
+        let node = self
+            .topo
+            .node_of(owner_of(b << self.shift, self.nthreads, self.out.len()));
+        let tids = self.topo.node_threads(node, self.nthreads);
+        debug_assert!(!tids.is_empty(), "owner's node always has its tid");
+        tids.start + (b % tids.len())
     }
 
     /// The effective block size (requested size rounded up to a power of
@@ -535,7 +587,13 @@ impl<'a, T: Element, O: ReduceOp<T>, W: Ownership> BlockReduction<'a, T, O, W> {
             // SAFETY: `&mut self` — no region is active, slots are ours.
             .map(|t| unsafe { self.slots.get(t) }.map_or(Vec::new(), |s| s.touched.clone()))
             .collect();
-        RegionPlan::for_blocks(self.out.len(), self.nthreads, self.block_size(), &touched)
+        RegionPlan::for_blocks_on(
+            self.out.len(),
+            self.nthreads,
+            self.block_size(),
+            &touched,
+            self.topo,
+        )
     }
 }
 
@@ -952,10 +1010,16 @@ impl<T: Element, O: ReduceOp<T>, W: Ownership> Reduction<T> for BlockReduction<'
                 // carved on the first fallback privatization.
                 self.mem
                     .add(self.nblocks * (1 + std::mem::size_of::<Option<BlockRef<T>>>()));
+                // First-touch placement: on a sharded topology the fresh
+                // arena draws slabs from the thread's node pool.
+                let arena = match self.node_pools.get(self.topo.node_of(tid)) {
+                    Some(pool) => BlockArena::with_pool(self.mask + 1, pool.clone()),
+                    None => BlockArena::new(self.mask + 1),
+                };
                 (
                     vec![ST_UNKNOWN; self.nblocks],
                     (0..self.nblocks).map(|_| None).collect(),
-                    BlockArena::new(self.mask + 1),
+                    arena,
                     Vec::new(),
                     Vec::new(),
                 )
@@ -1050,10 +1114,11 @@ impl<T: Element, O: ReduceOp<T>, W: Ownership> Reduction<T> for BlockReduction<'
         // a copy this region, instead of probing all nblocks × nthreads
         // slots. With a clean plan the schedule is the plan's (balanced by
         // copy count); otherwise each thread walks the team's dirty lists
-        // and merges the blocks it owns (`b % nthreads == tid` — the same
-        // assignment the dense probe used). Either way, for a fixed block
-        // the contributions merge in ascending thread order, matching the
-        // dense strategy's order.
+        // and merges the blocks it owns (`merge_owner(b) == tid`, which is
+        // `b % nthreads` on a flat topology — the same assignment the
+        // dense probe used — and node-local on a sharded one). Either way,
+        // for a fixed block the contributions merge in ascending thread
+        // order, matching the dense strategy's order.
         let mut merged_elems = 0u64;
         let clean_plan = self
             .plan
@@ -1113,16 +1178,16 @@ impl<T: Element, O: ReduceOp<T>, W: Ownership> Reduction<T> for BlockReduction<'
                 };
                 for &b in &scratch.dirty {
                     let b = b as usize;
-                    if b % self.nthreads != tid {
+                    if self.merge_owner(b) != tid {
                         continue;
                     }
                     ompsim::verify::perturb_idx(ompsim::verify::HookPoint::MergeStep, b as u64);
                     let range = self.block_range(b);
                     let blk = scratch.blocks[b].unwrap();
                     // SAFETY: block `b` is merged (and refilled) only by
-                    // this thread — `b % nthreads == tid` partitions the
-                    // dirty lists — and owners stopped writing at the
-                    // barrier.
+                    // this thread — `merge_owner(b)` is a pure function
+                    // of `b`, partitioning the dirty lists — and owners
+                    // stopped writing at the barrier.
                     #[cfg(not(feature = "verify"))]
                     unsafe {
                         kernels::merge_refill_into::<T, O>(

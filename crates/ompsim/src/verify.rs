@@ -74,10 +74,17 @@ pub enum HookPoint {
     /// *before* the staged value is committed, so an injected fault here
     /// must leave the previous result untouched (poison, not corrupt).
     DeltaApply,
+    /// A topology-aware view is about to route a contribution to a
+    /// *different NUMA node* — a keeper view forwarding an update whose
+    /// owner lives on another node's shard (`idx` = owning node).
+    /// Crossed strictly before the cross-node queue push, so an injected
+    /// fault here models a misroute dying in flight: it must poison the
+    /// region, never corrupt the output, and replay exactly.
+    ShardRoute,
 }
 
 /// Number of distinct hook points (array dimension for counters).
-pub const NPOINTS: usize = 10;
+pub const NPOINTS: usize = 11;
 
 impl HookPoint {
     /// Every hook point, in counter-index order.
@@ -92,6 +99,7 @@ impl HookPoint {
         HookPoint::MigrationDecision,
         HookPoint::BucketSpill,
         HookPoint::DeltaApply,
+        HookPoint::ShardRoute,
     ];
 
     /// Stable index into per-point counter arrays.
@@ -113,6 +121,7 @@ impl HookPoint {
             HookPoint::MigrationDecision => "migration_decision",
             HookPoint::BucketSpill => "bucket_spill",
             HookPoint::DeltaApply => "delta_apply",
+            HookPoint::ShardRoute => "shard_route",
         }
     }
 }

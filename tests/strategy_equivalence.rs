@@ -605,6 +605,85 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The missing matrix row: [`Strategy::Segmented`] crossed with
+    /// [`RegionExecutor::run_delta`]'s dirty-range invalidation *under
+    /// migration*. The executor starts segmented, accumulates dirty
+    /// blocks across incremental batches (pushes and retractions), is
+    /// migrated away mid-stream at an arbitrary round — which must
+    /// invalidate the retained dirty ranges along with the scratch —
+    /// and migrated back to segmented one round later. Every round's
+    /// output must equal a from-scratch fold of the live contribution
+    /// set, bit-for-bit: a stale dirty range surviving either hop would
+    /// leave a block un-refolded and diverge.
+    #[test]
+    fn segmented_delta_invalidation_survives_migration(
+        len in 16usize..128,
+        threads in 1usize..5,
+        bucket_bits in prop::sample::select(vec![1u32, 3, 5]),
+        seed in any::<u64>(),
+        switch_round in 1usize..5,
+        target in 0usize..8,
+    ) {
+        let n_rounds = 6;
+        let all = strategies(16);
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let pool = ThreadPool::new(threads);
+        let segmented = Strategy::Segmented { bucket_bits };
+        let mut ex = RegionExecutor::<i64, Sum>::new(segmented);
+        let mut out = vec![0i64; len];
+        let mut live: Vec<(usize, u64, i64)> = Vec::new();
+        let mut next_tag = 0u64;
+        for round in 0..n_rounds {
+            if round == switch_round {
+                ex.migrate_to(all[target % all.len()]);
+            } else if round == switch_round + 1 {
+                ex.migrate_to(segmented);
+            }
+            let mut batch = DeltaBatch::new();
+            // Retract a couple of *prior-round* contributions first, so
+            // the batch dirties blocks via the retraction path too.
+            for _ in 0..2 {
+                if live.is_empty() {
+                    break;
+                }
+                let k = (next() as usize) % live.len();
+                let (idx, tag, _) = live.swap_remove(k);
+                batch.retract(idx, tag);
+            }
+            // Concentrated pushes so the same blocks go dirty round
+            // after round (the ranges a stale cache would skip).
+            let hot = (len / 4).max(1);
+            for _ in 0..4 + next() % 8 {
+                let idx = (next() as usize) % hot;
+                let v = (next() % 200) as i64 - 100;
+                batch.push(idx, next_tag, v);
+                live.push((idx, next_tag, v));
+                next_tag += 1;
+            }
+            ex.run_delta(&pool, &mut out, &batch);
+
+            let mut expected = vec![0i64; len];
+            for &(idx, _, v) in &live {
+                expected[idx] += v;
+            }
+            prop_assert_eq!(
+                &out, &expected,
+                "segmented-{} round {} (migrated to {} at round {})",
+                bucket_bits, round, all[target % all.len()].label(), switch_round
+            );
+        }
+    }
+}
+
 #[test]
 fn product_reduction_works() {
     // Deterministic multiplicative reduction across strategies.
